@@ -1,0 +1,144 @@
+/// Google-benchmark microbenchmarks for the library's hot kernels: SpMV,
+/// the local Gauss–Seidel sweep, Sequential Southwell's heap-driven
+/// relaxation, graph coloring, partitioning, and one full parallel step of
+/// each distributed method. These guard the constant factors the
+/// simulation's throughput depends on (all experiment "timings" come from
+/// the machine model, not from these).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/scalar_engine.hpp"
+#include "core/southwell.hpp"
+#include "dist/driver.hpp"
+#include "dist/subdomain.hpp"
+#include "graph/coloring.hpp"
+#include "graph/partition.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "util/indexed_heap.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth {
+namespace {
+
+sparse::CsrMatrix bench_matrix(sparse::index_t dim) {
+  return sparse::symmetric_unit_diagonal_scale(
+             sparse::poisson2d_5pt(dim, dim))
+      .a;
+}
+
+void BM_Spmv(benchmark::State& state) {
+  const auto dim = static_cast<sparse::index_t>(state.range(0));
+  auto a = bench_matrix(dim);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 1.0);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(64)->Arg(256);
+
+void BM_LocalGsSweep(benchmark::State& state) {
+  const auto dim = static_cast<sparse::index_t>(state.range(0));
+  auto a = bench_matrix(dim);
+  std::vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> r(x.size(), 1.0);
+  for (auto _ : state) {
+    dist::local_gauss_seidel_sweep(a, x, r);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.rows());
+}
+BENCHMARK(BM_LocalGsSweep)->Arg(64)->Arg(256);
+
+void BM_SequentialSouthwellSweep(benchmark::State& state) {
+  const auto dim = static_cast<sparse::index_t>(state.range(0));
+  auto a = bench_matrix(dim);
+  util::Rng rng(1);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  rng.fill_uniform(b, -1.0, 1.0);
+  std::vector<double> x0(b.size(), 0.0);
+  core::ScalarRunOptions opt;
+  opt.max_sweeps = 1;
+  opt.record_each_relaxation = false;
+  for (auto _ : state) {
+    auto h = core::run_sequential_southwell(a, b, x0, opt);
+    benchmark::DoNotOptimize(h.points.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.rows());
+}
+BENCHMARK(BM_SequentialSouthwellSweep)->Arg(64);
+
+void BM_IndexedHeapChurn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    util::IndexedMaxHeap<double> heap(n);
+    for (std::size_t i = 0; i < n; ++i) heap.push(i, rng.next_double());
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.update(static_cast<std::size_t>(rng.next_below(n)),
+                  rng.next_double());
+    }
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(3 * n));
+}
+BENCHMARK(BM_IndexedHeapChurn)->Arg(1024)->Arg(16384);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const auto dim = static_cast<sparse::index_t>(state.range(0));
+  auto g = graph::Graph::from_matrix_structure(
+      sparse::poisson2d_9pt(dim, dim));
+  for (auto _ : state) {
+    auto c = graph::greedy_coloring(g);
+    benchmark::DoNotOptimize(c.color.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_GreedyColoring)->Arg(128);
+
+void BM_PartitionBisection(benchmark::State& state) {
+  const auto dim = static_cast<sparse::index_t>(state.range(0));
+  auto g = graph::Graph::from_matrix_structure(
+      sparse::poisson2d_5pt(dim, dim));
+  for (auto _ : state) {
+    auto p = graph::partition_recursive_bisection(g, 64);
+    benchmark::DoNotOptimize(p.part.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+}
+BENCHMARK(BM_PartitionBisection)->Arg(64)->Arg(128);
+
+void BM_DistStep(benchmark::State& state) {
+  const auto method = static_cast<dist::DistMethod>(state.range(0));
+  auto a = bench_matrix(96);
+  util::Rng rng(3);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> x0(b.size());
+  rng.fill_uniform(x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(a, b, x0);
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(g, 128);
+  dist::DistLayout layout(a, part);
+  simmpi::Runtime rt(128);
+  dist::DistRunOptions opt;
+  auto solver = dist::make_dist_solver(method, layout, rt, b, x0, opt);
+  for (auto _ : state) {
+    auto stats = solver->step();
+    benchmark::DoNotOptimize(stats.relaxations);
+  }
+  state.SetLabel(dist::method_name(method));
+}
+BENCHMARK(BM_DistStep)
+    ->Arg(static_cast<int>(dist::DistMethod::kBlockJacobi))
+    ->Arg(static_cast<int>(dist::DistMethod::kParallelSouthwell))
+    ->Arg(static_cast<int>(dist::DistMethod::kDistributedSouthwell));
+
+}  // namespace
+}  // namespace dsouth
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#include "support/bench_support.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "graph/graph.hpp"
+#include "sparse/proxy_suite.hpp"
+#include "sparse/scaling.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::bench {
+
+DistProblem make_dist_problem(const std::string& proxy_name,
+                              double size_factor, std::uint64_t seed) {
+  auto proxy = sparse::make_proxy(proxy_name, size_factor);
+  DistProblem p;
+  p.name = proxy_name;
+  p.a = std::move(proxy.a);
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  return p;
+}
+
+graph::Partition partition_for(const CsrMatrix& a, index_t num_ranks) {
+  auto g = graph::Graph::from_matrix_structure(a);
+  return graph::partition_recursive_bisection(g, num_ranks);
+}
+
+std::vector<std::string> select_matrices(const util::ArgParser& args) {
+  auto arg = args.get("matrices");
+  if (!arg || arg->empty()) return sparse::proxy_names();
+  std::vector<std::string> out;
+  std::stringstream ss(*arg);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    DSOUTH_CHECK_MSG(sparse::is_proxy_name(item),
+                     "unknown matrix '" << item << "'");
+    out.push_back(item);
+  }
+  return out;
+}
+
+const std::vector<std::string>& scaling_figure_matrices() {
+  static const std::vector<std::string> names = {
+      "Flan_1565p", "ldoorp",   "StocF-1465p",
+      "inline_1p",  "bone010p", "Hook_1498p"};
+  return names;
+}
+
+std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name;
+}
+
+std::string value_or_dagger(const std::optional<double>& v, int precision) {
+  if (!v) return "†";
+  return util::format_double(*v, precision);
+}
+
+void print_header(const std::string& title, const std::string& regenerates,
+                  const std::string& workload) {
+  std::cout << "=== " << title << " ===\n"
+            << "Regenerates: " << regenerates << "\n"
+            << "Workload:    " << workload << "\n\n";
+}
+
+dist::DistRunOptions default_run_options() {
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = 50;  // the paper runs 50 parallel steps
+  return opt;
+}
+
+}  // namespace dsouth::bench
+
+namespace dsouth::bench {
+
+MethodRuns run_three_methods(const DistProblem& p, index_t num_ranks,
+                             const dist::DistRunOptions& opt) {
+  auto part = partition_for(p.a, num_ranks);
+  dist::DistLayout layout(p.a, part);
+  MethodRuns runs;
+  runs.bj = dist::run_distributed(dist::DistMethod::kBlockJacobi, layout,
+                                  p.b, p.x0, opt);
+  runs.ps = dist::run_distributed(dist::DistMethod::kParallelSouthwell,
+                                  layout, p.b, p.x0, opt);
+  runs.ds = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                  layout, p.b, p.x0, opt);
+  return runs;
+}
+
+}  // namespace dsouth::bench

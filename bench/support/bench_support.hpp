@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file bench_support.hpp
+/// Shared machinery for the reproduction benches (one binary per paper
+/// table/figure — see DESIGN.md §4). Handles problem setup exactly as the
+/// paper specifies (§4.2: b = 0, random x⁰ scaled so ‖r⁰‖₂ = 1, matrices
+/// pre-scaled to unit diagonal by the proxy suite), partitioning, and
+/// uniform table/CSV output.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "sparse/csr.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace dsouth::bench {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+/// A distributed test problem in the paper's §4.2 setup.
+struct DistProblem {
+  std::string name;
+  CsrMatrix a;
+  std::vector<value_t> b;   ///< all zeros
+  std::vector<value_t> x0;  ///< random, scaled so ‖r⁰‖₂ == 1
+};
+
+/// Build a proxy problem by name (see sparse/proxy_suite.hpp). The seed
+/// feeds the random initial guess; the default matches the committed
+/// EXPERIMENTS.md numbers.
+DistProblem make_dist_problem(const std::string& proxy_name,
+                              double size_factor = 1.0,
+                              std::uint64_t seed = 0xD15717ULL);
+
+/// Partition the matrix graph into `num_ranks` subdomains (our METIS
+/// substitute, recursive bisection + FM).
+graph::Partition partition_for(const CsrMatrix& a, index_t num_ranks);
+
+/// The matrix list of Table 1 (all 14 proxies) or a user-selected subset
+/// via `-matrices name1,name2`.
+std::vector<std::string> select_matrices(const util::ArgParser& args);
+
+/// The six matrices the paper uses in Figures 8 and 9.
+const std::vector<std::string>& scaling_figure_matrices();
+
+/// Ensure `bench_results/` exists and return "bench_results/<name>".
+std::string csv_path(const std::string& name);
+
+/// Format an optional metric: value or the paper's † for "not reached".
+std::string value_or_dagger(const std::optional<double>& v, int precision);
+
+/// Standard bench preamble: prints the bench title, what paper artifact it
+/// regenerates, and the workload description.
+void print_header(const std::string& title, const std::string& regenerates,
+                  const std::string& workload);
+
+/// Default run options shared by the distributed benches (50 parallel
+/// steps, the calibrated machine model).
+dist::DistRunOptions default_run_options();
+
+}  // namespace dsouth::bench
+
+namespace dsouth::bench {
+
+/// Results of running BJ, PS and DS on the same problem and partition
+/// (the Tables 2-4 protocol).
+struct MethodRuns {
+  dist::DistRunResult bj, ps, ds;
+};
+
+/// Partition once, run all three methods.
+MethodRuns run_three_methods(const DistProblem& p, index_t num_ranks,
+                             const dist::DistRunOptions& opt);
+
+}  // namespace dsouth::bench

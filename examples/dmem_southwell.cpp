@@ -1,0 +1,138 @@
+/// DMEM_Southwell — a faithful port of the paper artifact's driver
+/// interface (Appendix A.4) to the simulated runtime. Accepts the
+/// artifact's arguments:
+///
+///   -mat_file F      load F (.bin = dsouth binary CSR, else Matrix Market);
+///                    default: 5-point Laplacian on a -grid N 2-D domain
+///                    (the artifact defaults to 1000; we default to 200 so
+///                    the demo runs in seconds — pass -grid 1000 for the
+///                    artifact's size)
+///   -x_zeros         x = 0 and b random (scaled so ||r0|| = 1);
+///                    default: b = 0 and x random, as in the paper's runs
+///   -sweep_max K     parallel steps (default 20, as in the artifact)
+///   -loc_solver gs   local subdomain solver (only 'gs' is supported —
+///                    the artifact's PARDISO option needed MKL)
+///   -solver S        sos_sds = Distributed Southwell, sos_sps = Parallel
+///                    Southwell, bj = Block Jacobi; no solver by default
+///                    (setup statistics only, like the artifact)
+///   -procs P         simulated MPI ranks (replaces srun -n; default 1024)
+///   -format_out      additionally print machine-readable key=value lines
+
+#include <iostream>
+
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "sparse/binary_io.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsouth;
+  util::ArgParser args(argc, argv);
+  const auto procs =
+      static_cast<sparse::index_t>(args.get_int_or("procs", 1024));
+  const auto sweep_max =
+      static_cast<sparse::index_t>(args.get_int_or("sweep_max", 20));
+  const std::string loc_solver = args.get_or("loc_solver", "gs");
+  const std::string solver = args.get_or("solver", "");
+  const bool format_out = args.has("format_out");
+  if (loc_solver != "gs") {
+    std::cerr << "only -loc_solver gs is supported (the artifact's PARDISO "
+                 "option required MKL)\n";
+    return 1;
+  }
+
+  util::Stopwatch setup_timer;
+  sparse::CsrMatrix raw;
+  std::string mat_name;
+  if (auto path = args.get("mat_file")) {
+    raw = sparse::load_matrix_any(*path);
+    mat_name = *path;
+  } else {
+    const auto grid = static_cast<sparse::index_t>(args.get_int_or("grid", 200));
+    raw = sparse::poisson2d_5pt(grid, grid);
+    mat_name = "laplace2d_" + std::to_string(grid);
+  }
+  auto a = sparse::symmetric_unit_diagonal_scale(raw).a;
+
+  // Initial data per the artifact: one of x/b is zero, the other random,
+  // scaled so the initial residual norm is exactly 1.
+  util::Rng rng(7777);
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> x0(b.size(), 0.0);
+  if (args.has("x_zeros")) {
+    rng.fill_uniform(b, -1.0, 1.0);
+    sparse::scale(1.0 / sparse::norm2(b), b);
+  } else {
+    rng.fill_uniform(x0, -1.0, 1.0);
+    sparse::normalize_initial_residual(a, b, x0);
+  }
+
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(g, procs);
+  auto quality = graph::evaluate_partition(g, part);
+  const double setup_seconds = setup_timer.seconds();
+
+  std::cout << "setup: matrix " << mat_name << " (" << a.rows() << " rows, "
+            << a.nnz() << " nnz), " << procs << " ranks, edge cut "
+            << quality.edge_cut << ", imbalance " << quality.imbalance
+            << ", setup wall time " << setup_seconds << " s\n";
+  sparse::print_matrix_stats(std::cout, sparse::compute_matrix_stats(raw));
+  if (format_out) {
+    std::cout << "out: matrix=" << mat_name << " rows=" << a.rows()
+              << " nnz=" << a.nnz() << " procs=" << procs
+              << " edge_cut=" << quality.edge_cut
+              << " imbalance=" << quality.imbalance << "\n";
+  }
+  if (solver.empty()) {
+    std::cout << "no -solver given; setup phase only (artifact default).\n";
+    return 0;
+  }
+
+  dist::DistMethod method;
+  if (solver == "sos_sds" || solver == "ds") {
+    method = dist::DistMethod::kDistributedSouthwell;
+  } else if (solver == "sos_sps" || solver == "ps") {
+    method = dist::DistMethod::kParallelSouthwell;
+  } else if (solver == "bj" || solver == "jacobi_block") {
+    method = dist::DistMethod::kBlockJacobi;
+  } else {
+    std::cerr << "unknown -solver '" << solver
+              << "' (use sos_sds, sos_sps or bj)\n";
+    return 1;
+  }
+
+  util::Stopwatch solve_timer;
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = sweep_max;
+  auto result = dist::run_distributed(method, a, part, b, x0, opt);
+  std::cout << "solver " << result.method << ": " << result.steps_taken()
+            << " parallel steps, final ||r|| = "
+            << result.residual_norm.back()
+            << ", comm cost = " << result.comm_cost.back()
+            << " msgs/rank (solve " << result.solve_comm.back() << ", res "
+            << result.res_comm.back() << "), model time "
+            << result.model_time.back() * 1e3 << " ms, solve wall time "
+            << solve_timer.seconds() << " s\n";
+  if (auto at = result.at_target(0.1)) {
+    std::cout << "reached ||r|| = 0.1 at step " << at->steps << " ("
+              << at->comm_cost << " msgs/rank)\n";
+  } else {
+    std::cout << "did not reach ||r|| = 0.1 within " << sweep_max
+              << " steps\n";
+  }
+  if (format_out) {
+    std::cout << "out: solver=" << result.method
+              << " steps=" << result.steps_taken()
+              << " final_res=" << result.residual_norm.back()
+              << " comm=" << result.comm_cost.back()
+              << " model_time=" << result.model_time.back() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+/// Partitioning demo: compare the library's METIS-substitute (recursive
+/// bisection + Fiduccia–Mattheyses refinement) against greedy growing and
+/// naive contiguous blocks — in partition quality and in its downstream
+/// effect on Distributed Southwell's communication.
+///
+/// Run:  ./partitioning_demo [-matrix boneS10p] [-size_factor 0.2]
+///       [-procs 64] [-keep_order]
+
+#include <iostream>
+
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "graph/rcm.hpp"
+#include "sparse/proxy_suite.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsouth;
+  util::ArgParser args(argc, argv);
+  const auto procs =
+      static_cast<sparse::index_t>(args.get_int_or("procs", 64));
+  const double size_factor = args.get_double_or("size_factor", 0.2);
+  const std::string name = args.get_or("matrix", "boneS10p");
+
+  auto proxy = sparse::make_proxy(name, size_factor);
+  sparse::CsrMatrix a = std::move(proxy.a);
+  // Randomly permute the rows unless -keep_order is given: generated
+  // meshes come in a banded natural order where naive contiguous blocks
+  // happen to form decent strips; real-world matrices offer no such gift,
+  // and the shuffle makes "contiguous blocks" mean what it means there.
+  if (!args.has("keep_order")) {
+    util::Rng shuffle_rng(99);
+    std::vector<sparse::index_t> perm(static_cast<std::size_t>(a.rows()));
+    for (sparse::index_t i = 0; i < a.rows(); ++i) {
+      perm[static_cast<std::size_t>(i)] = i;
+    }
+    shuffle_rng.shuffle(std::span<sparse::index_t>(perm));
+    a = graph::permute_symmetric(a, perm);
+  }
+  std::cout << "Matrix " << name << ": " << a.rows() << " rows, " << a.nnz()
+            << " nnz; partitioning into " << procs << " parts.\n\n";
+  auto g = graph::Graph::from_matrix_structure(a);
+
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> x0(b.size());
+  util::Rng rng(11);
+  rng.fill_uniform(x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(a, b, x0);
+
+  struct Entry {
+    const char* label;
+    graph::Partition part;
+  };
+  Entry entries[] = {
+      {"recursive bisection + FM",
+       graph::partition_recursive_bisection(g, procs)},
+      {"greedy growing", graph::partition_greedy_growing(g, procs)},
+      {"contiguous blocks",
+       graph::partition_contiguous_blocks(a.rows(), procs)},
+  };
+
+  util::Table table({"Partitioner", "edge cut", "imbalance", "DS steps->0.1",
+                     "DS comm->0.1", "DS model ms"});
+  for (auto& e : entries) {
+    auto q = graph::evaluate_partition(g, e.part);
+    dist::DistRunOptions opt;
+    opt.max_parallel_steps = 200;
+    opt.stop_at_residual = 0.1;
+    auto r = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                   a, e.part, b, x0, opt);
+    auto at = r.at_target(0.1);
+    table.row().cell(e.label);
+    table.cell(static_cast<std::size_t>(q.edge_cut));
+    table.cell(q.imbalance, 2);
+    table.cell(at ? util::format_double(at->steps, 1) : "†");
+    table.cell(at ? util::format_double(at->comm_cost, 1) : "†");
+    table.cell(at ? util::format_double(at->model_time * 1e3, 3) : "†");
+  }
+  table.print(std::cout);
+  std::cout << "\nSmaller edge cuts mean fewer neighbor channels, hence "
+               "fewer messages per parallel step — the reason the paper "
+               "partitions with METIS and this library ships a partitioner "
+               "as a substrate.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+/// Preconditioned conjugate gradients with a Distributed Southwell
+/// preconditioner — the paper's motivating use case made runnable. Picks a
+/// proxy matrix (or your own .mtx), compares plain CG, Jacobi, symmetric
+/// GS and the three distributed preconditioners side by side.
+///
+/// Run:  ./preconditioned_cg [-matrix af_5_k101p] [-size_factor 0.15]
+///       [-procs 128] [-steps 12] [-tol 1e-8] [-mat_file path.mtx]
+
+#include <iostream>
+#include <sstream>
+
+#include "graph/partition.hpp"
+#include "krylov/cg.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/proxy_suite.hpp"
+#include "sparse/scaling.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsouth;
+  util::ArgParser args(argc, argv);
+  const auto procs =
+      static_cast<sparse::index_t>(args.get_int_or("procs", 128));
+  const auto steps =
+      static_cast<sparse::index_t>(args.get_int_or("steps", 12));
+  const double tol = args.get_double_or("tol", 1e-8);
+  const double size_factor = args.get_double_or("size_factor", 0.15);
+
+  sparse::CsrMatrix a;
+  std::string name;
+  if (auto path = args.get("mat_file")) {
+    name = *path;
+    a = sparse::symmetric_unit_diagonal_scale(
+            sparse::read_matrix_market_file(*path))
+            .a;
+  } else {
+    name = args.get_or("matrix", "af_5_k101p");
+    a = sparse::make_proxy(name, size_factor).a;
+  }
+  std::cout << "Solving A x = b with flexible PCG on " << name << " ("
+            << a.rows() << " rows), P = " << procs << ", "
+            << steps << " parallel steps per preconditioner application.\n\n";
+
+  std::vector<double> b(static_cast<std::size_t>(a.rows()));
+  util::Rng rng(21);
+  rng.fill_uniform(b, -1.0, 1.0);
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(g, procs);
+
+  krylov::CgOptions opt;
+  opt.rel_tolerance = tol;
+  opt.max_iterations = 5000;
+
+  util::Table table({"Preconditioner", "CG iterations", "precond comm",
+                     "rel. residual"});
+  auto report = [&](const char* label, krylov::Preconditioner* pc) {
+    std::vector<double> x(b.size(), 0.0);
+    auto r = krylov::run_pcg(a, b, x, pc, opt);
+    std::ostringstream rr;
+    rr.setf(std::ios::scientific);
+    rr.precision(2);
+    rr << r.final_relative_residual;
+    table.row().cell(label);
+    table.cell(static_cast<std::size_t>(r.iterations));
+    table.cell(pc != nullptr ? pc->comm_cost() : 0.0, 1);
+    table.cell(r.converged ? "converged" : rr.str());
+  };
+
+  report("(none)", nullptr);
+  auto jacobi = krylov::make_jacobi_preconditioner(a);
+  report("Jacobi", jacobi.get());
+  auto ssor = krylov::make_symmetric_gs_preconditioner(a);
+  report("symmetric GS", ssor.get());
+  for (auto method : {dist::DistMethod::kBlockJacobi,
+                      dist::DistMethod::kParallelSouthwell,
+                      dist::DistMethod::kDistributedSouthwell}) {
+    krylov::DistPreconditionerOptions popt;
+    popt.method = method;
+    popt.steps = steps;
+    auto pc = krylov::make_distributed_preconditioner(a, part, popt);
+    report(pc->name(), pc.get());
+  }
+  table.print(std::cout);
+  std::cout << "\nThe Southwell preconditioners are iteration-varying, so "
+               "run_pcg switches to the flexible (Polak-Ribiere) beta "
+               "automatically.\n";
+  return 0;
+}

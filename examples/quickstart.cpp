@@ -1,0 +1,91 @@
+/// Quickstart: solve a sparse SPD system with Distributed Southwell.
+///
+/// This example walks the full public API path a downstream user takes:
+///   1. assemble (or load) an SPD matrix,
+///   2. scale it to unit diagonal (the paper's preprocessing),
+///   3. partition it into one subdomain per simulated rank,
+///   4. run Distributed Southwell and inspect convergence/communication.
+///
+/// Run:   ./quickstart [-n 64] [-procs 256] [-steps 50] [-target 0.1]
+///        [-mat_file path/to/matrix.mtx]
+
+#include <iostream>
+
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "sparse/mm_io.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsouth;
+  util::ArgParser args(argc, argv);
+  const auto n = static_cast<sparse::index_t>(args.get_int_or("n", 64));
+  const auto procs =
+      static_cast<sparse::index_t>(args.get_int_or("procs", 256));
+  const auto steps =
+      static_cast<sparse::index_t>(args.get_int_or("steps", 50));
+  const double target = args.get_double_or("target", 0.1);
+
+  // 1. A matrix: either a Matrix Market file or a generated 3-D Poisson
+  //    problem (the artifact's default is a generated Laplacian too).
+  sparse::CsrMatrix raw;
+  if (auto path = args.get("mat_file")) {
+    raw = sparse::read_matrix_market_file(*path);
+    std::cout << "Loaded " << *path << ": " << raw.rows() << " rows, "
+              << raw.nnz() << " nonzeros\n";
+  } else {
+    raw = sparse::poisson3d_7pt(n, n, n);
+    std::cout << "Generated 3-D Poisson " << n << "^3: " << raw.rows()
+              << " rows, " << raw.nnz() << " nonzeros\n";
+  }
+
+  // 2. Symmetric unit-diagonal scaling (makes |r_i| the Gauss-Southwell
+  //    selection weight, as in the paper).
+  auto scaled = sparse::symmetric_unit_diagonal_scale(raw);
+  const auto& a = scaled.a;
+
+  // 3. Partition into one subdomain per rank.
+  auto graph = graph::Graph::from_matrix_structure(a);
+  auto partition = graph::partition_recursive_bisection(graph, procs);
+  auto quality = graph::evaluate_partition(graph, partition);
+  std::cout << "Partitioned into " << procs << " subdomains (edge cut "
+            << quality.edge_cut << ", imbalance " << quality.imbalance
+            << ")\n";
+
+  // 4. The paper's experiment setup: b = 0, random x0 with ||r0|| = 1.
+  std::vector<double> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> x0(b.size());
+  util::Rng rng(42);
+  rng.fill_uniform(x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(a, b, x0);
+
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = steps;
+  opt.stop_at_residual = target;
+  auto result = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                      a, partition, b, x0, opt);
+
+  util::Table table({"step", "residual", "comm cost", "active ranks"});
+  for (std::size_t k = 0; k < result.steps_taken(); ++k) {
+    table.row()
+        .cell(k + 1)
+        .cell(result.residual_norm[k + 1], 6)
+        .cell(result.comm_cost[k + 1], 2)
+        .cell(static_cast<std::size_t>(result.active_ranks[k]));
+  }
+  table.print(std::cout);
+  if (auto at = result.at_target(target)) {
+    std::cout << "\nReached ||r|| = " << target << " after " << at->steps
+              << " parallel steps, " << at->comm_cost
+              << " messages per rank, modeled time " << at->model_time * 1e3
+              << " ms.\n";
+  } else {
+    std::cout << "\nDid not reach ||r|| = " << target << " in " << steps
+              << " steps (final " << result.residual_norm.back() << ").\n";
+  }
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "core/adaptive_relaxation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/scalar_engine.hpp"
+#include "util/error.hpp"
+#include "util/indexed_heap.hpp"
+
+namespace dsouth::core {
+
+ConvergenceHistory run_sequential_adaptive_relaxation(
+    const CsrMatrix& a, std::span<const value_t> b,
+    std::span<const value_t> x0, const SequentialAdaptiveOptions& opt) {
+  DSOUTH_CHECK(opt.significance >= 0.0);
+  ScalarRelaxationEngine eng(a, b, x0);
+  const index_t n = a.rows();
+  ConvergenceHistory h;
+  h.points.push_back({0, eng.residual_norm()});
+
+  // Active set as FIFO + membership flags; seeded with the largest
+  // residuals (or everything).
+  std::deque<index_t> active;
+  std::vector<char> in_set(static_cast<std::size_t>(n), 0);
+  if (opt.initial_active <= 0 || opt.initial_active >= n) {
+    for (index_t i = 0; i < n; ++i) {
+      active.push_back(i);
+      in_set[static_cast<std::size_t>(i)] = 1;
+    }
+  } else {
+    util::IndexedMaxHeap<value_t> heap(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) {
+      heap.push(static_cast<std::size_t>(i), eng.southwell_weight(i));
+    }
+    for (index_t k = 0; k < opt.initial_active; ++k) {
+      const auto i = static_cast<index_t>(heap.pop());
+      active.push_back(i);
+      in_set[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+
+  const index_t max_relaxations = opt.base.max_sweeps * n;
+  value_t x_scale = 1.0;
+  for (value_t v : eng.x()) x_scale = std::max(x_scale, std::abs(v));
+  while (!active.empty() && eng.relaxation_count() < max_relaxations) {
+    const index_t i = active.front();
+    active.pop_front();
+    in_set[static_cast<std::size_t>(i)] = 0;
+    // Preliminary relaxation: evaluate the update magnitude first; an
+    // insignificant row is dropped from the active set without a change
+    // (this is the "discard the update" rule — equivalent to never
+    // applying it).
+    const value_t delta = eng.residual(i) / eng.diag(i);
+    if (std::abs(delta) <= opt.significance * x_scale) continue;
+    eng.relax_row(i, 1.0);
+    x_scale = std::max(x_scale, std::abs(eng.x()[i]));
+    for (index_t j : a.row_cols(i)) {
+      if (j != i && !in_set[static_cast<std::size_t>(j)]) {
+        active.push_back(j);
+        in_set[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+    if (opt.base.record_each_relaxation) {
+      h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+    }
+    if (opt.base.target_residual > 0.0 &&
+        eng.residual_norm() <= opt.base.target_residual) {
+      break;
+    }
+  }
+  if (h.points.back().relaxations != eng.relaxation_count() ||
+      h.points.size() == 1) {
+    h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+  }
+  return h;
+}
+
+ConvergenceHistory run_simultaneous_adaptive_relaxation(
+    const CsrMatrix& a, std::span<const value_t> b,
+    std::span<const value_t> x0, const SimultaneousAdaptiveOptions& opt) {
+  DSOUTH_CHECK(opt.threshold_fraction > 0.0 && opt.threshold_fraction <= 1.0);
+  ScalarRelaxationEngine eng(a, b, x0);
+  const index_t n = a.rows();
+  ConvergenceHistory h;
+  h.points.push_back({0, eng.residual_norm()});
+
+  const index_t max_relaxations = opt.base.max_sweeps * n;
+  const index_t max_steps =
+      opt.max_parallel_steps > 0 ? opt.max_parallel_steps : max_relaxations;
+  std::vector<index_t> selected;
+  for (index_t step = 0; step < max_steps; ++step) {
+    if (eng.relaxation_count() >= max_relaxations) break;
+    value_t max_w = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      max_w = std::max(max_w, eng.southwell_weight(i));
+    }
+    if (max_w == 0.0) break;
+    const value_t theta = opt.threshold_fraction * max_w;
+    selected.clear();
+    for (index_t i = 0; i < n; ++i) {
+      if (eng.southwell_weight(i) > theta ||
+          eng.southwell_weight(i) == max_w) {
+        selected.push_back(i);
+      }
+    }
+    eng.relax_simultaneously(selected, 1.0);
+    h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+    h.step_marks.push_back(h.points.size() - 1);
+    if (opt.base.target_residual > 0.0 &&
+        eng.residual_norm() <= opt.base.target_residual) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace dsouth::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file adaptive_relaxation.hpp
+/// The Southwell-family related-work methods the paper discusses in §5:
+///
+///  - **Sequential adaptive relaxation** (Rüde [14, 13]): keep a small
+///    active set; pop a row, do a preliminary relaxation, and keep the
+///    update only if it changes the solution significantly — in which case
+///    the row's neighbors join the active set.
+///  - **Simultaneous adaptive relaxation** (Rüde [14]): pick a threshold θ
+///    and relax all rows with |r_i| > θ simultaneously. Like Jacobi, this
+///    is not guaranteed to converge for all SPD matrices (the paper points
+///    this out as a contrast with Parallel Southwell's independent sets).
+///
+/// These give the benches a related-work axis and make the §5 discussion
+/// concrete; they are not used by the Distributed Southwell method itself.
+
+#include <span>
+
+#include "core/classic.hpp"
+#include "core/history.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsouth::core {
+
+struct SequentialAdaptiveOptions {
+  ScalarRunOptions base;
+  /// Keep an update (and activate neighbors) only if |δ| exceeds this
+  /// fraction of the current solution scale max(‖x‖∞, 1).
+  value_t significance = 1e-3;
+  /// Initial active set: rows with the largest |r| (0 = all rows).
+  index_t initial_active = 0;
+};
+
+/// Sequential adaptive relaxation. Terminates when the active set drains,
+/// the sweep budget is exhausted, or the target residual is met.
+ConvergenceHistory run_sequential_adaptive_relaxation(
+    const CsrMatrix& a, std::span<const value_t> b,
+    std::span<const value_t> x0, const SequentialAdaptiveOptions& opt = {});
+
+struct SimultaneousAdaptiveOptions {
+  ScalarRunOptions base;
+  /// Rows with |r_i| > θ relax together. θ is re-derived each parallel
+  /// step as `threshold_fraction` × max_i |r_i|.
+  value_t threshold_fraction = 0.5;
+  index_t max_parallel_steps = 0;  ///< 0 = max_sweeps · n
+};
+
+/// Simultaneous adaptive relaxation (one parallel step per threshold
+/// sweep; every point is a step mark).
+ConvergenceHistory run_simultaneous_adaptive_relaxation(
+    const CsrMatrix& a, std::span<const value_t> b,
+    std::span<const value_t> x0, const SimultaneousAdaptiveOptions& opt = {});
+
+}  // namespace dsouth::core

@@ -1,0 +1,111 @@
+#include "core/classic.hpp"
+
+#include <numeric>
+
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::core {
+
+namespace {
+
+void record(ConvergenceHistory& h, ScalarRelaxationEngine& eng) {
+  h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+}
+
+bool reached(const ConvergenceHistory& h, const ScalarRunOptions& opt) {
+  return opt.target_residual > 0.0 &&
+         h.points.back().residual_norm <= opt.target_residual;
+}
+
+}  // namespace
+
+ConvergenceHistory run_jacobi(const CsrMatrix& a, std::span<const value_t> b,
+                              std::span<const value_t> x0,
+                              const ScalarRunOptions& opt) {
+  ScalarRelaxationEngine eng(a, b, x0);
+  ConvergenceHistory h;
+  record(h, eng);
+  std::vector<index_t> all(static_cast<std::size_t>(a.rows()));
+  std::iota(all.begin(), all.end(), index_t{0});
+  for (index_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    eng.relax_simultaneously(all, opt.omega);
+    record(h, eng);
+    h.step_marks.push_back(h.points.size() - 1);
+    if (reached(h, opt)) break;
+  }
+  return h;
+}
+
+namespace {
+
+ConvergenceHistory run_sweep_order(const CsrMatrix& a,
+                                   std::span<const value_t> b,
+                                   std::span<const value_t> x0, value_t omega,
+                                   const ScalarRunOptions& opt) {
+  ScalarRelaxationEngine eng(a, b, x0);
+  ConvergenceHistory h;
+  record(h, eng);
+  for (index_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      eng.relax_row(i, omega);
+      if (opt.record_each_relaxation) {
+        record(h, eng);
+        if (reached(h, opt)) return h;
+      }
+    }
+    if (!opt.record_each_relaxation) {
+      record(h, eng);
+      if (reached(h, opt)) return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+ConvergenceHistory run_gauss_seidel(const CsrMatrix& a,
+                                    std::span<const value_t> b,
+                                    std::span<const value_t> x0,
+                                    const ScalarRunOptions& opt) {
+  return run_sweep_order(a, b, x0, opt.omega, opt);
+}
+
+ConvergenceHistory run_sor(const CsrMatrix& a, std::span<const value_t> b,
+                           std::span<const value_t> x0, value_t omega,
+                           const ScalarRunOptions& opt) {
+  DSOUTH_CHECK_MSG(omega > 0.0 && omega < 2.0,
+                   "SOR requires omega in (0, 2), got " << omega);
+  return run_sweep_order(a, b, x0, omega, opt);
+}
+
+ConvergenceHistory run_multicolor_gs(const CsrMatrix& a,
+                                     std::span<const value_t> b,
+                                     std::span<const value_t> x0,
+                                     const ScalarRunOptions& opt,
+                                     const graph::Coloring* coloring) {
+  graph::Coloring local;
+  if (coloring == nullptr) {
+    local = graph::greedy_coloring(graph::Graph::from_matrix_structure(a),
+                                   graph::ColoringOrder::kBfs);
+    coloring = &local;
+  }
+  DSOUTH_CHECK(coloring->color.size() == static_cast<std::size_t>(a.rows()));
+  const auto groups = coloring->groups();
+  ScalarRelaxationEngine eng(a, b, x0);
+  ConvergenceHistory h;
+  record(h, eng);
+  for (index_t sweep = 0; sweep < opt.max_sweeps; ++sweep) {
+    for (const auto& group : groups) {
+      // Rows of one color are independent: simultaneous relaxation equals
+      // sequential, and counts as one parallel step.
+      eng.relax_simultaneously(group, opt.omega);
+      record(h, eng);
+      h.step_marks.push_back(h.points.size() - 1);
+      if (reached(h, opt)) return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace dsouth::core

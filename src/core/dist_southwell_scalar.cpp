@@ -1,0 +1,211 @@
+#include "core/dist_southwell_scalar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::core {
+
+namespace {
+
+/// mirror[k] = CSR position of entry (col_idx[k], i) given k lies in row i.
+/// Requires structural symmetry (validated by the engine's symmetry check).
+std::vector<index_t> build_mirror(const CsrMatrix& a) {
+  std::vector<index_t> mirror(static_cast<std::size_t>(a.nnz()), -1);
+  auto row_ptr = a.row_ptr();
+  auto col_idx = a.col_idx();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const index_t j = col_idx[k];
+      auto cols = a.row_cols(j);
+      auto it = std::lower_bound(cols.begin(), cols.end(), i);
+      DSOUTH_CHECK_MSG(it != cols.end() && *it == i,
+                       "matrix not structurally symmetric at (" << i << ","
+                                                                << j << ")");
+      mirror[static_cast<std::size_t>(k)] =
+          row_ptr[j] + static_cast<index_t>(it - cols.begin());
+    }
+  }
+  return mirror;
+}
+
+}  // namespace
+
+DistSouthwellScalarResult run_distributed_southwell_scalar(
+    const CsrMatrix& a, std::span<const value_t> b,
+    std::span<const value_t> x0, const DistSouthwellScalarOptions& opt) {
+  ScalarRelaxationEngine eng(a, b, x0);
+  const index_t n = a.rows();
+  auto row_ptr = a.row_ptr();
+  auto col_idx = a.col_idx();
+  auto vals = a.values();
+  const std::vector<index_t> mirror = build_mirror(a);
+
+  // Estimate state per off-diagonal CSR position k (owner = row of k,
+  // neighbor = col_idx[k]):
+  //   z[k]     — owner's estimate of the neighbor's residual.
+  //   tilde[k] — the estimate of the *owner's* residual currently held by
+  //              the neighbor. Every message carries the sender's estimate
+  //              of the receiver's residual, so tilde[k] == z[mirror[k]]
+  //              at every epoch boundary — except transiently on edges
+  //              whose two endpoints relaxed in the same epoch (crossing
+  //              messages; possible only under stale estimates). The
+  //              discrepancy can only cause a redundant correction or mark
+  //              the neighbor's estimate as 0 (never an artificial wait),
+  //              so deadlock freedom is unaffected, matching Algorithm 3.
+  std::vector<value_t> z(static_cast<std::size_t>(a.nnz()), 0.0);
+  std::vector<value_t> tilde(static_cast<std::size_t>(a.nnz()), 0.0);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const index_t j = col_idx[k];
+      if (j == i) continue;
+      z[static_cast<std::size_t>(k)] = eng.residual(j);
+      tilde[static_cast<std::size_t>(k)] = eng.residual(i);
+    }
+  }
+
+  DistSouthwellScalarResult result;
+  result.history.points.push_back({0, eng.residual_norm()});
+
+  const index_t budget = opt.max_relaxations > 0 ? opt.max_relaxations
+                                                 : opt.base.max_sweeps * n;
+  const index_t max_steps =
+      opt.max_parallel_steps > 0 ? opt.max_parallel_steps : budget;
+  util::Rng subset_rng(opt.subset_seed);
+
+  std::vector<index_t> selected;
+  std::vector<value_t> delta(static_cast<std::size_t>(n), 0.0);
+  for (index_t step = 0; step < max_steps; ++step) {
+    if (eng.relaxation_count() >= budget) break;
+    if (opt.base.target_residual > 0.0 &&
+        eng.residual_norm() <= opt.base.target_residual) {
+      break;
+    }
+
+    // ---- Epoch A: select by neighbor *estimates*, relax, solve messages.
+    selected.clear();
+    for (index_t i = 0; i < n; ++i) {
+      const value_t wi = eng.southwell_weight(i);
+      if (wi <= 0.0) continue;
+      bool is_max = true;
+      for (index_t k = row_ptr[i]; k < row_ptr[i + 1] && is_max; ++k) {
+        const index_t j = col_idx[k];
+        if (j == i) continue;
+        const value_t west =
+            std::abs(z[static_cast<std::size_t>(k)] / eng.diag(j));
+        if (west > wi) is_max = false;
+      }
+      if (is_max) selected.push_back(i);
+    }
+
+    // Enforce the exact relaxation budget with a random final subset
+    // (the paper's rule for the multigrid comparison).
+    const index_t remaining = budget - eng.relaxation_count();
+    if (static_cast<index_t>(selected.size()) > remaining) {
+      auto keep = subset_rng.sample_without_replacement(
+          selected.size(), static_cast<std::size_t>(remaining));
+      std::sort(keep.begin(), keep.end());
+      std::vector<index_t> subset;
+      subset.reserve(keep.size());
+      for (std::size_t s : keep) subset.push_back(selected[s]);
+      selected.swap(subset);
+    }
+
+    if (!selected.empty()) {
+      // Capture δ_i from the pre-step residuals, then let the engine apply
+      // the identical simultaneous relaxation to the true x and r.
+      for (index_t i : selected) {
+        delta[static_cast<std::size_t>(i)] =
+            eng.residual(i) / eng.diag(i);
+      }
+      eng.relax_simultaneously(selected, 1.0);
+      // Sender-side local updates: after relaxing, i's estimate of each
+      // neighbor moves by its own contribution −a_ji·δ_i (a_ji = a_ij by
+      // symmetry), with no communication; i also knows j will now hold the
+      // exact value 0 for r_i once the solve message lands.
+      for (index_t i : selected) {
+        const value_t di = delta[static_cast<std::size_t>(i)];
+        for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+          const index_t j = col_idx[k];
+          if (j == i) continue;
+          z[static_cast<std::size_t>(k)] -= vals[static_cast<std::size_t>(k)] * di;
+          tilde[static_cast<std::size_t>(k)] = 0.0;
+        }
+      }
+      // Message delivery: i → j carries (δ_i, r_i at send time = 0, and
+      // z[i→j], i's estimate of r_j). The engine already applied the δ
+      // effects on true residuals; here we apply the estimate effects.
+      // Payloads are snapshotted before any delivery is applied — messages
+      // between two simultaneously-relaxing neighbors cross in flight, so
+      // neither may see the other's delivery.
+      std::vector<std::pair<std::size_t, value_t>> deliveries;
+      for (index_t i : selected) {
+        for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+          const index_t j = col_idx[k];
+          if (j == i) continue;
+          const auto m = static_cast<std::size_t>(
+              mirror[static_cast<std::size_t>(k)]);
+          deliveries.emplace_back(m, z[static_cast<std::size_t>(k)]);
+          ++result.solve_messages;
+        }
+      }
+      for (const auto& [m, estimate_of_receiver] : deliveries) {
+        z[m] = 0.0;  // receiver learns r_i exactly (0 at send time)
+        tilde[m] = estimate_of_receiver;
+      }
+    }
+
+    // ---- Epoch B: deadlock avoidance. If a neighbor's estimate of r_i is
+    // larger in magnitude than the true r_i, it might wait on i forever;
+    // send an explicit residual update (and only then).
+    bool any_correction = false;
+    if (opt.enable_corrections) {
+      // Same snapshot-then-apply discipline as Epoch A: two neighbors can
+      // correct each other simultaneously, and each message must carry the
+      // sender's pre-delivery state.
+      struct Correction {
+        std::size_t m;        // mirror position (receiver side)
+        value_t exact_r;      // sender's true residual
+        value_t estimate;     // sender's estimate of the receiver's residual
+      };
+      std::vector<Correction> corrections;
+      for (index_t i = 0; i < n; ++i) {
+        const value_t ri = eng.residual(i);
+        for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+          const index_t j = col_idx[k];
+          if (j == i) continue;
+          const auto uk = static_cast<std::size_t>(k);
+          if (std::abs(ri) < std::abs(tilde[uk])) {
+            corrections.push_back(
+                {static_cast<std::size_t>(mirror[uk]), ri, z[uk]});
+            tilde[uk] = ri;  // i knows j will now hold the exact value
+            ++result.residual_messages;
+            any_correction = true;
+          }
+        }
+      }
+      for (const auto& c : corrections) {
+        z[c.m] = c.exact_r;     // receiver's estimate of r_i corrected
+        tilde[c.m] = c.estimate;  // receiver learns what i thinks of r_j
+      }
+    }
+
+    result.relaxed_per_step.push_back(static_cast<index_t>(selected.size()));
+    result.history.points.push_back(
+        {eng.relaxation_count(), eng.residual_norm()});
+    result.history.step_marks.push_back(result.history.points.size() - 1);
+
+    if (selected.empty() && !any_correction) {
+      // Nothing moved and nothing will: with corrections enabled this means
+      // the residual is exactly zero; without them, it is the §2.4 stall.
+      result.stalled = eng.residual_norm() > 0.0;
+      break;
+    }
+  }
+  result.x.assign(eng.x().begin(), eng.x().end());
+  return result;
+}
+
+}  // namespace dsouth::core

@@ -1,0 +1,24 @@
+#include "core/history.hpp"
+
+namespace dsouth::core {
+
+std::optional<double> ConvergenceHistory::relaxations_to_reach(
+    value_t target) const {
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    if (points[k].residual_norm <= target) {
+      if (k == 0) return 0.0;
+      const auto& a = points[k - 1];
+      const auto& b = points[k];
+      if (b.residual_norm >= a.residual_norm) {
+        return static_cast<double>(b.relaxations);
+      }
+      const double frac =
+          (a.residual_norm - target) / (a.residual_norm - b.residual_norm);
+      return static_cast<double>(a.relaxations) +
+             frac * static_cast<double>(b.relaxations - a.relaxations);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dsouth::core

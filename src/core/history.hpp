@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file history.hpp
+/// Convergence histories recorded by the scalar solvers. Figures 2 and 5 of
+/// the paper plot residual norm against the number of relaxations, with
+/// markers delineating parallel steps — so a history is a sequence of
+/// (cumulative relaxations, residual norm) points plus the indices of the
+/// points that end a parallel step.
+
+#include <optional>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::core {
+
+using sparse::index_t;
+using sparse::value_t;
+
+struct ConvergencePoint {
+  index_t relaxations = 0;   ///< cumulative relaxations when recorded
+  value_t residual_norm = 0; ///< ‖r‖₂ at that moment
+};
+
+struct ConvergenceHistory {
+  /// First point is the initial state (0 relaxations).
+  std::vector<ConvergencePoint> points;
+  /// Indices into `points` marking the end of each parallel step
+  /// (empty for purely sequential methods).
+  std::vector<std::size_t> step_marks;
+
+  index_t total_relaxations() const {
+    return points.empty() ? 0 : points.back().relaxations;
+  }
+  value_t final_residual_norm() const {
+    return points.empty() ? 0.0 : points.back().residual_norm;
+  }
+  std::size_t num_parallel_steps() const { return step_marks.size(); }
+
+  /// Number of relaxations at which the residual first drops to `target`
+  /// (linear interpolation between recorded points on the relaxation axis);
+  /// nullopt if never reached.
+  std::optional<double> relaxations_to_reach(value_t target) const;
+};
+
+}  // namespace dsouth::core

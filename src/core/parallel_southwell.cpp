@@ -1,0 +1,60 @@
+#include "core/parallel_southwell.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::core {
+
+std::vector<index_t> parallel_southwell_selection(
+    const CsrMatrix& a, std::span<const value_t> weights) {
+  DSOUTH_CHECK(weights.size() == static_cast<std::size_t>(a.rows()));
+  std::vector<index_t> selected;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const value_t wi = weights[static_cast<std::size_t>(i)];
+    if (wi <= 0.0) continue;  // nothing to relax
+    bool is_max = true;
+    for (index_t j : a.row_cols(i)) {
+      if (j == i) continue;
+      if (weights[static_cast<std::size_t>(j)] > wi) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) selected.push_back(i);
+  }
+  return selected;
+}
+
+ConvergenceHistory run_parallel_southwell(const CsrMatrix& a,
+                                          std::span<const value_t> b,
+                                          std::span<const value_t> x0,
+                                          const ParallelSouthwellOptions& opt) {
+  ScalarRelaxationEngine eng(a, b, x0);
+  ConvergenceHistory h;
+  h.points.push_back({0, eng.residual_norm()});
+
+  const index_t max_relaxations = opt.base.max_sweeps * a.rows();
+  const index_t max_steps = opt.max_parallel_steps > 0
+                                ? opt.max_parallel_steps
+                                : max_relaxations;
+  std::vector<value_t> weights(static_cast<std::size_t>(a.rows()));
+  for (index_t step = 0; step < max_steps; ++step) {
+    if (eng.relaxation_count() >= max_relaxations) break;
+    for (index_t i = 0; i < a.rows(); ++i) {
+      weights[static_cast<std::size_t>(i)] = eng.southwell_weight(i);
+    }
+    const auto selected = parallel_southwell_selection(a, weights);
+    if (selected.empty()) break;  // converged to exact zero residual
+    eng.relax_simultaneously(selected, 1.0);
+    h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+    h.step_marks.push_back(h.points.size() - 1);
+    if (opt.base.target_residual > 0.0 &&
+        eng.residual_norm() <= opt.base.target_residual) {
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace dsouth::core

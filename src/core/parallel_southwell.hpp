@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file parallel_southwell.hpp
+/// Scalar Parallel Southwell (paper §2.3): per parallel step, every row i
+/// whose |r_i| is maximal within its closed neighborhood {N_i, i} is
+/// relaxed simultaneously. Ties relax on both sides (with exact residuals
+/// this guarantees at least the global-max row is always selected, so the
+/// method cannot stall).
+
+#include <span>
+
+#include "core/classic.hpp"
+#include "core/history.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsouth::core {
+
+/// Extra knobs for the parallel-step methods.
+struct ParallelSouthwellOptions {
+  ScalarRunOptions base;
+  /// Safety bound on parallel steps (0 = derive from max_sweeps: a step
+  /// relaxes at least one row, so max_sweeps·n steps always suffice).
+  index_t max_parallel_steps = 0;
+};
+
+/// Run scalar Parallel Southwell; one history point per parallel step,
+/// every point also a step mark.
+ConvergenceHistory run_parallel_southwell(const CsrMatrix& a,
+                                          std::span<const value_t> b,
+                                          std::span<const value_t> x0,
+                                          const ParallelSouthwellOptions& opt =
+                                              {});
+
+/// The selection rule by itself (exposed for tests and the selection-demo
+/// example): rows whose Gauss–Southwell weight is >= that of every matrix
+/// neighbor. Zero-residual rows are never selected.
+std::vector<index_t> parallel_southwell_selection(
+    const CsrMatrix& a, std::span<const value_t> weights);
+
+}  // namespace dsouth::core

@@ -1,0 +1,119 @@
+#include "core/scalar_engine.hpp"
+
+#include <cmath>
+
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::core {
+
+ScalarRelaxationEngine::ScalarRelaxationEngine(const CsrMatrix& a,
+                                               std::span<const value_t> b,
+                                               std::span<const value_t> x0,
+                                               bool check_symmetry)
+    : a_(&a),
+      diag_(a.diagonal()),
+      x_(x0.begin(), x0.end()),
+      r_(static_cast<std::size_t>(a.rows())),
+      b_(b.begin(), b.end()) {
+  DSOUTH_CHECK(a.rows() == a.cols());
+  DSOUTH_CHECK(b.size() == static_cast<std::size_t>(a.rows()));
+  DSOUTH_CHECK(x0.size() == static_cast<std::size_t>(a.rows()));
+  if (check_symmetry) {
+    DSOUTH_CHECK_MSG(a.is_symmetric(1e-12),
+                     "ScalarRelaxationEngine requires a symmetric matrix");
+  }
+  for (index_t i = 0; i < a.rows(); ++i) {
+    DSOUTH_CHECK_MSG(diag_[static_cast<std::size_t>(i)] != 0.0,
+                     "zero diagonal at row " << i);
+  }
+  a.residual(b_, x_, r_);
+  sumsq_ = sparse::norm2_sq(r_);
+}
+
+value_t ScalarRelaxationEngine::southwell_weight(index_t i) const {
+  return std::abs(r_[static_cast<std::size_t>(i)] /
+                  diag_[static_cast<std::size_t>(i)]);
+}
+
+void ScalarRelaxationEngine::update_sumsq(index_t i, value_t old_value,
+                                          value_t new_value) {
+  (void)i;
+  sumsq_ += new_value * new_value - old_value * old_value;
+}
+
+value_t ScalarRelaxationEngine::relax_row(index_t i, value_t omega) {
+  DSOUTH_ASSERT(i >= 0 && i < n());
+  const auto ui = static_cast<std::size_t>(i);
+  const value_t delta = omega * r_[ui] / diag_[ui];
+  if (delta == 0.0) {
+    ++relaxations_;
+    return 0.0;
+  }
+  x_[ui] += delta;
+  // r_j -= a_ji * delta for all j with a_ji != 0; symmetry gives a_ji = a_ij,
+  // so walk row i (this also updates r_i itself through the diagonal entry).
+  auto cols = a_->row_cols(i);
+  auto vals = a_->row_vals(i);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    const auto uj = static_cast<std::size_t>(cols[k]);
+    const value_t old_r = r_[uj];
+    const value_t new_r = old_r - vals[k] * delta;
+    r_[uj] = new_r;
+    update_sumsq(cols[k], old_r, new_r);
+  }
+  if (omega == 1.0) {
+    // Exact single-equation solve: kill residual rounding at i.
+    update_sumsq(i, r_[ui], 0.0);
+    r_[ui] = 0.0;
+  }
+  ++relaxations_;
+  return delta;
+}
+
+index_t ScalarRelaxationEngine::relax_simultaneously(
+    std::span<const index_t> rows, value_t omega) {
+  // Two phases so every increment reads the pre-step residual.
+  scratch_delta_.resize(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto ui = static_cast<std::size_t>(rows[k]);
+    scratch_delta_[k] = omega * r_[ui] / diag_[ui];
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const index_t i = rows[k];
+    const value_t delta = scratch_delta_[k];
+    if (delta == 0.0) {
+      ++relaxations_;
+      continue;
+    }
+    x_[static_cast<std::size_t>(i)] += delta;
+    auto cols = a_->row_cols(i);
+    auto vals = a_->row_vals(i);
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto uj = static_cast<std::size_t>(cols[c]);
+      const value_t old_r = r_[uj];
+      const value_t new_r = old_r - vals[c] * delta;
+      r_[uj] = new_r;
+      update_sumsq(cols[c], old_r, new_r);
+    }
+    ++relaxations_;
+  }
+  return static_cast<index_t>(rows.size());
+}
+
+value_t ScalarRelaxationEngine::residual_norm() {
+  // Bound drift: recompute exactly once per n incremental relaxations.
+  if (relaxations_ - relaxations_at_recompute_ >= n()) {
+    return residual_norm_exact();
+  }
+  return std::sqrt(std::max(sumsq_, 0.0));
+}
+
+value_t ScalarRelaxationEngine::residual_norm_exact() {
+  a_->residual(b_, x_, r_);
+  sumsq_ = sparse::norm2_sq(r_);
+  relaxations_at_recompute_ = relaxations_;
+  return std::sqrt(sumsq_);
+}
+
+}  // namespace dsouth::core

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file scalar_engine.hpp
+/// Shared relaxation machinery for the scalar (one equation per relaxation)
+/// methods: Jacobi, Gauss–Seidel, SOR, Multicolor GS, Sequential Southwell,
+/// Parallel Southwell and scalar Distributed Southwell all drive this
+/// engine. It maintains x, the exact residual r = b − Ax, and an
+/// incrementally-updated ‖r‖₂² with periodic exact recomputation to bound
+/// floating-point drift.
+///
+/// The engine requires a *symmetric* matrix: relaxing row i updates the
+/// residuals of the rows coupled to i through column i of A, and symmetry
+/// lets it read that column as row i (the paper makes the same assumption —
+/// all its test matrices are SPD).
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace dsouth::core {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+class ScalarRelaxationEngine {
+ public:
+  /// The matrix must outlive the engine. `check_symmetry` runs an O(nnz)
+  /// validation (on by default; hot callers constructing many engines can
+  /// skip it after validating once).
+  ScalarRelaxationEngine(const CsrMatrix& a, std::span<const value_t> b,
+                         std::span<const value_t> x0,
+                         bool check_symmetry = true);
+
+  index_t n() const { return a_->rows(); }
+  const CsrMatrix& matrix() const { return *a_; }
+
+  std::span<const value_t> x() const { return x_; }
+  std::span<const value_t> r() const { return r_; }
+  value_t residual(index_t i) const { return r_[static_cast<std::size_t>(i)]; }
+  value_t diag(index_t i) const { return diag_[static_cast<std::size_t>(i)]; }
+
+  /// Gauss–Southwell weight |r_i / a_ii| (== |r_i| after unit-diagonal
+  /// scaling, which all experiments apply).
+  value_t southwell_weight(index_t i) const;
+
+  /// Relax row i with damping `omega` (1 = exact single-equation solve):
+  /// x_i += ω r_i / a_ii, then update r on i and its neighbors.
+  /// Returns the solution increment δ.
+  value_t relax_row(index_t i, value_t omega = 1.0);
+
+  /// Jacobi-style simultaneous relaxation of a set of rows: all increments
+  /// are computed from the current residual, then applied together.
+  /// The rows must be distinct. Returns the number of rows relaxed.
+  index_t relax_simultaneously(std::span<const index_t> rows,
+                               value_t omega = 1.0);
+
+  /// ‖r‖₂ (incrementally tracked; exact recompute every `n` relaxations).
+  value_t residual_norm();
+
+  /// Exact ‖r‖₂ recomputed from scratch (also resets the incremental sum).
+  value_t residual_norm_exact();
+
+  index_t relaxation_count() const { return relaxations_; }
+
+ private:
+  void update_sumsq(index_t i, value_t old_value, value_t new_value);
+
+  const CsrMatrix* a_;
+  std::vector<value_t> diag_;
+  std::vector<value_t> x_, r_;
+  std::vector<value_t> b_;
+  value_t sumsq_ = 0.0;
+  index_t relaxations_ = 0;
+  index_t relaxations_at_recompute_ = 0;
+  std::vector<value_t> scratch_delta_;  // for relax_simultaneously
+};
+
+}  // namespace dsouth::core

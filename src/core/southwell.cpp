@@ -1,0 +1,46 @@
+#include "core/southwell.hpp"
+
+#include "util/error.hpp"
+#include "util/indexed_heap.hpp"
+
+namespace dsouth::core {
+
+ConvergenceHistory run_sequential_southwell(const CsrMatrix& a,
+                                            std::span<const value_t> b,
+                                            std::span<const value_t> x0,
+                                            const ScalarRunOptions& opt) {
+  ScalarRelaxationEngine eng(a, b, x0);
+  ConvergenceHistory h;
+  h.points.push_back({0, eng.residual_norm()});
+
+  util::IndexedMaxHeap<value_t> heap(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    heap.push(static_cast<std::size_t>(i), eng.southwell_weight(i));
+  }
+
+  const index_t max_relaxations = opt.max_sweeps * a.rows();
+  for (index_t k = 0; k < max_relaxations; ++k) {
+    const auto i = static_cast<index_t>(heap.top());
+    eng.relax_row(i, 1.0);
+    // Residuals changed for i and its matrix neighbors; refresh their keys.
+    heap.update(static_cast<std::size_t>(i), eng.southwell_weight(i));
+    for (index_t j : a.row_cols(i)) {
+      if (j != i) {
+        heap.update(static_cast<std::size_t>(j), eng.southwell_weight(j));
+      }
+    }
+    if (opt.record_each_relaxation || (k + 1) % a.rows() == 0) {
+      h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+    }
+    if (opt.target_residual > 0.0 &&
+        eng.residual_norm() <= opt.target_residual) {
+      break;
+    }
+  }
+  if (h.points.back().relaxations != eng.relaxation_count()) {
+    h.points.push_back({eng.relaxation_count(), eng.residual_norm()});
+  }
+  return h;
+}
+
+}  // namespace dsouth::core

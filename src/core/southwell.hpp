@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file southwell.hpp
+/// The Sequential Southwell method (paper §2.2): at every step, relax the
+/// row with the largest |r_i / a_ii| (Gauss–Southwell rule; identical to
+/// largest |r_i| on the unit-diagonal-scaled systems used throughout).
+/// Selection is O(log n) per relaxation via an indexed max-heap whose keys
+/// are updated for the O(degree) rows whose residuals a relaxation changes.
+
+#include <span>
+
+#include "core/classic.hpp"
+#include "core/history.hpp"
+#include "sparse/csr.hpp"
+
+namespace dsouth::core {
+
+/// Run Sequential Southwell for up to max_sweeps·n relaxations (or to the
+/// target residual). Each relaxation is recorded (the method is inherently
+/// sequential, so there are no parallel-step marks).
+ConvergenceHistory run_sequential_southwell(const CsrMatrix& a,
+                                            std::span<const value_t> b,
+                                            std::span<const value_t> x0,
+                                            const ScalarRunOptions& opt = {});
+
+}  // namespace dsouth::core

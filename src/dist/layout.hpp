@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file layout.hpp
+/// Distributed data layout: how a global SPD matrix is split across ranks.
+///
+/// Given a matrix and a k-way partition (DESIGN.md: one subdomain per
+/// simulated MPI rank, partition from our METIS-substitute), this computes
+/// for every rank p:
+///   - its global rows (ascending; the paper's δ_p offsets generalized to
+///     non-contiguous row sets),
+///   - the local diagonal block A_pp,
+///   - per neighbor q: the coupling blocks and index lists that the solvers
+///     need to exchange boundary updates and maintain residual ghost layers.
+///
+/// Index conventions for a neighbor pair (p, q):
+///   ghost_rows — q's rows coupled to p, ascending global order. This set
+///     is simultaneously (a) the support of p's residual ghost layer z_q,
+///     (b) the rows whose Δx q sends to p, and (c) q's "boundary rows
+///     w.r.t. p" on the sending side — so one ordering serves both ends of
+///     the channel and messages need no index payload.
+///   a_pq — |rows_p| × |ghost_rows| block: p's rows vs. q's coupled rows.
+///     Applying an incoming update is r_p -= a_pq · Δx_q.
+///   a_qp — |ghost_rows| × |rows_p| block (= a_pqᵀ for symmetric A): lets p
+///     update its ghost layer z_q -= a_qp · Δx_p with purely local data
+///     ("the process responsible for row i stores column i of A", §3).
+///   send_rows_local — p's rows coupled to q (local indices): the Δx and
+///     boundary-residual values p sends to q, in exactly the order of q's
+///     ghost_rows list for p.
+
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace dsouth::dist {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+struct NeighborBlock {
+  int rank = -1;
+  std::vector<index_t> ghost_rows;       ///< q's coupled rows (global, asc)
+  std::vector<index_t> send_rows_local;  ///< p's coupled rows (local, asc)
+  CsrMatrix a_pq;  ///< rows_p × ghost_rows coupling block
+  CsrMatrix a_qp;  ///< ghost_rows × rows_p coupling block (a_pqᵀ)
+};
+
+struct RankData {
+  std::vector<index_t> rows;  ///< global rows owned (ascending)
+  CsrMatrix a_local;          ///< diagonal block (local indices)
+  std::vector<NeighborBlock> neighbors;  ///< ascending by rank id
+
+  index_t num_rows() const { return static_cast<index_t>(rows.size()); }
+  /// Index into `neighbors` for a given rank id, or -1.
+  int neighbor_index(int rank) const;
+};
+
+class DistLayout {
+ public:
+  /// Requires a square, structurally symmetric matrix and a valid partition
+  /// of its rows. Empty parts are allowed (their ranks just idle).
+  DistLayout(const CsrMatrix& a, const graph::Partition& partition);
+
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  index_t global_rows() const { return n_; }
+  const RankData& rank(int p) const;
+
+  int rank_of_row(index_t global_row) const;
+  index_t local_of_row(index_t global_row) const;
+
+  /// Scatter a global vector into per-rank local vectors.
+  std::vector<std::vector<value_t>> scatter(
+      std::span<const value_t> global) const;
+
+  /// Gather per-rank local vectors back into a global vector.
+  std::vector<value_t> gather(
+      const std::vector<std::vector<value_t>>& local) const;
+
+  /// Structural self-check (used by tests): block dimensions, mirrored
+  /// ghost/send lists, and a_qp == a_pqᵀ.
+  bool validate(const CsrMatrix& a) const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<RankData> ranks_;
+  std::vector<int> rank_of_;       // global row -> rank
+  std::vector<index_t> local_of_;  // global row -> local index
+};
+
+}  // namespace dsouth::dist

@@ -1,0 +1,73 @@
+#include "dist/multicolor_block_gs.hpp"
+
+#include "dist/subdomain.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::dist {
+
+MulticolorBlockGs::MulticolorBlockGs(const DistLayout& layout,
+                                     simmpi::Runtime& rt,
+                                     std::span<const value_t> b,
+                                     std::span<const value_t> x0)
+    : DistStationarySolver(layout, rt, b, x0) {
+  // Color the subdomain coupling graph.
+  std::vector<std::pair<graph::index_t, graph::index_t>> edges;
+  for (int p = 0; p < layout.num_ranks(); ++p) {
+    for (const auto& nb : layout.rank(p).neighbors) {
+      if (nb.rank > p) edges.emplace_back(p, nb.rank);
+    }
+  }
+  auto rank_graph = graph::Graph::from_edges(layout.num_ranks(), edges);
+  coloring_ = graph::greedy_coloring(rank_graph, graph::ColoringOrder::kBfs);
+  color_ranks_.resize(static_cast<std::size_t>(coloring_.num_colors));
+  for (int p = 0; p < layout.num_ranks(); ++p) {
+    color_ranks_[static_cast<std::size_t>(
+                     coloring_.color[static_cast<std::size_t>(p)])]
+        .push_back(p);
+  }
+}
+
+DistStepStats MulticolorBlockGs::step() {
+  DistStepStats stats;
+  const auto& ranks = color_ranks_[static_cast<std::size_t>(next_color_)];
+  next_color_ = (next_color_ + 1) % num_colors();
+
+  std::vector<double> payload;
+  for (int p : ranks) {
+    const RankData& rd = layout_->rank(p);
+    if (rd.num_rows() == 0) continue;
+    const auto up = static_cast<std::size_t>(p);
+    auto& xp = x_[up];
+    auto& rp = r_[up];
+    scratch_.assign(xp.begin(), xp.end());
+    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+    rt_->add_flops(p, flops);
+    ++stats.active_ranks;
+    stats.relaxations += rd.num_rows();
+    for (const auto& nb : rd.neighbors) {
+      payload.clear();
+      payload.reserve(nb.send_rows_local.size());
+      for (index_t li : nb.send_rows_local) {
+        payload.push_back(xp[static_cast<std::size_t>(li)] -
+                          scratch_[static_cast<std::size_t>(li)]);
+      }
+      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
+    }
+  }
+  rt_->fence();
+
+  for (int p = 0; p < layout_->num_ranks(); ++p) {
+    const RankData& rd = layout_->rank(p);
+    for (const auto& msg : rt_->window(p)) {
+      const int nbi = rd.neighbor_index(msg.source);
+      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+      apply_incoming_delta(p, rd.neighbors[static_cast<std::size_t>(nbi)],
+                           msg.payload);
+    }
+    rt_->consume(p);
+  }
+  return stats;
+}
+
+}  // namespace dsouth::dist

@@ -1,0 +1,129 @@
+#include "dist/parallel_southwell.hpp"
+
+#include "dist/subdomain.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::dist {
+
+ParallelSouthwell::ParallelSouthwell(const DistLayout& layout,
+                                     simmpi::Runtime& rt,
+                                     std::span<const value_t> b,
+                                     std::span<const value_t> x0,
+                                     bool explicit_residual_updates)
+    : DistStationarySolver(layout, rt, b, x0),
+      explicit_residual_updates_(explicit_residual_updates) {
+  const int nranks = layout.num_ranks();
+  gamma2_.resize(static_cast<std::size_t>(nranks));
+  advertised2_.resize(static_cast<std::size_t>(nranks));
+  // Setup exchange: neighbors start with exact knowledge (Alg. 2 line 5).
+  for (int p = 0; p < nranks; ++p) {
+    advertised2_[static_cast<std::size_t>(p)] =
+        local_norm_sq(r_[static_cast<std::size_t>(p)]);
+  }
+  for (int p = 0; p < nranks; ++p) {
+    const RankData& rd = layout.rank(p);
+    auto& g = gamma2_[static_cast<std::size_t>(p)];
+    g.resize(rd.neighbors.size());
+    for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+      g[k] = advertised2_[static_cast<std::size_t>(rd.neighbors[k].rank)];
+    }
+  }
+}
+
+DistStepStats ParallelSouthwell::step() {
+  DistStepStats stats;
+  const int nranks = layout_->num_ranks();
+
+  // ---- Epoch A: relax where the Parallel Southwell criterion holds.
+  std::vector<double> payload;
+  for (int p = 0; p < nranks; ++p) {
+    const RankData& rd = layout_->rank(p);
+    if (rd.num_rows() == 0) continue;
+    const auto up = static_cast<std::size_t>(p);
+    const value_t norm2 = local_norm_sq(r_[up]);
+    rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
+    if (norm2 <= 0.0) continue;
+    bool is_max = true;
+    for (value_t g : gamma2_[up]) {
+      if (g > norm2) {
+        is_max = false;
+        break;
+      }
+    }
+    if (!is_max) continue;
+
+    auto& xp = x_[up];
+    auto& rp = r_[up];
+    scratch_.assign(xp.begin(), xp.end());  // snapshot for Δx
+    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+    rt_->add_flops(p, flops);
+    ++stats.active_ranks;
+    stats.relaxations += rd.num_rows();
+    const value_t norm2_new = local_norm_sq(rp);
+    advertised2_[up] = norm2_new;
+    for (const auto& nb : rd.neighbors) {
+      payload.clear();
+      payload.reserve(2 + nb.send_rows_local.size());
+      payload.push_back(0.0);
+      payload.push_back(norm2_new);
+      for (index_t li : nb.send_rows_local) {
+        payload.push_back(xp[static_cast<std::size_t>(li)] -
+                          scratch_[static_cast<std::size_t>(li)]);
+      }
+      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
+    }
+  }
+  rt_->fence();
+
+  // Absorb solve updates; Γ entries refresh from the piggy-backed norms.
+  // (Messages are dispatched on their type tag: with delivery delays
+  // enabled in the runtime, residual-only messages can land here too.)
+  absorb_window(nranks);
+
+  // ---- Epoch B: explicit residual updates wherever the norm changed
+  // (Alg. 2 lines 19-21). This is the traffic Distributed Southwell cuts.
+  if (explicit_residual_updates_) {
+    for (int p = 0; p < nranks; ++p) {
+      const RankData& rd = layout_->rank(p);
+      if (rd.num_rows() == 0 || rd.neighbors.empty()) continue;
+      const auto up = static_cast<std::size_t>(p);
+      const value_t norm2 = local_norm_sq(r_[up]);
+      rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
+      if (norm2 == advertised2_[up]) continue;
+      advertised2_[up] = norm2;
+      const double res_payload[2] = {1.0, norm2};
+      for (const auto& nb : rd.neighbors) {
+        rt_->put(p, nb.rank, simmpi::MsgTag::kResidual, res_payload);
+      }
+    }
+  }
+  rt_->fence();
+  absorb_window(nranks);
+  return stats;
+}
+
+void ParallelSouthwell::absorb_window(int nranks) {
+  for (int p = 0; p < nranks; ++p) {
+    const RankData& rd = layout_->rank(p);
+    const auto up = static_cast<std::size_t>(p);
+    for (const auto& msg : rt_->window(p)) {
+      DSOUTH_CHECK(!msg.payload.empty());
+      const int nbi = rd.neighbor_index(msg.source);
+      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+      const auto unbi = static_cast<std::size_t>(nbi);
+      gamma2_[up][unbi] = msg.payload[1];
+      if (msg.payload[0] == 0.0) {
+        // SOLVE: piggy-backed norm plus boundary Δx.
+        apply_incoming_delta(
+            p, rd.neighbors[unbi],
+            std::span<const double>(msg.payload).subspan(2));
+      } else {
+        // RES: norm only.
+        DSOUTH_CHECK(msg.payload.size() == 2);
+      }
+    }
+    rt_->consume(p);
+  }
+}
+
+}  // namespace dsouth::dist

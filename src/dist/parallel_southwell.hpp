@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file parallel_southwell.hpp
+/// Block Parallel Southwell in distributed memory (paper Algorithm 2).
+///
+/// The method keeps every rank's knowledge of its neighbors' residual norms
+/// (Γ) *exact* — that is its defining property and its communication
+/// burden. Each parallel step is two epochs:
+///
+///   Epoch A — ranks whose ‖r_p‖ is maximal in {Γ_p, ‖r_p‖} relax their
+///     subdomain and write (Δx boundary values, piggy-backed new ‖r_p‖²)
+///     to every neighbor.
+///   Epoch B — any rank whose norm changed since it last advertised it
+///     (because updates arrived) broadcasts an explicit residual update to
+///     every neighbor. These explicit updates are what Distributed
+///     Southwell eliminates (paper Table 3).
+///
+/// Note this is Algorithm 2 of the paper, NOT the deadlock-prone scheme of
+/// Ref. [18] (which skipped Epoch B and "deadlocks for all our test
+/// problems", §4.2) — that scheme is available as an ablation switch.
+
+#include "dist/solver_base.hpp"
+
+namespace dsouth::dist {
+
+class ParallelSouthwell final : public DistStationarySolver {
+ public:
+  /// `explicit_residual_updates = false` reproduces the Ref. [18] scheme
+  /// (piggy-backed norms only), which stalls — used by the ablation bench.
+  ParallelSouthwell(const DistLayout& layout, simmpi::Runtime& rt,
+                    std::span<const value_t> b, std::span<const value_t> x0,
+                    bool explicit_residual_updates = true);
+
+  DistStepStats step() override;
+  const char* name() const override { return "ParallelSouthwell"; }
+
+ private:
+  // Message formats (payload doubles):
+  //   SOLVE p->q: [0]=0, [1]=new ‖r_p‖², [2..] = Δx boundary values.
+  //   RES   p->q: [0]=1, [1]=current ‖r_p‖².
+  void absorb_window(int nranks);
+
+  bool explicit_residual_updates_;
+  std::vector<std::vector<value_t>> gamma2_;   // per rank, per neighbor ‖r_q‖²
+  std::vector<value_t> advertised2_;           // last norm² told to neighbors
+};
+
+}  // namespace dsouth::dist

@@ -1,0 +1,62 @@
+#include "dist/solver_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dist/subdomain.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::dist {
+
+DistStationarySolver::DistStationarySolver(const DistLayout& layout,
+                                           simmpi::Runtime& rt,
+                                           std::span<const value_t> b,
+                                           std::span<const value_t> x0)
+    : layout_(&layout), rt_(&rt) {
+  DSOUTH_CHECK(rt.num_ranks() == layout.num_ranks());
+  DSOUTH_CHECK(b.size() == static_cast<std::size_t>(layout.global_rows()));
+  DSOUTH_CHECK(x0.size() == static_cast<std::size_t>(layout.global_rows()));
+  x_ = layout.scatter(x0);
+  // Initial residual r_p = b_p - A_pp x_p - Σ_q A_pq x_q. The setup phase
+  // may read neighbor x directly (the paper's artifact likewise
+  // distributes the assembled system before the solve phase).
+  r_ = layout.scatter(b);
+  index_t max_m = 0;
+  for (int p = 0; p < layout.num_ranks(); ++p) {
+    const RankData& rd = layout.rank(p);
+    max_m = std::max(max_m, rd.num_rows());
+    if (rd.num_rows() == 0) continue;
+    rd.a_local.spmv_acc(-1.0, x_[static_cast<std::size_t>(p)],
+                        r_[static_cast<std::size_t>(p)]);
+    for (const auto& nb : rd.neighbors) {
+      std::vector<value_t> xg(nb.ghost_rows.size());
+      for (std::size_t k = 0; k < nb.ghost_rows.size(); ++k) {
+        const index_t g = nb.ghost_rows[k];
+        xg[k] = x_[static_cast<std::size_t>(layout.rank_of_row(g))]
+                  [static_cast<std::size_t>(layout.local_of_row(g))];
+      }
+      nb.a_pq.spmv_acc(-1.0, xg, r_[static_cast<std::size_t>(p)]);
+    }
+  }
+  scratch_.resize(static_cast<std::size_t>(max_m));
+}
+
+double DistStationarySolver::global_residual_norm() const {
+  double sum = 0.0;
+  for (const auto& rp : r_) sum += local_norm_sq(rp);
+  return std::sqrt(sum);
+}
+
+std::vector<value_t> DistStationarySolver::gather_x() const {
+  return layout_->gather(x_);
+}
+
+void DistStationarySolver::apply_incoming_delta(int p,
+                                                const NeighborBlock& nb,
+                                                std::span<const double> dx) {
+  DSOUTH_CHECK(dx.size() == nb.ghost_rows.size());
+  nb.a_pq.spmv_acc(-1.0, dx, r_[static_cast<std::size_t>(p)]);
+  rt_->add_flops(p, 2.0 * static_cast<double>(nb.a_pq.nnz()));
+}
+
+}  // namespace dsouth::dist

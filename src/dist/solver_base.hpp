@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file solver_base.hpp
+/// Common state and helpers for the three distributed block solvers
+/// (Algorithms 1–3 of the paper). Each solver advances one *parallel step*
+/// per `step()` call; a step is one or two simmpi epochs depending on the
+/// method. All per-rank state is simulation-local: ranks never read each
+/// other's arrays except through simmpi messages (the tests enforce the
+/// convergence consequences of that discipline).
+
+#include <span>
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "simmpi/runtime.hpp"
+
+namespace dsouth::dist {
+
+/// What one parallel step did (for the driver's records).
+struct DistStepStats {
+  index_t active_ranks = 0;  ///< ranks that relaxed their subdomain
+  index_t relaxations = 0;   ///< rows relaxed (sum of active subdomains)
+};
+
+class DistStationarySolver {
+ public:
+  /// b and x0 are global vectors; they are scattered across ranks here.
+  DistStationarySolver(const DistLayout& layout, simmpi::Runtime& rt,
+                       std::span<const value_t> b,
+                       std::span<const value_t> x0);
+  virtual ~DistStationarySolver() = default;
+
+  DistStationarySolver(const DistStationarySolver&) = delete;
+  DistStationarySolver& operator=(const DistStationarySolver&) = delete;
+
+  /// Advance one parallel step (including its fences).
+  virtual DistStepStats step() = 0;
+  virtual const char* name() const = 0;
+
+  const DistLayout& layout() const { return *layout_; }
+  simmpi::Runtime& runtime() { return *rt_; }
+
+  /// Observer-side exact global residual norm (gathers local residuals;
+  /// local residuals are exact by construction in all three methods).
+  double global_residual_norm() const;
+
+  /// Observer-side gather of the current iterate.
+  std::vector<value_t> gather_x() const;
+
+  std::span<const value_t> local_x(int p) const { return x_[p]; }
+  std::span<const value_t> local_r(int p) const { return r_[p]; }
+
+ protected:
+  /// r_p -= a_pq · Δx_q and charge the flops; dx is ordered by the
+  /// neighbor's ghost_rows channel convention.
+  void apply_incoming_delta(int p, const NeighborBlock& nb,
+                            std::span<const double> dx);
+
+  const DistLayout* layout_;
+  simmpi::Runtime* rt_;
+  std::vector<std::vector<value_t>> x_, r_;
+  std::vector<value_t> scratch_;  // reusable buffer (max subdomain size)
+};
+
+}  // namespace dsouth::dist

@@ -1,0 +1,89 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dsouth::graph {
+
+std::vector<std::vector<index_t>> Coloring::groups() const {
+  std::vector<std::vector<index_t>> out(static_cast<std::size_t>(num_colors));
+  for (index_t v = 0; v < static_cast<index_t>(color.size()); ++v) {
+    const index_t c = color[static_cast<std::size_t>(v)];
+    DSOUTH_CHECK(c >= 0 && c < num_colors);
+    out[static_cast<std::size_t>(c)].push_back(v);
+  }
+  return out;
+}
+
+Coloring greedy_coloring(const Graph& g, ColoringOrder order) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> visit;
+  visit.reserve(static_cast<std::size_t>(n));
+  switch (order) {
+    case ColoringOrder::kNatural: {
+      visit.resize(static_cast<std::size_t>(n));
+      std::iota(visit.begin(), visit.end(), index_t{0});
+      break;
+    }
+    case ColoringOrder::kLargestFirst: {
+      visit.resize(static_cast<std::size_t>(n));
+      std::iota(visit.begin(), visit.end(), index_t{0});
+      std::stable_sort(visit.begin(), visit.end(),
+                       [&](index_t a, index_t b) {
+                         return g.degree(a) > g.degree(b);
+                       });
+      break;
+    }
+    case ColoringOrder::kBfs: {
+      std::vector<char> todo(static_cast<std::size_t>(n), 1);
+      for (index_t s = 0; s < n; ++s) {
+        if (!todo[static_cast<std::size_t>(s)]) continue;
+        // BFS the whole component containing s (mask excludes only
+        // already-visited components, so the traversal is a clean BFS).
+        auto component = g.bfs_order(s, todo);
+        for (index_t v : component) {
+          todo[static_cast<std::size_t>(v)] = 0;
+          visit.push_back(v);
+        }
+      }
+      break;
+    }
+  }
+  DSOUTH_CHECK(static_cast<index_t>(visit.size()) == n);
+
+  Coloring result;
+  result.color.assign(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> forbidden_mark(
+      static_cast<std::size_t>(g.max_degree()) + 2, -1);
+  for (index_t v : visit) {
+    for (index_t w : g.neighbors(v)) {
+      const index_t cw = result.color[static_cast<std::size_t>(w)];
+      if (cw >= 0 && cw < static_cast<index_t>(forbidden_mark.size())) {
+        forbidden_mark[static_cast<std::size_t>(cw)] = v;
+      }
+    }
+    index_t c = 0;
+    while (forbidden_mark[static_cast<std::size_t>(c)] == v) ++c;
+    result.color[static_cast<std::size_t>(v)] = c;
+    result.num_colors = std::max(result.num_colors, c + 1);
+  }
+  return result;
+}
+
+bool coloring_is_valid(const Graph& g, const Coloring& c) {
+  if (c.color.size() != static_cast<std::size_t>(g.num_vertices())) {
+    return false;
+  }
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t cv = c.color[static_cast<std::size_t>(v)];
+    if (cv < 0 || cv >= c.num_colors) return false;
+    for (index_t w : g.neighbors(v)) {
+      if (c.color[static_cast<std::size_t>(w)] == cv) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dsouth::graph

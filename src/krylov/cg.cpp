@@ -1,0 +1,85 @@
+#include "krylov/cg.hpp"
+
+#include <cmath>
+
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::krylov {
+
+CgResult run_pcg(const CsrMatrix& a, std::span<const value_t> b,
+                 std::span<value_t> x, Preconditioner* precond,
+                 const CgOptions& opt) {
+  DSOUTH_CHECK(a.rows() == a.cols());
+  const auto n = static_cast<std::size_t>(a.rows());
+  DSOUTH_CHECK(b.size() == n && x.size() == n);
+  DSOUTH_CHECK(opt.rel_tolerance > 0.0);
+
+  const bool flexible =
+      opt.flexible || (precond != nullptr && precond->is_variable());
+
+  std::vector<value_t> r(n), z(n), p(n), ap(n), z_prev;
+  a.residual(b, x, r);
+  CgResult result;
+  const value_t r0 = sparse::norm2(r);
+  result.residual_history.push_back(r0);
+  if (r0 == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  auto apply_precond = [&](std::span<const value_t> in,
+                           std::span<value_t> out) {
+    if (precond != nullptr) {
+      precond->apply(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  apply_precond(r, z);
+  p = z;
+  value_t rz = sparse::dot(r, z);
+  if (flexible) z_prev = z;
+
+  for (index_t it = 0; it < opt.max_iterations; ++it) {
+    a.spmv(p, ap);
+    const value_t pap = sparse::dot(p, ap);
+    DSOUTH_CHECK_MSG(pap > 0.0,
+                     "non-positive curvature (pᵀAp = "
+                         << pap << "); matrix not SPD or preconditioner "
+                                   "broke conjugacy");
+    const value_t alpha = rz / pap;
+    sparse::axpy(alpha, p, x);
+    sparse::axpy(-alpha, ap, r);
+    const value_t rn = sparse::norm2(r);
+    result.residual_history.push_back(rn);
+    result.iterations = it + 1;
+    if (rn <= opt.rel_tolerance * r0) {
+      result.converged = true;
+      break;
+    }
+    apply_precond(r, z);
+    value_t beta;
+    if (flexible) {
+      // Polak–Ribière: β = rᵀ(z - z_prev) / rz_old — exact for a fixed
+      // SPD preconditioner, and robust when it varies.
+      value_t num = 0.0;
+      for (std::size_t i = 0; i < n; ++i) num += r[i] * (z[i] - z_prev[i]);
+      beta = num / rz;
+      z_prev = z;
+      rz = sparse::dot(r, z);
+    } else {
+      const value_t rz_new = sparse::dot(r, z);
+      beta = rz_new / rz;
+      rz = rz_new;
+    }
+    if (!(std::isfinite(beta))) beta = 0.0;  // restart direction
+    if (beta < 0.0) beta = 0.0;              // safeguard (flexible only)
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.final_relative_residual = result.residual_history.back() / r0;
+  return result;
+}
+
+}  // namespace dsouth::krylov

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file cg.hpp
+/// Conjugate gradients with optional preconditioning, plus the flexible
+/// (Polak–Ribière) variant needed when the preconditioner varies between
+/// applications — which the Southwell preconditioners do, since their
+/// relaxation *selection* depends on the input residual.
+
+#include <span>
+#include <vector>
+
+#include "krylov/preconditioner.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace dsouth::krylov {
+
+struct CgOptions {
+  index_t max_iterations = 1000;
+  /// Stop when ‖r‖₂ / ‖r⁰‖₂ <= rel_tolerance.
+  value_t rel_tolerance = 1e-8;
+  /// Use the flexible (Polak–Ribière) β. Required for variable
+  /// preconditioners; run_pcg enables it automatically when the
+  /// preconditioner reports is_variable().
+  bool flexible = false;
+};
+
+struct CgResult {
+  bool converged = false;
+  index_t iterations = 0;
+  std::vector<value_t> residual_history;  ///< ‖r_k‖₂, k = 0..iterations
+  value_t final_relative_residual = 0.0;
+};
+
+/// Preconditioned CG for SPD systems; x holds the initial guess on entry
+/// and the solution on return. `precond` may be null (plain CG).
+CgResult run_pcg(const CsrMatrix& a, std::span<const value_t> b,
+                 std::span<value_t> x, Preconditioner* precond = nullptr,
+                 const CgOptions& opt = {});
+
+}  // namespace dsouth::krylov

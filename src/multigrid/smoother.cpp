@@ -1,0 +1,168 @@
+#include "multigrid/smoother.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "core/classic.hpp"
+#include "core/dist_southwell_scalar.hpp"
+#include "core/scalar_engine.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::multigrid {
+
+namespace {
+
+class GaussSeidelSmoother final : public Smoother {
+ public:
+  explicit GaussSeidelSmoother(int sweeps) : sweeps_(sweeps) {
+    DSOUTH_CHECK(sweeps >= 1);
+  }
+
+  void smooth(const CsrMatrix& a, std::span<const value_t> b,
+              std::span<value_t> x) override {
+    core::ScalarRelaxationEngine eng(a, b, x, /*check_symmetry=*/false);
+    for (int s = 0; s < sweeps_; ++s) {
+      for (sparse::index_t i = 0; i < a.rows(); ++i) eng.relax_row(i, 1.0);
+    }
+    std::copy(eng.x().begin(), eng.x().end(), x.begin());
+  }
+
+  const char* name() const override { return "GaussSeidel"; }
+
+ private:
+  int sweeps_;
+};
+
+class JacobiSmoother final : public Smoother {
+ public:
+  JacobiSmoother(value_t omega, int sweeps) : omega_(omega), sweeps_(sweeps) {
+    DSOUTH_CHECK(omega > 0.0 && omega <= 1.0);
+    DSOUTH_CHECK(sweeps >= 1);
+  }
+
+  void smooth(const CsrMatrix& a, std::span<const value_t> b,
+              std::span<value_t> x) override {
+    core::ScalarRelaxationEngine eng(a, b, x, /*check_symmetry=*/false);
+    std::vector<sparse::index_t> all(static_cast<std::size_t>(a.rows()));
+    std::iota(all.begin(), all.end(), sparse::index_t{0});
+    for (int s = 0; s < sweeps_; ++s) eng.relax_simultaneously(all, omega_);
+    std::copy(eng.x().begin(), eng.x().end(), x.begin());
+  }
+
+  const char* name() const override { return "Jacobi"; }
+
+ private:
+  value_t omega_;
+  int sweeps_;
+};
+
+class DistSouthwellSmoother final : public Smoother {
+ public:
+  DistSouthwellSmoother(double sweep_fraction, std::uint64_t seed)
+      : sweep_fraction_(sweep_fraction), seed_(seed) {
+    DSOUTH_CHECK(sweep_fraction > 0.0);
+  }
+
+  void smooth(const CsrMatrix& a, std::span<const value_t> b,
+              std::span<value_t> x) override {
+    core::DistSouthwellScalarOptions opt;
+    opt.max_relaxations = std::max<sparse::index_t>(
+        1, static_cast<sparse::index_t>(
+               sweep_fraction_ * static_cast<double>(a.rows())));
+    // A generous step cap; the budget is the real stopping rule.
+    opt.max_parallel_steps = opt.max_relaxations * 4 + 16;
+    opt.subset_seed = seed_++;
+    auto result = core::run_distributed_southwell_scalar(a, b, x, opt);
+    std::copy(result.x.begin(), result.x.end(), x.begin());
+  }
+
+  const char* name() const override { return "DistSouthwell"; }
+
+ private:
+  double sweep_fraction_;
+  std::uint64_t seed_;
+};
+
+class ChebyshevSmoother final : public Smoother {
+ public:
+  ChebyshevSmoother(int degree, double ratio)
+      : degree_(degree), ratio_(ratio) {
+    DSOUTH_CHECK(degree >= 1);
+    DSOUTH_CHECK(ratio > 1.0);
+  }
+
+  void smooth(const CsrMatrix& a, std::span<const value_t> b,
+              std::span<value_t> x) override {
+    const auto n = static_cast<std::size_t>(a.rows());
+    DSOUTH_CHECK(b.size() == n && x.size() == n);
+    // λ_max(D⁻¹A) equals λ_max of the symmetrically scaled operator
+    // (similarity); estimate once per matrix and cache by identity — the
+    // operators of a multigrid hierarchy are stable across cycles.
+    double beta;
+    auto it = lambda_cache_.find(&a);
+    if (it != lambda_cache_.end()) {
+      beta = it->second;
+    } else {
+      auto scaled = sparse::symmetric_unit_diagonal_scale(a);
+      beta = 1.02 * sparse::lambda_max_estimate(scaled.a, 30, 0xC4EBULL);
+      lambda_cache_.emplace(&a, beta);
+    }
+    const double alpha = beta / ratio_;
+    const double theta = 0.5 * (beta + alpha);
+    const double delta = 0.5 * (beta - alpha);
+
+    auto diag = a.diagonal();
+    std::vector<value_t> r(n), z(n), d(n);
+    // d₀ = D⁻¹ r / θ; x += d₀.
+    a.residual(b, x, r);
+    for (std::size_t i = 0; i < n; ++i) {
+      d[i] = r[i] / (diag[i] * theta);
+      x[i] += d[i];
+    }
+    const double sigma = theta / delta;
+    double rho_prev = 1.0 / sigma;
+    for (int k = 1; k < degree_; ++k) {
+      const double rho = 1.0 / (2.0 * sigma - rho_prev);
+      a.residual(b, x, r);
+      for (std::size_t i = 0; i < n; ++i) {
+        z[i] = r[i] / diag[i];
+        d[i] = rho * rho_prev * d[i] + (2.0 * rho / delta) * z[i];
+        x[i] += d[i];
+      }
+      rho_prev = rho;
+    }
+  }
+
+  const char* name() const override { return "Chebyshev"; }
+
+ private:
+  int degree_;
+  double ratio_;
+  std::map<const CsrMatrix*, double> lambda_cache_;
+};
+
+}  // namespace
+
+std::unique_ptr<Smoother> make_gauss_seidel_smoother(int sweeps) {
+  return std::make_unique<GaussSeidelSmoother>(sweeps);
+}
+
+std::unique_ptr<Smoother> make_distributed_southwell_smoother(
+    double sweep_fraction, std::uint64_t seed) {
+  return std::make_unique<DistSouthwellSmoother>(sweep_fraction, seed);
+}
+
+std::unique_ptr<Smoother> make_jacobi_smoother(value_t omega, int sweeps) {
+  return std::make_unique<JacobiSmoother>(omega, sweeps);
+}
+
+std::unique_ptr<Smoother> make_chebyshev_smoother(int degree, double ratio) {
+  return std::make_unique<ChebyshevSmoother>(degree, ratio);
+}
+
+}  // namespace dsouth::multigrid

@@ -1,0 +1,67 @@
+#include "multigrid/transfer.hpp"
+
+#include "util/error.hpp"
+
+namespace dsouth::multigrid {
+
+index_t coarse_dim(index_t n_fine) {
+  DSOUTH_CHECK_MSG(n_fine >= 3 && n_fine % 2 == 1,
+                   "fine grid dimension must be odd and >= 3, got " << n_fine);
+  return (n_fine - 1) / 2;
+}
+
+void restrict_full_weighting(index_t n_fine, std::span<const value_t> fine,
+                             std::span<value_t> coarse) {
+  const index_t nc = coarse_dim(n_fine);
+  DSOUTH_CHECK(fine.size() == static_cast<std::size_t>(n_fine * n_fine));
+  DSOUTH_CHECK(coarse.size() == static_cast<std::size_t>(nc * nc));
+  auto f = [&](index_t i, index_t j) -> value_t {
+    if (i < 0 || i >= n_fine || j < 0 || j >= n_fine) return 0.0;
+    return fine[static_cast<std::size_t>(j * n_fine + i)];
+  };
+  for (index_t J = 0; J < nc; ++J) {
+    for (index_t I = 0; I < nc; ++I) {
+      const index_t i = 2 * I + 1, j = 2 * J + 1;
+      const value_t v =
+          4.0 * f(i, j) +
+          2.0 * (f(i - 1, j) + f(i + 1, j) + f(i, j - 1) + f(i, j + 1)) +
+          (f(i - 1, j - 1) + f(i + 1, j - 1) + f(i - 1, j + 1) +
+           f(i + 1, j + 1));
+      coarse[static_cast<std::size_t>(J * nc + I)] = v / 16.0;
+    }
+  }
+}
+
+void prolong_bilinear_add(index_t n_fine, std::span<const value_t> coarse,
+                          std::span<value_t> fine) {
+  const index_t nc = coarse_dim(n_fine);
+  DSOUTH_CHECK(fine.size() == static_cast<std::size_t>(n_fine * n_fine));
+  DSOUTH_CHECK(coarse.size() == static_cast<std::size_t>(nc * nc));
+  auto c = [&](index_t I, index_t J) -> value_t {
+    if (I < 0 || I >= nc || J < 0 || J >= nc) return 0.0;
+    return coarse[static_cast<std::size_t>(J * nc + I)];
+  };
+  for (index_t j = 0; j < n_fine; ++j) {
+    for (index_t i = 0; i < n_fine; ++i) {
+      // Fine point (i, j) sits between coarse points ((i-1)/2, (j-1)/2)...
+      const bool iodd = (i % 2 == 1), jodd = (j % 2 == 1);
+      const index_t I = (i - 1) / 2, J = (j - 1) / 2;
+      value_t v;
+      if (iodd && jodd) {
+        v = c(I, J);
+      } else if (iodd) {
+        // j even: between (I, J) with J = (j-1)/2 rounding — use the two
+        // vertical coarse neighbors (j/2 - 1) and (j/2) at column I.
+        v = 0.5 * (c(I, j / 2 - 1) + c(I, j / 2));
+      } else if (jodd) {
+        v = 0.5 * (c(i / 2 - 1, J) + c(i / 2, J));
+      } else {
+        v = 0.25 * (c(i / 2 - 1, j / 2 - 1) + c(i / 2, j / 2 - 1) +
+                    c(i / 2 - 1, j / 2) + c(i / 2, j / 2));
+      }
+      fine[static_cast<std::size_t>(j * n_fine + i)] += v;
+    }
+  }
+}
+
+}  // namespace dsouth::multigrid

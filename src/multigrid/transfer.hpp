@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file transfer.hpp
+/// Grid transfer operators for geometric multigrid on the 2-D Poisson
+/// problem (paper §4.1): full-weighting restriction and bilinear
+/// prolongation between square grids of interior dimensions n_f = 2·n_c+1.
+/// Vectors are row-major over the interior points; values outside the
+/// domain are the homogeneous Dirichlet zero.
+
+#include <span>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::multigrid {
+
+using sparse::index_t;
+using sparse::value_t;
+
+/// Coarse dimension for a fine dimension (requires odd n_f >= 3).
+index_t coarse_dim(index_t n_fine);
+
+/// Full-weighting restriction: coarse(I,J) = (1/16)·[4·f(c) + 2·(edge
+/// neighbors) + 1·(corner neighbors)] around the fine point (2I+1, 2J+1).
+void restrict_full_weighting(index_t n_fine, std::span<const value_t> fine,
+                             std::span<value_t> coarse);
+
+/// Bilinear prolongation, accumulated into the fine vector
+/// (fine += P·coarse) — the form a coarse-grid correction needs.
+void prolong_bilinear_add(index_t n_fine, std::span<const value_t> coarse,
+                          std::span<value_t> fine);
+
+}  // namespace dsouth::multigrid

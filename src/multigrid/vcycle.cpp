@@ -1,0 +1,99 @@
+#include "multigrid/vcycle.hpp"
+
+#include "multigrid/transfer.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::multigrid {
+
+MultigridHierarchy::MultigridHierarchy(index_t n_finest) {
+  DSOUTH_CHECK_MSG(n_finest >= 3 && n_finest % 2 == 1,
+                   "finest grid dimension must be odd >= 3, got " << n_finest);
+  index_t n = n_finest;
+  for (;;) {
+    Level lvl;
+    lvl.dim = n;
+    lvl.a = sparse::poisson2d_5pt(n, n);
+    lvl.r.resize(static_cast<std::size_t>(n * n));
+    if (n > 3) {
+      const index_t nc = coarse_dim(n);
+      lvl.bc.resize(static_cast<std::size_t>(nc * nc));
+      lvl.xc.resize(static_cast<std::size_t>(nc * nc));
+    }
+    levels_.push_back(std::move(lvl));
+    if (n == 3) break;
+    n = coarse_dim(n);
+    // Dimensions of the form 2^k - 1 reach exactly 3; others would skip it.
+    DSOUTH_CHECK_MSG(n >= 3, "grid dimension sequence does not reach 3");
+  }
+  coarse_solver_ =
+      std::make_unique<sparse::DenseCholesky>(levels_.back().a);
+}
+
+index_t MultigridHierarchy::level_dim(int l) const {
+  DSOUTH_CHECK(l >= 0 && l < num_levels());
+  return levels_[static_cast<std::size_t>(l)].dim;
+}
+
+const CsrMatrix& MultigridHierarchy::level_matrix(int l) const {
+  DSOUTH_CHECK(l >= 0 && l < num_levels());
+  return levels_[static_cast<std::size_t>(l)].a;
+}
+
+void MultigridHierarchy::cycle_level(int l, std::span<const value_t> b,
+                                     std::span<value_t> x,
+                                     Smoother& smoother,
+                                     const CycleOptions& opt) {
+  Level& lvl = levels_[static_cast<std::size_t>(l)];
+  if (l == num_levels() - 1) {
+    coarse_solver_->solve(b, x);  // exact solve on the 3×3 grid
+    return;
+  }
+  for (int s = 0; s < opt.pre; ++s) smoother.smooth(lvl.a, b, x);
+  lvl.a.residual(b, x, lvl.r);                      // r = b - A x
+  restrict_full_weighting(lvl.dim, lvl.r, lvl.bc);  // coarse RHS
+  // The level operators are the unscaled (4, -1) stencils, i.e. h²·(-Δ):
+  // moving the residual equation to the coarse grid (h_c = 2·h_f) needs a
+  // factor (h_c/h_f)² = 4 on the right-hand side.
+  sparse::scale(4.0, lvl.bc);
+  sparse::fill(lvl.xc, 0.0);
+  // μ coarse visits: 1 = V-cycle, 2 = W-cycle. Each visit after the first
+  // continues from the previous coarse iterate (the standard μ-cycle).
+  for (int visit = 0; visit < opt.mu; ++visit) {
+    cycle_level(l + 1, lvl.bc, lvl.xc, smoother, opt);
+  }
+  prolong_bilinear_add(lvl.dim, lvl.xc, x);         // coarse correction
+  for (int s = 0; s < opt.post; ++s) smoother.smooth(lvl.a, b, x);
+}
+
+void MultigridHierarchy::vcycle(std::span<const value_t> b,
+                                std::span<value_t> x, Smoother& smoother) {
+  cycle(b, x, smoother, CycleOptions{});
+}
+
+void MultigridHierarchy::cycle(std::span<const value_t> b,
+                               std::span<value_t> x, Smoother& smoother,
+                               const CycleOptions& opt) {
+  DSOUTH_CHECK(opt.pre >= 0 && opt.post >= 0 && opt.pre + opt.post >= 1);
+  DSOUTH_CHECK(opt.mu >= 1 && opt.mu <= 4);
+  const index_t n = levels_.front().dim;
+  DSOUTH_CHECK(b.size() == static_cast<std::size_t>(n * n));
+  DSOUTH_CHECK(x.size() == static_cast<std::size_t>(n * n));
+  cycle_level(0, b, x, smoother, opt);
+}
+
+double MultigridHierarchy::solve_relative_residual(std::span<const value_t> b,
+                                                   std::span<value_t> x,
+                                                   Smoother& smoother,
+                                                   int cycles) {
+  Level& fine = levels_.front();
+  fine.a.residual(b, x, fine.r);
+  const value_t r0 = sparse::norm2(fine.r);
+  DSOUTH_CHECK_MSG(r0 > 0.0, "initial residual is zero");
+  for (int c = 0; c < cycles; ++c) vcycle(b, x, smoother);
+  fine.a.residual(b, x, fine.r);
+  return sparse::norm2(fine.r) / r0;
+}
+
+}  // namespace dsouth::multigrid

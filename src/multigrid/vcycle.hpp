@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file vcycle.hpp
+/// Geometric multigrid V-cycle for the 2-D Poisson model problem, matching
+/// the paper's §4.1 setup: centered finite differences on a square grid,
+/// levels halving down to a 3×3 coarsest grid solved exactly, one
+/// pre-smoothing and one post-smoothing application per level.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "multigrid/smoother.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/types.hpp"
+
+namespace dsouth::multigrid {
+
+using sparse::index_t;
+
+class MultigridHierarchy {
+ public:
+  /// Build levels for an n×n interior grid (n odd; levels halve until the
+  /// 3×3 grid). Each level's operator is the 5-point Poisson matrix on
+  /// that grid.
+  explicit MultigridHierarchy(index_t n_finest);
+
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+  index_t level_dim(int l) const;
+  const CsrMatrix& level_matrix(int l) const;
+
+  /// Cycle shape: pre/post smoothing applications per level and the cycle
+  /// index μ (1 = V-cycle, 2 = W-cycle).
+  struct CycleOptions {
+    int pre = 1;
+    int post = 1;
+    int mu = 1;
+  };
+
+  /// One V(1,1) cycle: improve x for A₀ x = b on the finest level.
+  /// The same smoother object is used for pre- and post-smoothing on every
+  /// level (the paper's "one step of pre-smoothing and one step of
+  /// post-smoothing").
+  void vcycle(std::span<const value_t> b, std::span<value_t> x,
+              Smoother& smoother);
+
+  /// General μ-cycle with configurable smoothing counts.
+  void cycle(std::span<const value_t> b, std::span<value_t> x,
+             Smoother& smoother, const CycleOptions& opt);
+
+  /// Run `cycles` V-cycles from x and return ‖r‖₂ / ‖r₀‖₂ (the Figure 6
+  /// quantity).
+  double solve_relative_residual(std::span<const value_t> b,
+                                 std::span<value_t> x, Smoother& smoother,
+                                 int cycles);
+
+ private:
+  struct Level {
+    index_t dim;      // interior grid dimension
+    CsrMatrix a;      // 5-point operator
+    // Work vectors reused across cycles.
+    std::vector<value_t> r, bc, xc;
+  };
+  void cycle_level(int l, std::span<const value_t> b, std::span<value_t> x,
+                   Smoother& smoother, const CycleOptions& opt);
+
+  std::vector<Level> levels_;
+  std::unique_ptr<sparse::DenseCholesky> coarse_solver_;
+};
+
+}  // namespace dsouth::multigrid

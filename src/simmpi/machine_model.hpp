@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file machine_model.hpp
+/// The α–β–γ performance model that substitutes for wall-clock time on the
+/// paper's Cori testbed (DESIGN.md §1). Each epoch (a post/start …
+/// complete/wait access window in the MPI-3 RMA formulation) costs
+///
+///   T_epoch = max_p ( flops_p · c_flop + msgs_p · α + bytes_p · β )
+///           + γ · (total messages in epoch) / P
+///           + σ
+///
+/// The max term is the bulk-synchronous critical path (every rank waits for
+/// the slowest), the γ term models network load from the aggregate message
+/// volume (what makes Parallel Southwell's explicit-residual storms and
+/// Block Jacobi's all-ranks-send pattern expensive on a real fabric), and σ
+/// is the fixed cost of opening/closing the epoch.
+///
+/// Reported times are "model seconds": the paper's *shape* (method ordering,
+/// crossovers, the strong-scaling U-curve) is reproduced; absolute values
+/// are not comparable to Cori hardware.
+
+#include <cstdint>
+
+namespace dsouth::simmpi {
+
+struct MachineModel {
+  double alpha = 2.0e-6;       ///< per-message latency (s)
+  double beta = 5.0e-10;       ///< per-byte cost (s)
+  double flop_time = 5.0e-10;  ///< per-flop cost (s)
+  double gamma = 2.0e-5;       ///< network-load cost per (message / rank) (s)
+  double sigma = 1.0e-6;       ///< per-epoch synchronization overhead (s)
+
+  /// Per-rank "busy" cost (the quantity maximized over ranks).
+  double rank_cost(double flops, std::uint64_t msgs,
+                   std::uint64_t bytes) const {
+    return flops * flop_time + static_cast<double>(msgs) * alpha +
+           static_cast<double>(bytes) * beta;
+  }
+
+  /// Cost of one epoch given the critical-path (max) rank cost and the
+  /// epoch's aggregate message count.
+  double epoch_seconds(double max_rank_cost, std::uint64_t total_msgs,
+                       int num_ranks) const {
+    return max_rank_cost +
+           gamma * static_cast<double>(total_msgs) /
+               static_cast<double>(num_ranks) +
+           sigma;
+  }
+};
+
+}  // namespace dsouth::simmpi

@@ -1,0 +1,135 @@
+#include "simmpi/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsouth::simmpi {
+
+Runtime::Runtime(int num_ranks, MachineModel model, DeliveryModel delivery)
+    : num_ranks_(num_ranks),
+      model_(model),
+      delivery_(delivery),
+      delivery_state_(delivery.seed),
+      stats_(num_ranks),
+      windows_(static_cast<std::size_t>(num_ranks)),
+      staging_(static_cast<std::size_t>(num_ranks)),
+      epoch_flops_(static_cast<std::size_t>(num_ranks), 0.0),
+      epoch_msgs_(static_cast<std::size_t>(num_ranks), 0),
+      epoch_bytes_(static_cast<std::size_t>(num_ranks), 0) {
+  DSOUTH_CHECK(num_ranks > 0);
+}
+
+std::span<const Message> Runtime::window(int rank) const {
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
+  return windows_[static_cast<std::size_t>(rank)];
+}
+
+void Runtime::put(int source, int dest, MsgTag tag,
+                  std::span<const double> payload) {
+  DSOUTH_CHECK(source >= 0 && source < num_ranks_);
+  DSOUTH_CHECK(dest >= 0 && dest < num_ranks_);
+  DSOUTH_CHECK_MSG(source != dest, "rank " << source << " put to itself");
+  // Delivery delay draw (SplitMix64 inline so the runtime stays
+  // self-contained and deterministic).
+  std::uint64_t deliver_epoch = epochs_;  // next fence
+  bool delayed = false;
+  if (delivery_.delay_probability > 0.0) {
+    auto next_u64 = [this] {
+      std::uint64_t z = (delivery_state_ += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    const double u =
+        static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    if (u < delivery_.delay_probability) {
+      const auto extra = 1 + static_cast<std::uint64_t>(
+                                 next_u64() %
+                                 static_cast<std::uint64_t>(
+                                     delivery_.max_delay_epochs));
+      deliver_epoch = epochs_ + extra;
+      delayed = true;
+      ++delayed_in_flight_;
+    }
+  }
+  staging_[static_cast<std::size_t>(dest)].push_back(
+      Staged{source, tag, seq_++, deliver_epoch, delayed,
+             std::vector<double>(payload.begin(), payload.end())});
+  const std::uint64_t bytes = message_bytes(payload.size());
+  stats_.record_send(source, tag, bytes);
+  ++epoch_msgs_[static_cast<std::size_t>(source)];
+  epoch_bytes_[static_cast<std::size_t>(source)] += bytes;
+  ++epoch_total_msgs_;
+}
+
+void Runtime::add_flops(int rank, double flops) {
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
+  DSOUTH_CHECK(flops >= 0.0);
+  epoch_flops_[static_cast<std::size_t>(rank)] += flops;
+}
+
+void Runtime::fence() {
+  // Charge the machine model for this epoch.
+  double max_rank_cost = 0.0;
+  for (int r = 0; r < num_ranks_; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    max_rank_cost =
+        std::max(max_rank_cost, model_.rank_cost(epoch_flops_[i],
+                                                 epoch_msgs_[i],
+                                                 epoch_bytes_[i]));
+    epoch_flops_[i] = 0.0;
+    epoch_msgs_[i] = 0;
+    epoch_bytes_[i] = 0;
+  }
+  last_epoch_seconds_ =
+      model_.epoch_seconds(max_rank_cost, epoch_total_msgs_, num_ranks_);
+  model_time_ += last_epoch_seconds_;
+  epoch_total_msgs_ = 0;
+  ++epochs_;
+
+  // Deliver matured staged messages, sorted by (source, send order) so
+  // every run is bit-identical regardless of the order ranks were stepped
+  // in. Messages whose deliver_epoch lies in the future stay staged
+  // (the delivery-delay model).
+  for (int r = 0; r < num_ranks_; ++r) {
+    auto& staged = staging_[static_cast<std::size_t>(r)];
+    auto& win = windows_[static_cast<std::size_t>(r)];
+    std::sort(staged.begin(), staged.end(),
+              [](const Staged& a, const Staged& b) {
+                if (a.source != b.source) return a.source < b.source;
+                return a.seq < b.seq;
+              });
+    std::vector<Staged> keep;
+    for (auto& s : staged) {
+      if (s.deliver_epoch < epochs_) {
+        if (s.delayed) {
+          DSOUTH_ASSERT(delayed_in_flight_ > 0);
+          --delayed_in_flight_;
+        }
+        win.push_back(Message{s.source, s.tag, std::move(s.payload)});
+      } else {
+        keep.push_back(std::move(s));
+      }
+    }
+    staged.swap(keep);
+  }
+}
+
+void Runtime::consume(int rank) {
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
+  windows_[static_cast<std::size_t>(rank)].clear();
+}
+
+void Runtime::drain_delayed() {
+  for (int i = 0; i <= delivery_.max_delay_epochs; ++i) {
+    bool any = false;
+    for (const auto& staged : staging_) {
+      if (!staged.empty()) any = true;
+    }
+    if (!any) break;
+    fence();
+  }
+}
+
+}  // namespace dsouth::simmpi

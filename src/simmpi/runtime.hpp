@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Deterministic simulated one-sided message-passing runtime.
+///
+/// This is the repository's substitute for MPI-3 RMA on a real cluster
+/// (DESIGN.md §1). It simulates P ranks executing in *epochs*. Within an
+/// epoch a rank may read its window (the messages delivered at the previous
+/// fence), do local compute (reported via add_flops), and `put()` data into
+/// other ranks' windows. `fence()` closes the epoch: staged puts become
+/// visible in the destination windows, the machine model charges the epoch,
+/// and per-put statistics accumulate.
+///
+/// Correspondence with the paper's MPI formulation:
+///   MPI_Win_allocate            -> Runtime construction (one window/rank)
+///   MPI_Win_post/start          -> implicit epoch open after fence()
+///   MPI_Put                     -> put()
+///   MPI_Win_complete/wait       -> fence()
+/// The paper's algorithms are bulk-synchronous per parallel step (every
+/// rank opens and closes the same access epochs), so this superstep
+/// semantics is exact, and it makes every experiment bit-reproducible.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simmpi/machine_model.hpp"
+#include "simmpi/stats.hpp"
+
+namespace dsouth::simmpi {
+
+/// A delivered message as seen in the destination window.
+struct Message {
+  int source = -1;
+  MsgTag tag = MsgTag::kOther;
+  std::vector<double> payload;
+};
+
+/// Optional weak-delivery model: each put is, with `delay_probability`,
+/// deferred by 1..max_delay_epochs extra fences (deterministic given the
+/// seed). Models an asynchronous/congested fabric where one-sided writes
+/// land late; note same-source messages may then be *observed out of
+/// order* — exactly the staleness regime the paper's deadlock discussion
+/// is about. Default: no delays (faithful bulk-synchronous epochs).
+struct DeliveryModel {
+  double delay_probability = 0.0;
+  int max_delay_epochs = 2;
+  std::uint64_t seed = 0xDE1A7ULL;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(int num_ranks, MachineModel model = {},
+                   DeliveryModel delivery = {});
+
+  int num_ranks() const { return num_ranks_; }
+  const MachineModel& model() const { return model_; }
+
+  /// Messages delivered to `rank` and not yet consumed, in fence order
+  /// (within a fence: sorted by source rank, ties by send order). Windows
+  /// accumulate across fences until consume() — mirroring one-sided RMA,
+  /// where written data persists until the target processes it.
+  std::span<const Message> window(int rank) const;
+
+  /// Discard `rank`'s window contents (call after processing them).
+  void consume(int rank);
+
+  /// One-sided put: stage `payload` for delivery into `dest`'s window at
+  /// the next fence. Counts as exactly one message from `source`.
+  void put(int source, int dest, MsgTag tag, std::span<const double> payload);
+
+  /// Report local computation performed by `rank` in this epoch (flops).
+  void add_flops(int rank, double flops);
+
+  /// Close the epoch: deliver staged puts, charge the machine model,
+  /// clear per-epoch counters.
+  void fence();
+
+  /// Cumulative modeled time (seconds) over all fenced epochs.
+  double model_time_seconds() const { return model_time_; }
+
+  /// Modeled time charged by the most recent fence().
+  double last_epoch_seconds() const { return last_epoch_seconds_; }
+
+  std::uint64_t epochs_completed() const { return epochs_; }
+
+  /// Messages currently deferred by the delivery model.
+  std::uint64_t delayed_in_flight() const { return delayed_in_flight_; }
+
+  /// Run extra empty fences until every deferred message has landed
+  /// (bounded by max_delay_epochs). No-op without a delivery model.
+  void drain_delayed();
+
+  const CommStats& stats() const { return stats_; }
+  CommStats& stats() { return stats_; }
+
+ private:
+  struct Staged {
+    int source;
+    MsgTag tag;
+    std::uint64_t seq;  // global send order for deterministic tie-break
+    std::uint64_t deliver_epoch;  // earliest fence that may deliver it
+    bool delayed;                 // deferred by the delivery model
+    std::vector<double> payload;
+  };
+
+  int num_ranks_;
+  MachineModel model_;
+  DeliveryModel delivery_;
+  std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
+  std::uint64_t delayed_in_flight_ = 0;
+  CommStats stats_;
+  std::vector<std::vector<Message>> windows_;   // delivered, per rank
+  std::vector<std::vector<Staged>> staging_;    // pending, per dest rank
+  // Per-epoch accounting for the machine model.
+  std::vector<double> epoch_flops_;
+  std::vector<std::uint64_t> epoch_msgs_, epoch_bytes_;
+  std::uint64_t epoch_total_msgs_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t epochs_ = 0;
+  double model_time_ = 0.0;
+  double last_epoch_seconds_ = 0.0;
+};
+
+/// Message byte size as charged to the model: payload plus a fixed header.
+constexpr std::uint64_t kMessageHeaderBytes = 16;
+inline std::uint64_t message_bytes(std::size_t payload_doubles) {
+  return kMessageHeaderBytes + 8 * static_cast<std::uint64_t>(payload_doubles);
+}
+
+}  // namespace dsouth::simmpi

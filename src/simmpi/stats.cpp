@@ -1,0 +1,59 @@
+#include "simmpi/stats.hpp"
+
+#include "util/error.hpp"
+
+namespace dsouth::simmpi {
+
+CommStats::CommStats(int num_ranks)
+    : num_ranks_(num_ranks),
+      msgs_per_rank_(static_cast<std::size_t>(num_ranks), 0) {
+  DSOUTH_CHECK(num_ranks > 0);
+}
+
+void CommStats::record_send(int source, MsgTag tag, std::uint64_t bytes) {
+  DSOUTH_CHECK(source >= 0 && source < num_ranks_);
+  const auto t = static_cast<std::size_t>(tag);
+  DSOUTH_CHECK(t < kNumTags);
+  ++msgs_by_tag_[t];
+  bytes_by_tag_[t] += bytes;
+  ++msgs_per_rank_[static_cast<std::size_t>(source)];
+}
+
+std::uint64_t CommStats::total_messages() const {
+  std::uint64_t sum = 0;
+  for (auto m : msgs_by_tag_) sum += m;
+  return sum;
+}
+
+std::uint64_t CommStats::total_messages(MsgTag tag) const {
+  return msgs_by_tag_[static_cast<std::size_t>(tag)];
+}
+
+std::uint64_t CommStats::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (auto b : bytes_by_tag_) sum += b;
+  return sum;
+}
+
+std::uint64_t CommStats::messages_from(int rank) const {
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
+  return msgs_per_rank_[static_cast<std::size_t>(rank)];
+}
+
+double CommStats::comm_cost() const {
+  return static_cast<double>(total_messages()) /
+         static_cast<double>(num_ranks_);
+}
+
+double CommStats::comm_cost(MsgTag tag) const {
+  return static_cast<double>(total_messages(tag)) /
+         static_cast<double>(num_ranks_);
+}
+
+void CommStats::reset() {
+  msgs_by_tag_.fill(0);
+  bytes_by_tag_.fill(0);
+  for (auto& m : msgs_per_rank_) m = 0;
+}
+
+}  // namespace dsouth::simmpi

@@ -1,0 +1,102 @@
+#include "sparse/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "sparse/mm_io.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'O', 'U', 'C', 'S', 'R', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DSOUTH_CHECK_MSG(in.good(), "truncated binary CSR stream");
+}
+
+template <typename T>
+void write_array(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& in, std::size_t count) {
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  DSOUTH_CHECK_MSG(in.good(), "truncated binary CSR stream");
+  return v;
+}
+
+}  // namespace
+
+void write_binary_csr(std::ostream& out, const CsrMatrix& a) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::int64_t>(a.rows()));
+  write_pod(out, static_cast<std::int64_t>(a.cols()));
+  write_pod(out, static_cast<std::int64_t>(a.nnz()));
+  write_array(out, std::vector<index_t>(a.row_ptr().begin(),
+                                        a.row_ptr().end()));
+  write_array(out, std::vector<index_t>(a.col_idx().begin(),
+                                        a.col_idx().end()));
+  write_array(out, std::vector<value_t>(a.values().begin(),
+                                        a.values().end()));
+  DSOUTH_CHECK_MSG(out.good(), "write failure in binary CSR stream");
+}
+
+void write_binary_csr_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path, std::ios::binary);
+  DSOUTH_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  write_binary_csr(out, a);
+}
+
+CsrMatrix read_binary_csr(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  DSOUTH_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                   "bad binary CSR magic");
+  std::uint32_t version = 0;
+  read_pod(in, version);
+  DSOUTH_CHECK_MSG(version == kVersion,
+                   "unsupported binary CSR version " << version);
+  std::int64_t rows = 0, cols = 0, nnz = 0;
+  read_pod(in, rows);
+  read_pod(in, cols);
+  read_pod(in, nnz);
+  DSOUTH_CHECK_MSG(rows >= 0 && cols >= 0 && nnz >= 0,
+                   "corrupt binary CSR header");
+  auto row_ptr = read_array<index_t>(in, static_cast<std::size_t>(rows) + 1);
+  auto col_idx = read_array<index_t>(in, static_cast<std::size_t>(nnz));
+  auto values = read_array<value_t>(in, static_cast<std::size_t>(nnz));
+  CsrMatrix a(rows, cols, std::move(row_ptr), std::move(col_idx),
+              std::move(values));
+  DSOUTH_CHECK_MSG(a.validate(), "corrupt binary CSR structure");
+  return a;
+}
+
+CsrMatrix read_binary_csr_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DSOUTH_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+  return read_binary_csr(in);
+}
+
+CsrMatrix load_matrix_any(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0) {
+    return read_binary_csr_file(path);
+  }
+  return read_matrix_market_file(path);
+}
+
+}  // namespace dsouth::sparse

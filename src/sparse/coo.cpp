@@ -1,0 +1,69 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csr.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+CooBuilder::CooBuilder(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  DSOUTH_CHECK(rows >= 0 && cols >= 0);
+}
+
+void CooBuilder::add(index_t i, index_t j, value_t v) {
+  DSOUTH_CHECK_MSG(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+                   "entry (" << i << "," << j << ") out of " << rows_ << "x"
+                             << cols_);
+  is_.push_back(i);
+  js_.push_back(j);
+  vs_.push_back(v);
+}
+
+void CooBuilder::add_sym(index_t i, index_t j, value_t v) {
+  add(i, j, v);
+  if (i != j) add(j, i, v);
+}
+
+CsrMatrix CooBuilder::to_csr(bool drop_zeros) const {
+  const std::size_t m = is_.size();
+  // Sort entry permutation by (row, col); stable so duplicate order is
+  // deterministic (summation order affects the last ulp).
+  std::vector<std::size_t> perm(m);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (is_[a] != is_[b]) return is_[a] < is_[b];
+                     return js_[a] < js_[b];
+                   });
+
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<index_t> col_idx;
+  std::vector<value_t> values;
+  col_idx.reserve(m);
+  values.reserve(m);
+
+  std::size_t k = 0;
+  while (k < m) {
+    const index_t i = is_[perm[k]];
+    const index_t j = js_[perm[k]];
+    value_t sum = 0.0;
+    while (k < m && is_[perm[k]] == i && js_[perm[k]] == j) {
+      sum += vs_[perm[k]];
+      ++k;
+    }
+    if (drop_zeros && sum == 0.0) continue;
+    col_idx.push_back(j);
+    values.push_back(sum);
+    ++row_ptr[static_cast<std::size_t>(i) + 1];
+  }
+  for (index_t i = 0; i < rows_; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] +=
+        row_ptr[static_cast<std::size_t>(i)];
+  }
+  return CsrMatrix(rows_, cols_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file coo.hpp
+/// Coordinate-format (triplet) builder. All assemblers (stencils, FEM) and
+/// the Matrix Market reader accumulate entries here, then convert to CSR.
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::sparse {
+
+class CsrMatrix;  // csr.hpp
+
+/// Triplet accumulator. Duplicate (i, j) entries are summed on conversion
+/// (the natural semantics for finite-element assembly).
+class CooBuilder {
+ public:
+  CooBuilder(index_t rows, index_t cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t entry_count() const { return is_.size(); }
+
+  /// Append one entry; bounds-checked.
+  void add(index_t i, index_t j, value_t v);
+
+  /// Append both (i, j, v) and (j, i, v); for building symmetric matrices
+  /// from a lower/upper-triangle description. Diagonal entries are added
+  /// once.
+  void add_sym(index_t i, index_t j, value_t v);
+
+  /// Convert to CSR: sorts by (row, col), sums duplicates, drops explicit
+  /// zeros produced by cancellation only if `drop_zeros` is set.
+  CsrMatrix to_csr(bool drop_zeros = false) const;
+
+ private:
+  index_t rows_, cols_;
+  std::vector<index_t> is_, js_;
+  std::vector<value_t> vs_;
+};
+
+}  // namespace dsouth::sparse

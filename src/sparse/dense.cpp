@@ -1,0 +1,99 @@
+#include "sparse/dense.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0) {
+  DSOUTH_CHECK(rows >= 0 && cols >= 0);
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix d(a.rows(), a.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) d(i, cols[k]) = vals[k];
+  }
+  return d;
+}
+
+value_t& DenseMatrix::operator()(index_t i, index_t j) {
+  DSOUTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(j)];
+}
+
+value_t DenseMatrix::operator()(index_t i, index_t j) const {
+  DSOUTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(j)];
+}
+
+void DenseMatrix::matvec(std::span<const value_t> x,
+                         std::span<value_t> y) const {
+  DSOUTH_CHECK(x.size() == static_cast<std::size_t>(cols_));
+  DSOUTH_CHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    value_t sum = 0.0;
+    for (index_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * x[j];
+    y[i] = sum;
+  }
+}
+
+DenseCholesky::DenseCholesky(const DenseMatrix& a) { factor(a); }
+
+DenseCholesky::DenseCholesky(const CsrMatrix& a) {
+  factor(DenseMatrix::from_csr(a));
+}
+
+void DenseCholesky::factor(const DenseMatrix& a) {
+  DSOUTH_CHECK(a.rows() == a.cols());
+  const index_t n = a.rows();
+  l_ = DenseMatrix(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    value_t d = a(j, j);
+    for (index_t k = 0; k < j; ++k) d -= l_(j, k) * l_(j, k);
+    DSOUTH_CHECK_MSG(d > 0.0, "non-positive pivot " << d << " at column " << j
+                                                    << "; matrix not SPD");
+    l_(j, j) = std::sqrt(d);
+    for (index_t i = j + 1; i < n; ++i) {
+      value_t s = a(i, j);
+      for (index_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / l_(j, j);
+    }
+  }
+}
+
+void DenseCholesky::solve(std::span<const value_t> b,
+                          std::span<value_t> x) const {
+  const index_t n = l_.rows();
+  DSOUTH_CHECK(b.size() == static_cast<std::size_t>(n));
+  DSOUTH_CHECK(x.size() == static_cast<std::size_t>(n));
+  // Forward solve L y = b (y stored in x).
+  for (index_t i = 0; i < n; ++i) {
+    value_t s = b[i];
+    for (index_t k = 0; k < i; ++k) s -= l_(i, k) * x[k];
+    x[i] = s / l_(i, i);
+  }
+  // Back solve Lᵀ x = y.
+  for (index_t i = n - 1; i >= 0; --i) {
+    value_t s = x[i];
+    for (index_t k = i + 1; k < n; ++k) s -= l_(k, i) * x[k];
+    x[i] = s / l_(i, i);
+  }
+}
+
+value_t DenseCholesky::log_det() const {
+  value_t sum = 0.0;
+  for (index_t i = 0; i < l_.rows(); ++i) sum += 2.0 * std::log(l_(i, i));
+  return sum;
+}
+
+}  // namespace dsouth::sparse

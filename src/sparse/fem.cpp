@@ -1,0 +1,262 @@
+#include "sparse/fem.hpp"
+
+#include <array>
+
+#include "sparse/coo.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+namespace {
+
+DofMap make_dof_map(const TriMesh& mesh, int dofs_per_vertex) {
+  DofMap map;
+  map.dofs_per_vertex = dofs_per_vertex;
+  map.vertex_to_dof.assign(static_cast<std::size_t>(mesh.num_vertices()), -1);
+  index_t next = 0;
+  for (index_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (!mesh.on_boundary[static_cast<std::size_t>(v)]) {
+      map.vertex_to_dof[static_cast<std::size_t>(v)] = next;
+      next += dofs_per_vertex;
+    }
+  }
+  map.num_dofs = next;
+  return map;
+}
+
+/// P1 shape-function gradient coefficients on a triangle:
+/// grad(phi_i) = (b_i, c_i) / (2 * area).
+struct TriGeom {
+  std::array<double, 3> b, c;
+  double area;
+};
+
+TriGeom tri_geometry(const TriMesh& mesh, index_t t) {
+  const auto& tri = mesh.tris[static_cast<std::size_t>(t)];
+  const double x0 = mesh.vx[tri[0]], y0 = mesh.vy[tri[0]];
+  const double x1 = mesh.vx[tri[1]], y1 = mesh.vy[tri[1]];
+  const double x2 = mesh.vx[tri[2]], y2 = mesh.vy[tri[2]];
+  TriGeom g;
+  g.b = {y1 - y2, y2 - y0, y0 - y1};
+  g.c = {x2 - x1, x0 - x2, x1 - x0};
+  g.area = mesh.signed_area(t);
+  DSOUTH_CHECK_MSG(g.area > 0.0, "degenerate or inverted triangle " << t);
+  return g;
+}
+
+}  // namespace
+
+CsrMatrix assemble_p1_poisson(const TriMesh& mesh, DofMap* dof_map) {
+  DSOUTH_CHECK(mesh.is_valid());
+  DofMap map = make_dof_map(mesh, 1);
+  DSOUTH_CHECK_MSG(map.num_dofs > 0, "mesh has no interior vertices");
+  CooBuilder coo(map.num_dofs, map.num_dofs);
+  for (index_t t = 0; t < mesh.num_triangles(); ++t) {
+    const TriGeom g = tri_geometry(mesh, t);
+    const auto& tri = mesh.tris[static_cast<std::size_t>(t)];
+    const double inv4a = 1.0 / (4.0 * g.area);
+    for (int i = 0; i < 3; ++i) {
+      const index_t di = map.vertex_to_dof[static_cast<std::size_t>(tri[i])];
+      if (di < 0) continue;
+      for (int j = 0; j < 3; ++j) {
+        const index_t dj =
+            map.vertex_to_dof[static_cast<std::size_t>(tri[j])];
+        if (dj < 0) continue;
+        const double k = (g.b[i] * g.b[j] + g.c[i] * g.c[j]) * inv4a;
+        coo.add(di, dj, k);
+      }
+    }
+  }
+  if (dof_map) *dof_map = std::move(map);
+  return coo.to_csr();
+}
+
+CsrMatrix assemble_p1_elasticity(const TriMesh& mesh,
+                                 const ElasticityOptions& opt,
+                                 DofMap* dof_map) {
+  DSOUTH_CHECK(mesh.is_valid());
+  DSOUTH_CHECK(opt.poisson_ratio >= 0.0 && opt.poisson_ratio < 0.5);
+  DSOUTH_CHECK(opt.youngs_modulus > 0.0);
+  DSOUTH_CHECK(opt.jump_contrast > 0.0 && opt.jump_blocks > 0);
+  DofMap map = make_dof_map(mesh, 2);
+  DSOUTH_CHECK_MSG(map.num_dofs > 0, "mesh has no interior vertices");
+  // Plane-strain constitutive matrix:
+  //   D = E / ((1+nu)(1-2nu)) * [ 1-nu   nu     0        ]
+  //                             [ nu     1-nu   0        ]
+  //                             [ 0      0      (1-2nu)/2 ]
+  const double nu = opt.poisson_ratio;
+  const double scale =
+      opt.youngs_modulus / ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const double d00_base = scale * (1.0 - nu);
+  const double d01_base = scale * nu;
+  const double d22_base = scale * (1.0 - 2.0 * nu) / 2.0;
+  // Checkerboard modulus field over the unit square (E scales D linearly).
+  auto element_scale = [&](index_t t) -> double {
+    if (opt.jump_contrast == 1.0) return 1.0;
+    const auto& tri = mesh.tris[static_cast<std::size_t>(t)];
+    const double cx = (mesh.vx[tri[0]] + mesh.vx[tri[1]] + mesh.vx[tri[2]]) / 3.0;
+    const double cy = (mesh.vy[tri[0]] + mesh.vy[tri[1]] + mesh.vy[tri[2]]) / 3.0;
+    const int bx = std::min(opt.jump_blocks - 1,
+                            static_cast<int>(cx * opt.jump_blocks));
+    const int by = std::min(opt.jump_blocks - 1,
+                            static_cast<int>(cy * opt.jump_blocks));
+    return ((bx + by) % 2 == 0) ? 1.0 : opt.jump_contrast;
+  };
+
+  CooBuilder coo(map.num_dofs, map.num_dofs);
+  for (index_t t = 0; t < mesh.num_triangles(); ++t) {
+    const TriGeom g = tri_geometry(mesh, t);
+    const double es = element_scale(t);
+    const double d00 = d00_base * es;
+    const double d01 = d01_base * es;
+    const double d22 = d22_base * es;
+    const auto& tri = mesh.tris[static_cast<std::size_t>(t)];
+    const double inv2a = 1.0 / (2.0 * g.area);
+    // Strain-displacement rows for vertex i (B is 3x6):
+    //   B(:, 2i)   = [ b_i, 0,   c_i ]ᵀ / 2A     (u_x dof)
+    //   B(:, 2i+1) = [ 0,   c_i, b_i ]ᵀ / 2A     (u_y dof)
+    // Element stiffness K = area * Bᵀ D B, assembled per 2x2 vertex block.
+    for (int i = 0; i < 3; ++i) {
+      const index_t di = map.vertex_to_dof[static_cast<std::size_t>(tri[i])];
+      if (di < 0) continue;
+      const double bi = g.b[i] * inv2a, ci = g.c[i] * inv2a;
+      for (int j = 0; j < 3; ++j) {
+        const index_t dj =
+            map.vertex_to_dof[static_cast<std::size_t>(tri[j])];
+        if (dj < 0) continue;
+        const double bj = g.b[j] * inv2a, cj = g.c[j] * inv2a;
+        // K_block = area * [ bi*d00*bj + ci*d22*cj,  bi*d01*cj + ci*d22*bj ]
+        //                  [ ci*d01*bj + bi*d22*cj,  ci*d00*cj + bi*d22*bj ]
+        const double kxx = g.area * (bi * d00 * bj + ci * d22 * cj);
+        const double kxy = g.area * (bi * d01 * cj + ci * d22 * bj);
+        const double kyx = g.area * (ci * d01 * bj + bi * d22 * cj);
+        const double kyy = g.area * (ci * d00 * cj + bi * d22 * bj);
+        coo.add(di, dj, kxx);
+        coo.add(di, dj + 1, kxy);
+        coo.add(di + 1, dj, kyx);
+        coo.add(di + 1, dj + 1, kyy);
+      }
+    }
+  }
+  if (dof_map) *dof_map = std::move(map);
+  return coo.to_csr();
+}
+
+}  // namespace dsouth::sparse
+
+namespace dsouth::sparse {
+
+CsrMatrix assemble_p1_elasticity_3d(const TetMesh& mesh,
+                                    const ElasticityOptions& opt,
+                                    DofMap* dof_map) {
+  DSOUTH_CHECK(mesh.is_valid());
+  DSOUTH_CHECK(opt.poisson_ratio >= 0.0 && opt.poisson_ratio < 0.5);
+  DSOUTH_CHECK(opt.youngs_modulus > 0.0);
+  DSOUTH_CHECK(opt.jump_contrast > 0.0 && opt.jump_blocks > 0);
+  // Dof map: 3 dofs per interior vertex.
+  DofMap map;
+  map.dofs_per_vertex = 3;
+  map.vertex_to_dof.assign(static_cast<std::size_t>(mesh.num_vertices()), -1);
+  index_t next = 0;
+  for (index_t v = 0; v < mesh.num_vertices(); ++v) {
+    if (!mesh.on_boundary[static_cast<std::size_t>(v)]) {
+      map.vertex_to_dof[static_cast<std::size_t>(v)] = next;
+      next += 3;
+    }
+  }
+  map.num_dofs = next;
+  DSOUTH_CHECK_MSG(map.num_dofs > 0, "mesh has no interior vertices");
+
+  const double nu = opt.poisson_ratio;
+  const double lambda_base = opt.youngs_modulus * nu /
+                             ((1.0 + nu) * (1.0 - 2.0 * nu));
+  const double mu_base = opt.youngs_modulus / (2.0 * (1.0 + nu));
+
+  auto element_scale = [&](index_t t) -> double {
+    if (opt.jump_contrast == 1.0) return 1.0;
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    double cx = 0, cy = 0, cz = 0;
+    for (index_t v : tet) {
+      cx += mesh.vx[static_cast<std::size_t>(v)];
+      cy += mesh.vy[static_cast<std::size_t>(v)];
+      cz += mesh.vz[static_cast<std::size_t>(v)];
+    }
+    cx /= 4.0;
+    cy /= 4.0;
+    cz /= 4.0;
+    auto block = [&](double c) {
+      return std::min(opt.jump_blocks - 1,
+                      static_cast<int>(c * opt.jump_blocks));
+    };
+    return ((block(cx) + block(cy) + block(cz)) % 2 == 0)
+               ? 1.0
+               : opt.jump_contrast;
+  };
+
+  CooBuilder coo(map.num_dofs, map.num_dofs);
+  for (index_t t = 0; t < mesh.num_tets(); ++t) {
+    const auto& tet = mesh.tets[static_cast<std::size_t>(t)];
+    const double vol = mesh.signed_volume(t);
+    DSOUTH_CHECK_MSG(vol > 0.0, "degenerate or inverted tet " << t);
+    // Barycentric gradients: rows of the inverse of the edge matrix
+    // M = [p1-p0 | p2-p0 | p3-p0] give grad(lambda_1..3); grad(lambda_0)
+    // closes the partition of unity.
+    const double m[3][3] = {
+        {mesh.vx[tet[1]] - mesh.vx[tet[0]], mesh.vx[tet[2]] - mesh.vx[tet[0]],
+         mesh.vx[tet[3]] - mesh.vx[tet[0]]},
+        {mesh.vy[tet[1]] - mesh.vy[tet[0]], mesh.vy[tet[2]] - mesh.vy[tet[0]],
+         mesh.vy[tet[3]] - mesh.vy[tet[0]]},
+        {mesh.vz[tet[1]] - mesh.vz[tet[0]], mesh.vz[tet[2]] - mesh.vz[tet[0]],
+         mesh.vz[tet[3]] - mesh.vz[tet[0]]}};
+    const double det = 6.0 * vol;  // det(M)
+    // inv(M) via adjugate; grad(lambda_k) = row k-1 of inv(M).
+    double grad[4][3];
+    const double inv[3][3] = {
+        {(m[1][1] * m[2][2] - m[1][2] * m[2][1]) / det,
+         (m[0][2] * m[2][1] - m[0][1] * m[2][2]) / det,
+         (m[0][1] * m[1][2] - m[0][2] * m[1][1]) / det},
+        {(m[1][2] * m[2][0] - m[1][0] * m[2][2]) / det,
+         (m[0][0] * m[2][2] - m[0][2] * m[2][0]) / det,
+         (m[0][2] * m[1][0] - m[0][0] * m[1][2]) / det},
+        {(m[1][0] * m[2][1] - m[1][1] * m[2][0]) / det,
+         (m[0][1] * m[2][0] - m[0][0] * m[2][1]) / det,
+         (m[0][0] * m[1][1] - m[0][1] * m[1][0]) / det}};
+    for (int k = 0; k < 3; ++k) {
+      grad[k + 1][0] = inv[k][0];
+      grad[k + 1][1] = inv[k][1];
+      grad[k + 1][2] = inv[k][2];
+    }
+    for (int c = 0; c < 3; ++c) {
+      grad[0][c] = -(grad[1][c] + grad[2][c] + grad[3][c]);
+    }
+
+    const double es = element_scale(t);
+    const double lam = lambda_base * es;
+    const double mu = mu_base * es;
+    for (int i = 0; i < 4; ++i) {
+      const index_t di = map.vertex_to_dof[static_cast<std::size_t>(tet[i])];
+      if (di < 0) continue;
+      for (int j = 0; j < 4; ++j) {
+        const index_t dj =
+            map.vertex_to_dof[static_cast<std::size_t>(tet[j])];
+        if (dj < 0) continue;
+        const double dot = grad[i][0] * grad[j][0] +
+                           grad[i][1] * grad[j][1] +
+                           grad[i][2] * grad[j][2];
+        for (int r = 0; r < 3; ++r) {
+          for (int c = 0; c < 3; ++c) {
+            const double k_rc =
+                vol * (lam * grad[i][r] * grad[j][c] +
+                       mu * grad[j][r] * grad[i][c] +
+                       (r == c ? mu * dot : 0.0));
+            coo.add(di + r, dj + c, k_rc);
+          }
+        }
+      }
+    }
+  }
+  if (dof_map) *dof_map = std::move(map);
+  return coo.to_csr();
+}
+
+}  // namespace dsouth::sparse

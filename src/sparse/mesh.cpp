@@ -1,0 +1,84 @@
+#include "sparse/mesh.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::sparse {
+
+index_t TriMesh::num_interior() const {
+  index_t count = 0;
+  for (bool b : on_boundary) {
+    if (!b) ++count;
+  }
+  return count;
+}
+
+double TriMesh::signed_area(index_t t) const {
+  const auto& tri = tris[static_cast<std::size_t>(t)];
+  const double x0 = vx[tri[0]], y0 = vy[tri[0]];
+  const double x1 = vx[tri[1]], y1 = vy[tri[1]];
+  const double x2 = vx[tri[2]], y2 = vy[tri[2]];
+  return 0.5 * ((x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0));
+}
+
+bool TriMesh::is_valid() const {
+  if (vx.size() != vy.size()) return false;
+  if (on_boundary.size() != vx.size()) return false;
+  for (index_t t = 0; t < num_triangles(); ++t) {
+    for (index_t v : tris[static_cast<std::size_t>(t)]) {
+      if (v < 0 || v >= num_vertices()) return false;
+    }
+    if (signed_area(t) <= 0.0) return false;
+  }
+  return true;
+}
+
+TriMesh make_perturbed_grid_mesh(index_t nvx, index_t nvy, double perturb,
+                                 std::uint64_t seed) {
+  DSOUTH_CHECK(nvx >= 2 && nvy >= 2);
+  DSOUTH_CHECK(perturb >= 0.0 && perturb < 0.45);
+  util::Rng rng(seed);
+  TriMesh mesh;
+  mesh.nvx = nvx;
+  mesh.nvy = nvy;
+  const auto nv = static_cast<std::size_t>(nvx) * static_cast<std::size_t>(nvy);
+  mesh.vx.resize(nv);
+  mesh.vy.resize(nv);
+  mesh.on_boundary.resize(nv);
+  const double hx = 1.0 / static_cast<double>(nvx - 1);
+  const double hy = 1.0 / static_cast<double>(nvy - 1);
+  auto id = [&](index_t i, index_t j) { return j * nvx + i; };
+  for (index_t j = 0; j < nvy; ++j) {
+    for (index_t i = 0; i < nvx; ++i) {
+      const auto v = static_cast<std::size_t>(id(i, j));
+      const bool boundary = (i == 0 || i == nvx - 1 || j == 0 || j == nvy - 1);
+      double px = 0.0, py = 0.0;
+      if (!boundary) {
+        px = rng.uniform(-perturb, perturb) * hx;
+        py = rng.uniform(-perturb, perturb) * hy;
+      }
+      mesh.vx[v] = static_cast<double>(i) * hx + px;
+      mesh.vy[v] = static_cast<double>(j) * hy + py;
+      mesh.on_boundary[v] = boundary;
+    }
+  }
+  mesh.tris.reserve(static_cast<std::size_t>(2 * (nvx - 1) * (nvy - 1)));
+  for (index_t j = 0; j + 1 < nvy; ++j) {
+    for (index_t i = 0; i + 1 < nvx; ++i) {
+      const index_t v00 = id(i, j), v10 = id(i + 1, j);
+      const index_t v01 = id(i, j + 1), v11 = id(i + 1, j + 1);
+      if ((i + j) % 2 == 0) {
+        mesh.tris.push_back({v00, v10, v11});
+        mesh.tris.push_back({v00, v11, v01});
+      } else {
+        mesh.tris.push_back({v00, v10, v01});
+        mesh.tris.push_back({v10, v11, v01});
+      }
+    }
+  }
+  DSOUTH_CHECK_MSG(mesh.is_valid(),
+                   "perturbation produced an inverted element; lower perturb");
+  return mesh;
+}
+
+}  // namespace dsouth::sparse

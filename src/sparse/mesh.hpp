@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file mesh.hpp
+/// Perturbed structured triangle meshes. The paper's Figures 2 and 5 use a
+/// finite-element discretization of the Poisson equation on a square with
+/// "irregularly structured linear triangular elements"; this generator
+/// reproduces that flavor deterministically: a structured vertex grid whose
+/// interior vertices are jittered, then triangulated.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::sparse {
+
+/// 2-D triangle mesh with P1 (linear) elements in mind.
+struct TriMesh {
+  index_t nvx = 0;  ///< vertices per row
+  index_t nvy = 0;  ///< vertices per column
+  std::vector<double> vx, vy;                 ///< vertex coordinates
+  std::vector<std::array<index_t, 3>> tris;   ///< CCW vertex triples
+  std::vector<bool> on_boundary;              ///< per-vertex boundary flag
+
+  index_t num_vertices() const { return static_cast<index_t>(vx.size()); }
+  index_t num_triangles() const { return static_cast<index_t>(tris.size()); }
+  index_t num_interior() const;
+
+  /// Signed area of triangle t (positive for CCW orientation).
+  double signed_area(index_t t) const;
+
+  /// All triangles positively oriented and no degenerate elements.
+  bool is_valid() const;
+};
+
+/// Build an (nvx × nvy)-vertex mesh of the unit square. Interior vertices
+/// are jittered by up to `perturb` × (local spacing) in each coordinate
+/// (perturb in [0, 0.45); 0.25 keeps all elements comfortably non-inverted
+/// and is what the proxies use). Each grid cell is split into two triangles
+/// along the diagonal whose direction alternates per cell, which avoids the
+/// directional bias of a one-diagonal split.
+TriMesh make_perturbed_grid_mesh(index_t nvx, index_t nvy, double perturb,
+                                 std::uint64_t seed);
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,111 @@
+#include "sparse/mesh3d.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::sparse {
+
+index_t TetMesh::num_interior() const {
+  index_t count = 0;
+  for (bool b : on_boundary) {
+    if (!b) ++count;
+  }
+  return count;
+}
+
+double TetMesh::signed_volume(index_t t) const {
+  const auto& tet = tets[static_cast<std::size_t>(t)];
+  const double ax = vx[tet[1]] - vx[tet[0]], ay = vy[tet[1]] - vy[tet[0]],
+               az = vz[tet[1]] - vz[tet[0]];
+  const double bx = vx[tet[2]] - vx[tet[0]], by = vy[tet[2]] - vy[tet[0]],
+               bz = vz[tet[2]] - vz[tet[0]];
+  const double cx = vx[tet[3]] - vx[tet[0]], cy = vy[tet[3]] - vy[tet[0]],
+               cz = vz[tet[3]] - vz[tet[0]];
+  // (a × b) · c / 6
+  return (ax * (by * cz - bz * cy) - ay * (bx * cz - bz * cx) +
+          az * (bx * cy - by * cx)) /
+         6.0;
+}
+
+bool TetMesh::is_valid() const {
+  if (vx.size() != vy.size() || vx.size() != vz.size()) return false;
+  if (on_boundary.size() != vx.size()) return false;
+  for (index_t t = 0; t < num_tets(); ++t) {
+    for (index_t v : tets[static_cast<std::size_t>(t)]) {
+      if (v < 0 || v >= num_vertices()) return false;
+    }
+    if (signed_volume(t) <= 0.0) return false;
+  }
+  return true;
+}
+
+TetMesh make_perturbed_box_mesh(index_t nvx, index_t nvy, index_t nvz,
+                                double perturb, std::uint64_t seed) {
+  DSOUTH_CHECK(nvx >= 2 && nvy >= 2 && nvz >= 2);
+  DSOUTH_CHECK(perturb >= 0.0 && perturb < 0.3);
+  util::Rng rng(seed);
+  TetMesh mesh;
+  mesh.nvx = nvx;
+  mesh.nvy = nvy;
+  mesh.nvz = nvz;
+  const auto nv = static_cast<std::size_t>(nvx) *
+                  static_cast<std::size_t>(nvy) *
+                  static_cast<std::size_t>(nvz);
+  mesh.vx.resize(nv);
+  mesh.vy.resize(nv);
+  mesh.vz.resize(nv);
+  mesh.on_boundary.resize(nv);
+  const index_t longest = std::max({nvx, nvy, nvz}) - 1;
+  const double h = 1.0 / static_cast<double>(longest);
+  auto id = [&](index_t i, index_t j, index_t k) {
+    return (k * nvy + j) * nvx + i;
+  };
+  for (index_t k = 0; k < nvz; ++k) {
+    for (index_t j = 0; j < nvy; ++j) {
+      for (index_t i = 0; i < nvx; ++i) {
+        const auto v = static_cast<std::size_t>(id(i, j, k));
+        const bool boundary = (i == 0 || i == nvx - 1 || j == 0 ||
+                               j == nvy - 1 || k == 0 || k == nvz - 1);
+        double px = 0.0, py = 0.0, pz = 0.0;
+        if (!boundary) {
+          px = rng.uniform(-perturb, perturb) * h;
+          py = rng.uniform(-perturb, perturb) * h;
+          pz = rng.uniform(-perturb, perturb) * h;
+        }
+        mesh.vx[v] = static_cast<double>(i) * h + px;
+        mesh.vy[v] = static_cast<double>(j) * h + py;
+        mesh.vz[v] = static_cast<double>(k) * h + pz;
+        mesh.on_boundary[v] = boundary;
+      }
+    }
+  }
+  // Kuhn split: six tets per cell, all containing the main diagonal
+  // v000 -> v111. Vertex order per tet chosen for positive orientation on
+  // the unperturbed grid.
+  mesh.tets.reserve(static_cast<std::size_t>(6 * (nvx - 1) * (nvy - 1) *
+                                             (nvz - 1)));
+  for (index_t k = 0; k + 1 < nvz; ++k) {
+    for (index_t j = 0; j + 1 < nvy; ++j) {
+      for (index_t i = 0; i + 1 < nvx; ++i) {
+        const index_t v000 = id(i, j, k), v100 = id(i + 1, j, k);
+        const index_t v010 = id(i, j + 1, k), v110 = id(i + 1, j + 1, k);
+        const index_t v001 = id(i, j, k + 1), v101 = id(i + 1, j, k + 1);
+        const index_t v011 = id(i, j + 1, k + 1),
+                      v111 = id(i + 1, j + 1, k + 1);
+        mesh.tets.push_back({v000, v100, v110, v111});
+        mesh.tets.push_back({v000, v110, v010, v111});
+        mesh.tets.push_back({v000, v010, v011, v111});
+        mesh.tets.push_back({v000, v011, v001, v111});
+        mesh.tets.push_back({v000, v001, v101, v111});
+        mesh.tets.push_back({v000, v101, v100, v111});
+      }
+    }
+  }
+  DSOUTH_CHECK_MSG(mesh.is_valid(),
+                   "perturbation produced an inverted tet; lower perturb");
+  return mesh;
+}
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file mesh3d.hpp
+/// Perturbed structured tetrahedral meshes of a box. Substrate for the 3-D
+/// elasticity proxies (DESIGN.md §5): the paper's structural matrices
+/// (audikw_1, Flan_1565, bone010, …) are 3-D finite-element problems with
+/// ~45-80 nonzeros per row, which a tetrahedralized box with 3 dofs per
+/// vertex reproduces.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::sparse {
+
+/// 3-D tetrahedral mesh with P1 elements in mind.
+struct TetMesh {
+  index_t nvx = 0, nvy = 0, nvz = 0;  ///< vertices per axis
+  std::vector<double> vx, vy, vz;     ///< vertex coordinates
+  std::vector<std::array<index_t, 4>> tets;  ///< positively oriented
+  std::vector<bool> on_boundary;      ///< per-vertex boundary flag
+
+  index_t num_vertices() const { return static_cast<index_t>(vx.size()); }
+  index_t num_tets() const { return static_cast<index_t>(tets.size()); }
+  index_t num_interior() const;
+
+  /// Signed volume of tet t (positive for the canonical orientation).
+  double signed_volume(index_t t) const;
+
+  bool is_valid() const;
+};
+
+/// Build an (nvx × nvy × nvz)-vertex mesh of the box
+/// [0, ax] × [0, ay] × [0, az] where a* = (nv* − 1) / max(nv* − 1), i.e.
+/// the longest axis spans [0, 1] and the others proportionally (so cells
+/// stay nearly cubic; pass unequal vertex counts for thin slabs or beams).
+/// Interior vertices are jittered by up to `perturb` × (local spacing) per
+/// coordinate; each grid cell is split into six tetrahedra (Kuhn
+/// triangulation), all sharing the cell's main diagonal.
+TetMesh make_perturbed_box_mesh(index_t nvx, index_t nvy, index_t nvz,
+                                double perturb, std::uint64_t seed);
+
+}  // namespace dsouth::sparse

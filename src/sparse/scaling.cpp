@@ -1,0 +1,76 @@
+#include "sparse/scaling.hpp"
+
+#include <cmath>
+
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+ScaledSystem symmetric_unit_diagonal_scale(const CsrMatrix& a) {
+  DSOUTH_CHECK(a.rows() == a.cols());
+  std::vector<value_t> d = a.diagonal();
+  std::vector<value_t> inv_sqrt(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    DSOUTH_CHECK_MSG(d[i] > 0.0, "diagonal entry " << i << " = " << d[i]
+                                                   << " not positive");
+    inv_sqrt[i] = 1.0 / std::sqrt(d[i]);
+  }
+  // Copy and rescale values in place: a'_ij = a_ij * s_i * s_j.
+  CsrMatrix scaled = a;
+  auto vals = scaled.mutable_values();
+  auto row_ptr = scaled.row_ptr();
+  auto col_idx = scaled.col_idx();
+  for (index_t i = 0; i < scaled.rows(); ++i) {
+    for (index_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      vals[k] *= inv_sqrt[static_cast<std::size_t>(i)] *
+                 inv_sqrt[static_cast<std::size_t>(col_idx[k])];
+    }
+  }
+  return ScaledSystem{std::move(scaled), std::move(inv_sqrt)};
+}
+
+std::vector<value_t> scale_rhs(const ScaledSystem& s,
+                               std::span<const value_t> b) {
+  DSOUTH_CHECK(b.size() == s.scale.size());
+  std::vector<value_t> out(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = b[i] * s.scale[i];
+  return out;
+}
+
+std::vector<value_t> unscale_solution(const ScaledSystem& s,
+                                      std::span<const value_t> x_scaled) {
+  DSOUTH_CHECK(x_scaled.size() == s.scale.size());
+  std::vector<value_t> out(x_scaled.size());
+  for (std::size_t i = 0; i < x_scaled.size(); ++i) {
+    out[i] = x_scaled[i] * s.scale[i];
+  }
+  return out;
+}
+
+value_t normalize_initial_residual(const CsrMatrix& a,
+                                   std::span<const value_t> b,
+                                   std::span<value_t> x) {
+  DSOUTH_CHECK(x.size() == static_cast<std::size_t>(a.cols()));
+  std::vector<value_t> r(static_cast<std::size_t>(a.rows()));
+  a.residual(b, x, r);
+  value_t rn = norm2(r);
+  DSOUTH_CHECK_MSG(rn > 0.0, "initial residual is exactly zero");
+  // With a zero RHS, r = -Ax, so dividing x by ||r|| makes ||r|| = 1.
+  // (Only the b == 0 case is supported for in-place x normalization; the
+  // paper scales whichever of x/b is random while the other is zero.)
+  bool b_zero = true;
+  for (value_t v : b) {
+    if (v != 0.0) {
+      b_zero = false;
+      break;
+    }
+  }
+  DSOUTH_CHECK_MSG(b_zero,
+                   "normalize_initial_residual requires b == 0; scale b "
+                   "instead for the x == 0 case");
+  scale(1.0 / rn, x);
+  return rn;
+}
+
+}  // namespace dsouth::sparse

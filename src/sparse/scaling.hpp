@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file scaling.hpp
+/// Symmetric diagonal scaling. The paper (§2.2, §4.2) symmetrically scales
+/// every system to unit diagonal, which makes the Southwell rule ("largest
+/// |r_i|") coincide with the Gauss–Southwell rule ("largest |r_i/a_ii|").
+/// All experiments in this repo run on scaled systems too.
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/types.hpp"
+
+namespace dsouth::sparse {
+
+/// Result of symmetric unit-diagonal scaling of Ax = b.
+struct ScaledSystem {
+  CsrMatrix a;                  ///< D^{-1/2} A D^{-1/2}; unit diagonal
+  std::vector<value_t> scale;   ///< d_i^{-1/2} (maps x_scaled = D^{1/2} x)
+};
+
+/// Scale A to unit diagonal: A' = D^{-1/2} A D^{-1/2} with D = diag(A).
+/// Requires every diagonal entry positive (SPD inputs satisfy this).
+ScaledSystem symmetric_unit_diagonal_scale(const CsrMatrix& a);
+
+/// Transform a right-hand side to the scaled system: b' = D^{-1/2} b.
+std::vector<value_t> scale_rhs(const ScaledSystem& s,
+                               std::span<const value_t> b);
+
+/// Recover the unscaled solution: x = D^{-1/2} x'.
+std::vector<value_t> unscale_solution(const ScaledSystem& s,
+                                      std::span<const value_t> x_scaled);
+
+/// Rescale a vector in place so that ‖b - A x‖₂ == 1 (paper §4.2 scales
+/// the random initial guess — or the RHS — so the initial residual norm is
+/// exactly 1). With b == 0 this divides x by ‖A x‖₂. Returns the original
+/// residual norm. Requires the original residual to be nonzero.
+value_t normalize_initial_residual(const CsrMatrix& a,
+                                   std::span<const value_t> b,
+                                   std::span<value_t> x);
+
+}  // namespace dsouth::sparse

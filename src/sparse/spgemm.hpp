@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file spgemm.hpp
+/// Sparse matrix–matrix products. Needed by the algebraic-multigrid
+/// hierarchy (Galerkin coarse operators A_c = Pᵀ A P) and useful on its
+/// own. Row-merge algorithm with a dense accumulator sized to the result's
+/// column count — the standard Gustavson scheme.
+
+#include "sparse/csr.hpp"
+
+namespace dsouth::sparse {
+
+/// C = A · B (dimensions must agree). Result rows have sorted columns;
+/// exact zeros produced by cancellation are kept (structural product).
+CsrMatrix spgemm(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Galerkin triple product Pᵀ A P for a square A and a tall prolongator P
+/// (rows(P) == rows(A)). Computed as spgemm(spgemm(Pᵀ, A), P).
+CsrMatrix galerkin_product(const CsrMatrix& a, const CsrMatrix& p);
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,101 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+MatrixStats compute_matrix_stats(const CsrMatrix& a, int power_iterations) {
+  DSOUTH_CHECK(a.rows() == a.cols());
+  MatrixStats s;
+  s.rows = a.rows();
+  s.nnz = a.nnz();
+  if (a.rows() == 0) return s;
+  s.nnz_per_row_min = std::numeric_limits<index_t>::max();
+  index_t dominant_rows = 0;
+  std::size_t offdiag_entries = 0, positive_offdiag = 0;
+  bool struct_sym = true, num_sym = true;
+  bool full_diag = true;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const index_t row_nnz = a.row_nnz(i);
+    s.nnz_per_row_min = std::min(s.nnz_per_row_min, row_nnz);
+    s.nnz_per_row_max = std::max(s.nnz_per_row_max, row_nnz);
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    value_t diag = 0.0, off_abs = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      s.bandwidth = std::max(s.bandwidth, std::abs(i - j));
+      if (j == i) {
+        diag = vals[k];
+        continue;
+      }
+      ++offdiag_entries;
+      if (vals[k] > 0.0) ++positive_offdiag;
+      off_abs += std::abs(vals[k]);
+      // Symmetry probes (O(log) lookup per entry).
+      const value_t mirror = a.at(j, i);
+      if (mirror == 0.0 && vals[k] != 0.0) struct_sym = false;
+      if (std::abs(mirror - vals[k]) > 1e-12) num_sym = false;
+    }
+    if (diag == 0.0) full_diag = false;
+    if (std::abs(diag) >= off_abs) ++dominant_rows;
+  }
+  s.nnz_per_row_mean =
+      static_cast<double>(a.nnz()) / static_cast<double>(a.rows());
+  s.structurally_symmetric = struct_sym;
+  s.numerically_symmetric = num_sym;
+  s.has_full_diagonal = full_diag;
+  s.diag_dominant_fraction =
+      static_cast<double>(dominant_rows) / static_cast<double>(a.rows());
+  s.positive_offdiag_fraction =
+      offdiag_entries == 0
+          ? 0.0
+          : static_cast<double>(positive_offdiag) /
+                static_cast<double>(offdiag_entries);
+  if (power_iterations > 0) {
+    bool positive_diag = true;
+    for (value_t d : a.diagonal()) {
+      if (d <= 0.0) positive_diag = false;
+    }
+    if (positive_diag) {
+      auto scaled = symmetric_unit_diagonal_scale(a);
+      s.scaled_lambda_max = lambda_max_estimate(scaled.a, power_iterations);
+    } else {
+      s.scaled_lambda_max = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return s;
+}
+
+void print_matrix_stats(std::ostream& os, const MatrixStats& s) {
+  os << "rows:                   " << s.rows << "\n"
+     << "nonzeros:               " << s.nnz << "\n"
+     << "nnz/row (min/mean/max): " << s.nnz_per_row_min << " / "
+     << s.nnz_per_row_mean << " / " << s.nnz_per_row_max << "\n"
+     << "bandwidth:              " << s.bandwidth << "\n"
+     << "symmetric:              "
+     << (s.numerically_symmetric
+             ? "yes"
+             : (s.structurally_symmetric ? "structurally only" : "no"))
+     << "\n"
+     << "full diagonal:          " << (s.has_full_diagonal ? "yes" : "no")
+     << "\n"
+     << "diag-dominant rows:     " << s.diag_dominant_fraction * 100.0
+     << "%\n"
+     << "positive off-diagonals: " << s.positive_offdiag_fraction * 100.0
+     << "%\n";
+  if (s.scaled_lambda_max != 0.0) {
+    os << "scaled lambda_max:      " << s.scaled_lambda_max
+       << (s.scaled_lambda_max >= 2.0 ? "  (point Jacobi diverges)"
+                                      : "  (point Jacobi converges)")
+       << "\n";
+  }
+}
+
+}  // namespace dsouth::sparse

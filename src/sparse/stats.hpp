@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stats.hpp
+/// Matrix diagnostics: the quick numbers one wants before throwing a
+/// matrix at an iterative method (the artifact's setup phase printed
+/// similar statistics). Used by the examples and the dmem_southwell
+/// driver; cheap (one or two passes over the nonzeros, plus an optional
+/// power iteration).
+
+#include <ostream>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace dsouth::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t nnz = 0;
+  double nnz_per_row_mean = 0.0;
+  index_t nnz_per_row_min = 0;
+  index_t nnz_per_row_max = 0;
+  index_t bandwidth = 0;       ///< max |i - j| over stored entries
+  bool structurally_symmetric = false;
+  bool numerically_symmetric = false;  ///< |a_ij - a_ji| <= 1e-12
+  bool has_full_diagonal = false;
+  /// Fraction of rows with |a_ii| >= Σ_{j≠i} |a_ij| (diagonal dominance).
+  double diag_dominant_fraction = 0.0;
+  /// Fraction of off-diagonal entries that are positive — > 0 flags a
+  /// non-M-matrix (where small-block Jacobi may diverge; DESIGN.md §5).
+  double positive_offdiag_fraction = 0.0;
+  /// λ_max estimate of the unit-diagonal-scaled matrix (power iteration);
+  /// ≥ 2 means point Jacobi diverges. NaN if the diagonal is not positive.
+  double scaled_lambda_max = 0.0;
+};
+
+/// Compute the statistics. `power_iterations` controls the λ_max estimate
+/// accuracy (0 skips it, leaving scaled_lambda_max = 0).
+MatrixStats compute_matrix_stats(const CsrMatrix& a,
+                                 int power_iterations = 60);
+
+/// Human-readable one-stat-per-line dump.
+void print_matrix_stats(std::ostream& os, const MatrixStats& stats);
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file types.hpp
+/// Common index/value typedefs for the sparse kernels.
+
+#include <cstdint>
+
+namespace dsouth::sparse {
+
+/// Row/column index. 64-bit: the proxy suite stays well under 2^31 rows but
+/// nnz offsets are also stored with this type and headroom is cheap.
+using index_t = std::int64_t;
+
+/// Matrix/vector value type.
+using value_t = double;
+
+}  // namespace dsouth::sparse

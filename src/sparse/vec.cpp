@@ -1,0 +1,71 @@
+#include "sparse/vec.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+
+value_t dot(std::span<const value_t> x, std::span<const value_t> y) {
+  DSOUTH_CHECK(x.size() == y.size());
+  value_t sum = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+value_t norm2(std::span<const value_t> x) { return std::sqrt(norm2_sq(x)); }
+
+value_t norm2_sq(std::span<const value_t> x) {
+  value_t sum = 0.0;
+  for (value_t v : x) sum += v * v;
+  return sum;
+}
+
+value_t norm_inf(std::span<const value_t> x) {
+  value_t m = 0.0;
+  for (value_t v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+  DSOUTH_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(value_t alpha, std::span<value_t> x) {
+  for (value_t& v : x) v *= alpha;
+}
+
+void subtract(std::span<const value_t> x, std::span<const value_t> y,
+              std::span<value_t> z) {
+  DSOUTH_CHECK(x.size() == y.size() && x.size() == z.size());
+  for (std::size_t i = 0; i < x.size(); ++i) z[i] = x[i] - y[i];
+}
+
+void fill(std::span<value_t> x, value_t v) {
+  for (value_t& e : x) e = v;
+}
+
+index_t argmax_abs(std::span<const value_t> x) {
+  if (x.empty()) return -1;
+  index_t best = 0;
+  value_t best_abs = std::abs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    value_t a = std::abs(x[i]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = static_cast<index_t>(i);
+    }
+  }
+  return best;
+}
+
+std::vector<value_t> zeros(index_t n) {
+  return std::vector<value_t>(static_cast<std::size_t>(n), 0.0);
+}
+
+std::vector<value_t> ones(index_t n) {
+  return std::vector<value_t>(static_cast<std::size_t>(n), 1.0);
+}
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file vec.hpp
+/// Dense vector kernels used throughout the solvers. Free functions over
+/// std::span so they compose with any contiguous storage.
+
+#include <span>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace dsouth::sparse {
+
+/// Euclidean dot product.
+value_t dot(std::span<const value_t> x, std::span<const value_t> y);
+
+/// 2-norm.
+value_t norm2(std::span<const value_t> x);
+
+/// Squared 2-norm (no sqrt; the distributed solvers track squared norms).
+value_t norm2_sq(std::span<const value_t> x);
+
+/// Max-norm.
+value_t norm_inf(std::span<const value_t> x);
+
+/// y += alpha * x.
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y);
+
+/// x *= alpha.
+void scale(value_t alpha, std::span<value_t> x);
+
+/// z = x - y.
+void subtract(std::span<const value_t> x, std::span<const value_t> y,
+              std::span<value_t> z);
+
+/// Fill with a constant.
+void fill(std::span<value_t> x, value_t v);
+
+/// Index of the entry with the largest magnitude (first on ties);
+/// -1 for an empty span.
+index_t argmax_abs(std::span<const value_t> x);
+
+/// Convenience allocating wrappers used by tests and examples.
+std::vector<value_t> zeros(index_t n);
+std::vector<value_t> ones(index_t n);
+
+}  // namespace dsouth::sparse

@@ -1,0 +1,150 @@
+#include "util/ascii_plot.hpp"
+#include <cstring>
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+
+namespace {
+
+constexpr const char* kMarkers = "*o+x#@%&";
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+std::string short_number(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::abs(v) < 1e-3 || std::abs(v) >= 1e4)) {
+    os.setf(std::ios::scientific);
+    os << std::setprecision(1) << v;
+  } else {
+    os << std::setprecision(4) << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                 const PlotOptions& opt) {
+  DSOUTH_CHECK(opt.width >= 10 && opt.height >= 4);
+  DSOUTH_CHECK(!series.empty());
+
+  // Collect plottable points in transformed coordinates.
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    DSOUTH_CHECK_MSG(s.x.size() == s.y.size(),
+                     "series '" << s.name << "' has mismatched x/y sizes");
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      if ((opt.log_x && s.x[k] <= 0.0) || (opt.log_y && s.y[k] <= 0.0)) {
+        continue;
+      }
+      const double tx = transform(s.x[k], opt.log_x);
+      const double ty = transform(s.y[k], opt.log_y);
+      xmin = std::min(xmin, tx);
+      xmax = std::max(xmax, tx);
+      ymin = std::min(ymin, ty);
+      ymax = std::max(ymax, ty);
+      any = true;
+    }
+  }
+  DSOUTH_CHECK_MSG(any, "nothing plottable (log axis with no positive data?)");
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> raster(
+      static_cast<std::size_t>(opt.height),
+      std::string(static_cast<std::size_t>(opt.width), ' '));
+  auto to_col = [&](double tx) {
+    const double f = (tx - xmin) / (xmax - xmin);
+    return std::clamp<int>(static_cast<int>(std::lround(
+                               f * (opt.width - 1))),
+                           0, opt.width - 1);
+  };
+  auto to_row = [&](double ty) {
+    const double f = (ty - ymin) / (ymax - ymin);
+    // Row 0 is the top of the raster.
+    return std::clamp<int>(static_cast<int>(std::lround(
+                               (1.0 - f) * (opt.height - 1))),
+                           0, opt.height - 1);
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % std::strlen(kMarkers)];
+    const auto& s = series[si];
+    int prev_col = -1, prev_row = -1;
+    for (std::size_t k = 0; k < s.x.size(); ++k) {
+      if ((opt.log_x && s.x[k] <= 0.0) || (opt.log_y && s.y[k] <= 0.0)) {
+        prev_col = -1;
+        continue;
+      }
+      const int col = to_col(transform(s.x[k], opt.log_x));
+      const int row = to_row(transform(s.y[k], opt.log_y));
+      // Connect to the previous point with a sparse trace so curves read
+      // as lines even when samples are far apart on screen.
+      if (prev_col >= 0 && std::abs(col - prev_col) > 1) {
+        const int steps = std::abs(col - prev_col);
+        for (int t = 1; t < steps; ++t) {
+          const int cc = prev_col + (col - prev_col) * t / steps;
+          const int rr = prev_row + (row - prev_row) * t / steps;
+          auto& cell = raster[static_cast<std::size_t>(rr)]
+                             [static_cast<std::size_t>(cc)];
+          if (cell == ' ') cell = '.';
+        }
+      }
+      raster[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] =
+          mark;
+      prev_col = col;
+      prev_row = row;
+    }
+  }
+
+  // Emit: y-axis labels on the first/last rows, then the x range line.
+  const std::string y_top =
+      short_number(opt.log_y ? std::pow(10.0, ymax) : ymax);
+  const std::string y_bot =
+      short_number(opt.log_y ? std::pow(10.0, ymin) : ymin);
+  const std::size_t label_w = std::max(y_top.size(), y_bot.size());
+  for (int r = 0; r < opt.height; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = y_top + std::string(label_w - y_top.size(), ' ');
+    if (r == opt.height - 1) {
+      label = y_bot + std::string(label_w - y_bot.size(), ' ');
+    }
+    os << label << " |" << raster[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(label_w, ' ') << " +"
+     << std::string(static_cast<std::size_t>(opt.width), '-') << "\n";
+  const std::string x_lo =
+      short_number(opt.log_x ? std::pow(10.0, xmin) : xmin);
+  const std::string x_hi =
+      short_number(opt.log_x ? std::pow(10.0, xmax) : xmax);
+  std::string x_line(label_w + 2, ' ');
+  x_line += x_lo;
+  const std::size_t pad = label_w + 2 + static_cast<std::size_t>(opt.width);
+  if (x_line.size() + x_hi.size() < pad) {
+    x_line += std::string(pad - x_line.size() - x_hi.size(), ' ');
+  }
+  x_line += x_hi;
+  os << x_line;
+  if (!opt.x_label.empty()) os << "   (" << opt.x_label << ")";
+  os << "\n";
+  os << std::string(label_w, ' ') << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << " " << kMarkers[si % std::strlen(kMarkers)] << "="
+       << series[si].name;
+  }
+  if (!opt.y_label.empty()) os << "   [y: " << opt.y_label << "]";
+  os << "\n";
+}
+
+}  // namespace dsouth::util

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file ascii_plot.hpp
+/// Terminal line plots for the figure-reproduction benches: the paper's
+/// figures are log-scale convergence curves, and a quick raster in the
+/// console makes shape comparisons immediate without leaving the terminal
+/// (full-resolution series still go to CSV).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dsouth::util {
+
+struct PlotSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;  ///< same length as x
+};
+
+struct PlotOptions {
+  int width = 70;    ///< plot body columns
+  int height = 20;   ///< plot body rows
+  bool log_x = false;
+  bool log_y = true;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render the series into a character raster with axes, tick labels on the
+/// corners, and a marker legend. Series markers cycle through
+/// "*o+x#@%&". Points with non-positive coordinates on a log axis are
+/// skipped. Throws CheckError on malformed input (mismatched x/y sizes,
+/// nonpositive dimensions, nothing plottable).
+void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                 const PlotOptions& opt = {});
+
+}  // namespace dsouth::util

@@ -1,0 +1,107 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+
+namespace {
+bool is_option(const std::string& tok) {
+  // An option starts with '-' and is not a bare negative number.
+  if (tok.size() < 2 || tok[0] != '-') return false;
+  return !(std::isdigit(static_cast<unsigned char>(tok[1])) || tok[1] == '.');
+}
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  DSOUTH_CHECK(argc >= 1);
+  program_ = argv[0];
+  int i = 1;
+  while (i < argc) {
+    std::string tok = argv[i];
+    DSOUTH_CHECK_MSG(is_option(tok), "expected -option, got '" << tok << "'");
+    std::string name = tok.substr(1);
+    if (i + 1 < argc && !is_option(argv[i + 1])) {
+      values_[name] = argv[i + 1];
+      i += 2;
+    } else {
+      values_[name] = "";  // flag
+      i += 1;
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& name) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& name,
+                              const std::string& dflt) const {
+  auto v = get(name);
+  return v ? *v : dflt;
+}
+
+std::int64_t ArgParser::get_int_or(const std::string& name,
+                                   std::int64_t dflt) const {
+  auto v = get(name);
+  if (!v) return dflt;
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  DSOUTH_CHECK_MSG(ec == std::errc{} && ptr == v->data() + v->size(),
+                   "argument -" << name << " expects an integer, got '" << *v
+                                << "'");
+  return out;
+}
+
+double ArgParser::get_double_or(const std::string& name, double dflt) const {
+  auto v = get(name);
+  if (!v) return dflt;
+  char* end = nullptr;
+  double out = std::strtod(v->c_str(), &end);
+  DSOUTH_CHECK_MSG(end == v->c_str() + v->size(),
+                   "argument -" << name << " expects a number, got '" << *v
+                                << "'");
+  return out;
+}
+
+std::vector<std::int64_t> ArgParser::get_int_list_or(
+    const std::string& name, const std::vector<std::int64_t>& dflt) const {
+  auto v = get(name);
+  if (!v) return dflt;
+  std::vector<std::int64_t> out;
+  std::size_t start = 0;
+  while (start <= v->size()) {
+    std::size_t comma = v->find(',', start);
+    if (comma == std::string::npos) comma = v->size();
+    std::string item = v->substr(start, comma - start);
+    std::int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(item.data(), item.data() + item.size(), value);
+    DSOUTH_CHECK_MSG(ec == std::errc{} && ptr == item.data() + item.size(),
+                     "argument -" << name << ": bad list item '" << item
+                                  << "'");
+    out.push_back(value);
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unqueried() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace dsouth::util

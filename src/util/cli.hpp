@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line argument parser for the examples and benchmark
+/// harnesses (mirrors the paper artifact's `-argument value` style,
+/// e.g. `-mat_file X -sweep_max 20 -solver sos_sds`, plus flag arguments).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dsouth::util {
+
+/// Parses `-name value` pairs and bare `-flag` switches. A token starting
+/// with '-' whose successor also starts with '-' (or is absent) is a flag.
+/// Numeric lookups validate and throw CheckError on malformed values.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& dflt) const;
+  std::int64_t get_int_or(const std::string& name, std::int64_t dflt) const;
+  double get_double_or(const std::string& name, double dflt) const;
+
+  /// Comma-separated list of integers, e.g. "-procs 32,64,128".
+  std::vector<std::int64_t> get_int_list_or(
+      const std::string& name, const std::vector<std::int64_t>& dflt) const;
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  /// Names seen on the command line that were never queried — useful for
+  /// catching typos in scripts. (Call after all get()s.)
+  std::vector<std::string> unqueried() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // name -> value ("" for flags)
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace dsouth::util

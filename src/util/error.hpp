@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file error.hpp
+/// Lightweight precondition / invariant checking for the dsouth library.
+///
+/// DSOUTH_CHECK is always on (it guards user-facing API contracts and costs
+/// one predictable branch); DSOUTH_ASSERT compiles away in NDEBUG builds and
+/// is used on hot paths for internal invariants.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsouth::util {
+
+/// Exception thrown when a DSOUTH_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void throw_check_error(const char* cond, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "dsouth check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace dsouth::util
+
+#define DSOUTH_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dsouth::util::throw_check_error(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define DSOUTH_CHECK_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::dsouth::util::throw_check_error(#cond, __FILE__, __LINE__,         \
+                                        os_.str());                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define DSOUTH_ASSERT(cond) ((void)0)
+#else
+#define DSOUTH_ASSERT(cond) DSOUTH_CHECK(cond)
+#endif

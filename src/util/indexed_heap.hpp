@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file indexed_heap.hpp
+/// Indexed binary max-heap over a fixed key range [0, n).
+///
+/// The Sequential Southwell method relaxes, at every step, the equation with
+/// the largest |r_i|; each relaxation then changes the residuals of the
+/// neighbors of i. That access pattern — extract-max plus O(degree) key
+/// updates — is exactly what an indexed heap supports in O(log n) per
+/// operation. The key type is templated so tests can exercise integers too.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+
+/// Max-heap keyed by `Key`, holding a subset of the ids [0, n).
+/// All operations are O(log n); `contains`, `key_of`, `size` are O(1).
+template <typename Key>
+class IndexedMaxHeap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit IndexedMaxHeap(std::size_t n) : pos_(n, npos), key_(n) {}
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t capacity_ids() const { return pos_.size(); }
+
+  bool contains(std::size_t id) const {
+    DSOUTH_ASSERT(id < pos_.size());
+    return pos_[id] != npos;
+  }
+
+  const Key& key_of(std::size_t id) const {
+    DSOUTH_CHECK(contains(id));
+    return key_[id];
+  }
+
+  /// Insert id with the given key; id must not already be present.
+  void push(std::size_t id, Key key) {
+    DSOUTH_CHECK_MSG(!contains(id), "id " << id << " already in heap");
+    key_[id] = key;
+    pos_[id] = heap_.size();
+    heap_.push_back(id);
+    sift_up(pos_[id]);
+  }
+
+  /// Id with the maximum key. Ties are broken toward whatever id happens to
+  /// sit at the root — deterministic given a deterministic op sequence.
+  std::size_t top() const {
+    DSOUTH_CHECK(!empty());
+    return heap_[0];
+  }
+
+  const Key& top_key() const { return key_[top()]; }
+
+  /// Remove and return the id with the maximum key.
+  std::size_t pop() {
+    DSOUTH_CHECK(!empty());
+    std::size_t id = heap_[0];
+    remove_at(0);
+    return id;
+  }
+
+  /// Change the key of a present id (up or down).
+  void update(std::size_t id, Key key) {
+    DSOUTH_CHECK(contains(id));
+    Key old = key_[id];
+    key_[id] = key;
+    if (key > old) {
+      sift_up(pos_[id]);
+    } else if (key < old) {
+      sift_down(pos_[id]);
+    }
+  }
+
+  /// Insert if absent, otherwise update.
+  void push_or_update(std::size_t id, Key key) {
+    if (contains(id)) {
+      update(id, key);
+    } else {
+      push(id, key);
+    }
+  }
+
+  /// Remove a present id.
+  void erase(std::size_t id) {
+    DSOUTH_CHECK(contains(id));
+    remove_at(pos_[id]);
+  }
+
+  /// Validate the heap property and the id<->slot mapping (for tests).
+  bool invariants_hold() const {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (pos_[heap_[i]] != i) return false;
+      std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < heap_.size() && key_[heap_[l]] > key_[heap_[i]]) return false;
+      if (r < heap_.size() && key_[heap_[r]] > key_[heap_[i]]) return false;
+    }
+    std::size_t present = 0;
+    for (std::size_t id = 0; id < pos_.size(); ++id) {
+      if (pos_[id] != npos) {
+        ++present;
+        if (pos_[id] >= heap_.size() || heap_[pos_[id]] != id) return false;
+      }
+    }
+    return present == heap_.size();
+  }
+
+ private:
+  void remove_at(std::size_t slot) {
+    std::size_t id = heap_[slot];
+    std::size_t last = heap_.size() - 1;
+    if (slot != last) {
+      heap_[slot] = heap_[last];
+      pos_[heap_[slot]] = slot;
+    }
+    heap_.pop_back();
+    pos_[id] = npos;
+    if (slot < heap_.size()) {
+      sift_up(slot);
+      sift_down(slot);
+    }
+  }
+
+  void sift_up(std::size_t slot) {
+    std::size_t id = heap_[slot];
+    while (slot > 0) {
+      std::size_t parent = (slot - 1) / 2;
+      if (!(key_[id] > key_[heap_[parent]])) break;
+      heap_[slot] = heap_[parent];
+      pos_[heap_[slot]] = slot;
+      slot = parent;
+    }
+    heap_[slot] = id;
+    pos_[id] = slot;
+  }
+
+  void sift_down(std::size_t slot) {
+    std::size_t id = heap_[slot];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t l = 2 * slot + 1;
+      if (l >= n) break;
+      std::size_t r = l + 1;
+      std::size_t big = (r < n && key_[heap_[r]] > key_[heap_[l]]) ? r : l;
+      if (!(key_[heap_[big]] > key_[id])) break;
+      heap_[slot] = heap_[big];
+      pos_[heap_[slot]] = slot;
+      slot = big;
+    }
+    heap_[slot] = id;
+    pos_[id] = slot;
+  }
+
+  std::vector<std::size_t> heap_;  // slot -> id
+  std::vector<std::size_t> pos_;   // id -> slot (npos if absent)
+  std::vector<Key> key_;           // id -> key (valid while present)
+};
+
+}  // namespace dsouth::util

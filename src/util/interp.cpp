@@ -1,0 +1,40 @@
+#include "util/interp.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+
+std::optional<double> first_crossing_log10(
+    const std::vector<double>& residuals, double target) {
+  DSOUTH_CHECK(target > 0.0);
+  if (residuals.empty()) return std::nullopt;
+  if (residuals[0] <= target) return 0.0;
+  const double lt = std::log10(target);
+  for (std::size_t k = 1; k < residuals.size(); ++k) {
+    if (residuals[k] <= target) {
+      double a = std::log10(residuals[k - 1]);
+      // Guard: a zero residual has log10 = -inf; the crossing is then taken
+      // at the right endpoint of the interval.
+      if (residuals[k] <= 0.0) return static_cast<double>(k);
+      double b = std::log10(residuals[k]);
+      double frac = (a - lt) / (a - b);  // in (0, 1]
+      return static_cast<double>(k - 1) + frac;
+    }
+  }
+  return std::nullopt;
+}
+
+double interpolate_series(const std::vector<double>& series, double s) {
+  DSOUTH_CHECK(!series.empty());
+  DSOUTH_CHECK(s >= 0.0);
+  DSOUTH_CHECK(s <= static_cast<double>(series.size() - 1) + 1e-12);
+  if (series.size() == 1) return series[0];
+  auto k = static_cast<std::size_t>(s);
+  if (k >= series.size() - 1) return series.back();
+  double frac = s - static_cast<double>(k);
+  return series[k] + frac * (series[k + 1] - series[k]);
+}
+
+}  // namespace dsouth::util

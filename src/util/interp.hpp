@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file interp.hpp
+/// Target-crossing extraction used by the evaluation harness.
+///
+/// Table 2 of the paper reports the cost of reducing ‖r‖₂ to 0.1 and says:
+/// "Linear interpolation on log10(‖r‖₂) was used to extract this data."
+/// Given a per-parallel-step residual history and any per-step cumulative
+/// cost series (model time, communication cost, relaxations, steps), these
+/// helpers find the fractional step at which the residual first crosses the
+/// target and interpolate the cost series at that fractional step.
+
+#include <optional>
+#include <vector>
+
+namespace dsouth::util {
+
+/// Fractional index s (0 <= s <= residuals.size()-1) where the residual
+/// history first reaches `target`, interpolating linearly in
+/// log10(residual) between samples. residuals[k] is the value after k
+/// steps. Returns nullopt if the target is never reached (the paper's †).
+/// Non-monotone histories are handled: the first downward crossing wins.
+std::optional<double> first_crossing_log10(const std::vector<double>& residuals,
+                                           double target);
+
+/// Value of a piecewise-linear series at fractional index s, where
+/// series[k] is the cumulative value after k steps.
+double interpolate_series(const std::vector<double>& series, double s);
+
+}  // namespace dsouth::util

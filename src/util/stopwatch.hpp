@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Real wall-clock timing (for the micro-kernel google-benchmark harness and
+/// for reporting actual simulation run times). The *modeled* distributed
+/// wall-clock time lives in simmpi/machine_model.hpp — don't confuse the two.
+
+#include <chrono>
+
+namespace dsouth::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dsouth::util

@@ -1,0 +1,148 @@
+#include "core/classic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::core {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+};
+
+Problem scaled_poisson(index_t nx, index_t ny, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, ny)).a;
+  p.b.resize(static_cast<std::size_t>(p.a.rows()));
+  p.x0.assign(p.b.size(), 0.0);
+  util::Rng rng(seed);
+  rng.fill_uniform(p.b, -1.0, 1.0);
+  const value_t norm = sparse::norm2(p.b);
+  sparse::scale(1.0 / norm, p.b);  // ‖r⁰‖ = ‖b‖ = 1, as in the paper
+  return p;
+}
+
+TEST(Jacobi, OneSweepPerParallelStep) {
+  auto p = scaled_poisson(5, 5, 1);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 3;
+  auto h = run_jacobi(p.a, p.b, p.x0, opt);
+  ASSERT_EQ(h.points.size(), 4u);  // initial + 3 sweeps
+  EXPECT_EQ(h.step_marks.size(), 3u);
+  EXPECT_EQ(h.points[1].relaxations, 25);
+  EXPECT_EQ(h.total_relaxations(), 75);
+  EXPECT_LT(h.final_residual_norm(), h.points[0].residual_norm);
+}
+
+TEST(Jacobi, ConvergesOnScaledPoisson) {
+  auto p = scaled_poisson(5, 5, 2);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 500;
+  opt.target_residual = 1e-8;
+  auto h = run_jacobi(p.a, p.b, p.x0, opt);
+  EXPECT_LE(h.final_residual_norm(), 1e-8);
+}
+
+TEST(GaussSeidel, RecordsEveryRelaxation) {
+  auto p = scaled_poisson(4, 4, 3);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 2;
+  auto h = run_gauss_seidel(p.a, p.b, p.x0, opt);
+  ASSERT_EQ(h.points.size(), 33u);  // initial + 2*16
+  EXPECT_TRUE(h.step_marks.empty());
+  // Relaxation counter strictly increases by one.
+  for (std::size_t k = 1; k < h.points.size(); ++k) {
+    EXPECT_EQ(h.points[k].relaxations,
+              static_cast<index_t>(k));
+  }
+}
+
+TEST(GaussSeidel, FasterThanJacobiPerSweep) {
+  auto p = scaled_poisson(8, 8, 4);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 10;
+  opt.record_each_relaxation = false;
+  auto gs = run_gauss_seidel(p.a, p.b, p.x0, opt);
+  auto j = run_jacobi(p.a, p.b, p.x0, opt);
+  EXPECT_LT(gs.final_residual_norm(), j.final_residual_norm());
+}
+
+TEST(GaussSeidel, TargetStopsEarly) {
+  auto p = scaled_poisson(6, 6, 5);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 1000;
+  opt.target_residual = 0.1;
+  auto h = run_gauss_seidel(p.a, p.b, p.x0, opt);
+  EXPECT_LE(h.final_residual_norm(), 0.1);
+  EXPECT_LT(h.total_relaxations(), 1000 * 36);
+}
+
+TEST(Sor, OmegaValidation) {
+  auto p = scaled_poisson(3, 3, 6);
+  EXPECT_THROW(run_sor(p.a, p.b, p.x0, 0.0), util::CheckError);
+  EXPECT_THROW(run_sor(p.a, p.b, p.x0, 2.0), util::CheckError);
+}
+
+TEST(Sor, OverrelaxationBeatsGaussSeidelOnPoisson) {
+  auto p = scaled_poisson(10, 10, 7);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 30;
+  opt.record_each_relaxation = false;
+  auto gs = run_gauss_seidel(p.a, p.b, p.x0, opt);
+  // Near-optimal omega for this grid size.
+  auto sor = run_sor(p.a, p.b, p.x0, 1.6, opt);
+  EXPECT_LT(sor.final_residual_norm(), gs.final_residual_norm());
+}
+
+TEST(MulticolorGs, OneParallelStepPerColor) {
+  auto p = scaled_poisson(6, 6, 8);
+  // 5-pt grid is 2-colorable.
+  ScalarRunOptions opt;
+  opt.max_sweeps = 3;
+  auto h = run_multicolor_gs(p.a, p.b, p.x0, opt);
+  EXPECT_EQ(h.step_marks.size(), 6u);  // 3 sweeps × 2 colors
+  EXPECT_EQ(h.total_relaxations(), 3 * 36);
+}
+
+TEST(MulticolorGs, MatchesProvidedColoring) {
+  auto p = scaled_poisson(5, 5, 9);
+  auto g = graph::Graph::from_matrix_structure(p.a);
+  auto coloring = graph::greedy_coloring(g, graph::ColoringOrder::kNatural);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 2;
+  auto h = run_multicolor_gs(p.a, p.b, p.x0, opt, &coloring);
+  EXPECT_EQ(h.step_marks.size(),
+            2u * static_cast<std::size_t>(coloring.num_colors));
+  EXPECT_LT(h.final_residual_norm(), h.points[0].residual_norm);
+}
+
+TEST(MulticolorGs, ConvergesLikeGaussSeidel) {
+  auto p = scaled_poisson(8, 8, 10);
+  ScalarRunOptions opt;
+  opt.max_sweeps = 50;
+  opt.record_each_relaxation = false;
+  auto mc = run_multicolor_gs(p.a, p.b, p.x0, opt);
+  EXPECT_LT(mc.final_residual_norm(), 1e-3);
+}
+
+TEST(History, RelaxationsToReachInterpolates) {
+  ConvergenceHistory h;
+  h.points = {{0, 1.0}, {10, 0.5}, {20, 0.05}};
+  auto r = h.relaxations_to_reach(0.5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(*r, 10.0);
+  auto r2 = h.relaxations_to_reach(0.275);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_GT(*r2, 10.0);
+  EXPECT_LT(*r2, 20.0);
+  EXPECT_FALSE(h.relaxations_to_reach(0.001).has_value());
+}
+
+}  // namespace
+}  // namespace dsouth::core

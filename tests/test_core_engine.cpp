@@ -1,0 +1,122 @@
+#include "core/scalar_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::core {
+namespace {
+
+CsrMatrix tridiag() {
+  // [ 2 -1  0; -1  2 -1; 0 -1  2 ]
+  return CsrMatrix(3, 3, {0, 2, 5, 7}, {0, 1, 0, 1, 2, 1, 2},
+                   {2, -1, -1, 2, -1, -1, 2});
+}
+
+TEST(ScalarEngine, InitialResidualMatchesDefinition) {
+  auto a = tridiag();
+  std::vector<value_t> b{1.0, 2.0, 3.0}, x0{0.0, 0.0, 0.0};
+  ScalarRelaxationEngine eng(a, b, x0);
+  EXPECT_DOUBLE_EQ(eng.residual(0), 1.0);
+  EXPECT_DOUBLE_EQ(eng.residual(1), 2.0);
+  EXPECT_DOUBLE_EQ(eng.residual(2), 3.0);
+  EXPECT_NEAR(eng.residual_norm(), std::sqrt(14.0), 1e-14);
+}
+
+TEST(ScalarEngine, RelaxRowZeroesItsResidualAndUpdatesNeighbors) {
+  auto a = tridiag();
+  std::vector<value_t> b{1.0, 2.0, 3.0}, x0{0.0, 0.0, 0.0};
+  ScalarRelaxationEngine eng(a, b, x0);
+  const value_t delta = eng.relax_row(1);
+  EXPECT_DOUBLE_EQ(delta, 1.0);  // r1/a11 = 2/2
+  EXPECT_DOUBLE_EQ(eng.residual(1), 0.0);
+  EXPECT_DOUBLE_EQ(eng.residual(0), 2.0);  // 1 - (-1)*1
+  EXPECT_DOUBLE_EQ(eng.residual(2), 4.0);
+  EXPECT_DOUBLE_EQ(eng.x()[1], 1.0);
+  EXPECT_EQ(eng.relaxation_count(), 1);
+}
+
+TEST(ScalarEngine, IncrementalNormTracksExactNorm) {
+  auto a = sparse::poisson2d_5pt(6, 6);
+  util::Rng rng(4);
+  std::vector<value_t> b(36), x0(36, 0.0);
+  rng.fill_uniform(b, -1.0, 1.0);
+  ScalarRelaxationEngine eng(a, b, x0);
+  for (int k = 0; k < 200; ++k) {
+    eng.relax_row(k % 36);
+    const double inc = eng.residual_norm();
+    // Exact recompute must agree with the incremental value.
+    std::vector<value_t> r(36);
+    a.residual(b, eng.x(), r);
+    EXPECT_NEAR(inc, sparse::norm2(r), 1e-10);
+  }
+}
+
+TEST(ScalarEngine, DampedRelaxationScalesDelta) {
+  auto a = tridiag();
+  std::vector<value_t> b{2.0, 0.0, 0.0}, x0{0.0, 0.0, 0.0};
+  ScalarRelaxationEngine eng(a, b, x0);
+  const value_t delta = eng.relax_row(0, 0.5);
+  EXPECT_DOUBLE_EQ(delta, 0.5);
+  EXPECT_DOUBLE_EQ(eng.residual(0), 1.0);  // 2 - 2*0.5, not pinned to zero
+}
+
+TEST(ScalarEngine, SimultaneousRelaxationUsesPreStepResiduals) {
+  auto a = tridiag();
+  std::vector<value_t> b{2.0, 2.0, 2.0}, x0{0.0, 0.0, 0.0};
+  ScalarRelaxationEngine eng(a, b, x0);
+  std::vector<index_t> rows{0, 1, 2};
+  eng.relax_simultaneously(rows);
+  // Jacobi step: x = D^{-1} b = (1, 1, 1); r = b - A x = (1, 2, 1)... wait:
+  // A x = (2-1, -1+2-1, -1+2) = (1, 0, 1); r = (1, 2, 1).
+  EXPECT_DOUBLE_EQ(eng.x()[0], 1.0);
+  EXPECT_DOUBLE_EQ(eng.x()[1], 1.0);
+  EXPECT_DOUBLE_EQ(eng.x()[2], 1.0);
+  EXPECT_NEAR(eng.residual(0), 1.0, 1e-15);
+  EXPECT_NEAR(eng.residual(1), 2.0, 1e-15);
+  EXPECT_NEAR(eng.residual(2), 1.0, 1e-15);
+  EXPECT_EQ(eng.relaxation_count(), 3);
+}
+
+TEST(ScalarEngine, SouthwellWeightIsScaledResidual) {
+  auto a = tridiag();
+  std::vector<value_t> b{-3.0, 1.0, 0.0}, x0{0.0, 0.0, 0.0};
+  ScalarRelaxationEngine eng(a, b, x0);
+  EXPECT_DOUBLE_EQ(eng.southwell_weight(0), 1.5);
+  EXPECT_DOUBLE_EQ(eng.southwell_weight(1), 0.5);
+  EXPECT_DOUBLE_EQ(eng.southwell_weight(2), 0.0);
+}
+
+TEST(ScalarEngine, RequiresSymmetricMatrix) {
+  CsrMatrix asym(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 0.5, 1.0});
+  std::vector<value_t> b{0.0, 0.0}, x0{0.0, 0.0};
+  EXPECT_THROW(ScalarRelaxationEngine(asym, b, x0), util::CheckError);
+}
+
+TEST(ScalarEngine, RejectsZeroDiagonal) {
+  CsrMatrix a(2, 2, {0, 1, 2}, {1, 0}, {1.0, 1.0});
+  std::vector<value_t> b{0.0, 0.0}, x0{0.0, 0.0};
+  EXPECT_THROW(ScalarRelaxationEngine(a, b, x0), util::CheckError);
+}
+
+TEST(ScalarEngine, GaussSeidelSweepSolvesEventually) {
+  auto a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(5, 5)).a;
+  util::Rng rng(8);
+  std::vector<value_t> b(25), x0(25, 0.0);
+  rng.fill_uniform(b, -1.0, 1.0);
+  ScalarRelaxationEngine eng(a, b, x0);
+  const double r0 = eng.residual_norm();
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    for (index_t i = 0; i < 25; ++i) eng.relax_row(i);
+  }
+  EXPECT_LT(eng.residual_norm_exact(), 1e-10 * r0);
+}
+
+}  // namespace
+}  // namespace dsouth::core

@@ -1,0 +1,150 @@
+#include "core/parallel_southwell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/classic.hpp"
+#include "core/southwell.hpp"
+#include "sparse/fem.hpp"
+#include "sparse/mesh.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::core {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+};
+
+Problem scaled_poisson(index_t nx, index_t ny, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, ny)).a;
+  p.b.resize(static_cast<std::size_t>(p.a.rows()));
+  p.x0.assign(p.b.size(), 0.0);
+  util::Rng rng(seed);
+  rng.fill_uniform(p.b, -1.0, 1.0);
+  sparse::scale(1.0 / sparse::norm2(p.b), p.b);
+  return p;
+}
+
+TEST(Selection, PicksLocalMaximaOnly) {
+  auto a = sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(3, 3)).a;
+  // Weights on a 3x3 grid: make the center dominant, plus one corner that
+  // dominates its own neighborhood.
+  std::vector<value_t> w{0.9, 0.1, 0.1,
+                         0.1, 1.0, 0.1,
+                         0.1, 0.1, 0.2};
+  auto sel = parallel_southwell_selection(a, w);
+  std::set<index_t> s(sel.begin(), sel.end());
+  EXPECT_TRUE(s.count(4));  // global max
+  EXPECT_TRUE(s.count(0));  // corner 0.9: neighbors are 1 and 3 (0.1 each)
+  EXPECT_TRUE(s.count(8));  // corner 0.2: neighbors 5 and 7 (0.1 each)
+  EXPECT_FALSE(s.count(1));
+  EXPECT_FALSE(s.count(3));
+}
+
+TEST(Selection, SelectedSetIsIndependentUnderDistinctWeights) {
+  // With pairwise-distinct weights, two adjacent rows can't both be local
+  // maxima.
+  auto p = scaled_poisson(6, 6, 21);
+  util::Rng rng(99);
+  std::vector<value_t> w(36);
+  rng.fill_uniform(w, 0.1, 1.0);
+  auto sel = parallel_southwell_selection(p.a, w);
+  std::set<index_t> s(sel.begin(), sel.end());
+  for (index_t i : sel) {
+    for (index_t j : p.a.row_cols(i)) {
+      if (j != i) {
+        EXPECT_FALSE(s.count(j)) << i << " adj " << j;
+      }
+    }
+  }
+}
+
+TEST(Selection, ZeroWeightsNeverSelected) {
+  auto p = scaled_poisson(3, 3, 22);
+  std::vector<value_t> w(9, 0.0);
+  EXPECT_TRUE(parallel_southwell_selection(p.a, w).empty());
+}
+
+TEST(Selection, TiesSelectBothSides) {
+  auto p = scaled_poisson(3, 3, 23);
+  std::vector<value_t> w(9, 1.0);
+  auto sel = parallel_southwell_selection(p.a, w);
+  EXPECT_EQ(sel.size(), 9u);
+}
+
+TEST(ParallelSouthwell, GlobalMaxAlwaysRelaxesSoNoStall) {
+  auto p = scaled_poisson(8, 8, 24);
+  ParallelSouthwellOptions opt;
+  opt.base.max_sweeps = 2;
+  auto h = run_parallel_southwell(p.a, p.b, p.x0, opt);
+  EXPECT_GE(h.num_parallel_steps(), 1u);
+  // Every step relaxed at least one row.
+  for (std::size_t k = 1; k < h.points.size(); ++k) {
+    EXPECT_GT(h.points[k].relaxations, h.points[k - 1].relaxations);
+  }
+}
+
+TEST(ParallelSouthwell, ConvergesToTarget) {
+  auto p = scaled_poisson(8, 8, 25);
+  ParallelSouthwellOptions opt;
+  opt.base.max_sweeps = 1000;
+  opt.base.target_residual = 1e-6;
+  auto h = run_parallel_southwell(p.a, p.b, p.x0, opt);
+  EXPECT_LE(h.final_residual_norm(), 1e-6);
+}
+
+TEST(ParallelSouthwell, FewerParallelStepsThanSequentialRelaxations) {
+  // The point of the method: many rows per parallel step.
+  auto p = scaled_poisson(10, 10, 26);
+  ParallelSouthwellOptions opt;
+  opt.base.max_sweeps = 2;
+  auto h = run_parallel_southwell(p.a, p.b, p.x0, opt);
+  EXPECT_LT(h.num_parallel_steps(),
+            static_cast<std::size_t>(h.total_relaxations()));
+}
+
+TEST(ParallelSouthwell, TracksSequentialSouthwellAtLowAccuracy) {
+  // Fig. 2: Par SW converges almost as fast as sequential SW in
+  // relaxations at low accuracy.
+  auto mesh = sparse::make_perturbed_grid_mesh(21, 11, 0.25, 101);
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(
+            sparse::assemble_p1_poisson(mesh)).a;
+  p.b.resize(static_cast<std::size_t>(p.a.rows()));
+  p.x0.assign(p.b.size(), 0.0);
+  util::Rng rng(27);
+  rng.fill_uniform(p.b, -1.0, 1.0);
+  sparse::scale(1.0 / sparse::norm2(p.b), p.b);
+
+  ScalarRunOptions sopt;
+  sopt.max_sweeps = 3;
+  auto sw = run_sequential_southwell(p.a, p.b, p.x0, sopt);
+  ParallelSouthwellOptions popt;
+  popt.base.max_sweeps = 3;
+  auto psw = run_parallel_southwell(p.a, p.b, p.x0, popt);
+  auto sw_cost = sw.relaxations_to_reach(0.6);
+  auto psw_cost = psw.relaxations_to_reach(0.6);
+  ASSERT_TRUE(sw_cost.has_value());
+  ASSERT_TRUE(psw_cost.has_value());
+  EXPECT_LT(*psw_cost, 1.6 * *sw_cost);
+}
+
+TEST(ParallelSouthwell, StepCapRespected) {
+  auto p = scaled_poisson(6, 6, 28);
+  ParallelSouthwellOptions opt;
+  opt.base.max_sweeps = 100;
+  opt.max_parallel_steps = 5;
+  auto h = run_parallel_southwell(p.a, p.b, p.x0, opt);
+  EXPECT_LE(h.num_parallel_steps(), 5u);
+}
+
+}  // namespace
+}  // namespace dsouth::core

@@ -1,0 +1,205 @@
+/// Tests for the weak-delivery (message delay) model: runtime semantics,
+/// and the robustness of the three distributed methods when one-sided
+/// writes land late — the asynchronous regime the paper's deadlock
+/// discussion (§2.4, §3) is ultimately about.
+
+#include <gtest/gtest.h>
+
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "simmpi/runtime.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+TEST(DelayedDelivery, NoDelayModelDeliversNextFence) {
+  simmpi::Runtime rt(2);
+  rt.put(0, 1, simmpi::MsgTag::kSolve, std::vector<double>{1.0});
+  rt.fence();
+  EXPECT_EQ(rt.window(1).size(), 1u);
+  EXPECT_EQ(rt.delayed_in_flight(), 0u);
+}
+
+TEST(DelayedDelivery, AllMessagesDelayedLandLater) {
+  simmpi::DeliveryModel dm;
+  dm.delay_probability = 1.0;
+  dm.max_delay_epochs = 1;  // exactly one extra fence
+  simmpi::Runtime rt(2, simmpi::MachineModel{}, dm);
+  rt.put(0, 1, simmpi::MsgTag::kSolve, std::vector<double>{1.0});
+  rt.fence();
+  EXPECT_TRUE(rt.window(1).empty());
+  EXPECT_EQ(rt.delayed_in_flight(), 1u);
+  rt.fence();
+  EXPECT_EQ(rt.window(1).size(), 1u);
+  EXPECT_EQ(rt.delayed_in_flight(), 0u);
+}
+
+TEST(DelayedDelivery, DrainDelaysFlushesEverything) {
+  simmpi::DeliveryModel dm;
+  dm.delay_probability = 1.0;
+  dm.max_delay_epochs = 3;
+  simmpi::Runtime rt(3, simmpi::MachineModel{}, dm);
+  for (int k = 0; k < 5; ++k) {
+    rt.put(0, 1, simmpi::MsgTag::kSolve, std::vector<double>{double(k)});
+    rt.put(2, 1, simmpi::MsgTag::kSolve, std::vector<double>{double(k)});
+  }
+  rt.drain_delayed();
+  EXPECT_EQ(rt.delayed_in_flight(), 0u);
+}
+
+TEST(DelayedDelivery, DeterministicForSeed) {
+  auto run = [] {
+    simmpi::DeliveryModel dm;
+    dm.delay_probability = 0.5;
+    dm.seed = 42;
+    simmpi::Runtime rt(2, simmpi::MachineModel{}, dm);
+    std::vector<std::size_t> arrivals;
+    for (int k = 0; k < 20; ++k) {
+      rt.put(0, 1, simmpi::MsgTag::kSolve, std::vector<double>{double(k)});
+      rt.fence();
+      arrivals.push_back(rt.window(1).size());
+    }
+    return arrivals;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+  graph::Partition part;
+};
+
+Problem make_problem(index_t nx, index_t ranks, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, nx)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  p.part = graph::partition_recursive_bisection(
+      graph::Graph::from_matrix_structure(p.a), ranks);
+  return p;
+}
+
+/// Every method keeps converging under moderate message delays (the
+/// updates are linear corrections, so late application is still correct).
+class DelayRobustness
+    : public ::testing::TestWithParam<dist::DistMethod> {};
+
+TEST_P(DelayRobustness, ConvergesUnderSingleEpochDelays) {
+  // Delays bounded by one epoch preserve per-source ordering across the
+  // two fences of a parallel step; every method stays convergent.
+  auto p = make_problem(14, 12, 31);
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = 120;
+  opt.delivery.delay_probability = 0.3;
+  opt.delivery.max_delay_epochs = 1;
+  auto r = dist::run_distributed(GetParam(), p.a, p.part, p.b, p.x0, opt);
+  EXPECT_LT(r.residual_norm.back(), 0.05)
+      << dist::method_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, DelayRobustness,
+    ::testing::Values(dist::DistMethod::kBlockJacobi,
+                      dist::DistMethod::kParallelSouthwell,
+                      dist::DistMethod::kDistributedSouthwell,
+                      dist::DistMethod::kMulticolorBlockGs),
+    [](const auto& info) {
+      return std::string(dist::method_name(info.param));
+    });
+
+TEST(DelayRobustness, PlainDsCanLivelockUnderReordering) {
+  // Pin the honest finding: multi-epoch delays can reorder a rank's own
+  // messages, after which DS's Γ̃ bookkeeping lies permanently (a
+  // neighbor's overestimate the owner believes it already corrected) and
+  // the method stalls — while Parallel Southwell's unconditional
+  // re-advertising self-heals. Deterministic seeds make the stall a
+  // stable regression anchor rather than flakiness.
+  auto p = make_problem(14, 12, 31);
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = 120;
+  opt.delivery.delay_probability = 0.3;
+  opt.delivery.max_delay_epochs = 3;
+  auto ds = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                  p.a, p.part, p.b, p.x0, opt);
+  EXPECT_GT(ds.residual_norm.back(), 0.05);  // stalled
+  auto ps = dist::run_distributed(dist::DistMethod::kParallelSouthwell, p.a,
+                                  p.part, p.b, p.x0, opt);
+  EXPECT_LT(ps.residual_norm.back(), 0.05);  // PS self-heals
+}
+
+TEST(DelayRobustness, HeartbeatHardensDsAgainstReordering) {
+  // The extension fix: a periodic unconditional residual broadcast bounds
+  // the Γ̃ staleness and restores convergence in the same regime.
+  auto p = make_problem(14, 12, 31);
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = 120;
+  opt.delivery.delay_probability = 0.3;
+  opt.delivery.max_delay_epochs = 3;
+  opt.ds.heartbeat_period = 10;
+  auto r = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                 p.a, p.part, p.b, p.x0, opt);
+  EXPECT_LT(r.residual_norm.back(), 0.05);
+}
+
+TEST(DelayRobustness, HeartbeatIsFreeWithoutDelays) {
+  // Heartbeats add messages but must not change convergence without
+  // delays; with the period larger than the run they change nothing.
+  auto p = make_problem(10, 8, 33);
+  dist::DistRunOptions plain;
+  plain.max_parallel_steps = 25;
+  dist::DistRunOptions hb = plain;
+  hb.ds.heartbeat_period = 100;  // never fires in 25 steps
+  auto a = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                 p.a, p.part, p.b, p.x0, plain);
+  auto b = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
+                                 p.a, p.part, p.b, p.x0, hb);
+  for (std::size_t k = 0; k < a.residual_norm.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.residual_norm[k], b.residual_norm[k]);
+  }
+}
+
+TEST(DelayRobustness, ResidualStaysConsistentAfterDrain) {
+  // Under delays, in-flight Δx makes the concatenated local residuals
+  // differ from the true residual of the gathered iterate — but the local
+  // view is exactly "true residual minus unapplied linear corrections",
+  // so once everything lands the two agree. Verified via the solver
+  // directly (the driver's run loop doesn't drain).
+  auto p = make_problem(12, 8, 32);
+  dist::DistLayout layout(p.a, p.part);
+  simmpi::DeliveryModel dm;
+  dm.delay_probability = 0.5;
+  dm.max_delay_epochs = 2;
+  simmpi::Runtime rt(8, simmpi::MachineModel{}, dm);
+  dist::DistRunOptions opt;
+  auto solver = dist::make_dist_solver(dist::DistMethod::kBlockJacobi,
+                                       layout, rt, p.b, p.x0, opt);
+  for (int k = 0; k < 10; ++k) solver->step();
+  rt.drain_delayed();
+  // Absorb what the drain delivered (Block Jacobi applies pending deltas
+  // in its next step; emulate by one more step which first absorbs).
+  solver->step();
+  rt.drain_delayed();
+  solver->step();
+  auto x = solver->gather_x();
+  std::vector<value_t> r(x.size());
+  p.a.residual(p.b, x, r);
+  // After two drain+step rounds, the windows are nearly caught up; allow
+  // residual slack for still-in-flight messages from the last step.
+  EXPECT_NEAR(solver->global_residual_norm(), sparse::norm2(r),
+              0.15 * sparse::norm2(r) + 1e-9);
+}
+
+}  // namespace
+}  // namespace dsouth

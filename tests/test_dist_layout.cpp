@@ -1,0 +1,133 @@
+#include "dist/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/proxy_suite.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::dist {
+namespace {
+
+graph::Partition make_partition(const CsrMatrix& a, index_t k) {
+  auto g = graph::Graph::from_matrix_structure(a);
+  return graph::partition_recursive_bisection(g, k);
+}
+
+TEST(DistLayout, ValidatesOnPoissonGrid) {
+  auto a = sparse::poisson2d_5pt(12, 12);
+  auto p = make_partition(a, 8);
+  DistLayout layout(a, p);
+  EXPECT_EQ(layout.num_ranks(), 8);
+  EXPECT_EQ(layout.global_rows(), 144);
+  EXPECT_TRUE(layout.validate(a));
+}
+
+TEST(DistLayout, ValidatesOnElasticityProxy) {
+  auto proxy = sparse::make_proxy("msdoorp", 0.02);
+  auto p = make_partition(proxy.a, 12);
+  DistLayout layout(proxy.a, p);
+  EXPECT_TRUE(layout.validate(proxy.a));
+}
+
+TEST(DistLayout, SingletonPartitionHasOneRowPerRank) {
+  auto a = sparse::poisson2d_5pt(4, 4);
+  graph::Partition p;
+  p.num_parts = 16;
+  p.part.resize(16);
+  for (index_t i = 0; i < 16; ++i) p.part[static_cast<std::size_t>(i)] = i;
+  DistLayout layout(a, p);
+  EXPECT_TRUE(layout.validate(a));
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(layout.rank(r).num_rows(), 1);
+    // Interior rank 5 (grid point (1,1)) has 4 neighbors.
+  }
+  EXPECT_EQ(layout.rank(5).neighbors.size(), 4u);
+  EXPECT_EQ(layout.rank(0).neighbors.size(), 2u);
+}
+
+TEST(DistLayout, RowMapsAreConsistent) {
+  auto a = sparse::poisson2d_5pt(10, 7);
+  auto p = make_partition(a, 5);
+  DistLayout layout(a, p);
+  for (index_t g = 0; g < a.rows(); ++g) {
+    const int r = layout.rank_of_row(g);
+    const index_t l = layout.local_of_row(g);
+    EXPECT_EQ(layout.rank(r).rows[static_cast<std::size_t>(l)], g);
+  }
+}
+
+TEST(DistLayout, ScatterGatherRoundTrip) {
+  auto a = sparse::poisson2d_5pt(9, 9);
+  auto p = make_partition(a, 6);
+  DistLayout layout(a, p);
+  util::Rng rng(3);
+  std::vector<value_t> v(81);
+  rng.fill_uniform(v, -5.0, 5.0);
+  auto locals = layout.scatter(v);
+  auto back = layout.gather(locals);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_DOUBLE_EQ(back[i], v[i]);
+}
+
+TEST(DistLayout, LocalBlocksPartitionTheMatrix) {
+  // nnz(A) = Σ nnz(A_pp) + Σ nnz(A_pq): every entry lands in exactly one
+  // block.
+  auto a = sparse::poisson2d_9pt(8, 8);
+  auto p = make_partition(a, 4);
+  DistLayout layout(a, p);
+  index_t total = 0;
+  for (int r = 0; r < layout.num_ranks(); ++r) {
+    const auto& rd = layout.rank(r);
+    total += rd.a_local.nnz();
+    for (const auto& nb : rd.neighbors) total += nb.a_pq.nnz();
+  }
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(DistLayout, TransposedBlocksMatch) {
+  auto a = sparse::poisson2d_5pt(8, 8);
+  auto p = make_partition(a, 4);
+  DistLayout layout(a, p);
+  for (int r = 0; r < layout.num_ranks(); ++r) {
+    for (const auto& nb : layout.rank(r).neighbors) {
+      // a_qp == a_pqᵀ entry by entry.
+      auto t = nb.a_pq.transpose();
+      ASSERT_EQ(t.nnz(), nb.a_qp.nnz());
+      for (index_t i = 0; i < t.rows(); ++i) {
+        for (index_t j : t.row_cols(i)) {
+          EXPECT_DOUBLE_EQ(t.at(i, j), nb.a_qp.at(i, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(DistLayout, NeighborRelationIsSymmetric) {
+  auto a = sparse::poisson2d_5pt(10, 10);
+  auto p = make_partition(a, 7);
+  DistLayout layout(a, p);
+  for (int r = 0; r < layout.num_ranks(); ++r) {
+    for (const auto& nb : layout.rank(r).neighbors) {
+      EXPECT_GE(layout.rank(nb.rank).neighbor_index(r), 0);
+    }
+  }
+}
+
+TEST(DistLayout, RejectsInvalidPartition) {
+  auto a = sparse::poisson2d_5pt(3, 3);
+  graph::Partition bad;
+  bad.num_parts = 2;
+  bad.part = {0, 0, 0};  // wrong size
+  EXPECT_THROW(DistLayout(a, bad), util::CheckError);
+}
+
+TEST(DistLayout, ContiguousBlocksWork) {
+  auto a = sparse::poisson2d_5pt(6, 6);
+  auto p = graph::partition_contiguous_blocks(36, 5);
+  DistLayout layout(a, p);
+  EXPECT_TRUE(layout.validate(a));
+}
+
+}  // namespace
+}  // namespace dsouth::dist

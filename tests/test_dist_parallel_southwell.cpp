@@ -1,0 +1,135 @@
+#include "dist/parallel_southwell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/driver.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::dist {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+};
+
+Problem scaled_poisson(index_t nx, index_t ny, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, ny)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  return p;
+}
+
+graph::Partition make_partition(const CsrMatrix& a, index_t k) {
+  auto g = graph::Graph::from_matrix_structure(a);
+  return graph::partition_recursive_bisection(g, k);
+}
+
+TEST(ParallelSouthwellDist, LocalResidualsStayExact) {
+  auto p = scaled_poisson(10, 10, 11);
+  auto part = make_partition(p.a, 8);
+  DistLayout layout(p.a, part);
+  simmpi::Runtime rt(8);
+  ParallelSouthwell solver(layout, rt, p.b, p.x0);
+  for (int k = 0; k < 10; ++k) {
+    solver.step();
+    auto x = solver.gather_x();
+    std::vector<value_t> r(x.size());
+    p.a.residual(p.b, x, r);
+    EXPECT_NEAR(solver.global_residual_norm(), sparse::norm2(r), 1e-11);
+  }
+}
+
+TEST(ParallelSouthwellDist, AtLeastOneRankRelaxesPerStep) {
+  // Γ is exact in PS, so the global-max rank always satisfies the
+  // criterion: no deadlock, ever.
+  auto p = scaled_poisson(12, 12, 12);
+  auto part = make_partition(p.a, 9);
+  DistLayout layout(p.a, part);
+  simmpi::Runtime rt(9);
+  ParallelSouthwell solver(layout, rt, p.b, p.x0);
+  for (int k = 0; k < 30; ++k) {
+    auto stats = solver.step();
+    EXPECT_GE(stats.active_ranks, 1);
+  }
+}
+
+TEST(ParallelSouthwellDist, NotAllRanksRelaxEachStep) {
+  // The whole point: only local-max subdomains relax.
+  auto p = scaled_poisson(12, 12, 13);
+  auto part = make_partition(p.a, 9);
+  DistLayout layout(p.a, part);
+  simmpi::Runtime rt(9);
+  ParallelSouthwell solver(layout, rt, p.b, p.x0);
+  index_t max_active = 0;
+  for (int k = 0; k < 10; ++k) {
+    max_active = std::max(max_active, solver.step().active_ranks);
+  }
+  EXPECT_LT(max_active, 9);
+}
+
+TEST(ParallelSouthwellDist, SendsExplicitResidualUpdates) {
+  auto p = scaled_poisson(10, 10, 14);
+  auto part = make_partition(p.a, 8);
+  DistLayout layout(p.a, part);
+  simmpi::Runtime rt(8);
+  ParallelSouthwell solver(layout, rt, p.b, p.x0);
+  for (int k = 0; k < 10; ++k) solver.step();
+  EXPECT_GT(rt.stats().total_messages(simmpi::MsgTag::kResidual), 0u);
+  EXPECT_GT(rt.stats().total_messages(simmpi::MsgTag::kSolve), 0u);
+}
+
+TEST(ParallelSouthwellDist, ConvergesToLowResidual) {
+  auto p = scaled_poisson(10, 10, 15);
+  auto part = make_partition(p.a, 6);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 400;
+  opt.stop_at_residual = 1e-5;
+  auto result = run_distributed(DistMethod::kParallelSouthwell, p.a, part,
+                                p.b, p.x0, opt);
+  EXPECT_LE(result.residual_norm.back(), 1e-5);
+}
+
+TEST(ParallelSouthwellDist, Ref18SchemeWithoutExplicitUpdatesStalls) {
+  // §4.2: "Parallel Southwell as defined in [18] deadlocks for all our
+  // test problems." Without Epoch B, stale Γ entries eventually make
+  // every rank think a neighbor is bigger.
+  auto p = scaled_poisson(12, 12, 16);
+  auto part = make_partition(p.a, 9);
+  DistLayout layout(p.a, part);
+  simmpi::Runtime rt(9);
+  ParallelSouthwell solver(layout, rt, p.b, p.x0,
+                           /*explicit_residual_updates=*/false);
+  bool stalled = false;
+  for (int k = 0; k < 200 && !stalled; ++k) {
+    stalled = (solver.step().active_ranks == 0);
+  }
+  EXPECT_TRUE(stalled);
+  EXPECT_GT(solver.global_residual_norm(), 0.0);
+}
+
+TEST(ParallelSouthwellDist, DeterministicAcrossRuns) {
+  auto p = scaled_poisson(8, 8, 17);
+  auto part = make_partition(p.a, 5);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 20;
+  auto r1 = run_distributed(DistMethod::kParallelSouthwell, p.a, part, p.b,
+                            p.x0, opt);
+  auto r2 = run_distributed(DistMethod::kParallelSouthwell, p.a, part, p.b,
+                            p.x0, opt);
+  ASSERT_EQ(r1.residual_norm.size(), r2.residual_norm.size());
+  for (std::size_t k = 0; k < r1.residual_norm.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r1.residual_norm[k], r2.residual_norm[k]);
+  }
+  EXPECT_EQ(r1.comm_cost.back(), r2.comm_cost.back());
+}
+
+}  // namespace
+}  // namespace dsouth::dist

@@ -1,0 +1,89 @@
+#include "graph/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/fem.hpp"
+#include "sparse/mesh.hpp"
+#include "sparse/stencils.hpp"
+
+namespace dsouth::graph {
+namespace {
+
+TEST(Coloring, FivePointGridIsTwoColorable) {
+  // The 5-pt stencil graph is bipartite (red-black): greedy BFS finds the
+  // optimal 2 colors.
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(8, 8));
+  auto c = greedy_coloring(g, ColoringOrder::kBfs);
+  EXPECT_TRUE(coloring_is_valid(g, c));
+  EXPECT_EQ(c.num_colors, 2);
+}
+
+TEST(Coloring, NinePointGridNeedsFourColors) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_9pt(8, 8));
+  auto c = greedy_coloring(g, ColoringOrder::kBfs);
+  EXPECT_TRUE(coloring_is_valid(g, c));
+  EXPECT_GE(c.num_colors, 4);  // contains 4-cliques
+  EXPECT_LE(c.num_colors, 5);
+}
+
+TEST(Coloring, FemMeshUsesFewColors) {
+  // The paper reports 6 colors for its irregular FEM problem with BFS
+  // traversal; our perturbed triangulations are similar.
+  auto mesh = sparse::make_perturbed_grid_mesh(21, 21, 0.25, 7);
+  auto a = sparse::assemble_p1_poisson(mesh);
+  auto g = Graph::from_matrix_structure(a);
+  auto c = greedy_coloring(g, ColoringOrder::kBfs);
+  EXPECT_TRUE(coloring_is_valid(g, c));
+  EXPECT_GE(c.num_colors, 3);
+  EXPECT_LE(c.num_colors, 8);
+}
+
+TEST(Coloring, AllOrdersProduceValidColorings) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_9pt(6, 7));
+  for (auto order : {ColoringOrder::kBfs, ColoringOrder::kNatural,
+                     ColoringOrder::kLargestFirst}) {
+    auto c = greedy_coloring(g, order);
+    EXPECT_TRUE(coloring_is_valid(g, c));
+    EXPECT_LE(c.num_colors, g.max_degree() + 1);  // greedy bound
+  }
+}
+
+TEST(Coloring, GroupsPartitionTheVertices) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(5, 5));
+  auto c = greedy_coloring(g);
+  auto groups = c.groups();
+  ASSERT_EQ(static_cast<index_t>(groups.size()), c.num_colors);
+  index_t total = 0;
+  for (const auto& grp : groups) {
+    total += static_cast<index_t>(grp.size());
+    for (index_t v : grp) {
+      EXPECT_EQ(c.color[static_cast<std::size_t>(v)],
+                &grp - groups.data());
+    }
+  }
+  EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Coloring, DisconnectedGraphHandled) {
+  std::vector<std::pair<index_t, index_t>> edges{{0, 1}, {3, 4}};
+  auto g = Graph::from_edges(6, edges);
+  auto c = greedy_coloring(g, ColoringOrder::kBfs);
+  EXPECT_TRUE(coloring_is_valid(g, c));
+  EXPECT_EQ(c.num_colors, 2);
+}
+
+TEST(ColoringValidation, DetectsConflicts) {
+  auto g = Graph::from_edges(2, std::vector<std::pair<index_t, index_t>>{
+                                    {0, 1}});
+  Coloring bad;
+  bad.color = {0, 0};
+  bad.num_colors = 1;
+  EXPECT_FALSE(coloring_is_valid(g, bad));
+  Coloring wrong_size;
+  wrong_size.color = {0};
+  wrong_size.num_colors = 1;
+  EXPECT_FALSE(coloring_is_valid(g, wrong_size));
+}
+
+}  // namespace
+}  // namespace dsouth::graph

@@ -1,0 +1,126 @@
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/proxy_suite.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::graph {
+namespace {
+
+TEST(Partition, ContiguousBlocksAreBalanced) {
+  auto p = partition_contiguous_blocks(10, 3);
+  EXPECT_TRUE(p.is_valid(10));
+  auto sizes = p.part_sizes();
+  ASSERT_EQ(sizes.size(), 3u);
+  for (index_t s : sizes) {
+    EXPECT_GE(s, 3);
+    EXPECT_LE(s, 4);
+  }
+  // Blocks are contiguous and ordered.
+  for (index_t i = 1; i < 10; ++i) {
+    EXPECT_GE(p.part[static_cast<std::size_t>(i)],
+              p.part[static_cast<std::size_t>(i - 1)]);
+  }
+}
+
+TEST(Partition, SinglePartAndOnePerVertex) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(4, 4));
+  auto one = partition_recursive_bisection(g, 1);
+  EXPECT_TRUE(one.is_valid(16));
+  for (index_t v : one.part) EXPECT_EQ(v, 0);
+
+  auto scalar = partition_recursive_bisection(g, 16);
+  EXPECT_TRUE(scalar.is_valid(16));
+  auto sizes = scalar.part_sizes();
+  for (index_t s : sizes) EXPECT_EQ(s, 1);
+}
+
+TEST(Partition, InvalidKThrows) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(3, 3));
+  EXPECT_THROW(partition_recursive_bisection(g, 0), util::CheckError);
+  EXPECT_THROW(partition_recursive_bisection(g, 10), util::CheckError);
+}
+
+class BisectionQuality
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(BisectionQuality, BalancedWithReasonableCut) {
+  const auto [dim, k] = GetParam();
+  auto a = sparse::poisson2d_5pt(dim, dim);
+  auto g = Graph::from_matrix_structure(a);
+  auto p = partition_recursive_bisection(g, k);
+  ASSERT_TRUE(p.is_valid(g.num_vertices()));
+  auto q = evaluate_partition(g, p);
+  EXPECT_EQ(q.empty_parts, 0);
+  EXPECT_LE(q.imbalance, 1.25);
+  // A k-way partition of a dim×dim grid should have cut O(dim·√k); allow a
+  // generous constant, but far below the total edge count.
+  const double cut_bound = 4.0 * static_cast<double>(dim) *
+                           std::sqrt(static_cast<double>(k));
+  EXPECT_LE(static_cast<double>(q.edge_cut), cut_bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, BisectionQuality,
+    ::testing::Values(std::make_tuple<index_t, index_t>(16, 2),
+                      std::make_tuple<index_t, index_t>(16, 4),
+                      std::make_tuple<index_t, index_t>(24, 8),
+                      std::make_tuple<index_t, index_t>(32, 16),
+                      std::make_tuple<index_t, index_t>(32, 7),
+                      std::make_tuple<index_t, index_t>(24, 3)));
+
+TEST(Partition, RefinementImprovesOverGreedyGrowing) {
+  auto a = sparse::poisson2d_5pt(24, 24);
+  auto g = Graph::from_matrix_structure(a);
+  auto refined = partition_recursive_bisection(g, 8);
+  auto greedy = partition_greedy_growing(g, 8);
+  ASSERT_TRUE(greedy.is_valid(g.num_vertices()));
+  auto qr = evaluate_partition(g, refined);
+  auto qg = evaluate_partition(g, greedy);
+  // Not a strict theorem, but holds comfortably on grids.
+  EXPECT_LE(qr.edge_cut, qg.edge_cut + 10);
+}
+
+TEST(Partition, WorksOnFemAndJumpMatrices) {
+  auto proxy = sparse::make_proxy("msdoorp", 0.02);
+  auto g = Graph::from_matrix_structure(proxy.a);
+  auto p = partition_recursive_bisection(g, 12);
+  auto q = evaluate_partition(g, p);
+  EXPECT_EQ(q.empty_parts, 0);
+  EXPECT_LE(q.imbalance, 1.3);
+}
+
+TEST(Partition, DeterministicForFixedOptions) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(16, 16));
+  auto p1 = partition_recursive_bisection(g, 8);
+  auto p2 = partition_recursive_bisection(g, 8);
+  EXPECT_EQ(p1.part, p2.part);
+}
+
+TEST(Partition, GreedyGrowingCoversDisconnected) {
+  std::vector<std::pair<index_t, index_t>> edges{{0, 1}, {2, 3}, {4, 5}};
+  auto g = Graph::from_edges(6, edges);
+  auto p = partition_greedy_growing(g, 2);
+  EXPECT_TRUE(p.is_valid(6));
+  auto q = evaluate_partition(g, p);
+  EXPECT_EQ(q.empty_parts, 0);
+}
+
+TEST(Partition, EvaluateCountsCutEdges) {
+  // Path 0-1-2-3 split in the middle: cut = 1.
+  std::vector<std::pair<index_t, index_t>> edges{{0, 1}, {1, 2}, {2, 3}};
+  auto g = Graph::from_edges(4, edges);
+  Partition p;
+  p.num_parts = 2;
+  p.part = {0, 0, 1, 1};
+  auto q = evaluate_partition(g, p);
+  EXPECT_EQ(q.edge_cut, 1);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+}
+
+}  // namespace
+}  // namespace dsouth::graph

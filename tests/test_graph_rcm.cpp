@@ -1,0 +1,94 @@
+#include "graph/rcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::graph {
+namespace {
+
+TEST(Rcm, OrderIsAPermutation) {
+  auto g = Graph::from_matrix_structure(sparse::poisson2d_5pt(7, 6));
+  auto perm = rcm_order(g);
+  ASSERT_EQ(perm.size(), 42u);
+  auto sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 42; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rcm, ReducesBandwidthOfShuffledPoisson) {
+  // Shuffle a Poisson matrix to destroy its natural banding, then check
+  // RCM restores a bandwidth close to the grid dimension.
+  auto a = sparse::poisson2d_5pt(12, 12);
+  util::Rng rng(3);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i) {
+    shuffle[static_cast<std::size_t>(i)] = i;
+  }
+  rng.shuffle(std::span<index_t>(shuffle));
+  auto shuffled = permute_symmetric(a, shuffle);
+  const index_t bw_shuffled = bandwidth(shuffled);
+
+  auto g = Graph::from_matrix_structure(shuffled);
+  auto perm = rcm_order(g);
+  auto ordered = permute_symmetric(shuffled, perm);
+  const index_t bw_rcm = bandwidth(ordered);
+  EXPECT_LT(bw_rcm, bw_shuffled / 2);
+  EXPECT_LE(bw_rcm, 30);  // grid dim 12 -> RCM bandwidth ~O(12)
+}
+
+TEST(Rcm, PermuteSymmetricPreservesValues) {
+  auto a = sparse::poisson2d_9pt(4, 4);
+  auto g = Graph::from_matrix_structure(a);
+  auto perm = rcm_order(g);
+  auto b = permute_symmetric(a, perm);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_TRUE(b.is_symmetric(1e-14));
+  for (index_t ni = 0; ni < b.rows(); ++ni) {
+    for (index_t nj : b.row_cols(ni)) {
+      EXPECT_DOUBLE_EQ(
+          b.at(ni, nj),
+          a.at(perm[static_cast<std::size_t>(ni)],
+               perm[static_cast<std::size_t>(nj)]));
+    }
+  }
+}
+
+TEST(Rcm, InvertPermutationRoundTrip) {
+  std::vector<index_t> perm{2, 0, 3, 1};
+  auto inv = invert_permutation(perm);
+  EXPECT_EQ(inv[2], 0);
+  EXPECT_EQ(inv[0], 1);
+  EXPECT_EQ(inv[3], 2);
+  EXPECT_EQ(inv[1], 3);
+  auto back = invert_permutation(inv);
+  EXPECT_EQ(back, perm);
+}
+
+TEST(Rcm, InvertRejectsNonPermutations) {
+  EXPECT_THROW(invert_permutation({0, 0}), util::CheckError);
+  EXPECT_THROW(invert_permutation({0, 5}), util::CheckError);
+}
+
+TEST(Rcm, DisconnectedGraphCoversAllVertices) {
+  std::vector<std::pair<index_t, index_t>> edges{{0, 1}, {2, 3}};
+  auto g = Graph::from_edges(5, edges);
+  auto perm = rcm_order(g);
+  auto sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Rcm, BandwidthOfDiagonalIsZero) {
+  sparse::CsrMatrix d(3, 3, {0, 1, 2, 3}, {0, 1, 2}, {1.0, 1.0, 1.0});
+  EXPECT_EQ(bandwidth(d), 0);
+}
+
+}  // namespace
+}  // namespace dsouth::graph

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "krylov/cg.hpp"
+#include "krylov/preconditioner.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/fem.hpp"
+#include "sparse/mesh.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::krylov {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x;
+};
+
+Problem poisson_problem(index_t nx, index_t ny, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::poisson2d_5pt(nx, ny);
+  p.b.resize(static_cast<std::size_t>(p.a.rows()));
+  p.x.assign(p.b.size(), 0.0);
+  util::Rng rng(seed);
+  rng.fill_uniform(p.b, -1.0, 1.0);
+  return p;
+}
+
+double true_relative_residual(const Problem& p) {
+  std::vector<value_t> r(p.b.size());
+  p.a.residual(p.b, p.x, r);
+  return sparse::norm2(r) / sparse::norm2(p.b);
+}
+
+TEST(Cg, SolvesSmallSystemExactlyInNSteps) {
+  // CG converges in at most n iterations in exact arithmetic.
+  auto p = poisson_problem(4, 4, 1);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-12;
+  auto result = run_pcg(p.a, p.b, p.x, nullptr, opt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 16);
+  EXPECT_LT(true_relative_residual(p), 1e-11);
+}
+
+TEST(Cg, MatchesDirectSolve) {
+  auto p = poisson_problem(7, 6, 2);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-12;
+  run_pcg(p.a, p.b, p.x, nullptr, opt);
+  sparse::DenseCholesky chol(p.a);
+  std::vector<value_t> x_direct(p.b.size());
+  chol.solve(p.b, x_direct);
+  for (std::size_t i = 0; i < p.x.size(); ++i) {
+    EXPECT_NEAR(p.x[i], x_direct[i], 1e-9);
+  }
+}
+
+TEST(Cg, ResidualHistoryEndsBelowTolerance) {
+  auto p = poisson_problem(12, 12, 3);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-9;
+  auto result = run_pcg(p.a, p.b, p.x, nullptr, opt);
+  ASSERT_TRUE(result.converged);
+  ASSERT_EQ(result.residual_history.size(),
+            static_cast<std::size_t>(result.iterations) + 1);
+  EXPECT_LE(result.residual_history.back(),
+            1e-9 * result.residual_history.front());
+}
+
+TEST(Cg, IterationCapReportsNotConverged) {
+  auto p = poisson_problem(20, 20, 4);
+  CgOptions opt;
+  opt.max_iterations = 3;
+  opt.rel_tolerance = 1e-14;
+  auto result = run_pcg(p.a, p.b, p.x, nullptr, opt);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  auto p = poisson_problem(5, 5, 5);
+  std::fill(p.b.begin(), p.b.end(), 0.0);
+  auto result = run_pcg(p.a, p.b, p.x);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(Cg, IndefiniteMatrixThrows) {
+  // [[1, 2], [2, 1]] has a negative eigenvalue: CG must detect pᵀAp <= 0.
+  CsrMatrix indef(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1.0, 2.0, 2.0, 1.0});
+  std::vector<value_t> b{1.0, -1.0}, x{0.0, 0.0};
+  EXPECT_THROW(run_pcg(indef, b, x), util::CheckError);
+}
+
+TEST(Preconditioners, JacobiReducesIterationsOnScaledProblem) {
+  // On a badly diagonally-scaled system, Jacobi preconditioning recovers
+  // the well-scaled iteration count.
+  auto base = sparse::poisson2d_5pt(14, 14);
+  // Scale rows/cols badly: D^(1/2) A D^(1/2) with wildly varying D.
+  util::Rng rng(6);
+  std::vector<value_t> s(static_cast<std::size_t>(base.rows()));
+  for (auto& v : s) v = std::pow(10.0, rng.uniform(-1.0, 1.0));
+  CsrMatrix bad = base;
+  {
+    auto vals = bad.mutable_values();
+    auto rp = bad.row_ptr();
+    auto ci = bad.col_idx();
+    for (index_t i = 0; i < bad.rows(); ++i) {
+      for (index_t k = rp[i]; k < rp[i + 1]; ++k) {
+        vals[k] *= s[static_cast<std::size_t>(i)] *
+                   s[static_cast<std::size_t>(ci[k])];
+      }
+    }
+  }
+  std::vector<value_t> b(s.size());
+  rng.fill_uniform(b, -1.0, 1.0);
+  std::vector<value_t> x_plain(b.size(), 0.0), x_pc(b.size(), 0.0);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-8;
+  opt.max_iterations = 5000;
+  auto plain = run_pcg(bad, b, x_plain, nullptr, opt);
+  auto jacobi = make_jacobi_preconditioner(bad);
+  auto pc = run_pcg(bad, b, x_pc, jacobi.get(), opt);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pc.converged);
+  EXPECT_LT(pc.iterations, plain.iterations);
+}
+
+TEST(Preconditioners, SymmetricGsBeatsJacobiOnPoisson) {
+  auto p = poisson_problem(20, 20, 7);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-8;
+  std::vector<value_t> x_j(p.b.size(), 0.0), x_gs(p.b.size(), 0.0);
+  auto jacobi = make_jacobi_preconditioner(p.a);
+  auto ssor = make_symmetric_gs_preconditioner(p.a);
+  auto rj = run_pcg(p.a, p.b, x_j, jacobi.get(), opt);
+  auto rg = run_pcg(p.a, p.b, x_gs, ssor.get(), opt);
+  ASSERT_TRUE(rj.converged);
+  ASSERT_TRUE(rg.converged);
+  EXPECT_LT(rg.iterations, rj.iterations);
+}
+
+TEST(Preconditioners, IdentityEqualsPlainCg) {
+  auto p1 = poisson_problem(10, 10, 8);
+  auto p2 = p1;
+  auto ident = make_identity_preconditioner();
+  CgOptions opt;
+  opt.rel_tolerance = 1e-8;
+  auto a1 = run_pcg(p1.a, p1.b, p1.x, nullptr, opt);
+  auto a2 = run_pcg(p2.a, p2.b, p2.x, ident.get(), opt);
+  EXPECT_EQ(a1.iterations, a2.iterations);
+  for (std::size_t i = 0; i < p1.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(p1.x[i], p2.x[i]);
+  }
+}
+
+class DistPrecondSweep
+    : public ::testing::TestWithParam<dist::DistMethod> {};
+
+TEST_P(DistPrecondSweep, AcceleratesFlexibleCg) {
+  auto a = sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(16, 16))
+               .a;
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()));
+  util::Rng rng(9);
+  rng.fill_uniform(b, -1.0, 1.0);
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(g, 16);
+
+  CgOptions opt;
+  opt.rel_tolerance = 1e-8;
+  opt.max_iterations = 2000;
+  std::vector<value_t> x_plain(b.size(), 0.0), x_pc(b.size(), 0.0);
+  auto plain = run_pcg(a, b, x_plain, nullptr, opt);
+
+  DistPreconditionerOptions popt;
+  popt.method = GetParam();
+  // Southwell-style preconditioners need enough parallel steps that most
+  // subdomains relax at least once per application; with too few steps
+  // the operator is nearly identity-but-variable and *hurts* CG (a
+  // finding pinned by UndersteppedSouthwellPreconditionerHurts below).
+  popt.steps = 16;
+  auto precond = make_distributed_preconditioner(a, part, popt);
+  auto pc = run_pcg(a, b, x_pc, precond.get(), opt);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pc.converged) << precond->name();
+  EXPECT_LT(pc.iterations, plain.iterations) << precond->name();
+  // The distributed preconditioner reports its communication.
+  EXPECT_GT(precond->comm_cost(), 0.0);
+  // The solution is right.
+  std::vector<value_t> r(b.size());
+  a.residual(b, x_pc, r);
+  EXPECT_LE(sparse::norm2(r), 1e-7 * sparse::norm2(b));
+}
+
+TEST(Preconditioners, UndersteppedSouthwellPreconditionerHurts) {
+  auto a = sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(16, 16))
+               .a;
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()));
+  util::Rng rng(10);
+  rng.fill_uniform(b, -1.0, 1.0);
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(g, 16);
+  CgOptions opt;
+  opt.rel_tolerance = 1e-8;
+  opt.max_iterations = 2000;
+  std::vector<value_t> x_plain(b.size(), 0.0), x_pc(b.size(), 0.0);
+  auto plain = run_pcg(a, b, x_plain, nullptr, opt);
+  DistPreconditionerOptions popt;
+  popt.method = dist::DistMethod::kParallelSouthwell;
+  popt.steps = 3;  // far too few for 16 subdomains
+  auto precond = make_distributed_preconditioner(a, part, popt);
+  auto pc = run_pcg(a, b, x_pc, precond.get(), opt);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(pc.converged);
+  EXPECT_GT(pc.iterations, plain.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, DistPrecondSweep,
+    ::testing::Values(dist::DistMethod::kBlockJacobi,
+                      dist::DistMethod::kParallelSouthwell,
+                      dist::DistMethod::kDistributedSouthwell),
+    [](const auto& info) {
+      return std::string(dist::method_name(info.param));
+    });
+
+}  // namespace
+}  // namespace dsouth::krylov

@@ -1,0 +1,112 @@
+#include "multigrid/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::multigrid {
+namespace {
+
+TEST(Transfer, CoarseDimHalves) {
+  EXPECT_EQ(coarse_dim(3), 1);
+  EXPECT_EQ(coarse_dim(7), 3);
+  EXPECT_EQ(coarse_dim(255), 127);
+  EXPECT_THROW(coarse_dim(4), util::CheckError);
+  EXPECT_THROW(coarse_dim(1), util::CheckError);
+}
+
+TEST(Transfer, RestrictionOfConstantIsNearConstant) {
+  // Full weighting of an interior constant returns the constant; near the
+  // Dirichlet boundary the value is damped (zero outside).
+  const index_t nf = 7, nc = 3;
+  std::vector<value_t> fine(static_cast<std::size_t>(nf * nf), 1.0);
+  std::vector<value_t> coarse(static_cast<std::size_t>(nc * nc), 0.0);
+  restrict_full_weighting(nf, fine, coarse);
+  // Center coarse point (1,1) maps to fine (3,3): full interior stencil.
+  EXPECT_NEAR(coarse[4], 1.0, 1e-14);
+  // Corner coarse point (0,0) -> fine (1,1): all 9 points inside too.
+  EXPECT_NEAR(coarse[0], 1.0, 1e-14);
+}
+
+TEST(Transfer, RestrictionWeightsMatchTheStencil) {
+  const index_t nf = 7, nc = 3;
+  // A delta at a coarse-aligned fine point (3,3) feeds only coarse (1,1),
+  // with the center weight 4/16.
+  std::vector<value_t> fine(static_cast<std::size_t>(nf * nf), 0.0);
+  std::vector<value_t> coarse(static_cast<std::size_t>(nc * nc), 0.0);
+  fine[3 * 7 + 3] = 16.0;
+  restrict_full_weighting(nf, fine, coarse);
+  EXPECT_NEAR(coarse[4], 4.0, 1e-14);
+  EXPECT_NEAR(coarse[0], 0.0, 1e-14);
+  EXPECT_NEAR(coarse[1], 0.0, 1e-14);
+  // A delta at the cell-center fine point (2,2) is a corner (weight 1/16)
+  // of all four surrounding coarse stencils.
+  std::fill(fine.begin(), fine.end(), 0.0);
+  fine[2 * 7 + 2] = 16.0;
+  restrict_full_weighting(nf, fine, coarse);
+  EXPECT_NEAR(coarse[0], 1.0, 1e-14);
+  EXPECT_NEAR(coarse[1], 1.0, 1e-14);
+  EXPECT_NEAR(coarse[3], 1.0, 1e-14);
+  EXPECT_NEAR(coarse[4], 1.0, 1e-14);
+  EXPECT_NEAR(coarse[8], 0.0, 1e-14);
+  // A delta at an edge-midpoint fine point (2,3) is an edge neighbor
+  // (weight 2/16) of the two horizontally adjacent coarse stencils.
+  std::fill(fine.begin(), fine.end(), 0.0);
+  fine[3 * 7 + 2] = 16.0;
+  restrict_full_weighting(nf, fine, coarse);
+  EXPECT_NEAR(coarse[3], 2.0, 1e-14);
+  EXPECT_NEAR(coarse[4], 2.0, 1e-14);
+  EXPECT_NEAR(coarse[0], 0.0, 1e-14);
+}
+
+TEST(Transfer, ProlongationOfConstantIsConstantInside) {
+  const index_t nf = 7, nc = 3;
+  std::vector<value_t> coarse(static_cast<std::size_t>(nc * nc), 1.0);
+  std::vector<value_t> fine(static_cast<std::size_t>(nf * nf), 0.0);
+  prolong_bilinear_add(nf, coarse, fine);
+  // Fine point aligned with a coarse point: exactly 1.
+  EXPECT_NEAR(fine[3 * 7 + 3], 1.0, 1e-14);
+  // Fine point between two coarse points horizontally: average = 1.
+  EXPECT_NEAR(fine[3 * 7 + 2], 1.0, 1e-14);
+  // Fine boundary-adjacent point: half-weight (zero Dirichlet outside).
+  EXPECT_NEAR(fine[3 * 7 + 0], 0.5, 1e-14);
+  // Fine cell-center point: average of 4 coarse = 1.
+  EXPECT_NEAR(fine[2 * 7 + 2], 1.0, 1e-14);
+}
+
+TEST(Transfer, ProlongationAccumulates) {
+  const index_t nf = 3;
+  std::vector<value_t> coarse{2.0};
+  std::vector<value_t> fine(9, 10.0);
+  prolong_bilinear_add(nf, coarse, fine);
+  EXPECT_NEAR(fine[4], 12.0, 1e-14);  // center += 2
+}
+
+TEST(Transfer, VariationalScaling) {
+  // For these stencils, P = 4·Rᵀ: check ⟨P c, f⟩ == 4·⟨c, R f⟩ for random
+  // vectors (the classical variational pair on 2-D grids).
+  const index_t nf = 15, nc = 7;
+  util::Rng rng(9);
+  std::vector<value_t> f(static_cast<std::size_t>(nf * nf));
+  std::vector<value_t> c(static_cast<std::size_t>(nc * nc));
+  rng.fill_uniform(f, -1.0, 1.0);
+  rng.fill_uniform(c, -1.0, 1.0);
+  std::vector<value_t> pc(f.size(), 0.0);
+  prolong_bilinear_add(nf, c, pc);
+  std::vector<value_t> rf(c.size(), 0.0);
+  restrict_full_weighting(nf, f, rf);
+  EXPECT_NEAR(sparse::dot(pc, f), 4.0 * sparse::dot(c, rf), 1e-10);
+}
+
+TEST(Transfer, SizeValidation) {
+  std::vector<value_t> wrong(5, 0.0), coarse(9, 0.0);
+  EXPECT_THROW(restrict_full_weighting(7, wrong, coarse), util::CheckError);
+  EXPECT_THROW(prolong_bilinear_add(7, coarse, wrong), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsouth::multigrid

@@ -1,0 +1,266 @@
+#include "multigrid/vcycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::multigrid {
+namespace {
+
+std::vector<value_t> random_rhs(index_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<value_t> b(static_cast<std::size_t>(n * n));
+  rng.fill_uniform(b, -1.0, 1.0);
+  return b;
+}
+
+TEST(Hierarchy, LevelsHalveDownToThree) {
+  MultigridHierarchy mg(31);
+  EXPECT_EQ(mg.num_levels(), 4);
+  EXPECT_EQ(mg.level_dim(0), 31);
+  EXPECT_EQ(mg.level_dim(1), 15);
+  EXPECT_EQ(mg.level_dim(2), 7);
+  EXPECT_EQ(mg.level_dim(3), 3);
+  EXPECT_EQ(mg.level_matrix(3).rows(), 9);
+}
+
+TEST(Hierarchy, RejectsBadDimensions) {
+  EXPECT_THROW(MultigridHierarchy(4), util::CheckError);
+  // 9 -> 4 is even; the sequence does not reach 3.
+  EXPECT_THROW(MultigridHierarchy(9), util::CheckError);
+}
+
+TEST(Hierarchy, CoarsestIsDirectSolve) {
+  MultigridHierarchy mg(3);
+  EXPECT_EQ(mg.num_levels(), 1);
+  auto b = random_rhs(3, 1);
+  std::vector<value_t> x(9, 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  const double rel = mg.solve_relative_residual(b, x, *smoother, 1);
+  EXPECT_LT(rel, 1e-12);  // single exact solve
+}
+
+TEST(VCycle, GsSmoothedCycleContractsStrongly) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 2);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  const auto& a = mg.level_matrix(0);
+  std::vector<value_t> r(b.size());
+  a.residual(b, x, r);
+  double prev = sparse::norm2(r);
+  for (int c = 0; c < 3; ++c) {
+    mg.vcycle(b, x, *smoother);
+    a.residual(b, x, r);
+    const double now = sparse::norm2(r);
+    EXPECT_LT(now, 0.2 * prev);  // classical V(1,1) factor ~0.1
+    prev = now;
+  }
+}
+
+TEST(VCycle, NineCyclesReachDeepResidual) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 3);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  const double rel = mg.solve_relative_residual(b, x, *smoother, 9);
+  EXPECT_LT(rel, 1e-7);  // the Figure-6 regime
+}
+
+TEST(VCycle, GridSizeIndependentConvergence) {
+  // The Figure 6 property: relative residual after 9 V-cycles does not
+  // degrade with grid size.
+  auto smoother = make_gauss_seidel_smoother();
+  double rel15 = 0, rel63 = 0;
+  {
+    MultigridHierarchy mg(15);
+    auto b = random_rhs(15, 4);
+    std::vector<value_t> x(b.size(), 0.0);
+    rel15 = mg.solve_relative_residual(b, x, *smoother, 9);
+  }
+  {
+    MultigridHierarchy mg(63);
+    auto b = random_rhs(63, 5);
+    std::vector<value_t> x(b.size(), 0.0);
+    rel63 = mg.solve_relative_residual(b, x, *smoother, 9);
+  }
+  EXPECT_LT(rel63, rel15 * 100.0);  // same order of magnitude
+  EXPECT_LT(rel63, 1e-6);
+}
+
+TEST(VCycle, DistSouthwellSmootherAlsoContracts) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 6);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_distributed_southwell_smoother(1.0);
+  const double rel = mg.solve_relative_residual(b, x, *smoother, 9);
+  EXPECT_LT(rel, 1e-7);
+}
+
+TEST(VCycle, HalfSweepDistSouthwellStillConverges) {
+  // §4.1: even a 1/2 sweep of Distributed Southwell gives
+  // grid-independent convergence.
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 7);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_distributed_southwell_smoother(0.5);
+  const double rel = mg.solve_relative_residual(b, x, *smoother, 9);
+  EXPECT_LT(rel, 1e-4);
+}
+
+TEST(VCycle, JacobiSmootherWorksDamped) {
+  MultigridHierarchy mg(15);
+  auto b = random_rhs(15, 8);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_jacobi_smoother(2.0 / 3.0);
+  const double rel = mg.solve_relative_residual(b, x, *smoother, 9);
+  // Damped Jacobi V(1,1) contracts ≈ 0.35/cycle — much weaker than GS but
+  // still multigrid-convergent.
+  EXPECT_LT(rel, 1e-3);
+}
+
+TEST(Smoothers, GaussSeidelReducesResidualStandalone) {
+  auto a = sparse::poisson2d_5pt(9, 9);
+  util::Rng rng(9);
+  std::vector<value_t> b(81), x(81, 0.0), r(81);
+  rng.fill_uniform(b, -1.0, 1.0);
+  auto smoother = make_gauss_seidel_smoother(2);
+  a.residual(b, x, r);
+  const double r0 = sparse::norm2(r);
+  smoother->smooth(a, b, x);
+  a.residual(b, x, r);
+  EXPECT_LT(sparse::norm2(r), r0);
+}
+
+TEST(Smoothers, DistSouthwellBudgetIsExactPerApplication) {
+  // One application of the "1 sweep" smoother relaxes exactly n rows.
+  auto a = sparse::poisson2d_5pt(7, 7);
+  util::Rng rng(10);
+  std::vector<value_t> b(49), x(49, 0.0);
+  rng.fill_uniform(b, -1.0, 1.0);
+  auto smoother = make_distributed_southwell_smoother(1.0);
+  std::vector<value_t> r(49);
+  a.residual(b, x, r);
+  const double r0 = sparse::norm2(r);
+  smoother->smooth(a, b, x);
+  a.residual(b, x, r);
+  EXPECT_LT(sparse::norm2(r), r0);
+}
+
+
+TEST(MuCycle, WCycleAtLeastAsGoodAsVCycle) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 11);
+  std::vector<value_t> xv(b.size(), 0.0), xw(b.size(), 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  MultigridHierarchy::CycleOptions v;  // defaults: V(1,1)
+  MultigridHierarchy::CycleOptions w;
+  w.mu = 2;
+  const auto& a = mg.level_matrix(0);
+  std::vector<value_t> r(b.size());
+  for (int c = 0; c < 4; ++c) {
+    mg.cycle(b, xv, *smoother, v);
+    mg.cycle(b, xw, *smoother, w);
+  }
+  a.residual(b, xv, r);
+  const double rv = sparse::norm2(r);
+  a.residual(b, xw, r);
+  const double rw = sparse::norm2(r);
+  EXPECT_LE(rw, rv * 1.5);  // W never much worse; usually better
+  EXPECT_LT(rw, 1e-3 * sparse::norm2(b));  // strong relative reduction
+}
+
+TEST(MuCycle, MoreSmoothingStepsContractFaster) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 12);
+  std::vector<value_t> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  MultigridHierarchy::CycleOptions one;
+  MultigridHierarchy::CycleOptions two;
+  two.pre = 2;
+  two.post = 2;
+  const auto& a = mg.level_matrix(0);
+  std::vector<value_t> r(b.size());
+  mg.cycle(b, x1, *smoother, one);
+  mg.cycle(b, x2, *smoother, two);
+  a.residual(b, x1, r);
+  const double r1 = sparse::norm2(r);
+  a.residual(b, x2, r);
+  const double r2 = sparse::norm2(r);
+  EXPECT_LT(r2, r1);
+}
+
+TEST(MuCycle, InvalidOptionsThrow) {
+  MultigridHierarchy mg(7);
+  auto b = random_rhs(7, 13);
+  std::vector<value_t> x(b.size(), 0.0);
+  auto smoother = make_gauss_seidel_smoother();
+  MultigridHierarchy::CycleOptions bad;
+  bad.pre = 0;
+  bad.post = 0;
+  EXPECT_THROW(mg.cycle(b, x, *smoother, bad), util::CheckError);
+  bad = {};
+  bad.mu = 9;
+  EXPECT_THROW(mg.cycle(b, x, *smoother, bad), util::CheckError);
+}
+
+
+TEST(Chebyshev, SmootherReducesResidualStandalone) {
+  auto a = sparse::poisson2d_5pt(15, 15);
+  util::Rng rng(14);
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()));
+  rng.fill_uniform(b, -1.0, 1.0);
+  std::vector<value_t> x(b.size(), 0.0), r(b.size());
+  auto smoother = make_chebyshev_smoother(4);
+  a.residual(b, x, r);
+  const double r0 = sparse::norm2(r);
+  smoother->smooth(a, b, x);
+  a.residual(b, x, r);
+  EXPECT_LT(sparse::norm2(r), r0);
+}
+
+TEST(Chebyshev, MultigridConvergesGridIndependently) {
+  // Chebyshev(3) V(1,1) is a classical massively-parallel smoother; the
+  // multigrid rate must be grid-independent like GS's.
+  auto smoother = make_chebyshev_smoother(3);
+  double rel31 = 0.0, rel127 = 0.0;
+  {
+    MultigridHierarchy mg(31);
+    auto b = random_rhs(31, 15);
+    std::vector<value_t> x(b.size(), 0.0);
+    rel31 = mg.solve_relative_residual(b, x, *smoother, 9);
+  }
+  {
+    MultigridHierarchy mg(127);
+    auto b = random_rhs(127, 16);
+    std::vector<value_t> x(b.size(), 0.0);
+    rel127 = mg.solve_relative_residual(b, x, *smoother, 9);
+  }
+  // Chebyshev(3) contracts ≈ 0.3/cycle here (weaker than GS, stronger
+  // than damped Jacobi) — the property under test is grid independence.
+  EXPECT_LT(rel31, 1e-4);
+  EXPECT_LT(rel127, 100.0 * rel31);  // same order: grid independence
+}
+
+TEST(Chebyshev, HigherDegreeSmoothsHarder) {
+  MultigridHierarchy mg(31);
+  auto b = random_rhs(31, 17);
+  std::vector<value_t> x1(b.size(), 0.0), x4(b.size(), 0.0);
+  auto deg1 = make_chebyshev_smoother(1);
+  auto deg4 = make_chebyshev_smoother(4);
+  const double r1 = mg.solve_relative_residual(b, x1, *deg1, 5);
+  const double r4 = mg.solve_relative_residual(b, x4, *deg4, 5);
+  EXPECT_LT(r4, r1);
+}
+
+TEST(Chebyshev, InvalidOptionsThrow) {
+  EXPECT_THROW(make_chebyshev_smoother(0), util::CheckError);
+  EXPECT_THROW(make_chebyshev_smoother(3, 0.5), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsouth::multigrid

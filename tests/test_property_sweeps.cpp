@@ -1,0 +1,191 @@
+/// Parameterized property sweeps: invariants that must hold across matrix
+/// families, partition sizes and seeds (TEST_P suites, as the project's
+/// testing guideline prescribes for property-style coverage).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/dist_southwell_scalar.hpp"
+#include "dist/driver.hpp"
+#include "graph/partition.hpp"
+#include "sparse/fem.hpp"
+#include "sparse/mesh.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+CsrMatrix family_matrix(const std::string& family) {
+  if (family == "poisson5") {
+    return sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(14, 14))
+        .a;
+  }
+  if (family == "poisson9") {
+    return sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_9pt(13, 13))
+        .a;
+  }
+  if (family == "poisson3d") {
+    return sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson3d_7pt(6, 6, 6))
+        .a;
+  }
+  if (family == "aniso") {
+    sparse::StencilOptions opt;
+    opt.eps_y = 0.05;
+    return sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(14, 14, opt))
+        .a;
+  }
+  if (family == "jump") {
+    sparse::StencilOptions opt;
+    opt.jump_contrast = 1e3;
+    opt.jump_block = 4;
+    return sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(14, 14, opt))
+        .a;
+  }
+  if (family == "fem") {
+    auto mesh = sparse::make_perturbed_grid_mesh(15, 15, 0.25, 9);
+    return sparse::symmetric_unit_diagonal_scale(
+               sparse::assemble_p1_poisson(mesh))
+        .a;
+  }
+  if (family == "elasticity") {
+    auto mesh = sparse::make_perturbed_grid_mesh(11, 11, 0.2, 9);
+    sparse::ElasticityOptions opt;
+    opt.poisson_ratio = 0.4;
+    return sparse::symmetric_unit_diagonal_scale(
+               sparse::assemble_p1_elasticity(mesh, opt))
+        .a;
+  }
+  ADD_FAILURE() << "unknown family " << family;
+  return CsrMatrix();
+}
+
+// ---------------------------------------------------------------------
+// Distributed-method invariants across (family, ranks).
+
+class DistInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, index_t>> {};
+
+TEST_P(DistInvariants, ResidualsExactAndCommAccounted) {
+  const auto& [family, ranks] = GetParam();
+  auto a = family_matrix(family);
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<value_t> x0(b.size());
+  util::Rng rng(31);
+  rng.fill_uniform(x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(a, b, x0);
+  auto g = graph::Graph::from_matrix_structure(a);
+  auto part = graph::partition_recursive_bisection(
+      g, std::min<index_t>(ranks, a.rows()));
+  dist::DistRunOptions opt;
+  opt.max_parallel_steps = 12;
+  for (auto method : {dist::DistMethod::kBlockJacobi,
+                      dist::DistMethod::kParallelSouthwell,
+                      dist::DistMethod::kDistributedSouthwell}) {
+    auto r = dist::run_distributed(method, a, part, b, x0, opt);
+    // Initial state normalized.
+    EXPECT_NEAR(r.residual_norm[0], 1.0, 1e-12);
+    // Cumulative series monotone; comm decomposes by tag.
+    for (std::size_t k = 1; k < r.comm_cost.size(); ++k) {
+      EXPECT_GE(r.comm_cost[k] + 1e-15, r.comm_cost[k - 1]);
+      EXPECT_NEAR(r.comm_cost[k], r.solve_comm[k] + r.res_comm[k], 1e-12);
+    }
+    // Active counts within [0, P].
+    for (index_t active : r.active_ranks) {
+      EXPECT_GE(active, 0);
+      EXPECT_LE(active, static_cast<index_t>(r.num_ranks));
+    }
+    // All these SPD problems converge under every method at these sizes.
+    EXPECT_LT(r.residual_norm.back(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndRanks, DistInvariants,
+    ::testing::Combine(::testing::Values("poisson5", "poisson9", "poisson3d",
+                                         "aniso", "jump", "fem",
+                                         "elasticity"),
+                       ::testing::Values<index_t>(4, 16, 49)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Scalar Distributed Southwell invariants across seeds.
+
+class DsScalarSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DsScalarSeeds, ConvergesWithBoundedCorrections) {
+  auto a = family_matrix("fem");
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()));
+  std::vector<value_t> x0(b.size(), 0.0);
+  util::Rng rng(GetParam());
+  rng.fill_uniform(b, -1.0, 1.0);
+  sparse::scale(1.0 / sparse::norm2(b), b);
+  core::DistSouthwellScalarOptions opt;
+  opt.base.max_sweeps = 4;
+  auto r = core::run_distributed_southwell_scalar(a, b, x0, opt);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_LT(r.history.final_residual_norm(), 0.5);
+  // Residual-update traffic exists but does not dominate solve traffic in
+  // the scalar form.
+  EXPECT_GT(r.solve_messages, 0u);
+  EXPECT_LT(r.residual_messages, 2 * r.solve_messages);
+  // Relaxations per step never exceed n.
+  for (index_t c : r.relaxed_per_step) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, a.rows());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsScalarSeeds,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u));
+
+// ---------------------------------------------------------------------
+// Partitioner invariants across (k, seed).
+
+class PartitionSweep
+    : public ::testing::TestWithParam<std::tuple<index_t, std::uint64_t>> {};
+
+TEST_P(PartitionSweep, ValidBalancedNoEmpty) {
+  const auto& [k, seed] = GetParam();
+  auto a = sparse::poisson2d_9pt(18, 18);
+  auto g = graph::Graph::from_matrix_structure(a);
+  graph::PartitionOptions opt;
+  opt.seed = seed;
+  auto p = graph::partition_recursive_bisection(g, k, opt);
+  ASSERT_TRUE(p.is_valid(g.num_vertices()));
+  auto q = graph::evaluate_partition(g, p);
+  EXPECT_EQ(q.empty_parts, 0);
+  // Every part within one of the slack band around ideal.
+  auto sizes = p.part_sizes();
+  const double ideal =
+      static_cast<double>(g.num_vertices()) / static_cast<double>(k);
+  for (index_t s : sizes) {
+    EXPECT_GE(static_cast<double>(s), ideal * 0.5 - 2.0);
+    EXPECT_LE(static_cast<double>(s), ideal * 1.6 + 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndSeed, PartitionSweep,
+    ::testing::Combine(::testing::Values<index_t>(2, 3, 8, 27, 81, 324),
+                       ::testing::Values<std::uint64_t>(1, 99)),
+    [](const auto& info) {
+      return "k" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace dsouth

@@ -1,0 +1,104 @@
+#include "sparse/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/mm_io.hpp"
+#include "sparse/proxy_suite.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+void expect_equal(const CsrMatrix& a, const CsrMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.nnz(), b.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    auto ca = a.row_cols(i);
+    auto cb = b.row_cols(i);
+    ASSERT_EQ(ca.size(), cb.size());
+    for (std::size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_EQ(ca[k], cb[k]);
+      EXPECT_DOUBLE_EQ(a.row_vals(i)[k], b.row_vals(i)[k]);
+    }
+  }
+}
+
+TEST(BinaryCsr, RoundTripStream) {
+  auto a = poisson2d_9pt(9, 7);
+  std::stringstream buf;
+  write_binary_csr(buf, a);
+  auto b = read_binary_csr(buf);
+  expect_equal(a, b);
+}
+
+TEST(BinaryCsr, RoundTripFile) {
+  auto a = make_proxy("msdoorp", 0.01).a;
+  const std::string path = ::testing::TempDir() + "/dsouth_csr.bin";
+  write_binary_csr_file(path, a);
+  auto b = read_binary_csr_file(path);
+  expect_equal(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCsr, EmptyMatrixRoundTrips) {
+  CsrMatrix a(0, 0, {0}, {}, {});
+  std::stringstream buf;
+  write_binary_csr(buf, a);
+  auto b = read_binary_csr(buf);
+  EXPECT_EQ(b.rows(), 0);
+  EXPECT_EQ(b.nnz(), 0);
+}
+
+TEST(BinaryCsr, BadMagicThrows) {
+  std::stringstream buf;
+  buf << "NOTACSR!garbagegarbage";
+  EXPECT_THROW(read_binary_csr(buf), util::CheckError);
+}
+
+TEST(BinaryCsr, TruncationThrows) {
+  auto a = poisson2d_5pt(4, 4);
+  std::stringstream buf;
+  write_binary_csr(buf, a);
+  std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_binary_csr(cut), util::CheckError);
+}
+
+TEST(BinaryCsr, CorruptIndicesDetected) {
+  auto a = poisson2d_5pt(3, 3);
+  std::stringstream buf;
+  write_binary_csr(buf, a);
+  std::string bytes = buf.str();
+  // Smash a column index deep in the payload to an out-of-range value.
+  const std::size_t col_region = 8 + 4 + 3 * 8 + 10 * 8 + 8;
+  std::int64_t bogus = 1 << 20;
+  std::memcpy(bytes.data() + col_region, &bogus, sizeof(bogus));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_binary_csr(corrupt), util::CheckError);
+}
+
+TEST(BinaryCsr, MissingFileThrows) {
+  EXPECT_THROW(read_binary_csr_file("/no/such/file.bin"), util::CheckError);
+}
+
+TEST(LoadMatrixAny, DispatchesByExtension) {
+  auto a = poisson2d_5pt(5, 5);
+  const std::string bin = ::testing::TempDir() + "/dsouth_any.bin";
+  const std::string mtx = ::testing::TempDir() + "/dsouth_any.mtx";
+  write_binary_csr_file(bin, a);
+  write_matrix_market_file(mtx, a, /*symmetric=*/true);
+  expect_equal(a, load_matrix_any(bin));
+  expect_equal(a, load_matrix_any(mtx));
+  std::remove(bin.c_str());
+  std::remove(mtx.c_str());
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+CsrMatrix small_example() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CooBuilder coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add_sym(0, 1, -1.0);
+  coo.add(1, 1, 2.0);
+  coo.add_sym(1, 2, -1.0);
+  coo.add(2, 2, 2.0);
+  return coo.to_csr();
+}
+
+TEST(CooBuilder, BoundsChecked) {
+  CooBuilder coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), util::CheckError);
+  EXPECT_THROW(coo.add(0, -1, 1.0), util::CheckError);
+}
+
+TEST(CooBuilder, DuplicatesAreSummed) {
+  CooBuilder coo(2, 2);
+  coo.add(0, 1, 1.5);
+  coo.add(0, 1, 2.5);
+  coo.add(1, 1, 1.0);
+  auto a = coo.to_csr();
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+}
+
+TEST(CooBuilder, DropZerosOnCancellation) {
+  CooBuilder coo(1, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, -1.0);
+  coo.add(0, 1, 3.0);
+  EXPECT_EQ(coo.to_csr(false).nnz(), 2);
+  EXPECT_EQ(coo.to_csr(true).nnz(), 1);
+}
+
+TEST(CsrMatrix, StructureAndAccessors) {
+  auto a = small_example();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(a.row_nnz(1), 3);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+  auto d = a.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 2.0);
+  EXPECT_TRUE(a.has_full_diagonal());
+}
+
+TEST(CsrMatrix, RowSpansAreSorted) {
+  auto a = small_example();
+  auto cols = a.row_cols(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 1);
+  EXPECT_EQ(cols[2], 2);
+}
+
+TEST(CsrMatrix, SpmvMatchesDense) {
+  auto a = poisson2d_5pt(4, 5);
+  auto d = DenseMatrix::from_csr(a);
+  std::vector<value_t> x(static_cast<std::size_t>(a.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.1 * static_cast<double>(i) - 0.7;
+  }
+  std::vector<value_t> ys(x.size()), yd(x.size());
+  a.spmv(x, ys);
+  d.matvec(x, yd);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(ys[i], yd[i], 1e-13);
+}
+
+TEST(CsrMatrix, SpmvAccAccumulates) {
+  auto a = small_example();
+  std::vector<value_t> x{1.0, 2.0, 3.0}, y{10.0, 10.0, 10.0};
+  a.spmv_acc(-1.0, x, y);
+  // A x = (0, 0, 4); y = 10 - Ax
+  EXPECT_DOUBLE_EQ(y[0], 10.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 6.0);
+}
+
+TEST(CsrMatrix, ResidualDefinition) {
+  auto a = small_example();
+  std::vector<value_t> x{1.0, 1.0, 1.0}, b{1.0, 0.0, 1.0}, r(3);
+  a.residual(b, x, r);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+  EXPECT_DOUBLE_EQ(r[2], 0.0);
+}
+
+TEST(CsrMatrix, TransposeRoundTrip) {
+  CooBuilder coo(3, 4);
+  coo.add(0, 3, 1.0);
+  coo.add(1, 0, 2.0);
+  coo.add(2, 2, 3.0);
+  coo.add(0, 1, 4.0);
+  auto a = coo.to_csr();
+  auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_TRUE(t.validate());
+  EXPECT_DOUBLE_EQ(t.at(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.at(0, 1), 2.0);
+  auto tt = t.transpose();
+  EXPECT_EQ(tt.nnz(), a.nnz());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(tt.at(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(CsrMatrix, SymmetryCheck) {
+  EXPECT_TRUE(small_example().is_symmetric(0.0));
+  CooBuilder coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 1, 0.5);
+  auto a = coo.to_csr();
+  EXPECT_FALSE(a.is_symmetric(0.0));
+  EXPECT_TRUE(a.is_symmetric(0.6));  // tolerance covers the asymmetry
+}
+
+TEST(CsrMatrix, ExtractSubmatrix) {
+  auto a = small_example();
+  // Keep rows {1, 2}, columns {1, 2} -> 2x2 trailing block.
+  std::vector<index_t> rows{1, 2};
+  std::vector<index_t> col_map{-1, 0, 1};
+  auto s = a.extract(rows, col_map, 2);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_TRUE(s.validate());
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 1), 2.0);
+}
+
+TEST(CsrMatrix, ExtractWithReorderingSortsRows) {
+  auto a = small_example();
+  // Reverse the ordering entirely.
+  std::vector<index_t> rows{2, 1, 0};
+  std::vector<index_t> col_map{2, 1, 0};
+  auto s = a.extract(rows, col_map, 3);
+  EXPECT_TRUE(s.validate());
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 2.0);   // old (2,2)
+  EXPECT_DOUBLE_EQ(s.at(0, 1), -1.0);  // old (2,1)
+  EXPECT_DOUBLE_EQ(s.at(2, 2), 2.0);   // old (0,0)
+}
+
+TEST(CsrMatrix, ConstructorValidatesShape) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), util::CheckError);
+  EXPECT_THROW(CsrMatrix(1, 1, {0, 2}, {0}, {1.0}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

@@ -1,0 +1,80 @@
+#include "sparse/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+TEST(DenseMatrix, FromCsrAndMatvec) {
+  auto a = poisson2d_5pt(3, 3);
+  auto d = DenseMatrix::from_csr(a);
+  EXPECT_EQ(d.rows(), 9);
+  EXPECT_DOUBLE_EQ(d(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(d(0, 8), 0.0);
+  std::vector<value_t> x(9, 1.0), yd(9), ys(9);
+  d.matvec(x, yd);
+  a.spmv(x, ys);
+  for (int i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(yd[i], ys[i]);
+}
+
+TEST(DenseCholesky, SolvesKnownSystem) {
+  // 2x2 SPD: [[4, 2], [2, 3]], b = (10, 8) -> x = (1.75, 1.5)
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  DenseCholesky chol(a);
+  std::vector<value_t> b{10.0, 8.0}, x(2);
+  chol.solve(b, x);
+  EXPECT_NEAR(x[0], 1.75, 1e-14);
+  EXPECT_NEAR(x[1], 1.5, 1e-14);
+}
+
+TEST(DenseCholesky, ResidualSmallOnPoisson) {
+  auto a = poisson2d_5pt(5, 4);
+  DenseCholesky chol(a);
+  util::Rng rng(3);
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()));
+  rng.fill_uniform(b, -1.0, 1.0);
+  std::vector<value_t> x(b.size()), r(b.size());
+  chol.solve(b, x);
+  a.residual(b, x, r);
+  EXPECT_LT(norm2(r), 1e-11);
+}
+
+TEST(DenseCholesky, RejectsNonSpd) {
+  DenseMatrix indef(2, 2);
+  indef(0, 0) = 1;
+  indef(0, 1) = 2;
+  indef(1, 0) = 2;
+  indef(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(DenseCholesky{indef}, util::CheckError);
+}
+
+TEST(DenseCholesky, LogDetMatchesKnown) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 0;
+  a(1, 0) = 0;
+  a(1, 1) = 9;
+  DenseCholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(36.0), 1e-13);
+}
+
+TEST(DenseCholesky, OrderAccessor) {
+  auto a = poisson2d_5pt(3, 2);
+  DenseCholesky chol(a);
+  EXPECT_EQ(chol.order(), 6);
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

@@ -1,0 +1,98 @@
+#include "sparse/proxy_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/dense.hpp"
+#include "sparse/stencils.hpp"
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+TEST(ProxySuite, FourteenNamesInTableOrder) {
+  const auto& names = proxy_names();
+  ASSERT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.front(), "Flan_1565p");
+  EXPECT_EQ(names.back(), "af_5_k101p");
+  for (const auto& n : names) EXPECT_TRUE(is_proxy_name(n));
+  EXPECT_FALSE(is_proxy_name("not_a_matrix"));
+}
+
+TEST(ProxySuite, UnknownNameThrows) {
+  EXPECT_THROW(make_proxy("bogus"), util::CheckError);
+}
+
+/// Small-size instantiation of every proxy: SPD (via Cholesky), symmetric,
+/// unit diagonal — the §4.2 preprocessing contract.
+class ProxyContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProxyContract, SmallInstanceIsUnitDiagonalSpd) {
+  auto proxy = make_proxy(GetParam(), 0.005);
+  EXPECT_EQ(proxy.info.name, GetParam());
+  EXPECT_GT(proxy.info.rows, 0);
+  EXPECT_EQ(proxy.info.rows, proxy.a.rows());
+  EXPECT_EQ(proxy.info.nnz, proxy.a.nnz());
+  EXPECT_TRUE(proxy.a.is_symmetric(1e-11));
+  for (value_t d : proxy.a.diagonal()) EXPECT_NEAR(d, 1.0, 1e-12);
+  if (proxy.a.rows() <= 1500) {
+    EXPECT_NO_THROW(DenseCholesky{proxy.a});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProxies, ProxyContract,
+                         ::testing::ValuesIn(proxy_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ProxySuite, ElasticityProxiesAreJacobiDivergent) {
+  // The matrices standing in for the paper's structural-FEM problems must
+  // actually exhibit the Block Jacobi failure mode: scaled λ_max ≥ 2.
+  for (const char* name :
+       {"audikw_1p", "bone010p", "ldoorp", "msdoorp", "Flan_1565p",
+        "Emilia_923p", "Fault_639p", "Serenap", "StocF-1465p"}) {
+    auto proxy = make_proxy(name, 0.05);
+    EXPECT_GT(lambda_max_estimate(proxy.a, 300), 2.0)
+        << "proxy " << name << " is not Jacobi-divergent";
+  }
+}
+
+TEST(ProxySuite, Af5ProxyIsJacobiConvergent) {
+  // af_5_k101 is the one paper matrix on which Block Jacobi never
+  // diverges; its proxy is the suite's only M-matrix.
+  auto proxy = make_proxy("af_5_k101p", 0.05);
+  EXPECT_LT(lambda_max_estimate(proxy.a, 300), 2.0);
+}
+
+TEST(ProxySuite, SizeFactorScalesRows) {
+  auto small = make_proxy("inline_1p", 0.01);
+  auto large = make_proxy("inline_1p", 0.05);
+  EXPECT_LT(small.info.rows, large.info.rows);
+}
+
+TEST(ProxySuite, DeterministicAcrossCalls) {
+  auto a = make_proxy("Fault_639p", 0.01);
+  auto b = make_proxy("Fault_639p", 0.01);
+  ASSERT_EQ(a.a.nnz(), b.a.nnz());
+  for (index_t i = 0; i < a.a.rows(); ++i) {
+    for (index_t j : a.a.row_cols(i)) {
+      EXPECT_DOUBLE_EQ(a.a.at(i, j), b.a.at(i, j));
+    }
+  }
+}
+
+TEST(SmallFemProblem, MatchesPaperDimensions) {
+  auto p = make_small_fem_problem();
+  EXPECT_EQ(p.a.rows(), 3081);  // the paper's example has 3081 rows
+  EXPECT_TRUE(p.a.is_symmetric(1e-11));
+  for (value_t d : p.a.diagonal()) EXPECT_NEAR(d, 1.0, 1e-12);
+  EXPECT_TRUE(p.mesh.is_valid());
+  EXPECT_EQ(p.mesh.num_interior(), 3081);
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

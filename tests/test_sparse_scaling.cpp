@@ -1,0 +1,84 @@
+#include "sparse/scaling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+TEST(Scaling, ProducesUnitDiagonal) {
+  auto a = poisson2d_5pt(6, 7);
+  auto s = symmetric_unit_diagonal_scale(a);
+  auto d = s.a.diagonal();
+  for (value_t v : d) EXPECT_NEAR(v, 1.0, 1e-14);
+}
+
+TEST(Scaling, PreservesSymmetry) {
+  StencilOptions opt;
+  opt.jump_contrast = 100.0;
+  opt.jump_block = 2;
+  auto a = poisson3d_7pt(4, 4, 4, opt);
+  auto s = symmetric_unit_diagonal_scale(a);
+  EXPECT_TRUE(s.a.is_symmetric(1e-13));
+}
+
+TEST(Scaling, ScaledSystemSolvesTheSameProblem) {
+  // If A x = b then A' x' = b' with x' = D^{1/2} x, b' = D^{-1/2} b.
+  auto a = poisson2d_5pt(5, 5);
+  util::Rng rng(5);
+  std::vector<value_t> x(static_cast<std::size_t>(a.rows()));
+  rng.fill_uniform(x, -1.0, 1.0);
+  std::vector<value_t> b(x.size());
+  a.spmv(x, b);
+
+  auto s = symmetric_unit_diagonal_scale(a);
+  auto b_scaled = scale_rhs(s, b);
+  // x' = D^{1/2} x = x / scale_i
+  std::vector<value_t> x_scaled(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x_scaled[i] = x[i] / s.scale[i];
+  std::vector<value_t> r(x.size());
+  s.a.residual(b_scaled, x_scaled, r);
+  EXPECT_LT(norm2(r), 1e-12);
+  // And unscale_solution inverts the transform.
+  auto back = unscale_solution(s, x_scaled);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-13);
+}
+
+TEST(Scaling, NonPositiveDiagonalThrows) {
+  CsrMatrix bad(1, 1, {0, 1}, {0}, {-1.0});
+  EXPECT_THROW(symmetric_unit_diagonal_scale(bad), util::CheckError);
+}
+
+TEST(NormalizeInitialResidual, MakesNormOne) {
+  auto a = poisson2d_5pt(6, 6);
+  util::Rng rng(17);
+  std::vector<value_t> x(static_cast<std::size_t>(a.rows()));
+  rng.fill_uniform(x, -1.0, 1.0);
+  std::vector<value_t> b(x.size(), 0.0);
+  const value_t original = normalize_initial_residual(a, b, x);
+  EXPECT_GT(original, 0.0);
+  std::vector<value_t> r(x.size());
+  a.residual(b, x, r);
+  EXPECT_NEAR(norm2(r), 1.0, 1e-12);
+}
+
+TEST(NormalizeInitialResidual, RequiresZeroRhs) {
+  auto a = poisson2d_5pt(3, 3);
+  std::vector<value_t> x(9, 1.0), b(9, 1.0);
+  EXPECT_THROW(normalize_initial_residual(a, b, x), util::CheckError);
+}
+
+TEST(NormalizeInitialResidual, ZeroResidualThrows) {
+  auto a = poisson2d_5pt(3, 3);
+  std::vector<value_t> x(9, 0.0), b(9, 0.0);
+  EXPECT_THROW(normalize_initial_residual(a, b, x), util::CheckError);
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

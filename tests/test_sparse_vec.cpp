@@ -1,0 +1,68 @@
+#include "sparse/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::sparse {
+namespace {
+
+TEST(Vec, DotAndNorms) {
+  std::vector<value_t> x{3.0, -4.0}, y{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), -5.0);
+  EXPECT_DOUBLE_EQ(norm2_sq(x), 25.0);
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+}
+
+TEST(Vec, DotSizeMismatchThrows) {
+  std::vector<value_t> x{1.0}, y{1.0, 2.0};
+  EXPECT_THROW(dot(x, y), util::CheckError);
+}
+
+TEST(Vec, AxpyAndScale) {
+  std::vector<value_t> x{1.0, 2.0}, y{10.0, 20.0};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+  scale(0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 12.0);
+}
+
+TEST(Vec, SubtractAndFill) {
+  std::vector<value_t> x{5.0, 3.0}, y{1.0, 1.0}, z(2);
+  subtract(x, y, z);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 2.0);
+  fill(z, -1.5);
+  EXPECT_DOUBLE_EQ(z[0], -1.5);
+  EXPECT_DOUBLE_EQ(z[1], -1.5);
+}
+
+TEST(Vec, ArgmaxAbs) {
+  std::vector<value_t> x{1.0, -7.0, 7.0, 2.0};
+  EXPECT_EQ(argmax_abs(x), 1);  // first on ties
+  EXPECT_EQ(argmax_abs(std::vector<value_t>{}), -1);
+  EXPECT_EQ(argmax_abs(std::vector<value_t>{0.0}), 0);
+}
+
+TEST(Vec, ZerosOnes) {
+  auto z = zeros(3);
+  auto o = ones(2);
+  EXPECT_EQ(z.size(), 3u);
+  EXPECT_DOUBLE_EQ(z[2], 0.0);
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_DOUBLE_EQ(o[0], 1.0);
+}
+
+TEST(Vec, EmptyNorms) {
+  std::vector<value_t> e;
+  EXPECT_DOUBLE_EQ(norm2(e), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(e), 0.0);
+}
+
+}  // namespace
+}  // namespace dsouth::sparse

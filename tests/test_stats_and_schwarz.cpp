@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/driver.hpp"
+#include "dist/greedy_schwarz.hpp"
+#include "graph/partition.hpp"
+#include "sparse/fem.hpp"
+#include "sparse/mesh.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stats.hpp"
+#include "sparse/stencils.hpp"
+#include "sparse/vec.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth {
+namespace {
+
+using sparse::CsrMatrix;
+using sparse::index_t;
+using sparse::value_t;
+
+TEST(MatrixStats, PoissonFiveStencil) {
+  auto a = sparse::poisson2d_5pt(6, 6);
+  auto s = sparse::compute_matrix_stats(a);
+  EXPECT_EQ(s.rows, 36);
+  EXPECT_EQ(s.nnz, a.nnz());
+  EXPECT_EQ(s.nnz_per_row_min, 3);   // corners
+  EXPECT_EQ(s.nnz_per_row_max, 5);   // interior
+  EXPECT_EQ(s.bandwidth, 6);         // grid width
+  EXPECT_TRUE(s.structurally_symmetric);
+  EXPECT_TRUE(s.numerically_symmetric);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_DOUBLE_EQ(s.diag_dominant_fraction, 1.0);  // M-matrix
+  EXPECT_DOUBLE_EQ(s.positive_offdiag_fraction, 0.0);
+  EXPECT_GT(s.scaled_lambda_max, 1.0);
+  EXPECT_LT(s.scaled_lambda_max, 2.0);
+}
+
+TEST(MatrixStats, ElasticityFlagsNonMStructure) {
+  auto mesh = sparse::make_perturbed_grid_mesh(13, 13, 0.2, 5);
+  sparse::ElasticityOptions opt;
+  opt.poisson_ratio = 0.45;
+  auto a = sparse::assemble_p1_elasticity(mesh, opt);
+  auto s = sparse::compute_matrix_stats(a, 200);
+  EXPECT_GT(s.positive_offdiag_fraction, 0.1);
+  EXPECT_LT(s.diag_dominant_fraction, 1.0);
+  EXPECT_GT(s.scaled_lambda_max, 2.0);  // the Jacobi-divergence flag
+}
+
+TEST(MatrixStats, AsymmetricMatrixDetected) {
+  CsrMatrix asym(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 0.5, 1.0});
+  auto s = sparse::compute_matrix_stats(asym, 0);
+  EXPECT_FALSE(s.structurally_symmetric);
+  EXPECT_FALSE(s.numerically_symmetric);
+}
+
+TEST(MatrixStats, PrintIncludesJacobiVerdict) {
+  auto a = sparse::poisson2d_5pt(5, 5);
+  auto s = sparse::compute_matrix_stats(a);
+  std::ostringstream os;
+  sparse::print_matrix_stats(os, s);
+  EXPECT_NE(os.str().find("point Jacobi converges"), std::string::npos);
+}
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+  dist::DistLayout layout;
+};
+
+Problem make_problem(index_t nx, index_t ranks, std::uint64_t seed) {
+  auto a = sparse::symmetric_unit_diagonal_scale(
+               sparse::poisson2d_5pt(nx, nx))
+               .a;
+  std::vector<value_t> b(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<value_t> x0(b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(a, b, x0);
+  auto part = graph::partition_recursive_bisection(
+      graph::Graph::from_matrix_structure(a), ranks);
+  dist::DistLayout layout(a, part);
+  return Problem{std::move(a), std::move(b), std::move(x0),
+                 std::move(layout)};
+}
+
+TEST(GreedySchwarz, PicksTheLargestSubdomainFirst) {
+  auto p = make_problem(10, 6, 1);
+  // Find the rank with the largest initial residual norm directly.
+  auto r0 = p.b;
+  std::vector<value_t> rr(p.b.size());
+  p.a.residual(p.b, p.x0, rr);
+  double best = -1.0;
+  int best_rank = -1;
+  for (int q = 0; q < p.layout.num_ranks(); ++q) {
+    double sq = 0.0;
+    for (index_t g : p.layout.rank(q).rows) {
+      sq += rr[static_cast<std::size_t>(g)] * rr[static_cast<std::size_t>(g)];
+    }
+    if (sq > best) {
+      best = sq;
+      best_rank = q;
+    }
+  }
+  dist::GreedySchwarzOptions opt;
+  opt.max_block_relaxations = 1;
+  auto result = dist::run_greedy_schwarz(p.layout, p.b, p.x0, opt);
+  ASSERT_EQ(result.relaxed_rank.size(), 1u);
+  EXPECT_EQ(result.relaxed_rank[0], best_rank);
+}
+
+TEST(GreedySchwarz, ResidualTrackingMatchesTruth) {
+  auto p = make_problem(12, 7, 2);
+  dist::GreedySchwarzOptions opt;
+  opt.max_block_relaxations = 20;
+  auto result = dist::run_greedy_schwarz(p.layout, p.b, p.x0, opt);
+  std::vector<value_t> r(p.b.size());
+  p.a.residual(p.b, result.x, r);
+  EXPECT_NEAR(result.residual_norm.back(), sparse::norm2(r), 1e-10);
+}
+
+TEST(GreedySchwarz, ConvergesToTarget) {
+  auto p = make_problem(10, 8, 3);
+  dist::GreedySchwarzOptions opt;
+  opt.max_block_relaxations = 100000;
+  opt.target_residual = 1e-6;
+  auto result = dist::run_greedy_schwarz(p.layout, p.b, p.x0, opt);
+  EXPECT_LE(result.residual_norm.back(), 1e-6);
+}
+
+TEST(GreedySchwarz, BeatsBlockJacobiPerBlockRelaxation) {
+  // The Southwell economy at block level: to a low-accuracy target, greedy
+  // selection needs fewer block relaxations than relaxing everything
+  // (Block Jacobi does P block relaxations per parallel step).
+  auto p = make_problem(16, 16, 4);
+  dist::GreedySchwarzOptions gopt;
+  gopt.max_block_relaxations = 100000;
+  gopt.target_residual = 0.1;
+  auto greedy = dist::run_greedy_schwarz(p.layout, p.b, p.x0, gopt);
+
+  dist::DistRunOptions bopt;
+  bopt.max_parallel_steps = 200;
+  bopt.stop_at_residual = 0.1;
+  auto bj = dist::run_distributed(dist::DistMethod::kBlockJacobi, p.layout,
+                                  p.b, p.x0, bopt);
+  const auto bj_block_relaxations =
+      static_cast<index_t>(bj.steps_taken()) * 16;
+  EXPECT_LT(static_cast<index_t>(greedy.relaxed_rank.size()),
+            bj_block_relaxations);
+}
+
+TEST(GreedySchwarz, DefaultBudgetIsOneSweep) {
+  auto p = make_problem(8, 5, 5);
+  auto result = dist::run_greedy_schwarz(p.layout, p.b, p.x0);
+  EXPECT_EQ(result.relaxed_rank.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dsouth

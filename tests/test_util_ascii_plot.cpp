@@ -1,0 +1,94 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+namespace {
+
+std::string render(const std::vector<PlotSeries>& series,
+                   PlotOptions opt = {}) {
+  std::ostringstream os;
+  render_plot(os, series, opt);
+  return os.str();
+}
+
+TEST(AsciiPlot, CornersLandAtExpectedRasterCells) {
+  PlotSeries s{"a", {0.0, 1.0}, {0.0, 1.0}};
+  PlotOptions opt;
+  opt.width = 10;
+  opt.height = 5;
+  opt.log_y = false;
+  const std::string out = render({s}, opt);
+  std::istringstream in(out);
+  std::vector<std::string> lines;
+  std::string l;
+  while (std::getline(in, l)) lines.push_back(l);
+  // First raster row holds the max-y point at the right edge; the last
+  // raster row (index height-1) holds the min-y point at the left edge.
+  EXPECT_NE(lines[0].find('*'), std::string::npos);
+  EXPECT_NE(lines[4].find('*'), std::string::npos);
+  EXPECT_LT(lines[4].find('*'), lines[0].find('*'));
+}
+
+TEST(AsciiPlot, LegendNamesAllSeries) {
+  PlotSeries a{"alpha", {1.0, 2.0}, {1.0, 2.0}};
+  PlotSeries b{"beta", {1.0, 2.0}, {2.0, 1.0}};
+  const std::string out = render({a, b});
+  EXPECT_NE(out.find("*=alpha"), std::string::npos);
+  EXPECT_NE(out.find("o=beta"), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxisLabelsPowersOfTen) {
+  PlotSeries s{"r", {0.0, 1.0, 2.0}, {1.0, 0.1, 0.01}};
+  PlotOptions opt;
+  opt.log_y = true;
+  const std::string out = render({s}, opt);
+  EXPECT_NE(out.find("1"), std::string::npos);    // top label 1
+  EXPECT_NE(out.find("0.01"), std::string::npos);  // bottom label
+}
+
+TEST(AsciiPlot, SkipsNonPositiveOnLogAxis) {
+  PlotSeries s{"r", {0.0, 1.0, 2.0}, {1.0, 0.0, 0.5}};
+  EXPECT_NO_THROW(render({s}));  // the zero sample is skipped, not fatal
+}
+
+TEST(AsciiPlot, AllNonPositiveThrows) {
+  PlotSeries s{"r", {1.0}, {0.0}};
+  EXPECT_THROW(render({s}), CheckError);
+}
+
+TEST(AsciiPlot, MismatchedSizesThrow) {
+  PlotSeries s{"r", {1.0, 2.0}, {1.0}};
+  EXPECT_THROW(render({s}), CheckError);
+}
+
+TEST(AsciiPlot, TinyDimensionsRejected) {
+  PlotSeries s{"r", {1.0}, {1.0}};
+  PlotOptions opt;
+  opt.width = 2;
+  EXPECT_THROW(render({s}, opt), CheckError);
+}
+
+TEST(AsciiPlot, ConstantSeriesRendered) {
+  PlotSeries s{"flat", {0.0, 1.0, 2.0}, {3.0, 3.0, 3.0}};
+  PlotOptions opt;
+  opt.log_y = false;
+  EXPECT_NO_THROW(render({s}, opt));
+}
+
+TEST(AsciiPlot, InterpolatedTraceConnectsDistantPoints) {
+  // Two points at opposite raster corners: intermediate columns get '.'.
+  PlotSeries s{"line", {0.0, 100.0}, {1.0, 1000.0}};
+  PlotOptions opt;
+  opt.width = 40;
+  opt.height = 10;
+  const std::string out = render({s}, opt);
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsouth::util

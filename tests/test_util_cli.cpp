@@ -1,0 +1,86 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, ParsesNameValuePairs) {
+  auto p = parse({"-mat_file", "ecology2.mtx", "-sweep_max", "20"});
+  EXPECT_EQ(p.get_or("mat_file", ""), "ecology2.mtx");
+  EXPECT_EQ(p.get_int_or("sweep_max", 0), 20);
+}
+
+TEST(ArgParser, FlagsHaveEmptyValue) {
+  auto p = parse({"-x_zeros", "-solver", "sos_sds"});
+  EXPECT_TRUE(p.has("x_zeros"));
+  EXPECT_EQ(*p.get("x_zeros"), "");
+  EXPECT_EQ(p.get_or("solver", ""), "sos_sds");
+}
+
+TEST(ArgParser, TrailingFlag) {
+  auto p = parse({"-a", "1", "-verbose"});
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_EQ(p.get_int_or("a", 0), 1);
+}
+
+TEST(ArgParser, MissingReturnsDefaults) {
+  auto p = parse({});
+  EXPECT_FALSE(p.has("anything"));
+  EXPECT_EQ(p.get_or("s", "dflt"), "dflt");
+  EXPECT_EQ(p.get_int_or("i", -3), -3);
+  EXPECT_DOUBLE_EQ(p.get_double_or("d", 2.5), 2.5);
+}
+
+TEST(ArgParser, NegativeNumbersAreValuesNotOptions) {
+  auto p = parse({"-shift", "-0.5", "-count", "-3"});
+  EXPECT_DOUBLE_EQ(p.get_double_or("shift", 0.0), -0.5);
+  EXPECT_EQ(p.get_int_or("count", 0), -3);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  auto p = parse({"-n", "abc"});
+  EXPECT_THROW(p.get_int_or("n", 0), CheckError);
+  EXPECT_THROW(p.get_double_or("n", 0.0), CheckError);
+}
+
+TEST(ArgParser, IntListParses) {
+  auto p = parse({"-procs", "32,64,128,8192"});
+  auto v = p.get_int_list_or("procs", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 32);
+  EXPECT_EQ(v[3], 8192);
+}
+
+TEST(ArgParser, IntListDefaultAndErrors) {
+  auto p = parse({"-procs", "1,x"});
+  EXPECT_THROW(p.get_int_list_or("procs", {}), CheckError);
+  auto q = parse({});
+  auto v = q.get_int_list_or("procs", {5, 6});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[1], 6);
+}
+
+TEST(ArgParser, BareValueWithoutOptionThrows) {
+  std::vector<const char*> argv{"prog", "stray"};
+  EXPECT_THROW(ArgParser(2, argv.data()), CheckError);
+}
+
+TEST(ArgParser, UnqueriedReportsTypos) {
+  auto p = parse({"-real", "1", "-typo_opt", "2"});
+  (void)p.get_int_or("real", 0);
+  auto u = p.unqueried();
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0], "typo_opt");
+}
+
+}  // namespace
+}  // namespace dsouth::util

@@ -1,0 +1,153 @@
+#include "util/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dsouth::util {
+namespace {
+
+TEST(IndexedMaxHeap, EmptyState) {
+  IndexedMaxHeap<double> h(10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_THROW(h.top(), CheckError);
+  EXPECT_THROW(h.pop(), CheckError);
+}
+
+TEST(IndexedMaxHeap, PushPopOrdering) {
+  IndexedMaxHeap<double> h(5);
+  h.push(0, 1.0);
+  h.push(1, 5.0);
+  h.push(2, 3.0);
+  h.push(3, 4.0);
+  h.push(4, 2.0);
+  EXPECT_EQ(h.pop(), 1u);
+  EXPECT_EQ(h.pop(), 3u);
+  EXPECT_EQ(h.pop(), 2u);
+  EXPECT_EQ(h.pop(), 4u);
+  EXPECT_EQ(h.pop(), 0u);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(IndexedMaxHeap, DuplicatePushThrows) {
+  IndexedMaxHeap<int> h(3);
+  h.push(1, 10);
+  EXPECT_THROW(h.push(1, 20), CheckError);
+}
+
+TEST(IndexedMaxHeap, UpdateMovesKeyBothDirections) {
+  IndexedMaxHeap<int> h(4);
+  h.push(0, 10);
+  h.push(1, 20);
+  h.push(2, 30);
+  h.update(0, 100);  // up
+  EXPECT_EQ(h.top(), 0u);
+  h.update(0, 5);  // down
+  EXPECT_EQ(h.top(), 2u);
+  EXPECT_EQ(h.key_of(0), 5);
+  EXPECT_TRUE(h.invariants_hold());
+}
+
+TEST(IndexedMaxHeap, PushOrUpdateInsertsOrChanges) {
+  IndexedMaxHeap<int> h(4);
+  h.push_or_update(2, 7);
+  EXPECT_TRUE(h.contains(2));
+  h.push_or_update(2, 50);
+  EXPECT_EQ(h.key_of(2), 50);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(IndexedMaxHeap, EraseRemovesOnly) {
+  IndexedMaxHeap<int> h(5);
+  for (std::size_t i = 0; i < 5; ++i) h.push(i, static_cast<int>(i));
+  h.erase(4);  // the current max
+  EXPECT_FALSE(h.contains(4));
+  EXPECT_EQ(h.top(), 3u);
+  h.erase(0);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_TRUE(h.invariants_hold());
+  EXPECT_THROW(h.erase(0), CheckError);
+}
+
+TEST(IndexedMaxHeap, KeyOfRequiresPresence) {
+  IndexedMaxHeap<int> h(2);
+  EXPECT_THROW(h.key_of(0), CheckError);
+}
+
+TEST(IndexedMaxHeap, TiesReturnSomeMaxElement) {
+  IndexedMaxHeap<int> h(3);
+  h.push(0, 9);
+  h.push(1, 9);
+  h.push(2, 1);
+  std::size_t first = h.pop();
+  std::size_t second = h.pop();
+  EXPECT_TRUE((first == 0 && second == 1) || (first == 1 && second == 0));
+}
+
+/// Property test: random op sequences keep invariants and pop order matches
+/// a reference sort.
+class IndexedHeapProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IndexedHeapProperty, RandomOpsMatchReference) {
+  Rng rng(GetParam());
+  const std::size_t n = 200;
+  IndexedMaxHeap<std::uint64_t> h(n);
+  std::vector<bool> present(n, false);
+  std::vector<std::uint64_t> key(n, 0);
+  for (int op = 0; op < 3000; ++op) {
+    const std::size_t id = static_cast<std::size_t>(rng.next_below(n));
+    switch (rng.next_below(4)) {
+      case 0:
+        if (!present[id]) {
+          key[id] = rng.next_below(1000);
+          h.push(id, key[id]);
+          present[id] = true;
+        }
+        break;
+      case 1:
+        if (present[id]) {
+          key[id] = rng.next_below(1000);
+          h.update(id, key[id]);
+        }
+        break;
+      case 2:
+        if (present[id]) {
+          h.erase(id);
+          present[id] = false;
+        }
+        break;
+      case 3:
+        if (!h.empty()) {
+          const std::size_t top = h.top();
+          // Top must hold a maximal key.
+          for (std::size_t v = 0; v < n; ++v) {
+            if (present[v]) {
+              EXPECT_LE(key[v], key[top]);
+            }
+          }
+          h.pop();
+          present[top] = false;
+        }
+        break;
+    }
+  }
+  ASSERT_TRUE(h.invariants_hold());
+  // Drain: keys must come out non-increasing.
+  std::uint64_t last = ~std::uint64_t{0};
+  while (!h.empty()) {
+    const std::size_t id = h.pop();
+    EXPECT_LE(key[id], last);
+    last = key[id];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexedHeapProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 99u, 12345u));
+
+}  // namespace
+}  // namespace dsouth::util

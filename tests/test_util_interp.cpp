@@ -1,0 +1,91 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+namespace {
+
+TEST(FirstCrossing, AlreadyBelowAtStart) {
+  EXPECT_DOUBLE_EQ(*first_crossing_log10({0.05, 0.01}, 0.1), 0.0);
+}
+
+TEST(FirstCrossing, NeverReached) {
+  EXPECT_FALSE(first_crossing_log10({1.0, 0.9, 0.8}, 0.1).has_value());
+  EXPECT_FALSE(first_crossing_log10({}, 0.1).has_value());
+}
+
+TEST(FirstCrossing, ExactHitAtSample) {
+  auto s = first_crossing_log10({1.0, 0.1}, 0.1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 1.0, 1e-12);
+}
+
+TEST(FirstCrossing, LogLinearInterpolation) {
+  // From 1.0 to 0.01 in one step: target 0.1 is the log-midpoint.
+  auto s = first_crossing_log10({1.0, 0.01}, 0.1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 0.5, 1e-12);
+}
+
+TEST(FirstCrossing, FirstDownwardCrossingWinsOnNonMonotone) {
+  // Dips below at step 2, rises, dips again later: report the first.
+  auto s = first_crossing_log10({1.0, 0.5, 0.05, 0.7, 0.01}, 0.1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GT(*s, 1.0);
+  EXPECT_LT(*s, 2.0);
+}
+
+TEST(FirstCrossing, ZeroResidualLandsOnRightEndpoint) {
+  auto s = first_crossing_log10({1.0, 0.0}, 0.1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(*s, 1.0);
+}
+
+TEST(FirstCrossing, NonPositiveTargetThrows) {
+  EXPECT_THROW(first_crossing_log10({1.0}, 0.0), CheckError);
+}
+
+TEST(InterpolateSeries, EndpointsAndMidpoints) {
+  std::vector<double> s{0.0, 10.0, 30.0};
+  EXPECT_DOUBLE_EQ(interpolate_series(s, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(interpolate_series(s, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(interpolate_series(s, 2.0), 30.0);
+  EXPECT_DOUBLE_EQ(interpolate_series(s, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpolate_series(s, 1.25), 15.0);
+}
+
+TEST(InterpolateSeries, SingleElement) {
+  EXPECT_DOUBLE_EQ(interpolate_series({7.0}, 0.0), 7.0);
+}
+
+TEST(InterpolateSeries, OutOfRangeThrows) {
+  std::vector<double> s{0.0, 1.0};
+  EXPECT_THROW(interpolate_series(s, -0.1), CheckError);
+  EXPECT_THROW(interpolate_series(s, 1.5), CheckError);
+  EXPECT_THROW(interpolate_series({}, 0.0), CheckError);
+}
+
+TEST(Integration, CrossingThenInterpolateRecoversConsistentCost) {
+  // Residuals decay geometrically; cost grows linearly. The interpolated
+  // cost at the crossing must lie between the bracketing samples.
+  std::vector<double> residuals, cost;
+  double r = 1.0;
+  for (int k = 0; k <= 20; ++k) {
+    residuals.push_back(r);
+    cost.push_back(3.0 * k);
+    r *= 0.7;
+  }
+  auto s = first_crossing_log10(residuals, 0.1);
+  ASSERT_TRUE(s.has_value());
+  // 0.7^k = 0.1 -> k = log(0.1)/log(0.7) ≈ 6.456
+  EXPECT_NEAR(*s, std::log(0.1) / std::log(0.7), 1e-9);
+  const double c = interpolate_series(cost, *s);
+  EXPECT_NEAR(c, 3.0 * (*s), 1e-9);
+}
+
+}  // namespace
+}  // namespace dsouth::util

@@ -1,0 +1,139 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dsouth::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministicAndVaries) {
+  SplitMix64 a(42), b(42), c(43);
+  const auto a1 = a.next();
+  EXPECT_EQ(a1, b.next());
+  EXPECT_NE(a1, c.next());
+  EXPECT_NE(a.next(), a1);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-3.5, 2.25);
+    EXPECT_GE(v, -3.5);
+    EXPECT_LT(v, 2.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform(-1.0, 1.0);
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.next_below(0), CheckError);
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRoughStandardMoments) {
+  Rng rng(23);
+  const int kSamples = 100000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kSamples, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto original = v;
+  rng.shuffle(std::span<int>(v));
+  EXPECT_NE(v, original);  // 1/100! chance of false failure
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinct) {
+  Rng rng(31);
+  auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (auto s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(Rng, SampleFullRangeIsPermutation) {
+  Rng rng(37);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleTooManyThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), CheckError);
+}
+
+TEST(Rng, FillUniformFillsEverySlot) {
+  Rng rng(41);
+  std::vector<double> v(64, -100.0);
+  rng.fill_uniform(v, 2.0, 3.0);
+  for (double x : v) {
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace dsouth::util
