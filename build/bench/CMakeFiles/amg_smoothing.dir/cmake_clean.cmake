@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amg_smoothing.dir/amg_smoothing.cpp.o"
+  "CMakeFiles/amg_smoothing.dir/amg_smoothing.cpp.o.d"
+  "amg_smoothing"
+  "amg_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amg_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

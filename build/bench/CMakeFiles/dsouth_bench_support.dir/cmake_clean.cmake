@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_bench_support.dir/support/bench_support.cpp.o"
+  "CMakeFiles/dsouth_bench_support.dir/support/bench_support.cpp.o.d"
+  "libdsouth_bench_support.a"
+  "libdsouth_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

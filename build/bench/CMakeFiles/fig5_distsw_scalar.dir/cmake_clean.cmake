@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_distsw_scalar.dir/fig5_distsw_scalar.cpp.o"
+  "CMakeFiles/fig5_distsw_scalar.dir/fig5_distsw_scalar.cpp.o.d"
+  "fig5_distsw_scalar"
+  "fig5_distsw_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_distsw_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

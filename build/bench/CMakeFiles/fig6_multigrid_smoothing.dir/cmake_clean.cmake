@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_multigrid_smoothing.dir/fig6_multigrid_smoothing.cpp.o"
+  "CMakeFiles/fig6_multigrid_smoothing.dir/fig6_multigrid_smoothing.cpp.o.d"
+  "fig6_multigrid_smoothing"
+  "fig6_multigrid_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_multigrid_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_traces.dir/fig7_traces.cpp.o"
+  "CMakeFiles/fig7_traces.dir/fig7_traces.cpp.o.d"
+  "fig7_traces"
+  "fig7_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_residual_after_50.dir/fig9_residual_after_50.cpp.o"
+  "CMakeFiles/fig9_residual_after_50.dir/fig9_residual_after_50.cpp.o.d"
+  "fig9_residual_after_50"
+  "fig9_residual_after_50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_residual_after_50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_residual_after_50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precond_study.dir/precond_study.cpp.o"
+  "CMakeFiles/precond_study.dir/precond_study.cpp.o.d"
+  "precond_study"
+  "precond_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precond_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_target_residual.dir/table2_target_residual.cpp.o"
+  "CMakeFiles/table2_target_residual.dir/table2_target_residual.cpp.o.d"
+  "table2_target_residual"
+  "table2_target_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_target_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

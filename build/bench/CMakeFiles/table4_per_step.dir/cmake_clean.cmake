@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_per_step.dir/table4_per_step.cpp.o"
+  "CMakeFiles/table4_per_step.dir/table4_per_step.cpp.o.d"
+  "table4_per_step"
+  "table4_per_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_per_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

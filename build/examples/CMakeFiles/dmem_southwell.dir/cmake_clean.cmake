@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmem_southwell.dir/dmem_southwell.cpp.o"
+  "CMakeFiles/dmem_southwell.dir/dmem_southwell.cpp.o.d"
+  "dmem_southwell"
+  "dmem_southwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmem_southwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

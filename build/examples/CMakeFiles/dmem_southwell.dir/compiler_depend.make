@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dmem_southwell.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid_smoothing.dir/multigrid_smoothing.cpp.o"
+  "CMakeFiles/multigrid_smoothing.dir/multigrid_smoothing.cpp.o.d"
+  "multigrid_smoothing"
+  "multigrid_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

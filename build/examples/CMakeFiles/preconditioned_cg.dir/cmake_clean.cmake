@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preconditioned_cg.dir/preconditioned_cg.cpp.o"
+  "CMakeFiles/preconditioned_cg.dir/preconditioned_cg.cpp.o.d"
+  "preconditioned_cg"
+  "preconditioned_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preconditioned_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_relaxation.cpp" "src/core/CMakeFiles/dsouth_core.dir/adaptive_relaxation.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/adaptive_relaxation.cpp.o.d"
+  "/root/repo/src/core/classic.cpp" "src/core/CMakeFiles/dsouth_core.dir/classic.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/classic.cpp.o.d"
+  "/root/repo/src/core/dist_southwell_scalar.cpp" "src/core/CMakeFiles/dsouth_core.dir/dist_southwell_scalar.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/dist_southwell_scalar.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/dsouth_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/parallel_southwell.cpp" "src/core/CMakeFiles/dsouth_core.dir/parallel_southwell.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/parallel_southwell.cpp.o.d"
+  "/root/repo/src/core/scalar_engine.cpp" "src/core/CMakeFiles/dsouth_core.dir/scalar_engine.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/scalar_engine.cpp.o.d"
+  "/root/repo/src/core/southwell.cpp" "src/core/CMakeFiles/dsouth_core.dir/southwell.cpp.o" "gcc" "src/core/CMakeFiles/dsouth_core.dir/southwell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dsouth_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dsouth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsouth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_core.dir/adaptive_relaxation.cpp.o"
+  "CMakeFiles/dsouth_core.dir/adaptive_relaxation.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/classic.cpp.o"
+  "CMakeFiles/dsouth_core.dir/classic.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/dist_southwell_scalar.cpp.o"
+  "CMakeFiles/dsouth_core.dir/dist_southwell_scalar.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/history.cpp.o"
+  "CMakeFiles/dsouth_core.dir/history.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/parallel_southwell.cpp.o"
+  "CMakeFiles/dsouth_core.dir/parallel_southwell.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/scalar_engine.cpp.o"
+  "CMakeFiles/dsouth_core.dir/scalar_engine.cpp.o.d"
+  "CMakeFiles/dsouth_core.dir/southwell.cpp.o"
+  "CMakeFiles/dsouth_core.dir/southwell.cpp.o.d"
+  "libdsouth_core.a"
+  "libdsouth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsouth_core.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/block_jacobi.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/block_jacobi.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/block_jacobi.cpp.o.d"
+  "/root/repo/src/dist/distributed_southwell.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/distributed_southwell.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/distributed_southwell.cpp.o.d"
+  "/root/repo/src/dist/driver.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/driver.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/driver.cpp.o.d"
+  "/root/repo/src/dist/greedy_schwarz.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/greedy_schwarz.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/greedy_schwarz.cpp.o.d"
+  "/root/repo/src/dist/layout.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/layout.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/layout.cpp.o.d"
+  "/root/repo/src/dist/multicolor_block_gs.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/multicolor_block_gs.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/multicolor_block_gs.cpp.o.d"
+  "/root/repo/src/dist/parallel_southwell.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/parallel_southwell.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/parallel_southwell.cpp.o.d"
+  "/root/repo/src/dist/solver_base.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/solver_base.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/solver_base.cpp.o.d"
+  "/root/repo/src/dist/subdomain.cpp" "src/dist/CMakeFiles/dsouth_dist.dir/subdomain.cpp.o" "gcc" "src/dist/CMakeFiles/dsouth_dist.dir/subdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dsouth_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dsouth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dsouth_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsouth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_dist.dir/block_jacobi.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/block_jacobi.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/distributed_southwell.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/distributed_southwell.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/driver.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/driver.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/greedy_schwarz.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/greedy_schwarz.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/layout.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/layout.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/multicolor_block_gs.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/multicolor_block_gs.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/parallel_southwell.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/parallel_southwell.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/solver_base.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/solver_base.cpp.o.d"
+  "CMakeFiles/dsouth_dist.dir/subdomain.cpp.o"
+  "CMakeFiles/dsouth_dist.dir/subdomain.cpp.o.d"
+  "libdsouth_dist.a"
+  "libdsouth_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdsouth_dist.a"
+)

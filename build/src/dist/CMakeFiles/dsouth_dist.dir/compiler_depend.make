@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsouth_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_graph.dir/coloring.cpp.o"
+  "CMakeFiles/dsouth_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/dsouth_graph.dir/graph.cpp.o"
+  "CMakeFiles/dsouth_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dsouth_graph.dir/partition.cpp.o"
+  "CMakeFiles/dsouth_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/dsouth_graph.dir/rcm.cpp.o"
+  "CMakeFiles/dsouth_graph.dir/rcm.cpp.o.d"
+  "libdsouth_graph.a"
+  "libdsouth_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

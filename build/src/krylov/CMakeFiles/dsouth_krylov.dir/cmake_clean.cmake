@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_krylov.dir/cg.cpp.o"
+  "CMakeFiles/dsouth_krylov.dir/cg.cpp.o.d"
+  "CMakeFiles/dsouth_krylov.dir/preconditioner.cpp.o"
+  "CMakeFiles/dsouth_krylov.dir/preconditioner.cpp.o.d"
+  "libdsouth_krylov.a"
+  "libdsouth_krylov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

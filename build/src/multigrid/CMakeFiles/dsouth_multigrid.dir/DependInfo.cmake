@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/multigrid/amg.cpp" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/amg.cpp.o" "gcc" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/amg.cpp.o.d"
+  "/root/repo/src/multigrid/smoother.cpp" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/smoother.cpp.o" "gcc" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/smoother.cpp.o.d"
+  "/root/repo/src/multigrid/transfer.cpp" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/transfer.cpp.o" "gcc" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/transfer.cpp.o.d"
+  "/root/repo/src/multigrid/vcycle.cpp" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/vcycle.cpp.o" "gcc" "src/multigrid/CMakeFiles/dsouth_multigrid.dir/vcycle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dsouth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dsouth_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dsouth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dsouth_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_multigrid.dir/amg.cpp.o"
+  "CMakeFiles/dsouth_multigrid.dir/amg.cpp.o.d"
+  "CMakeFiles/dsouth_multigrid.dir/smoother.cpp.o"
+  "CMakeFiles/dsouth_multigrid.dir/smoother.cpp.o.d"
+  "CMakeFiles/dsouth_multigrid.dir/transfer.cpp.o"
+  "CMakeFiles/dsouth_multigrid.dir/transfer.cpp.o.d"
+  "CMakeFiles/dsouth_multigrid.dir/vcycle.cpp.o"
+  "CMakeFiles/dsouth_multigrid.dir/vcycle.cpp.o.d"
+  "libdsouth_multigrid.a"
+  "libdsouth_multigrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_multigrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_simmpi.dir/runtime.cpp.o"
+  "CMakeFiles/dsouth_simmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/dsouth_simmpi.dir/stats.cpp.o"
+  "CMakeFiles/dsouth_simmpi.dir/stats.cpp.o.d"
+  "libdsouth_simmpi.a"
+  "libdsouth_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

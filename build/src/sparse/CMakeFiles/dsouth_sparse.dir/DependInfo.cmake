@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/binary_io.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/binary_io.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/binary_io.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/fem.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/fem.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/fem.cpp.o.d"
+  "/root/repo/src/sparse/mesh.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/mesh.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/mesh.cpp.o.d"
+  "/root/repo/src/sparse/mesh3d.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/mesh3d.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/mesh3d.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/mm_io.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/proxy_suite.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/proxy_suite.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/proxy_suite.cpp.o.d"
+  "/root/repo/src/sparse/scaling.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/scaling.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/scaling.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/spgemm.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/spgemm.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/stats.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/stats.cpp.o.d"
+  "/root/repo/src/sparse/stencils.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/stencils.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/stencils.cpp.o.d"
+  "/root/repo/src/sparse/vec.cpp" "src/sparse/CMakeFiles/dsouth_sparse.dir/vec.cpp.o" "gcc" "src/sparse/CMakeFiles/dsouth_sparse.dir/vec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsouth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

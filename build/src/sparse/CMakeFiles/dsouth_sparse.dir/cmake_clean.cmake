@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_sparse.dir/binary_io.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/binary_io.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/coo.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/csr.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/dense.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/fem.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/fem.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/mesh.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/mesh.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/mesh3d.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/mesh3d.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/mm_io.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/mm_io.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/proxy_suite.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/proxy_suite.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/scaling.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/scaling.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/spgemm.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/spgemm.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/stats.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/stats.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/stencils.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/stencils.cpp.o.d"
+  "CMakeFiles/dsouth_sparse.dir/vec.cpp.o"
+  "CMakeFiles/dsouth_sparse.dir/vec.cpp.o.d"
+  "libdsouth_sparse.a"
+  "libdsouth_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsouth_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/dsouth_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/dsouth_util.dir/cli.cpp.o"
+  "CMakeFiles/dsouth_util.dir/cli.cpp.o.d"
+  "CMakeFiles/dsouth_util.dir/csv.cpp.o"
+  "CMakeFiles/dsouth_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dsouth_util.dir/interp.cpp.o"
+  "CMakeFiles/dsouth_util.dir/interp.cpp.o.d"
+  "CMakeFiles/dsouth_util.dir/rng.cpp.o"
+  "CMakeFiles/dsouth_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dsouth_util.dir/table.cpp.o"
+  "CMakeFiles/dsouth_util.dir/table.cpp.o.d"
+  "libdsouth_util.a"
+  "libdsouth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsouth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

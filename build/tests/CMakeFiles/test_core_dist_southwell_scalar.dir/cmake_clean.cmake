@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_dist_southwell_scalar.dir/test_core_dist_southwell_scalar.cpp.o"
+  "CMakeFiles/test_core_dist_southwell_scalar.dir/test_core_dist_southwell_scalar.cpp.o.d"
+  "test_core_dist_southwell_scalar"
+  "test_core_dist_southwell_scalar.pdb"
+  "test_core_dist_southwell_scalar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_dist_southwell_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delayed_delivery.dir/test_delayed_delivery.cpp.o"
+  "CMakeFiles/test_delayed_delivery.dir/test_delayed_delivery.cpp.o.d"
+  "test_delayed_delivery"
+  "test_delayed_delivery.pdb"
+  "test_delayed_delivery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delayed_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

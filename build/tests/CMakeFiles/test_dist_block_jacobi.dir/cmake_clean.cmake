@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_block_jacobi.dir/test_dist_block_jacobi.cpp.o"
+  "CMakeFiles/test_dist_block_jacobi.dir/test_dist_block_jacobi.cpp.o.d"
+  "test_dist_block_jacobi"
+  "test_dist_block_jacobi.pdb"
+  "test_dist_block_jacobi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_block_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

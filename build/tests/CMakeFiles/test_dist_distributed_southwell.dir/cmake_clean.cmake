@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_distributed_southwell.dir/test_dist_distributed_southwell.cpp.o"
+  "CMakeFiles/test_dist_distributed_southwell.dir/test_dist_distributed_southwell.cpp.o.d"
+  "test_dist_distributed_southwell"
+  "test_dist_distributed_southwell.pdb"
+  "test_dist_distributed_southwell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_distributed_southwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

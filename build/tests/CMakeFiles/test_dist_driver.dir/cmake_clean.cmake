@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_driver.dir/test_dist_driver.cpp.o"
+  "CMakeFiles/test_dist_driver.dir/test_dist_driver.cpp.o.d"
+  "test_dist_driver"
+  "test_dist_driver.pdb"
+  "test_dist_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_layout.dir/test_dist_layout.cpp.o"
+  "CMakeFiles/test_dist_layout.dir/test_dist_layout.cpp.o.d"
+  "test_dist_layout"
+  "test_dist_layout.pdb"
+  "test_dist_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_multicolor_block_gs.dir/test_dist_multicolor_block_gs.cpp.o"
+  "CMakeFiles/test_dist_multicolor_block_gs.dir/test_dist_multicolor_block_gs.cpp.o.d"
+  "test_dist_multicolor_block_gs"
+  "test_dist_multicolor_block_gs.pdb"
+  "test_dist_multicolor_block_gs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_multicolor_block_gs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

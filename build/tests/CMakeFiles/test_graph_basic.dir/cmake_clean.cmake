@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_basic.dir/test_graph_basic.cpp.o"
+  "CMakeFiles/test_graph_basic.dir/test_graph_basic.cpp.o.d"
+  "test_graph_basic"
+  "test_graph_basic.pdb"
+  "test_graph_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

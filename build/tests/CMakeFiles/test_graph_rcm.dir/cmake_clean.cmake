@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_rcm.dir/test_graph_rcm.cpp.o"
+  "CMakeFiles/test_graph_rcm.dir/test_graph_rcm.cpp.o.d"
+  "test_graph_rcm"
+  "test_graph_rcm.pdb"
+  "test_graph_rcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_rcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_krylov.dir/test_krylov.cpp.o"
+  "CMakeFiles/test_krylov.dir/test_krylov.cpp.o.d"
+  "test_krylov"
+  "test_krylov.pdb"
+  "test_krylov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_krylov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multigrid_vcycle.dir/test_multigrid_vcycle.cpp.o"
+  "CMakeFiles/test_multigrid_vcycle.dir/test_multigrid_vcycle.cpp.o.d"
+  "test_multigrid_vcycle"
+  "test_multigrid_vcycle.pdb"
+  "test_multigrid_vcycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multigrid_vcycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_roundtrips.dir/test_property_roundtrips.cpp.o"
+  "CMakeFiles/test_property_roundtrips.dir/test_property_roundtrips.cpp.o.d"
+  "test_property_roundtrips"
+  "test_property_roundtrips.pdb"
+  "test_property_roundtrips[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_roundtrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

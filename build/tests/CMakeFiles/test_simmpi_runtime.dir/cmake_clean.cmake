@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi_runtime.dir/test_simmpi_runtime.cpp.o"
+  "CMakeFiles/test_simmpi_runtime.dir/test_simmpi_runtime.cpp.o.d"
+  "test_simmpi_runtime"
+  "test_simmpi_runtime.pdb"
+  "test_simmpi_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

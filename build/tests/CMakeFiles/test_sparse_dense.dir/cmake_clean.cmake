@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_dense.dir/test_sparse_dense.cpp.o"
+  "CMakeFiles/test_sparse_dense.dir/test_sparse_dense.cpp.o.d"
+  "test_sparse_dense"
+  "test_sparse_dense.pdb"
+  "test_sparse_dense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_mesh3d_fem3d.dir/test_sparse_mesh3d_fem3d.cpp.o"
+  "CMakeFiles/test_sparse_mesh3d_fem3d.dir/test_sparse_mesh3d_fem3d.cpp.o.d"
+  "test_sparse_mesh3d_fem3d"
+  "test_sparse_mesh3d_fem3d.pdb"
+  "test_sparse_mesh3d_fem3d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_mesh3d_fem3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sparse_mesh3d_fem3d.
+# This may be replaced when dependencies are built.

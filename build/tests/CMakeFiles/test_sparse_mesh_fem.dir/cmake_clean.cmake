@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_mesh_fem.dir/test_sparse_mesh_fem.cpp.o"
+  "CMakeFiles/test_sparse_mesh_fem.dir/test_sparse_mesh_fem.cpp.o.d"
+  "test_sparse_mesh_fem"
+  "test_sparse_mesh_fem.pdb"
+  "test_sparse_mesh_fem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_mesh_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_scaling.dir/test_sparse_scaling.cpp.o"
+  "CMakeFiles/test_sparse_scaling.dir/test_sparse_scaling.cpp.o.d"
+  "test_sparse_scaling"
+  "test_sparse_scaling.pdb"
+  "test_sparse_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

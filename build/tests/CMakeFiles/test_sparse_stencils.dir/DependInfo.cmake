@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sparse_stencils.cpp" "tests/CMakeFiles/test_sparse_stencils.dir/test_sparse_stencils.cpp.o" "gcc" "tests/CMakeFiles/test_sparse_stencils.dir/test_sparse_stencils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dsouth_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dsouth_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dsouth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/dsouth_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dsouth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/dsouth_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/multigrid/CMakeFiles/dsouth_multigrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/krylov/CMakeFiles/dsouth_krylov.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

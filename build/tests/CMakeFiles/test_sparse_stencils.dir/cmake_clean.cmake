@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_stencils.dir/test_sparse_stencils.cpp.o"
+  "CMakeFiles/test_sparse_stencils.dir/test_sparse_stencils.cpp.o.d"
+  "test_sparse_stencils"
+  "test_sparse_stencils.pdb"
+  "test_sparse_stencils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_and_schwarz.dir/test_stats_and_schwarz.cpp.o"
+  "CMakeFiles/test_stats_and_schwarz.dir/test_stats_and_schwarz.cpp.o.d"
+  "test_stats_and_schwarz"
+  "test_stats_and_schwarz.pdb"
+  "test_stats_and_schwarz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_and_schwarz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_indexed_heap.dir/test_util_indexed_heap.cpp.o"
+  "CMakeFiles/test_util_indexed_heap.dir/test_util_indexed_heap.cpp.o.d"
+  "test_util_indexed_heap"
+  "test_util_indexed_heap.pdb"
+  "test_util_indexed_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_indexed_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_interp.dir/test_util_interp.cpp.o"
+  "CMakeFiles/test_util_interp.dir/test_util_interp.cpp.o.d"
+  "test_util_interp"
+  "test_util_interp.pdb"
+  "test_util_interp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
