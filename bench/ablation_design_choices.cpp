@@ -47,6 +47,9 @@ int run(int argc, char** argv) {
     auto part = partition_for(problem.a, procs);
     dist::DistLayout layout(problem.a, part);
 
+    auto run_options = default_run_options();
+    apply_backend_args(args, run_options);
+
     struct Variant {
       std::string label;
       dist::DistMethod method;
@@ -55,20 +58,20 @@ int run(int argc, char** argv) {
     std::vector<Variant> variants;
     {
       Variant v{"PS (Alg. 2)", dist::DistMethod::kParallelSouthwell,
-                default_run_options()};
+                run_options};
       variants.push_back(v);
       v.label = "PS w/o explicit res updates (Ref. 18)";
       v.opt.ps_explicit_residual_updates = false;
       variants.push_back(v);
       Variant d{"DS (Alg. 3)", dist::DistMethod::kDistributedSouthwell,
-                default_run_options()};
+                run_options};
       variants.push_back(d);
       d.label = "DS w/o corrections";
       d.opt.ds.enable_corrections = false;
       variants.push_back(d);
       Variant e{"DS w/o local estimates",
                 dist::DistMethod::kDistributedSouthwell,
-                default_run_options()};
+                run_options};
       e.opt.ds.enable_local_estimates = false;
       variants.push_back(e);
     }
@@ -144,6 +147,7 @@ int run(int argc, char** argv) {
     for (auto& pp : parts) {
       auto q = graph::evaluate_partition(g, pp.part);
       auto opt = default_run_options();
+      apply_backend_args(args, opt);
       auto r = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
                                      problem.a, pp.part, problem.b,
                                      problem.x0, opt);
@@ -175,6 +179,7 @@ int run(int argc, char** argv) {
     std::vector<value_t> r(problem.b.size());
     for (double th : {0.0, 1.0, 2.0, 4.0}) {
       auto opt = default_run_options();
+      apply_backend_args(args, opt);
       opt.ds.send_threshold = th;
       auto run = dist::run_distributed(
           dist::DistMethod::kDistributedSouthwell, layout, problem.b,
@@ -220,6 +225,7 @@ int run(int argc, char** argv) {
     };
     for (const auto& v : variants2) {
       auto opt = default_run_options();
+      apply_backend_args(args, opt);
       opt.delivery.delay_probability = 0.3;
       opt.delivery.max_delay_epochs = 3;
       opt.ds.heartbeat_period = v.heartbeat;

@@ -23,12 +23,19 @@ int run(int argc, char** argv) {
   std::vector<std::string> matrices = scaling_figure_matrices();
   if (args.has("matrices")) matrices = select_matrices(args);
 
+  auto base_opt = default_run_options();
+  apply_backend_args(args, base_opt);
+
   print_header("Figure 8 — strong scaling: model time to ||r||=0.1 vs P",
                "paper Figure 8",
                "P in {32..8192} simulated ranks, 50 parallel steps max");
 
   util::CsvWriter csv(csv_path("fig8_strong_scaling.csv"),
-                      {"matrix", "procs", "method", "reached", "model_time"});
+                      {"matrix", "procs", "method", "reached", "model_time",
+                       "backend", "threads", "wall_seconds"});
+  double total_wall = 0.0;
+  std::string backend_used;
+  int threads_used = 1;
   for (const auto& name : matrices) {
     auto problem = make_dist_problem(name, size_factor);
     std::cout << "--- " << name << " (model ms to target; † = not reached "
@@ -40,8 +47,7 @@ int run(int argc, char** argv) {
     plot[2].name = "DS";
     for (auto p64 : procs) {
       const auto p = static_cast<index_t>(p64);
-      auto opt = default_run_options();
-      auto runs = run_three_methods(problem, p, opt);
+      auto runs = run_three_methods(problem, p, base_opt);
       const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
       table.row().cell(static_cast<std::size_t>(p));
       for (int m = 0; m < 3; ++m) {
@@ -58,7 +64,12 @@ int run(int argc, char** argv) {
             3));
         csv.write_row(std::vector<std::string>{
             name, std::to_string(p), r->method, at ? "1" : "0",
-            at ? util::format_double(at->model_time, 9) : ""});
+            at ? util::format_double(at->model_time, 9) : "", r->backend,
+            std::to_string(r->num_threads),
+            util::format_double(r->wall_seconds, 6)});
+        total_wall += r->wall_seconds;
+        backend_used = r->backend;
+        threads_used = r->num_threads;
       }
       std::cerr << "  [" << name << " P=" << p << "] done\n";
     }
@@ -71,6 +82,10 @@ int run(int argc, char** argv) {
     util::render_plot(std::cout, plot, popts);
     std::cout << "\n";
   }
+  std::cout << "Backend: " << backend_used << " (" << threads_used
+            << " thread" << (threads_used == 1 ? "" : "s")
+            << "), total solve wall-clock "
+            << util::format_double(total_wall, 3) << " s\n";
   std::cout << "CSV: " << csv.path() << "\n";
   return 0;
 }

@@ -39,6 +39,7 @@ int run(int argc, char** argv) {
     for (auto p64 : procs) {
       const auto p = static_cast<index_t>(p64);
       auto opt = default_run_options();
+      apply_backend_args(args, opt);
       auto runs = run_three_methods(problem, p, opt);
       const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
       table.row().cell(static_cast<std::size_t>(p));

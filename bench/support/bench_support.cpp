@@ -75,6 +75,17 @@ dist::DistRunOptions default_run_options() {
   return opt;
 }
 
+void apply_backend_args(const util::ArgParser& args,
+                        dist::DistRunOptions& opt) {
+  const std::string backend = args.get_choice_or(
+      "backend", {"sequential", "seq", "threads", "threadpool", "thread"},
+      "sequential");
+  const auto kind = simmpi::parse_backend_kind(backend);
+  DSOUTH_CHECK(kind.has_value());  // the choice set above is exhaustive
+  opt.backend = *kind;
+  opt.num_threads = static_cast<int>(args.get_int_or("threads", 0));
+}
+
 }  // namespace dsouth::bench
 
 namespace dsouth::bench {

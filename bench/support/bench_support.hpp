@@ -65,6 +65,11 @@ void print_header(const std::string& title, const std::string& regenerates,
 /// steps, the calibrated machine model).
 dist::DistRunOptions default_run_options();
 
+/// Apply the shared `-backend sequential|threads` / `-threads N` flags to
+/// `opt`. Results are bit-identical across backends; the knob only changes
+/// real wall-clock time (reported next to modeled time).
+void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
+
 }  // namespace dsouth::bench
 
 namespace dsouth::bench {

@@ -34,6 +34,7 @@ int run(int argc, char** argv) {
     auto part = partition_for(problem.a, procs);
     dist::DistLayout layout(problem.a, part);
     auto opt = default_run_options();
+    apply_backend_args(args, opt);
     auto ps = dist::run_distributed(dist::DistMethod::kParallelSouthwell,
                                     layout, problem.b, problem.x0, opt);
     auto ds = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,

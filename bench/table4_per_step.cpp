@@ -31,6 +31,7 @@ int run(int argc, char** argv) {
   for (const auto& name : matrices) {
     auto problem = make_dist_problem(name, size_factor);
     auto opt = default_run_options();
+    apply_backend_args(args, opt);
     auto runs = run_three_methods(problem, procs, opt);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
     table.row().cell(name);

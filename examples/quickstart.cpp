@@ -7,7 +7,7 @@
 ///   4. run Distributed Southwell and inspect convergence/communication.
 ///
 /// Run:   ./quickstart [-n 64] [-procs 256] [-steps 50] [-target 0.1]
-///        [-mat_file path/to/matrix.mtx]
+///        [-mat_file path/to/matrix.mtx] [-threads 4]
 
 #include <iostream>
 
@@ -66,6 +66,12 @@ int main(int argc, char** argv) {
   dist::DistRunOptions opt;
   opt.max_parallel_steps = steps;
   opt.stop_at_residual = target;
+  // `-threads N` steps the simulated ranks on a thread pool; the results
+  // are bit-identical to the sequential default (DESIGN.md §9).
+  if (args.has("threads")) {
+    opt.backend = simmpi::BackendKind::kThreadPool;
+    opt.num_threads = static_cast<int>(args.get_int_or("threads", 0));
+  }
   auto result = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
                                       a, partition, b, x0, opt);
 

@@ -12,47 +12,53 @@ BlockJacobi::BlockJacobi(const DistLayout& layout, simmpi::Runtime& rt,
   x_before_.resize(static_cast<std::size_t>(layout.num_ranks()));
 }
 
-DistStepStats BlockJacobi::step() {
-  DistStepStats stats;
-  const int nranks = layout_->num_ranks();
-
-  // Relax everywhere and write boundary updates.
+void BlockJacobi::rank_relax(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0) return;
+  const auto up = static_cast<std::size_t>(p);
+  auto& xp = x_[up];
+  auto& rp = r_[up];
+  x_before_[up] = xp;  // snapshot for Δx
+  const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+  ctx.add_flops(flops);
+  ++rank_stats_[up].active_ranks;
+  rank_stats_[up].relaxations += rd.num_rows();
+  const auto& x_old = x_before_[up];
   std::vector<double> payload;
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    if (rd.num_rows() == 0) continue;
-    auto& xp = x_[static_cast<std::size_t>(p)];
-    auto& rp = r_[static_cast<std::size_t>(p)];
-    x_before_[static_cast<std::size_t>(p)] = xp;  // snapshot for Δx
-    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
-    rt_->add_flops(p, flops);
-    ++stats.active_ranks;
-    stats.relaxations += rd.num_rows();
-    const auto& x_old = x_before_[static_cast<std::size_t>(p)];
-    for (const auto& nb : rd.neighbors) {
-      payload.clear();
-      payload.reserve(nb.send_rows_local.size());
-      for (index_t li : nb.send_rows_local) {
-        payload.push_back(xp[static_cast<std::size_t>(li)] -
-                          x_old[static_cast<std::size_t>(li)]);
-      }
-      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
+  for (const auto& nb : rd.neighbors) {
+    payload.clear();
+    payload.reserve(nb.send_rows_local.size());
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(xp[static_cast<std::size_t>(li)] -
+                        x_old[static_cast<std::size_t>(li)]);
     }
+    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
   }
+}
+
+void BlockJacobi::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  for (const auto& msg : ctx.window()) {
+    const int nbi = rd.neighbor_index(msg.source);
+    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+    apply_incoming_delta(ctx, rd.neighbors[static_cast<std::size_t>(nbi)],
+                         msg.payload);
+  }
+  ctx.consume();
+}
+
+DistStepStats BlockJacobi::step() {
+  // Relax everywhere and write boundary updates.
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_relax(ctx, p);
+  });
   rt_->fence();
 
   // Absorb neighbor updates.
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    for (const auto& msg : rt_->window(p)) {
-      const int nbi = rd.neighbor_index(msg.source);
-      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-      apply_incoming_delta(p, rd.neighbors[static_cast<std::size_t>(nbi)],
-                           msg.payload);
-    }
-    rt_->consume(p);
-  }
-  return stats;
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+  return merge_rank_stats();
 }
 
 }  // namespace dsouth::dist

@@ -23,6 +23,9 @@ class BlockJacobi final : public DistStationarySolver {
  private:
   // Message p -> q: payload = Δx at p's boundary rows w.r.t. q, ordered by
   // the shared channel convention (see layout.hpp).
+  void rank_relax(simmpi::RankContext& ctx, int p);
+  void rank_absorb(simmpi::RankContext& ctx, int p);
+
   std::vector<std::vector<value_t>> x_before_;  // per-rank sweep snapshot
 };
 

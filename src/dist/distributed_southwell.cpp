@@ -1,6 +1,7 @@
 #include "dist/distributed_southwell.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "dist/subdomain.hpp"
 #include "util/error.hpp"
@@ -15,6 +16,8 @@ DistributedSouthwell::DistributedSouthwell(
   gamma2_.resize(static_cast<std::size_t>(nranks));
   gtilde2_.resize(static_cast<std::size_t>(nranks));
   ghost_.resize(static_cast<std::size_t>(nranks));
+  corrections_sent_.assign(static_cast<std::size_t>(nranks), 0);
+  deferred_sends_.assign(static_cast<std::size_t>(nranks), 0);
   if (opt_.send_threshold > 0.0) {
     pending_dx_.resize(static_cast<std::size_t>(nranks));
     for (int p = 0; p < nranks; ++p) {
@@ -54,176 +57,191 @@ DistributedSouthwell::DistributedSouthwell(
   }
 }
 
-DistStepStats DistributedSouthwell::step() {
-  DistStepStats stats;
-  const int nranks = layout_->num_ranks();
+std::uint64_t DistributedSouthwell::corrections_sent() const {
+  return std::accumulate(corrections_sent_.begin(), corrections_sent_.end(),
+                         std::uint64_t{0});
+}
 
-  // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
+std::uint64_t DistributedSouthwell::deferred_sends() const {
+  return std::accumulate(deferred_sends_.begin(), deferred_sends_.end(),
+                         std::uint64_t{0});
+}
+
+void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0) return;
+  const auto up = static_cast<std::size_t>(p);
+  const value_t norm2 = local_norm_sq(r_[up]);
+  ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
+  if (norm2 <= 0.0) return;
+  for (value_t g : gamma2_[up]) {
+    if (g > norm2) return;  // a Γ estimate says a neighbor is worse off
+  }
+
+  auto& xp = x_[up];
+  auto& rp = r_[up];
+  auto& snap = scratch_[up];
+  snap.assign(xp.begin(), xp.end());  // snapshot for Δx
+  const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+  ctx.add_flops(flops);
+  ++rank_stats_[up].active_ranks;
+  rank_stats_[up].relaxations += rd.num_rows();
+  const value_t norm2_new = local_norm_sq(rp);
+  // Δx over the full local vector (a_qp columns only touch boundary rows,
+  // and message payloads pick out the per-neighbor boundary entries).
+  for (std::size_t li = 0; li < xp.size(); ++li) {
+    snap[li] = xp[li] - snap[li];
+  }
+  const auto dx_full = std::span<const value_t>(snap.data(), xp.size());
   std::vector<double> payload;
   std::vector<value_t> dz;
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    if (rd.num_rows() == 0) continue;
-    const auto up = static_cast<std::size_t>(p);
-    const value_t norm2 = local_norm_sq(r_[up]);
-    rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
-    if (norm2 <= 0.0) continue;
-    bool is_max = true;
-    for (value_t g : gamma2_[up]) {
-      if (g > norm2) {
-        is_max = false;
-        break;
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    const auto& nb = rd.neighbors[k];
+    // Local estimate maintenance: z_q -= a_qp · Δx_p, and fold the ghost
+    // change into the Γ[q] estimate (all with local data only).
+    if (opt_.enable_local_estimates) {
+      auto& z = ghost_[up][k];
+      dz.assign(z.size(), 0.0);
+      nb.a_qp.spmv(dx_full, dz);
+      ctx.add_flops(2.0 * static_cast<double>(nb.a_qp.nnz()));
+      value_t old_sq = 0.0, new_sq = 0.0;
+      for (std::size_t g = 0; g < z.size(); ++g) {
+        old_sq += z[g] * z[g];
+        z[g] -= dz[g];
+        new_sq += z[g] * z[g];
       }
+      gamma2_[up][k] =
+          std::max<value_t>(0.0, gamma2_[up][k] + new_sq - old_sq);
     }
-    if (!is_max) continue;
-
-    auto& xp = x_[up];
-    auto& rp = r_[up];
-    scratch_.assign(xp.begin(), xp.end());  // snapshot for Δx
-    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
-    rt_->add_flops(p, flops);
-    ++stats.active_ranks;
-    stats.relaxations += rd.num_rows();
-    const value_t norm2_new = local_norm_sq(rp);
-    // Δx over the full local vector (a_qp columns only touch boundary rows,
-    // and message payloads pick out the per-neighbor boundary entries).
-    for (std::size_t li = 0; li < xp.size(); ++li) {
-      scratch_[li] = xp[li] - scratch_[li];
-    }
-    const auto dx_full = std::span<const value_t>(scratch_.data(), xp.size());
-    for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
-      const auto& nb = rd.neighbors[k];
-      // Local estimate maintenance: z_q -= a_qp · Δx_p, and fold the ghost
-      // change into the Γ[q] estimate (all with local data only).
-      if (opt_.enable_local_estimates) {
-        auto& z = ghost_[up][k];
-        dz.assign(z.size(), 0.0);
-        nb.a_qp.spmv(dx_full, dz);
-        rt_->add_flops(p, 2.0 * static_cast<double>(nb.a_qp.nnz()));
-        value_t old_sq = 0.0, new_sq = 0.0;
-        for (std::size_t g = 0; g < z.size(); ++g) {
-          old_sq += z[g] * z[g];
-          z[g] -= dz[g];
-          new_sq += z[g] * z[g];
-        }
-        gamma2_[up][k] =
-            std::max<value_t>(0.0, gamma2_[up][k] + new_sq - old_sq);
+    // send_threshold extension: accumulate this relaxation's boundary
+    // Δx and defer the message while the accumulated change is small
+    // relative to the local residual norm.
+    if (opt_.send_threshold > 0.0) {
+      auto& pend = pending_dx_[up][k];
+      value_t acc_sq = 0.0;
+      for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+        pend[s] += dx_full[static_cast<std::size_t>(nb.send_rows_local[s])];
+        acc_sq += pend[s] * pend[s];
       }
-      // send_threshold extension: accumulate this relaxation's boundary
-      // Δx and defer the message while the accumulated change is small
-      // relative to the local residual norm.
-      if (opt_.send_threshold > 0.0) {
-        auto& pend = pending_dx_[up][k];
-        value_t acc_sq = 0.0;
-        for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
-          pend[s] += dx_full[static_cast<std::size_t>(nb.send_rows_local[s])];
-          acc_sq += pend[s] * pend[s];
-        }
-        if (acc_sq <= opt_.send_threshold * opt_.send_threshold * norm2_new) {
-          ++deferred_sends_;
-          continue;  // no message this step; Γ̃ untouched (q learns nothing)
-        }
-        gtilde2_[up][k] = norm2_new;
-        payload.clear();
-        payload.reserve(3 + 2 * nb.send_rows_local.size());
-        payload.push_back(0.0);
-        payload.push_back(norm2_new);
-        payload.push_back(gamma2_[up][k]);
-        for (value_t dx : pend) payload.push_back(dx);
-        for (index_t li : nb.send_rows_local) {
-          payload.push_back(rp[static_cast<std::size_t>(li)]);
-        }
-        std::fill(pend.begin(), pend.end(), 0.0);
-        rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
-        continue;
+      if (acc_sq <= opt_.send_threshold * opt_.send_threshold * norm2_new) {
+        ++deferred_sends_[up];
+        continue;  // no message this step; Γ̃ untouched (q learns nothing)
       }
-      gtilde2_[up][k] = norm2_new;  // the message tells q our exact norm
+      gtilde2_[up][k] = norm2_new;
       payload.clear();
       payload.reserve(3 + 2 * nb.send_rows_local.size());
       payload.push_back(0.0);
       payload.push_back(norm2_new);
       payload.push_back(gamma2_[up][k]);
-      for (index_t li : nb.send_rows_local) {
-        payload.push_back(dx_full[static_cast<std::size_t>(li)]);
-      }
+      for (value_t dx : pend) payload.push_back(dx);
       for (index_t li : nb.send_rows_local) {
         payload.push_back(rp[static_cast<std::size_t>(li)]);
       }
-      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
+      std::fill(pend.begin(), pend.end(), 0.0);
+      ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
+      continue;
     }
+    gtilde2_[up][k] = norm2_new;  // the message tells q our exact norm
+    payload.clear();
+    payload.reserve(3 + 2 * nb.send_rows_local.size());
+    payload.push_back(0.0);
+    payload.push_back(norm2_new);
+    payload.push_back(gamma2_[up][k]);
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(dx_full[static_cast<std::size_t>(li)]);
+    }
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(rp[static_cast<std::size_t>(li)]);
+    }
+    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
   }
+}
+
+void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
+                                        bool heartbeat) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0 || rd.neighbors.empty()) return;
+  const auto up = static_cast<std::size_t>(p);
+  const value_t norm2 = local_norm_sq(r_[up]);
+  ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
+  const auto& rp = r_[up];
+  std::vector<double> payload;
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    const bool must_heartbeat = heartbeat && norm2 > 0.0;
+    if (!(norm2 < gtilde2_[up][k]) && !must_heartbeat) continue;
+    const auto& nb = rd.neighbors[k];
+    payload.clear();
+    payload.reserve(3 + nb.send_rows_local.size());
+    payload.push_back(1.0);
+    payload.push_back(norm2);
+    payload.push_back(gamma2_[up][k]);
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(rp[static_cast<std::size_t>(li)]);
+    }
+    ctx.put(nb.rank, simmpi::MsgTag::kResidual, payload);
+    gtilde2_[up][k] = norm2;
+    ++corrections_sent_[up];
+  }
+}
+
+void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  const auto up = static_cast<std::size_t>(p);
+  for (const auto& msg : ctx.window()) {
+    DSOUTH_CHECK(msg.payload.size() >= 3);
+    const int nbi = rd.neighbor_index(msg.source);
+    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+    const auto unbi = static_cast<std::size_t>(nbi);
+    const auto& nb = rd.neighbors[unbi];
+    const std::size_t nbd = nb.ghost_rows.size();
+    if (msg.payload[0] == 0.0) {
+      // SOLVE: Δx + exact boundary residuals.
+      DSOUTH_CHECK(msg.payload.size() == 3 + 2 * nbd);
+      auto dx = std::span<const double>(msg.payload).subspan(3, nbd);
+      auto rb = std::span<const double>(msg.payload).subspan(3 + nbd, nbd);
+      apply_incoming_delta(ctx, nb, dx);
+      std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
+    } else {
+      // RES: exact boundary residuals only.
+      DSOUTH_CHECK(msg.payload.size() == 3 + nbd);
+      auto rb = std::span<const double>(msg.payload).subspan(3);
+      std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
+    }
+    gamma2_[up][unbi] = msg.payload[1];
+    gtilde2_[up][unbi] = msg.payload[2];
+  }
+  ctx.consume();
+}
+
+DistStepStats DistributedSouthwell::step() {
+  // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_relax(ctx, p);
+  });
   rt_->fence();
 
   // Absorb solve updates: apply Δx to r_p, overwrite the ghost layer with
   // the sender's exact boundary residuals, refresh Γ and Γ̃. (Dispatches
   // on the type tag: with runtime delivery delays, residual messages can
   // land at this fence too.)
-  absorb_window(nranks);
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
 
   // ---- Epoch B: deadlock avoidance — correct only overestimates of us.
   ++step_count_;
   const bool heartbeat =
       opt_.heartbeat_period > 0 && step_count_ % opt_.heartbeat_period == 0;
   if (opt_.enable_corrections) {
-    for (int p = 0; p < nranks; ++p) {
-      const RankData& rd = layout_->rank(p);
-      if (rd.num_rows() == 0 || rd.neighbors.empty()) continue;
-      const auto up = static_cast<std::size_t>(p);
-      const value_t norm2 = local_norm_sq(r_[up]);
-      rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
-      const auto& rp = r_[up];
-      for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
-        const bool must_heartbeat = heartbeat && norm2 > 0.0;
-        if (!(norm2 < gtilde2_[up][k]) && !must_heartbeat) continue;
-        const auto& nb = rd.neighbors[k];
-        payload.clear();
-        payload.reserve(3 + nb.send_rows_local.size());
-        payload.push_back(1.0);
-        payload.push_back(norm2);
-        payload.push_back(gamma2_[up][k]);
-        for (index_t li : nb.send_rows_local) {
-          payload.push_back(rp[static_cast<std::size_t>(li)]);
-        }
-        rt_->put(p, nb.rank, simmpi::MsgTag::kResidual, payload);
-        gtilde2_[up][k] = norm2;
-        ++corrections_sent_;
-      }
-    }
+    for_each_rank([this, heartbeat](simmpi::RankContext& ctx, int p) {
+      rank_correct(ctx, p, heartbeat);
+    });
   }
   rt_->fence();
-  absorb_window(nranks);
-  return stats;
-}
-
-void DistributedSouthwell::absorb_window(int nranks) {
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    const auto up = static_cast<std::size_t>(p);
-    for (const auto& msg : rt_->window(p)) {
-      DSOUTH_CHECK(msg.payload.size() >= 3);
-      const int nbi = rd.neighbor_index(msg.source);
-      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-      const auto unbi = static_cast<std::size_t>(nbi);
-      const auto& nb = rd.neighbors[unbi];
-      const std::size_t nbd = nb.ghost_rows.size();
-      if (msg.payload[0] == 0.0) {
-        // SOLVE: Δx + exact boundary residuals.
-        DSOUTH_CHECK(msg.payload.size() == 3 + 2 * nbd);
-        auto dx = std::span<const double>(msg.payload).subspan(3, nbd);
-        auto rb = std::span<const double>(msg.payload).subspan(3 + nbd, nbd);
-        apply_incoming_delta(p, nb, dx);
-        std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
-      } else {
-        // RES: exact boundary residuals only.
-        DSOUTH_CHECK(msg.payload.size() == 3 + nbd);
-        auto rb = std::span<const double>(msg.payload).subspan(3);
-        std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
-      }
-      gamma2_[up][unbi] = msg.payload[1];
-      gtilde2_[up][unbi] = msg.payload[2];
-    }
-    rt_->consume(p);
-  }
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+  return merge_rank_stats();
 }
 
 }  // namespace dsouth::dist

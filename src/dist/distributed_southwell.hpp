@@ -67,7 +67,7 @@ class DistributedSouthwell final : public DistStationarySolver {
 
   /// Explicit residual-update messages sent so far (observer convenience;
   /// also available from the runtime's per-tag stats).
-  std::uint64_t corrections_sent() const { return corrections_sent_; }
+  std::uint64_t corrections_sent() const;
 
  private:
   // Message formats (payload doubles), nb = boundary count of the channel:
@@ -75,7 +75,9 @@ class DistributedSouthwell final : public DistStationarySolver {
   //               [3..3+nb) = Δx, [3+nb..3+2nb) = exact r_p boundary values.
   //   RES   p->q: [0]=1, [1]=‖r_p‖², [2]=Γ_p[q]²,
   //               [3..3+nb) = exact r_p boundary values.
-  void absorb_window(int nranks);
+  void rank_relax(simmpi::RankContext& ctx, int p);
+  void rank_correct(simmpi::RankContext& ctx, int p, bool heartbeat);
+  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   DistributedSouthwellOptions opt_;
   std::vector<std::vector<value_t>> gamma2_;   // per rank/neighbor: ‖r_q‖² est
@@ -84,12 +86,12 @@ class DistributedSouthwell final : public DistStationarySolver {
   // send_threshold extension: per rank/neighbor accumulated unsent Δx
   // (aligned with send_rows_local).
   std::vector<std::vector<std::vector<value_t>>> pending_dx_;
-  std::uint64_t corrections_sent_ = 0;
-  std::uint64_t deferred_sends_ = 0;
+  // Per-rank counters (each rank phase bumps only its own slot).
+  std::vector<std::uint64_t> corrections_sent_, deferred_sends_;
   index_t step_count_ = 0;
 
  public:
-  std::uint64_t deferred_sends() const { return deferred_sends_; }
+  std::uint64_t deferred_sends() const;
 };
 
 }  // namespace dsouth::dist

@@ -7,6 +7,7 @@
 #include "dist/parallel_southwell.hpp"
 #include "util/error.hpp"
 #include "util/interp.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dsouth::dist {
 
@@ -109,12 +110,16 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
                               std::span<const value_t> x0,
                               const DistRunOptions& opt) {
   simmpi::Runtime rt(layout.num_ranks(), opt.machine, opt.delivery);
+  auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
   auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
+  solver->set_backend(*backend);
 
   DistRunResult result;
   result.method = method_name(method);
   result.num_ranks = layout.num_ranks();
   result.n = layout.global_rows();
+  result.backend = backend->name();
+  result.num_threads = backend->num_threads();
 
   auto record_state = [&] {
     result.residual_norm.push_back(solver->global_residual_norm());
@@ -130,7 +135,11 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
 
   index_t total_relax = 0;
   for (index_t k = 0; k < opt.max_parallel_steps; ++k) {
+    // Time the parallel steps only — the observer-side recording below is
+    // backend-independent bookkeeping.
+    util::Stopwatch wall;
     const DistStepStats stats = solver->step();
+    result.wall_seconds += wall.seconds();
     total_relax += stats.relaxations;
     result.active_ranks.push_back(stats.active_ranks);
     record_state();

@@ -15,6 +15,7 @@
 #include "dist/distributed_southwell.hpp"
 #include "dist/solver_base.hpp"
 #include "graph/partition.hpp"
+#include "simmpi/execution.hpp"
 #include "simmpi/machine_model.hpp"
 
 namespace dsouth::dist {
@@ -47,6 +48,12 @@ struct DistRunOptions {
   /// Parallel Southwell ablation: disable explicit residual updates
   /// (the deadlock-prone Ref. [18] scheme).
   bool ps_explicit_residual_updates = true;
+  /// Which ExecutionBackend runs the per-rank phases. Results are
+  /// bit-identical across backends (the fence merge is deterministic);
+  /// the thread pool only changes real wall-clock time.
+  simmpi::BackendKind backend = simmpi::BackendKind::kSequential;
+  /// Thread count for the thread-pool backend (0 = hardware concurrency).
+  int num_threads = 0;
 };
 
 /// Per-run series; index k = state after k parallel steps (index 0 = the
@@ -55,6 +62,11 @@ struct DistRunResult {
   std::string method;
   int num_ranks = 0;
   index_t n = 0;
+  std::string backend;   ///< execution backend the run used
+  int num_threads = 1;   ///< threads the backend ran with
+  /// Real wall-clock seconds of the solve loop (host time, NOT the machine
+  /// model — that is `model_time`). This is what the backend knob changes.
+  double wall_seconds = 0.0;
 
   std::vector<double> residual_norm;  ///< ‖r‖₂ (exact, observer-side)
   std::vector<double> model_time;     ///< modeled seconds, cumulative

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dist/solver_base.hpp"
 #include "dist/subdomain.hpp"
 #include "util/error.hpp"
 #include "util/indexed_heap.hpp"
@@ -16,24 +17,15 @@ GreedySchwarzResult run_greedy_schwarz(const DistLayout& layout,
   DSOUTH_CHECK(b.size() == static_cast<std::size_t>(layout.global_rows()));
   DSOUTH_CHECK(x0.size() == static_cast<std::size_t>(layout.global_rows()));
 
-  // Local state, initialized exactly like the distributed solvers.
+  // Local state, initialized exactly like the distributed solvers. The
+  // setup is per-rank work, so it runs through the backend when given one.
   auto x = layout.scatter(x0);
   auto r = layout.scatter(b);
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout.rank(p);
-    if (rd.num_rows() == 0) continue;
-    rd.a_local.spmv_acc(-1.0, x[static_cast<std::size_t>(p)],
-                        r[static_cast<std::size_t>(p)]);
-    for (const auto& nb : rd.neighbors) {
-      std::vector<value_t> xg(nb.ghost_rows.size());
-      for (std::size_t k = 0; k < nb.ghost_rows.size(); ++k) {
-        const index_t g = nb.ghost_rows[k];
-        xg[k] = x[static_cast<std::size_t>(layout.rank_of_row(g))]
-                 [static_cast<std::size_t>(layout.local_of_row(g))];
-      }
-      nb.a_pq.spmv_acc(-1.0, xg, r[static_cast<std::size_t>(p)]);
-    }
-  }
+  simmpi::SequentialBackend sequential;
+  simmpi::ExecutionBackend& backend = opt.backend ? *opt.backend : sequential;
+  backend.run_epoch(nranks, [&](int p) {
+    subtract_a_times_x_local(layout, x, r[static_cast<std::size_t>(p)], p);
+  });
 
   util::IndexedMaxHeap<value_t> heap(static_cast<std::size_t>(nranks));
   double total_sq = 0.0;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dist/layout.hpp"
+#include "simmpi/execution.hpp"
 
 namespace dsouth::dist {
 
@@ -19,6 +20,11 @@ struct GreedySchwarzOptions {
   /// Run length: total subdomain solves (each is one local GS sweep).
   index_t max_block_relaxations = 0;  ///< 0 = num_ranks (one "sweep")
   value_t target_residual = 0.0;      ///< stop early when reached (0 = off)
+  /// Backend for the per-rank setup phase (initial residuals). The greedy
+  /// loop itself is inherently sequential — one subdomain solve at a time
+  /// is the method — so only setup parallelizes. Not owned; nullptr runs
+  /// setup sequentially.
+  simmpi::ExecutionBackend* backend = nullptr;
 };
 
 struct GreedySchwarzResult {

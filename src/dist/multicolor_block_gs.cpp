@@ -28,46 +28,54 @@ MulticolorBlockGs::MulticolorBlockGs(const DistLayout& layout,
   }
 }
 
+void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0) return;
+  const auto up = static_cast<std::size_t>(p);
+  auto& xp = x_[up];
+  auto& rp = r_[up];
+  auto& snap = scratch_[up];
+  snap.assign(xp.begin(), xp.end());
+  const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+  ctx.add_flops(flops);
+  ++rank_stats_[up].active_ranks;
+  rank_stats_[up].relaxations += rd.num_rows();
+  std::vector<double> payload;
+  for (const auto& nb : rd.neighbors) {
+    payload.clear();
+    payload.reserve(nb.send_rows_local.size());
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(xp[static_cast<std::size_t>(li)] -
+                        snap[static_cast<std::size_t>(li)]);
+    }
+    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
+  }
+}
+
+void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  for (const auto& msg : ctx.window()) {
+    const int nbi = rd.neighbor_index(msg.source);
+    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+    apply_incoming_delta(ctx, rd.neighbors[static_cast<std::size_t>(nbi)],
+                         msg.payload);
+  }
+  ctx.consume();
+}
+
 DistStepStats MulticolorBlockGs::step() {
-  DistStepStats stats;
   const auto& ranks = color_ranks_[static_cast<std::size_t>(next_color_)];
   next_color_ = (next_color_ + 1) % num_colors();
 
-  std::vector<double> payload;
-  for (int p : ranks) {
-    const RankData& rd = layout_->rank(p);
-    if (rd.num_rows() == 0) continue;
-    const auto up = static_cast<std::size_t>(p);
-    auto& xp = x_[up];
-    auto& rp = r_[up];
-    scratch_.assign(xp.begin(), xp.end());
-    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
-    rt_->add_flops(p, flops);
-    ++stats.active_ranks;
-    stats.relaxations += rd.num_rows();
-    for (const auto& nb : rd.neighbors) {
-      payload.clear();
-      payload.reserve(nb.send_rows_local.size());
-      for (index_t li : nb.send_rows_local) {
-        payload.push_back(xp[static_cast<std::size_t>(li)] -
-                          scratch_[static_cast<std::size_t>(li)]);
-      }
-      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
-    }
-  }
+  for_ranks(ranks, [this](simmpi::RankContext& ctx, int p) {
+    rank_relax(ctx, p);
+  });
   rt_->fence();
 
-  for (int p = 0; p < layout_->num_ranks(); ++p) {
-    const RankData& rd = layout_->rank(p);
-    for (const auto& msg : rt_->window(p)) {
-      const int nbi = rd.neighbor_index(msg.source);
-      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-      apply_incoming_delta(p, rd.neighbors[static_cast<std::size_t>(nbi)],
-                           msg.payload);
-    }
-    rt_->consume(p);
-  }
-  return stats;
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+  return merge_rank_stats();
 }
 
 }  // namespace dsouth::dist

@@ -33,6 +33,9 @@ class MulticolorBlockGs final : public DistStationarySolver {
   int current_color() const { return next_color_; }
 
  private:
+  void rank_relax(simmpi::RankContext& ctx, int p);
+  void rank_absorb(simmpi::RankContext& ctx, int p);
+
   graph::Coloring coloring_;                    // colors over ranks
   std::vector<std::vector<int>> color_ranks_;   // color -> rank list
   int next_color_ = 0;

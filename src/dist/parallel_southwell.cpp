@@ -30,100 +30,103 @@ ParallelSouthwell::ParallelSouthwell(const DistLayout& layout,
   }
 }
 
-DistStepStats ParallelSouthwell::step() {
-  DistStepStats stats;
-  const int nranks = layout_->num_ranks();
+void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0) return;
+  const auto up = static_cast<std::size_t>(p);
+  const value_t norm2 = local_norm_sq(r_[up]);
+  ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
+  if (norm2 <= 0.0) return;
+  for (value_t g : gamma2_[up]) {
+    if (g > norm2) return;  // a neighbor is (believed) worse off
+  }
 
-  // ---- Epoch A: relax where the Parallel Southwell criterion holds.
+  auto& xp = x_[up];
+  auto& rp = r_[up];
+  auto& snap = scratch_[up];
+  snap.assign(xp.begin(), xp.end());  // snapshot for Δx
+  const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
+  ctx.add_flops(flops);
+  ++rank_stats_[up].active_ranks;
+  rank_stats_[up].relaxations += rd.num_rows();
+  const value_t norm2_new = local_norm_sq(rp);
+  advertised2_[up] = norm2_new;
   std::vector<double> payload;
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    if (rd.num_rows() == 0) continue;
-    const auto up = static_cast<std::size_t>(p);
-    const value_t norm2 = local_norm_sq(r_[up]);
-    rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
-    if (norm2 <= 0.0) continue;
-    bool is_max = true;
-    for (value_t g : gamma2_[up]) {
-      if (g > norm2) {
-        is_max = false;
-        break;
-      }
+  for (const auto& nb : rd.neighbors) {
+    payload.clear();
+    payload.reserve(2 + nb.send_rows_local.size());
+    payload.push_back(0.0);
+    payload.push_back(norm2_new);
+    for (index_t li : nb.send_rows_local) {
+      payload.push_back(xp[static_cast<std::size_t>(li)] -
+                        snap[static_cast<std::size_t>(li)]);
     }
-    if (!is_max) continue;
+    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
+  }
+}
 
-    auto& xp = x_[up];
-    auto& rp = r_[up];
-    scratch_.assign(xp.begin(), xp.end());  // snapshot for Δx
-    const double flops = local_gauss_seidel_sweep(rd.a_local, xp, rp);
-    rt_->add_flops(p, flops);
-    ++stats.active_ranks;
-    stats.relaxations += rd.num_rows();
-    const value_t norm2_new = local_norm_sq(rp);
-    advertised2_[up] = norm2_new;
-    for (const auto& nb : rd.neighbors) {
-      payload.clear();
-      payload.reserve(2 + nb.send_rows_local.size());
-      payload.push_back(0.0);
-      payload.push_back(norm2_new);
-      for (index_t li : nb.send_rows_local) {
-        payload.push_back(xp[static_cast<std::size_t>(li)] -
-                          scratch_[static_cast<std::size_t>(li)]);
-      }
-      rt_->put(p, nb.rank, simmpi::MsgTag::kSolve, payload);
+void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
+                                             int p) {
+  const RankData& rd = layout_->rank(p);
+  if (rd.num_rows() == 0 || rd.neighbors.empty()) return;
+  const auto up = static_cast<std::size_t>(p);
+  const value_t norm2 = local_norm_sq(r_[up]);
+  ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
+  if (norm2 == advertised2_[up]) return;
+  advertised2_[up] = norm2;
+  const double res_payload[2] = {1.0, norm2};
+  for (const auto& nb : rd.neighbors) {
+    ctx.put(nb.rank, simmpi::MsgTag::kResidual, res_payload);
+  }
+}
+
+void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const RankData& rd = layout_->rank(p);
+  const auto up = static_cast<std::size_t>(p);
+  for (const auto& msg : ctx.window()) {
+    DSOUTH_CHECK(!msg.payload.empty());
+    const int nbi = rd.neighbor_index(msg.source);
+    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+    const auto unbi = static_cast<std::size_t>(nbi);
+    gamma2_[up][unbi] = msg.payload[1];
+    if (msg.payload[0] == 0.0) {
+      // SOLVE: piggy-backed norm plus boundary Δx.
+      apply_incoming_delta(ctx, rd.neighbors[unbi],
+                           std::span<const double>(msg.payload).subspan(2));
+    } else {
+      // RES: norm only.
+      DSOUTH_CHECK(msg.payload.size() == 2);
     }
   }
+  ctx.consume();
+}
+
+DistStepStats ParallelSouthwell::step() {
+  // ---- Epoch A: relax where the Parallel Southwell criterion holds.
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_relax(ctx, p);
+  });
   rt_->fence();
 
   // Absorb solve updates; Γ entries refresh from the piggy-backed norms.
   // (Messages are dispatched on their type tag: with delivery delays
   // enabled in the runtime, residual-only messages can land here too.)
-  absorb_window(nranks);
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
 
   // ---- Epoch B: explicit residual updates wherever the norm changed
   // (Alg. 2 lines 19-21). This is the traffic Distributed Southwell cuts.
   if (explicit_residual_updates_) {
-    for (int p = 0; p < nranks; ++p) {
-      const RankData& rd = layout_->rank(p);
-      if (rd.num_rows() == 0 || rd.neighbors.empty()) continue;
-      const auto up = static_cast<std::size_t>(p);
-      const value_t norm2 = local_norm_sq(r_[up]);
-      rt_->add_flops(p, 2.0 * static_cast<double>(rd.num_rows()));
-      if (norm2 == advertised2_[up]) continue;
-      advertised2_[up] = norm2;
-      const double res_payload[2] = {1.0, norm2};
-      for (const auto& nb : rd.neighbors) {
-        rt_->put(p, nb.rank, simmpi::MsgTag::kResidual, res_payload);
-      }
-    }
+    for_each_rank([this](simmpi::RankContext& ctx, int p) {
+      rank_residual_update(ctx, p);
+    });
   }
   rt_->fence();
-  absorb_window(nranks);
-  return stats;
-}
-
-void ParallelSouthwell::absorb_window(int nranks) {
-  for (int p = 0; p < nranks; ++p) {
-    const RankData& rd = layout_->rank(p);
-    const auto up = static_cast<std::size_t>(p);
-    for (const auto& msg : rt_->window(p)) {
-      DSOUTH_CHECK(!msg.payload.empty());
-      const int nbi = rd.neighbor_index(msg.source);
-      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-      const auto unbi = static_cast<std::size_t>(nbi);
-      gamma2_[up][unbi] = msg.payload[1];
-      if (msg.payload[0] == 0.0) {
-        // SOLVE: piggy-backed norm plus boundary Δx.
-        apply_incoming_delta(
-            p, rd.neighbors[unbi],
-            std::span<const double>(msg.payload).subspan(2));
-      } else {
-        // RES: norm only.
-        DSOUTH_CHECK(msg.payload.size() == 2);
-      }
-    }
-    rt_->consume(p);
-  }
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+  return merge_rank_stats();
 }
 
 }  // namespace dsouth::dist

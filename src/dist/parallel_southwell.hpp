@@ -38,7 +38,9 @@ class ParallelSouthwell final : public DistStationarySolver {
   // Message formats (payload doubles):
   //   SOLVE p->q: [0]=0, [1]=new ‖r_p‖², [2..] = Δx boundary values.
   //   RES   p->q: [0]=1, [1]=current ‖r_p‖².
-  void absorb_window(int nranks);
+  void rank_relax(simmpi::RankContext& ctx, int p);
+  void rank_residual_update(simmpi::RankContext& ctx, int p);
+  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   bool explicit_residual_updates_;
   std::vector<std::vector<value_t>> gamma2_;   // per rank, per neighbor ‖r_q‖²

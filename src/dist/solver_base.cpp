@@ -8,37 +8,46 @@
 
 namespace dsouth::dist {
 
+void subtract_a_times_x_local(const DistLayout& layout,
+                              const std::vector<std::vector<value_t>>& x,
+                              std::vector<value_t>& r_p, int p) {
+  const RankData& rd = layout.rank(p);
+  if (rd.num_rows() == 0) return;
+  rd.a_local.spmv_acc(-1.0, x[static_cast<std::size_t>(p)], r_p);
+  for (const auto& nb : rd.neighbors) {
+    std::vector<value_t> xg(nb.ghost_rows.size());
+    for (std::size_t k = 0; k < nb.ghost_rows.size(); ++k) {
+      const index_t g = nb.ghost_rows[k];
+      xg[k] = x[static_cast<std::size_t>(layout.rank_of_row(g))]
+               [static_cast<std::size_t>(layout.local_of_row(g))];
+    }
+    nb.a_pq.spmv_acc(-1.0, xg, r_p);
+  }
+}
+
 DistStationarySolver::DistStationarySolver(const DistLayout& layout,
                                            simmpi::Runtime& rt,
                                            std::span<const value_t> b,
                                            std::span<const value_t> x0)
-    : layout_(&layout), rt_(&rt) {
+    : layout_(&layout),
+      rt_(&rt),
+      owned_backend_(std::make_unique<simmpi::SequentialBackend>()),
+      backend_(owned_backend_.get()) {
   DSOUTH_CHECK(rt.num_ranks() == layout.num_ranks());
   DSOUTH_CHECK(b.size() == static_cast<std::size_t>(layout.global_rows()));
   DSOUTH_CHECK(x0.size() == static_cast<std::size_t>(layout.global_rows()));
   x_ = layout.scatter(x0);
-  // Initial residual r_p = b_p - A_pp x_p - Σ_q A_pq x_q. The setup phase
-  // may read neighbor x directly (the paper's artifact likewise
-  // distributes the assembled system before the solve phase).
+  // Initial residual r_p = b_p - A_pp x_p - Σ_q A_pq x_q (setup phase; may
+  // read neighbor x directly).
   r_ = layout.scatter(b);
-  index_t max_m = 0;
+  const auto nranks = static_cast<std::size_t>(layout.num_ranks());
+  scratch_.resize(nranks);
+  rank_stats_.resize(nranks);
   for (int p = 0; p < layout.num_ranks(); ++p) {
-    const RankData& rd = layout.rank(p);
-    max_m = std::max(max_m, rd.num_rows());
-    if (rd.num_rows() == 0) continue;
-    rd.a_local.spmv_acc(-1.0, x_[static_cast<std::size_t>(p)],
-                        r_[static_cast<std::size_t>(p)]);
-    for (const auto& nb : rd.neighbors) {
-      std::vector<value_t> xg(nb.ghost_rows.size());
-      for (std::size_t k = 0; k < nb.ghost_rows.size(); ++k) {
-        const index_t g = nb.ghost_rows[k];
-        xg[k] = x_[static_cast<std::size_t>(layout.rank_of_row(g))]
-                  [static_cast<std::size_t>(layout.local_of_row(g))];
-      }
-      nb.a_pq.spmv_acc(-1.0, xg, r_[static_cast<std::size_t>(p)]);
-    }
+    subtract_a_times_x_local(layout, x_, r_[static_cast<std::size_t>(p)], p);
+    scratch_[static_cast<std::size_t>(p)].resize(
+        static_cast<std::size_t>(layout.rank(p).num_rows()));
   }
-  scratch_.resize(static_cast<std::size_t>(max_m));
 }
 
 double DistStationarySolver::global_residual_norm() const {
@@ -51,12 +60,40 @@ std::vector<value_t> DistStationarySolver::gather_x() const {
   return layout_->gather(x_);
 }
 
-void DistStationarySolver::apply_incoming_delta(int p,
+void DistStationarySolver::for_each_rank(
+    const std::function<void(simmpi::RankContext&, int)>& fn) {
+  backend_->run_epoch(layout_->num_ranks(), [&](int p) {
+    simmpi::RankContext ctx(*rt_, p);
+    fn(ctx, p);
+  });
+}
+
+void DistStationarySolver::for_ranks(
+    std::span<const int> ranks,
+    const std::function<void(simmpi::RankContext&, int)>& fn) {
+  backend_->run_epoch(static_cast<int>(ranks.size()), [&](int i) {
+    const int p = ranks[static_cast<std::size_t>(i)];
+    simmpi::RankContext ctx(*rt_, p);
+    fn(ctx, p);
+  });
+}
+
+DistStepStats DistStationarySolver::merge_rank_stats() {
+  DistStepStats total;
+  for (auto& st : rank_stats_) {
+    total.active_ranks += st.active_ranks;
+    total.relaxations += st.relaxations;
+    st = DistStepStats{};
+  }
+  return total;
+}
+
+void DistStationarySolver::apply_incoming_delta(simmpi::RankContext& ctx,
                                                 const NeighborBlock& nb,
                                                 std::span<const double> dx) {
   DSOUTH_CHECK(dx.size() == nb.ghost_rows.size());
-  nb.a_pq.spmv_acc(-1.0, dx, r_[static_cast<std::size_t>(p)]);
-  rt_->add_flops(p, 2.0 * static_cast<double>(nb.a_pq.nnz()));
+  nb.a_pq.spmv_acc(-1.0, dx, r_[static_cast<std::size_t>(ctx.rank())]);
+  ctx.add_flops(2.0 * static_cast<double>(nb.a_pq.nnz()));
 }
 
 }  // namespace dsouth::dist

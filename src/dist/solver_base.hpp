@@ -1,17 +1,29 @@
 #pragma once
 
 /// \file solver_base.hpp
-/// Common state and helpers for the three distributed block solvers
+/// Common state and helpers for the distributed block solvers
 /// (Algorithms 1–3 of the paper). Each solver advances one *parallel step*
 /// per `step()` call; a step is one or two simmpi epochs depending on the
-/// method. All per-rank state is simulation-local: ranks never read each
-/// other's arrays except through simmpi messages (the tests enforce the
-/// convergence consequences of that discipline).
+/// method.
+///
+/// SPMD structure: a step's work is decomposed into per-rank phases —
+/// `rank_*`(RankContext&, p) member functions that touch only rank-p state
+/// (x_[p], r_[p], scratch_[p], the solver's per-rank estimate arrays) plus
+/// the rank-scoped runtime facade. `for_each_rank` hands those phases to
+/// the solver's ExecutionBackend, so the same phase code runs sequentially
+/// or on a thread pool with bit-identical results (the runtime merges
+/// staged effects deterministically at the fence). Ranks never read each
+/// other's arrays except through simmpi messages; the tests enforce the
+/// convergence consequences of that discipline.
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dist/layout.hpp"
+#include "simmpi/execution.hpp"
+#include "simmpi/rank_context.hpp"
 #include "simmpi/runtime.hpp"
 
 namespace dsouth::dist {
@@ -21,6 +33,14 @@ struct DistStepStats {
   index_t active_ranks = 0;  ///< ranks that relaxed their subdomain
   index_t relaxations = 0;   ///< rows relaxed (sum of active subdomains)
 };
+
+/// Setup-phase helper shared with greedy_schwarz: r_p -= A_pp x_p +
+/// Σ_q A_pq x_q for rank p. Reads neighbor x directly (the paper's
+/// artifact likewise distributes the assembled system before the solve
+/// phase); per-rank, so a backend may run it for all ranks concurrently.
+void subtract_a_times_x_local(const DistLayout& layout,
+                              const std::vector<std::vector<value_t>>& x,
+                              std::vector<value_t>& r_p, int p);
 
 class DistStationarySolver {
  public:
@@ -40,6 +60,11 @@ class DistStationarySolver {
   const DistLayout& layout() const { return *layout_; }
   simmpi::Runtime& runtime() { return *rt_; }
 
+  /// Select the backend that executes the per-rank phases. Not owned; must
+  /// outlive the solver. Defaults to a private sequential backend.
+  void set_backend(simmpi::ExecutionBackend& backend) { backend_ = &backend; }
+  const simmpi::ExecutionBackend& backend() const { return *backend_; }
+
   /// Observer-side exact global residual norm (gathers local residuals;
   /// local residuals are exact by construction in all three methods).
   double global_residual_norm() const;
@@ -51,15 +76,35 @@ class DistStationarySolver {
   std::span<const value_t> local_r(int p) const { return r_[p]; }
 
  protected:
+  /// Run fn(ctx, p) for every rank p via the backend (one epoch phase).
+  void for_each_rank(
+      const std::function<void(simmpi::RankContext&, int)>& fn);
+
+  /// Same, restricted to a rank subset (multicolor phases).
+  void for_ranks(std::span<const int> ranks,
+                 const std::function<void(simmpi::RankContext&, int)>& fn);
+
+  /// Sum the per-rank step-stat slots into one record and reset them
+  /// (call once at the end of step()).
+  DistStepStats merge_rank_stats();
+
   /// r_p -= a_pq · Δx_q and charge the flops; dx is ordered by the
   /// neighbor's ghost_rows channel convention.
-  void apply_incoming_delta(int p, const NeighborBlock& nb,
+  void apply_incoming_delta(simmpi::RankContext& ctx, const NeighborBlock& nb,
                             std::span<const double> dx);
 
   const DistLayout* layout_;
   simmpi::Runtime* rt_;
   std::vector<std::vector<value_t>> x_, r_;
-  std::vector<value_t> scratch_;  // reusable buffer (max subdomain size)
+  /// Per-rank reusable buffer (sized to the rank's subdomain) — each rank
+  /// phase may use only its own slot.
+  std::vector<std::vector<value_t>> scratch_;
+  /// Per-rank step accounting, merged by merge_rank_stats().
+  std::vector<DistStepStats> rank_stats_;
+
+ private:
+  std::unique_ptr<simmpi::ExecutionBackend> owned_backend_;
+  simmpi::ExecutionBackend* backend_;
 };
 
 }  // namespace dsouth::dist

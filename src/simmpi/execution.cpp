@@ -1,0 +1,120 @@
+#include "simmpi/execution.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsouth::simmpi {
+
+void SequentialBackend::run_epoch(int count,
+                                  const std::function<void(int)>& fn) {
+  for (int i = 0; i < count; ++i) fn(i);
+}
+
+ThreadPoolBackend::ThreadPoolBackend(int num_threads)
+    : num_threads_(num_threads > 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 0; t < num_threads_ - 1; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPoolBackend::~ThreadPoolBackend() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPoolBackend::run_indices(const std::function<void(int)>& fn,
+                                    int count) {
+  for (;;) {
+    if (abort_.load(std::memory_order_relaxed)) return;
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      abort_.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+      return;
+    }
+  }
+}
+
+void ThreadPoolBackend::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_id_ != seen; });
+    if (stop_) return;
+    seen = epoch_id_;
+    const std::function<void(int)>* job = job_;
+    const int count = job_count_;
+    lk.unlock();
+    run_indices(*job, count);
+    lk.lock();
+    if (--unfinished_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPoolBackend::run_epoch(int count,
+                                  const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    abort_.store(false, std::memory_order_relaxed);
+    error_ = nullptr;
+    unfinished_workers_ = static_cast<int>(workers_.size());
+    ++epoch_id_;
+  }
+  work_cv_.notify_all();
+  run_indices(fn, count);  // the calling thread participates
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return unfinished_workers_ == 0; });
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSequential:
+      return "sequential";
+    case BackendKind::kThreadPool:
+      return "threads";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> parse_backend_kind(std::string_view name) {
+  if (name == "sequential" || name == "seq") return BackendKind::kSequential;
+  if (name == "threads" || name == "threadpool" || name == "thread") {
+    return BackendKind::kThreadPool;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               int num_threads) {
+  switch (kind) {
+    case BackendKind::kSequential:
+      return std::make_unique<SequentialBackend>();
+    case BackendKind::kThreadPool:
+      return std::make_unique<ThreadPoolBackend>(num_threads);
+  }
+  DSOUTH_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dsouth::simmpi

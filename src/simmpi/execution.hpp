@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file execution.hpp
+/// Pluggable rank-execution backends.
+///
+/// An ExecutionBackend answers one question: given the per-rank programs of
+/// an epoch (closures over RankContext), on which OS threads do they run?
+/// The simulation semantics are entirely in Runtime — every mutation a rank
+/// program performs is indexed by its own rank (windows, flop counters,
+/// staging lanes), and the fence merges staged effects in a deterministic
+/// (source, send-order) order — so the backend choice changes wall-clock
+/// time only. Results, CommStats, and modeled time are bit-identical across
+/// backends; the determinism test suite enforces this.
+///
+/// Backends:
+///   SequentialBackend — ranks run ascending on the calling thread. The
+///     reference; zero overhead, useful under debuggers.
+///   ThreadPoolBackend — a persistent std::thread pool; ranks of an epoch
+///     are claimed dynamically by the workers (the calling thread
+///     participates too). This is what makes large-P sweeps use the
+///     machine's cores.
+///
+/// A future real-MPI or async backend slots in here without touching the
+/// solvers (DESIGN.md § Execution backends).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace dsouth::simmpi {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  ExecutionBackend() = default;
+  ExecutionBackend(const ExecutionBackend&) = delete;
+  ExecutionBackend& operator=(const ExecutionBackend&) = delete;
+
+  virtual const char* name() const = 0;
+  virtual int num_threads() const = 0;
+
+  /// Invoke fn(i) exactly once for every i in [0, count) and return when
+  /// all invocations have completed. fn must tolerate concurrent calls for
+  /// *distinct* indices (the one-thread-per-rank discipline); no two calls
+  /// receive the same index. The first exception thrown by fn is rethrown
+  /// here after the epoch drains.
+  virtual void run_epoch(int count, const std::function<void(int)>& fn) = 0;
+};
+
+/// Deterministic single-threaded reference: indices run ascending.
+class SequentialBackend final : public ExecutionBackend {
+ public:
+  const char* name() const override { return "sequential"; }
+  int num_threads() const override { return 1; }
+  void run_epoch(int count, const std::function<void(int)>& fn) override;
+};
+
+/// Persistent worker pool. `num_threads` total threads execute each epoch
+/// (num_threads - 1 workers plus the calling thread); 0 means
+/// hardware_concurrency.
+class ThreadPoolBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadPoolBackend(int num_threads = 0);
+  ~ThreadPoolBackend() override;
+
+  const char* name() const override { return "threads"; }
+  int num_threads() const override { return num_threads_; }
+  void run_epoch(int count, const std::function<void(int)>& fn) override;
+
+ private:
+  void worker_loop();
+  void run_indices(const std::function<void(int)>& fn, int count);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_, done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  int job_count_ = 0;                              // guarded by mu_
+  int unfinished_workers_ = 0;                     // guarded by mu_
+  std::uint64_t epoch_id_ = 0;                     // guarded by mu_
+  bool stop_ = false;                              // guarded by mu_
+  std::exception_ptr error_;                       // guarded by mu_
+  std::atomic<int> next_{0};
+  std::atomic<bool> abort_{false};
+};
+
+/// Backend selector for options structs / CLI flags.
+enum class BackendKind {
+  kSequential,
+  kThreadPool,
+};
+
+const char* backend_kind_name(BackendKind kind);
+
+/// Parse "sequential"/"seq" or "threads"/"threadpool"; nullopt otherwise.
+std::optional<BackendKind> parse_backend_kind(std::string_view name);
+
+/// Factory. `num_threads` only applies to the thread-pool backend
+/// (0 = hardware concurrency).
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               int num_threads = 0);
+
+}  // namespace dsouth::simmpi

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file rank_context.hpp
+/// Rank-scoped facade over the simulated runtime.
+///
+/// The paper's algorithms are SPMD: every MPI rank runs the *same* per-rank
+/// program between RMA epochs. A RankContext is the view of the Runtime
+/// that one such program is allowed to have — its own window, its own flop
+/// counter, puts originating from itself. Solver phase code written against
+/// a RankContext is "the code one rank runs", and an ExecutionBackend
+/// (execution.hpp) decides whether those programs run on one thread or
+/// many; the Runtime's per-source staging lanes make either choice produce
+/// bit-identical results.
+///
+/// Thread-safety contract (matches Runtime's): during an epoch, at most one
+/// thread drives a given rank. Distinct ranks may run concurrently; all the
+/// runtime state a RankContext touches is indexed by this rank.
+
+#include <span>
+
+#include "simmpi/runtime.hpp"
+
+namespace dsouth::simmpi {
+
+class RankContext {
+ public:
+  RankContext(Runtime& rt, int rank) : rt_(&rt), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int num_ranks() const { return rt_->num_ranks(); }
+  const MachineModel& model() const { return rt_->model(); }
+
+  /// Messages delivered to this rank and not yet consumed (see
+  /// Runtime::window).
+  std::span<const Message> window() const { return rt_->window(rank_); }
+
+  /// Discard this rank's window contents (call after processing them).
+  void consume() { rt_->consume(rank_); }
+
+  /// One-sided put originating from this rank.
+  void put(int dest, MsgTag tag, std::span<const double> payload) {
+    rt_->put(rank_, dest, tag, payload);
+  }
+
+  /// Report local computation performed by this rank in this epoch.
+  void add_flops(double flops) { rt_->add_flops(rank_, flops); }
+
+ private:
+  Runtime* rt_;
+  int rank_;
+};
+
+}  // namespace dsouth::simmpi

@@ -13,7 +13,9 @@ Runtime::Runtime(int num_ranks, MachineModel model, DeliveryModel delivery)
       delivery_state_(delivery.seed),
       stats_(num_ranks),
       windows_(static_cast<std::size_t>(num_ranks)),
-      staging_(static_cast<std::size_t>(num_ranks)),
+      lanes_(static_cast<std::size_t>(num_ranks)),
+      lane_seq_(static_cast<std::size_t>(num_ranks), 0),
+      deferred_(static_cast<std::size_t>(num_ranks)),
       epoch_flops_(static_cast<std::size_t>(num_ranks), 0.0),
       epoch_msgs_(static_cast<std::size_t>(num_ranks), 0),
       epoch_bytes_(static_cast<std::size_t>(num_ranks), 0) {
@@ -30,37 +32,15 @@ void Runtime::put(int source, int dest, MsgTag tag,
   DSOUTH_CHECK(source >= 0 && source < num_ranks_);
   DSOUTH_CHECK(dest >= 0 && dest < num_ranks_);
   DSOUTH_CHECK_MSG(source != dest, "rank " << source << " put to itself");
-  // Delivery delay draw (SplitMix64 inline so the runtime stays
-  // self-contained and deterministic).
-  std::uint64_t deliver_epoch = epochs_;  // next fence
-  bool delayed = false;
-  if (delivery_.delay_probability > 0.0) {
-    auto next_u64 = [this] {
-      std::uint64_t z = (delivery_state_ += 0x9e3779b97f4a7c15ULL);
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      return z ^ (z >> 31);
-    };
-    const double u =
-        static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-    if (u < delivery_.delay_probability) {
-      const auto extra = 1 + static_cast<std::uint64_t>(
-                                 next_u64() %
-                                 static_cast<std::uint64_t>(
-                                     delivery_.max_delay_epochs));
-      deliver_epoch = epochs_ + extra;
-      delayed = true;
-      ++delayed_in_flight_;
-    }
-  }
-  staging_[static_cast<std::size_t>(dest)].push_back(
-      Staged{source, tag, seq_++, deliver_epoch, delayed,
+  // Everything below is indexed by `source`: concurrent puts from distinct
+  // sources touch disjoint state. Stats and delay draws are deferred to
+  // the fence so their order does not depend on thread scheduling.
+  const auto us = static_cast<std::size_t>(source);
+  lanes_[us].push_back(
+      Staged{dest, tag, lane_seq_[us]++,
              std::vector<double>(payload.begin(), payload.end())});
-  const std::uint64_t bytes = message_bytes(payload.size());
-  stats_.record_send(source, tag, bytes);
-  ++epoch_msgs_[static_cast<std::size_t>(source)];
-  epoch_bytes_[static_cast<std::size_t>(source)] += bytes;
-  ++epoch_total_msgs_;
+  ++epoch_msgs_[us];
+  epoch_bytes_[us] += message_bytes(payload.size());
 }
 
 void Runtime::add_flops(int rank, double flops) {
@@ -72,47 +52,89 @@ void Runtime::add_flops(int rank, double flops) {
 void Runtime::fence() {
   // Charge the machine model for this epoch.
   double max_rank_cost = 0.0;
+  std::uint64_t epoch_total_msgs = 0;
   for (int r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
     max_rank_cost =
         std::max(max_rank_cost, model_.rank_cost(epoch_flops_[i],
                                                  epoch_msgs_[i],
                                                  epoch_bytes_[i]));
+    epoch_total_msgs += epoch_msgs_[i];
     epoch_flops_[i] = 0.0;
     epoch_msgs_[i] = 0;
     epoch_bytes_[i] = 0;
   }
   last_epoch_seconds_ =
-      model_.epoch_seconds(max_rank_cost, epoch_total_msgs_, num_ranks_);
+      model_.epoch_seconds(max_rank_cost, epoch_total_msgs, num_ranks_);
   model_time_ += last_epoch_seconds_;
-  epoch_total_msgs_ = 0;
+  const std::uint64_t closed_epoch = epochs_;
   ++epochs_;
 
-  // Deliver matured staged messages, sorted by (source, send order) so
-  // every run is bit-identical regardless of the order ranks were stepped
-  // in. Messages whose deliver_epoch lies in the future stay staged
-  // (the delivery-delay model).
+  // Per-message accounting, merged from the per-source staging lanes in
+  // (source, send-order) order — exactly the chronological put order of a
+  // sequential rank sweep, so stats accumulation and the delivery-delay
+  // RNG consume in the same order regardless of which backend (or test)
+  // staged the puts.
+  std::vector<std::vector<Deferred>> matured(
+      static_cast<std::size_t>(num_ranks_));
+  auto next_u64 = [this] {
+    std::uint64_t z = (delivery_state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (int s = 0; s < num_ranks_; ++s) {
+    auto& lane = lanes_[static_cast<std::size_t>(s)];
+    for (auto& m : lane) {
+      stats_.record_send(s, m.tag, message_bytes(m.payload.size()));
+      std::uint64_t deliver_epoch = closed_epoch;  // matures at this fence
+      if (delivery_.delay_probability > 0.0) {
+        const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+        if (u < delivery_.delay_probability) {
+          const auto extra = 1 + static_cast<std::uint64_t>(
+                                     next_u64() %
+                                     static_cast<std::uint64_t>(
+                                         delivery_.max_delay_epochs));
+          deliver_epoch = closed_epoch + extra;
+          ++delayed_in_flight_;
+        }
+      }
+      auto& sink = deliver_epoch < epochs_
+                       ? matured[static_cast<std::size_t>(m.dest)]
+                       : deferred_[static_cast<std::size_t>(m.dest)];
+      sink.push_back(
+          Deferred{s, m.tag, m.seq, deliver_epoch, std::move(m.payload)});
+    }
+    lane.clear();
+  }
+
+  // Deliver matured messages (fresh plus previously-deferred ones whose
+  // epoch has come), sorted by (source, send order) so every run is
+  // bit-identical regardless of the order ranks were stepped in.
   for (int r = 0; r < num_ranks_; ++r) {
-    auto& staged = staging_[static_cast<std::size_t>(r)];
-    auto& win = windows_[static_cast<std::size_t>(r)];
-    std::sort(staged.begin(), staged.end(),
-              [](const Staged& a, const Staged& b) {
+    const auto i = static_cast<std::size_t>(r);
+    auto& held = deferred_[i];
+    auto& ready = matured[i];
+    std::vector<Deferred> keep;
+    for (auto& d : held) {
+      if (d.deliver_epoch < epochs_) {
+        DSOUTH_ASSERT(delayed_in_flight_ > 0);
+        --delayed_in_flight_;
+        ready.push_back(std::move(d));
+      } else {
+        keep.push_back(std::move(d));
+      }
+    }
+    held.swap(keep);
+    std::sort(ready.begin(), ready.end(),
+              [](const Deferred& a, const Deferred& b) {
                 if (a.source != b.source) return a.source < b.source;
                 return a.seq < b.seq;
               });
-    std::vector<Staged> keep;
-    for (auto& s : staged) {
-      if (s.deliver_epoch < epochs_) {
-        if (s.delayed) {
-          DSOUTH_ASSERT(delayed_in_flight_ > 0);
-          --delayed_in_flight_;
-        }
-        win.push_back(Message{s.source, s.tag, std::move(s.payload)});
-      } else {
-        keep.push_back(std::move(s));
-      }
+    auto& win = windows_[i];
+    for (auto& d : ready) {
+      win.push_back(Message{d.source, d.tag, std::move(d.payload)});
     }
-    staged.swap(keep);
   }
 }
 
@@ -124,8 +146,11 @@ void Runtime::consume(int rank) {
 void Runtime::drain_delayed() {
   for (int i = 0; i <= delivery_.max_delay_epochs; ++i) {
     bool any = false;
-    for (const auto& staged : staging_) {
-      if (!staged.empty()) any = true;
+    for (const auto& lane : lanes_) {
+      if (!lane.empty()) any = true;
+    }
+    for (const auto& held : deferred_) {
+      if (!held.empty()) any = true;
     }
     if (!any) break;
     fence();

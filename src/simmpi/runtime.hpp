@@ -19,6 +19,19 @@
 /// The paper's algorithms are bulk-synchronous per parallel step (every
 /// rank opens and closes the same access epochs), so this superstep
 /// semantics is exact, and it makes every experiment bit-reproducible.
+///
+/// Concurrency contract (the ExecutionBackend discipline, execution.hpp):
+/// within an epoch, at most one thread drives a given rank, and every call
+/// it makes is indexed by that rank — put(source=rank, ...) appends to the
+/// rank's own staging lane, add_flops(rank, ...) bumps the rank's own
+/// counter, window(rank)/consume(rank) touch the rank's own window. Ranks
+/// therefore never share mutable state mid-epoch and may run on concurrent
+/// threads. fence() is called by exactly one thread after the epoch's rank
+/// programs have completed (the backend joins them); it merges the staging
+/// lanes in (source, send-order) order — identical to the chronological
+/// put order of a sequential rank sweep — so delivery order, delivery-delay
+/// draws, CommStats, and modeled time are bit-identical whichever backend
+/// staged the puts.
 
 #include <cstdint>
 #include <span>
@@ -66,14 +79,18 @@ class Runtime {
   void consume(int rank);
 
   /// One-sided put: stage `payload` for delivery into `dest`'s window at
-  /// the next fence. Counts as exactly one message from `source`.
+  /// the next fence. Counts as exactly one message from `source`. Staged
+  /// into `source`'s private lane; safe to call concurrently from distinct
+  /// sources. Per-message accounting (stats, delivery-delay draws) happens
+  /// at the fence, in (source, send-order) order.
   void put(int source, int dest, MsgTag tag, std::span<const double> payload);
 
   /// Report local computation performed by `rank` in this epoch (flops).
   void add_flops(int rank, double flops);
 
   /// Close the epoch: deliver staged puts, charge the machine model,
-  /// clear per-epoch counters.
+  /// clear per-epoch counters. Single caller at a time (the backend joins
+  /// the epoch's rank programs first).
   void fence();
 
   /// Cumulative modeled time (seconds) over all fenced epochs.
@@ -92,15 +109,27 @@ class Runtime {
   void drain_delayed();
 
   const CommStats& stats() const { return stats_; }
-  CommStats& stats() { return stats_; }
+
+  /// Zero the communication counters (e.g. to measure a phase in
+  /// isolation). The explicit API replaces the old mutable stats()
+  /// accessor — accounting is written only by the runtime itself.
+  void reset_stats() { stats_.reset(); }
 
  private:
+  /// A put staged in its source's lane, awaiting the fence.
   struct Staged {
+    int dest;
+    MsgTag tag;
+    std::uint64_t seq;  // per-source send counter (monotonic, never reset)
+    std::vector<double> payload;
+  };
+  /// A message held back by the delivery model, keyed for the
+  /// deterministic (source, send-order) delivery sort.
+  struct Deferred {
     int source;
     MsgTag tag;
-    std::uint64_t seq;  // global send order for deterministic tie-break
+    std::uint64_t seq;
     std::uint64_t deliver_epoch;  // earliest fence that may deliver it
-    bool delayed;                 // deferred by the delivery model
     std::vector<double> payload;
   };
 
@@ -111,12 +140,12 @@ class Runtime {
   std::uint64_t delayed_in_flight_ = 0;
   CommStats stats_;
   std::vector<std::vector<Message>> windows_;   // delivered, per rank
-  std::vector<std::vector<Staged>> staging_;    // pending, per dest rank
+  std::vector<std::vector<Staged>> lanes_;      // pending, per SOURCE rank
+  std::vector<std::uint64_t> lane_seq_;         // per-source send counters
+  std::vector<std::vector<Deferred>> deferred_;  // delayed, per dest rank
   // Per-epoch accounting for the machine model.
   std::vector<double> epoch_flops_;
   std::vector<std::uint64_t> epoch_msgs_, epoch_bytes_;
-  std::uint64_t epoch_total_msgs_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t epochs_ = 0;
   double model_time_ = 0.0;
   double last_epoch_seconds_ = 0.0;

@@ -96,6 +96,24 @@ std::vector<std::int64_t> ArgParser::get_int_list_or(
   return out;
 }
 
+std::string ArgParser::get_choice_or(const std::string& name,
+                                     const std::vector<std::string>& choices,
+                                     const std::string& dflt) const {
+  auto v = get(name);
+  if (!v) return dflt;
+  for (const auto& c : choices) {
+    if (*v == c) return *v;
+  }
+  std::string allowed;
+  for (const auto& c : choices) {
+    if (!allowed.empty()) allowed += "|";
+    allowed += c;
+  }
+  DSOUTH_CHECK_MSG(false, "argument -" << name << " expects one of "
+                                       << allowed << ", got '" << *v << "'");
+  return dflt;
+}
+
 std::vector<std::string> ArgParser::unqueried() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : values_) {

@@ -31,6 +31,13 @@ class ArgParser {
   std::vector<std::int64_t> get_int_list_or(
       const std::string& name, const std::vector<std::int64_t>& dflt) const;
 
+  /// Value restricted to a fixed choice set, e.g.
+  /// `-backend sequential|threads`. Throws CheckError when the given value
+  /// is not one of `choices`; `dflt` (returned when absent) need not be.
+  std::string get_choice_or(const std::string& name,
+                            const std::vector<std::string>& choices,
+                            const std::string& dflt) const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

@@ -1,0 +1,269 @@
+#include "simmpi/execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dist/driver.hpp"
+#include "dist/greedy_schwarz.hpp"
+#include "simmpi/rank_context.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::simmpi {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ExecutionBackend unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(SequentialBackend, RunsEveryIndexAscending) {
+  SequentialBackend backend;
+  EXPECT_STREQ(backend.name(), "sequential");
+  EXPECT_EQ(backend.num_threads(), 1);
+  std::vector<int> order;
+  backend.run_epoch(5, [&](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolBackend, RunsEveryIndexExactlyOnce) {
+  ThreadPoolBackend backend(4);
+  EXPECT_STREQ(backend.name(), "threads");
+  EXPECT_EQ(backend.num_threads(), 4);
+  constexpr int kCount = 257;  // more indices than threads, odd size
+  std::vector<std::atomic<int>> hits(kCount);
+  backend.run_epoch(kCount, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolBackend, IsReusableAcrossEpochs) {
+  ThreadPoolBackend backend(3);
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    std::atomic<int> sum{0};
+    backend.run_epoch(13, [&](int i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 13 * 12 / 2);
+  }
+}
+
+TEST(ThreadPoolBackend, ZeroAndEmptyEpochsAreNoops) {
+  ThreadPoolBackend backend(2);
+  int calls = 0;
+  backend.run_epoch(0, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolBackend, PropagatesFirstExceptionAndSurvives) {
+  ThreadPoolBackend backend(4);
+  EXPECT_THROW(backend.run_epoch(64,
+                                 [&](int i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an epoch that threw.
+  std::atomic<int> ok{0};
+  backend.run_epoch(8, [&](int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolBackend, DefaultThreadCountIsPositive) {
+  ThreadPoolBackend backend(0);  // 0 = hardware concurrency
+  EXPECT_GE(backend.num_threads(), 1);
+}
+
+TEST(BackendFactory, ParseAndMake) {
+  EXPECT_EQ(parse_backend_kind("sequential"), BackendKind::kSequential);
+  EXPECT_EQ(parse_backend_kind("seq"), BackendKind::kSequential);
+  EXPECT_EQ(parse_backend_kind("threads"), BackendKind::kThreadPool);
+  EXPECT_EQ(parse_backend_kind("threadpool"), BackendKind::kThreadPool);
+  EXPECT_EQ(parse_backend_kind("bogus"), std::nullopt);
+  EXPECT_STREQ(backend_kind_name(BackendKind::kSequential), "sequential");
+  EXPECT_STREQ(backend_kind_name(BackendKind::kThreadPool), "threads");
+  auto seq = make_backend(BackendKind::kSequential);
+  EXPECT_STREQ(seq->name(), "sequential");
+  auto pool = make_backend(BackendKind::kThreadPool, 2);
+  EXPECT_STREQ(pool->name(), "threads");
+  EXPECT_EQ(pool->num_threads(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// RankContext: the rank-scoped facade routes to the right Runtime slots.
+// ---------------------------------------------------------------------------
+
+TEST(RankContext, ScopesWindowPutAndFlopsToOneRank) {
+  Runtime rt(3);
+  RankContext c0(rt, 0), c2(rt, 2);
+  EXPECT_EQ(c0.rank(), 0);
+  EXPECT_EQ(c0.num_ranks(), 3);
+
+  const std::vector<double> payload = {1.0, 2.5};
+  c0.put(2, MsgTag::kSolve, payload);
+  c0.add_flops(100.0);
+  rt.fence();
+
+  EXPECT_TRUE(c0.window().empty());
+  ASSERT_EQ(c2.window().size(), 1u);
+  EXPECT_EQ(c2.window()[0].source, 0);
+  EXPECT_EQ(c2.window()[0].tag, MsgTag::kSolve);
+  EXPECT_EQ(c2.window()[0].payload, payload);
+  c2.consume();
+  EXPECT_TRUE(c2.window().empty());
+
+  EXPECT_EQ(rt.stats().total_messages(), 1u);
+  EXPECT_GT(rt.model_time_seconds(), 0.0);
+}
+
+// Concurrent puts from distinct ranks land in deterministic (source, send
+// order) regardless of real interleaving — the core fence-merge guarantee.
+TEST(RankContext, ConcurrentPutsMergeDeterministically) {
+  constexpr int kRanks = 8;
+  for (int trial = 0; trial < 5; ++trial) {
+    Runtime rt(kRanks);
+    ThreadPoolBackend backend(4);
+    backend.run_epoch(kRanks, [&](int p) {
+      if (p == 0) return;  // self-puts are forbidden
+      RankContext ctx(rt, p);
+      for (int k = 0; k < 3; ++k) {
+        const double v[] = {static_cast<double>(p), static_cast<double>(k)};
+        ctx.put(0, MsgTag::kOther, v);
+      }
+    });
+    rt.fence();
+    auto win = rt.window(0);
+    ASSERT_EQ(win.size(), static_cast<std::size_t>((kRanks - 1) * 3));
+    for (int p = 1; p < kRanks; ++p) {
+      for (int k = 0; k < 3; ++k) {
+        const auto& m = win[static_cast<std::size_t>((p - 1) * 3 + k)];
+        EXPECT_EQ(m.source, p);
+        EXPECT_EQ(m.payload[0], static_cast<double>(p));
+        EXPECT_EQ(m.payload[1], static_cast<double>(k));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsouth::simmpi
+
+// ---------------------------------------------------------------------------
+// Bit-identical determinism across backends, end to end: for every solver,
+// with and without delivery delays, the threaded backend must reproduce the
+// sequential backend's results *exactly* — residual histories, machine-model
+// time, per-tag communication cost, relaxation counts, and the final iterate.
+// ---------------------------------------------------------------------------
+
+namespace dsouth::dist {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+  graph::Partition part;
+};
+
+Problem make_problem(index_t nx, index_t k, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, nx)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  auto g = graph::Graph::from_matrix_structure(p.a);
+  p.part = graph::partition_recursive_bisection(g, k);
+  return p;
+}
+
+// Exact (bitwise for finite doubles) equality of every recorded series.
+void expect_bit_identical(const DistRunResult& seq, const DistRunResult& thr) {
+  EXPECT_EQ(seq.residual_norm, thr.residual_norm);
+  EXPECT_EQ(seq.model_time, thr.model_time);
+  EXPECT_EQ(seq.comm_cost, thr.comm_cost);
+  EXPECT_EQ(seq.solve_comm, thr.solve_comm);
+  EXPECT_EQ(seq.res_comm, thr.res_comm);
+  EXPECT_EQ(seq.relaxations, thr.relaxations);
+  EXPECT_EQ(seq.active_ranks, thr.active_ranks);
+  EXPECT_EQ(seq.final_x, thr.final_x);
+}
+
+class BackendDeterminism
+    : public ::testing::TestWithParam<std::tuple<DistMethod, bool, index_t>> {
+};
+
+TEST_P(BackendDeterminism, ThreadedMatchesSequentialBitForBit) {
+  const auto [method, delays, nranks] = GetParam();
+  auto p = make_problem(10, nranks, 17 + static_cast<std::uint64_t>(nranks));
+
+  DistRunOptions opt;
+  opt.max_parallel_steps = 12;
+  if (delays) {
+    opt.delivery.delay_probability = 0.3;
+    opt.delivery.max_delay_epochs = 3;
+  }
+
+  DistRunOptions seq_opt = opt;
+  seq_opt.backend = simmpi::BackendKind::kSequential;
+  auto seq = run_distributed(method, p.a, p.part, p.b, p.x0, seq_opt);
+  EXPECT_EQ(seq.backend, "sequential");
+  EXPECT_EQ(seq.num_threads, 1);
+
+  DistRunOptions thr_opt = opt;
+  thr_opt.backend = simmpi::BackendKind::kThreadPool;
+  thr_opt.num_threads = 4;
+  auto thr = run_distributed(method, p.a, p.part, p.b, p.x0, thr_opt);
+  EXPECT_EQ(thr.backend, "threads");
+  EXPECT_EQ(thr.num_threads, 4);
+
+  expect_bit_identical(seq, thr);
+
+  // Re-running the threaded backend is itself deterministic.
+  auto thr2 = run_distributed(method, p.a, p.part, p.b, p.x0, thr_opt);
+  expect_bit_identical(thr, thr2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsDelaysRanks, BackendDeterminism,
+    ::testing::Combine(
+        ::testing::Values(DistMethod::kBlockJacobi,
+                          DistMethod::kParallelSouthwell,
+                          DistMethod::kDistributedSouthwell,
+                          DistMethod::kMulticolorBlockGs),
+        ::testing::Bool(),                 // delivery delays off / on
+        ::testing::Values<index_t>(1, 4, 13)),
+    [](const auto& info) {
+      std::string name = method_name(std::get<0>(info.param));
+      name += std::get<1>(info.param) ? "_delays" : "_faithful";
+      name += "_P" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+// The greedy-Schwarz setup phase accepts a backend too and must not depend
+// on it.
+TEST(BackendDeterminism, GreedySchwarzSetupBackendAgnostic) {
+  auto p = make_problem(10, 6, 41);
+  DistLayout layout(p.a, p.part);
+
+  GreedySchwarzOptions seq_opt;
+  auto seq = run_greedy_schwarz(layout, p.b, p.x0, seq_opt);
+
+  simmpi::ThreadPoolBackend pool(4);
+  GreedySchwarzOptions thr_opt;
+  thr_opt.backend = &pool;
+  auto thr = run_greedy_schwarz(layout, p.b, p.x0, thr_opt);
+
+  EXPECT_EQ(seq.residual_norm, thr.residual_norm);
+  EXPECT_EQ(seq.relaxed_rank, thr.relaxed_rank);
+  EXPECT_EQ(seq.x, thr.x);
+}
+
+}  // namespace
+}  // namespace dsouth::dist
