@@ -36,6 +36,7 @@ int run(int argc, char** argv) {
   std::vector<std::string> matrices{"Geo_1438p", "Hook_1498p", "bone010p",
                                     "af_5_k101p"};
   if (args.has("matrices")) matrices = select_matrices(args);
+  TraceCapture capture(args);
 
   print_header("Figure 7 — residual traces vs time / comm / step",
                "paper Figure 7",
@@ -49,8 +50,10 @@ int run(int argc, char** argv) {
     auto problem = make_dist_problem(name, size_factor);
     auto opt = default_run_options();
     apply_backend_args(args, opt);
+    capture.apply(opt);
     auto runs = run_three_methods(problem, procs, opt);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
+    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
 
     std::cout << "--- " << name << " ---\n";
     util::Table table({"Step", "r:BJ", "r:PS", "r:DS"});

@@ -25,6 +25,8 @@ int run(int argc, char** argv) {
 
   auto base_opt = default_run_options();
   apply_backend_args(args, base_opt);
+  TraceCapture capture(args);
+  capture.apply(base_opt);
 
   print_header("Figure 8 — strong scaling: model time to ||r||=0.1 vs P",
                "paper Figure 8",
@@ -52,6 +54,8 @@ int run(int argc, char** argv) {
       table.row().cell(static_cast<std::size_t>(p));
       for (int m = 0; m < 3; ++m) {
         const auto* r = results[m];
+        capture.add_run(name + " P=" + std::to_string(p) + " " + r->method,
+                        *r);
         auto at = r->at_target(target);
         if (at) {
           plot[static_cast<std::size_t>(m)].x.push_back(

@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
       "procs", {32, 64, 128, 256, 512, 1024, 2048, 4096, 8192});
   std::vector<std::string> matrices = scaling_figure_matrices();
   if (args.has("matrices")) matrices = select_matrices(args);
+  TraceCapture capture(args);
 
   print_header("Figure 9 — residual after 50 parallel steps vs P",
                "paper Figure 9",
@@ -40,8 +41,13 @@ int run(int argc, char** argv) {
       const auto p = static_cast<index_t>(p64);
       auto opt = default_run_options();
       apply_backend_args(args, opt);
+      capture.apply(opt);
       auto runs = run_three_methods(problem, p, opt);
       const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
+      for (const auto* r : results) {
+        capture.add_run(name + " P=" + std::to_string(p) + " " + r->method,
+                        *r);
+      }
       table.row().cell(static_cast<std::size_t>(p));
       for (int m = 0; m < 3; ++m) {
         const auto* r = results[m];

@@ -1,12 +1,14 @@
 #include "support/bench_support.hpp"
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "graph/graph.hpp"
 #include "sparse/proxy_suite.hpp"
 #include "sparse/scaling.hpp"
+#include "trace/export.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -84,6 +86,57 @@ void apply_backend_args(const util::ArgParser& args,
   DSOUTH_CHECK(kind.has_value());  // the choice set above is exhaustive
   opt.backend = *kind;
   opt.num_threads = static_cast<int>(args.get_int_or("threads", 0));
+}
+
+TraceCapture::TraceCapture(const util::ArgParser& args) {
+  if (auto p = args.get("trace"); p && !p->empty()) {
+    path_ = *p;
+    jsonl_ = path_.size() >= 6 &&
+             path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
+  }
+}
+
+TraceCapture::~TraceCapture() {
+  try {
+    write();
+  } catch (const std::exception& e) {
+    std::cerr << "trace capture: " << e.what() << "\n";
+  }
+}
+
+void TraceCapture::apply(dist::DistRunOptions& opt) const {
+  if (enabled()) opt.trace.enabled = true;
+}
+
+void TraceCapture::add_run(const std::string& label,
+                           const dist::DistRunResult& result) {
+  if (!enabled() || !result.trace_log) return;
+  runs_.push_back({label, result.trace_log});
+}
+
+void TraceCapture::write() {
+  if (!enabled() || written_) return;
+  written_ = true;
+  std::ofstream out(path_);
+  DSOUTH_CHECK_MSG(out.good(), "cannot open trace file '" << path_ << "'");
+  if (jsonl_) {
+    for (const auto& run : runs_) {
+      trace::TraceExportOptions opt;
+      opt.run_label = run.label;
+      trace::write_jsonl(out, *run.log, opt);
+    }
+  } else {
+    trace::ChromeTraceWriter writer(out);
+    for (const auto& run : runs_) {
+      trace::TraceExportOptions opt;
+      opt.run_label = run.label;
+      writer.add_run(*run.log, opt);
+    }
+    writer.finish();
+  }
+  std::cout << "Trace:       wrote " << runs_.size() << " run"
+            << (runs_.size() == 1 ? "" : "s") << " to " << path_ << " ("
+            << (jsonl_ ? "JSON Lines" : "Chrome trace_event") << ")\n";
 }
 
 }  // namespace dsouth::bench

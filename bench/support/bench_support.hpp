@@ -7,6 +7,7 @@
 /// pre-scaled to unit diagonal by the proxy suite), partitioning, and
 /// uniform table/CSV output.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "dist/driver.hpp"
 #include "graph/partition.hpp"
 #include "sparse/csr.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -69,6 +71,38 @@ dist::DistRunOptions default_run_options();
 /// `opt`. Results are bit-identical across backends; the knob only changes
 /// real wall-clock time (reported next to modeled time).
 void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
+
+/// Shared `-trace <path>` flag: captures the trace log of every run a bench
+/// performs and writes one file on destruction (docs/observability.md).
+/// Path ending in `.jsonl` selects JSON Lines (one header/event/metric
+/// object per line, one header per captured run); any other extension
+/// selects Chrome trace_event JSON, loadable in Perfetto or
+/// chrome://tracing, with one "process" per captured run. Without `-trace`
+/// the capture is inert and `apply()` leaves tracing disabled.
+class TraceCapture {
+ public:
+  explicit TraceCapture(const util::ArgParser& args);
+  ~TraceCapture();  ///< writes the file (best effort; logs failures)
+
+  bool enabled() const { return !path_.empty(); }
+  /// Enable tracing in `opt` when the flag was given (no-op otherwise).
+  void apply(dist::DistRunOptions& opt) const;
+  /// Capture one finished run under `label` (e.g. "fig8 ldoorp P=64 DS").
+  /// Runs without a trace log (tracing off) are ignored.
+  void add_run(const std::string& label, const dist::DistRunResult& result);
+  /// Write the capture file now (idempotent; the destructor calls it).
+  void write();
+
+ private:
+  struct Captured {
+    std::string label;
+    std::shared_ptr<const trace::TraceLog> log;
+  };
+  std::string path_;
+  bool jsonl_ = false;
+  bool written_ = false;
+  std::vector<Captured> runs_;
+};
 
 }  // namespace dsouth::bench
 

@@ -19,6 +19,7 @@ int run(int argc, char** argv) {
   const double size_factor = args.get_double_or("size_factor", 1.0);
   const double target = args.get_double_or("target", 0.1);
   const auto matrices = select_matrices(args);
+  TraceCapture capture(args);
 
   print_header(
       "Table 2 — reducing ||r||_2 to 0.1",
@@ -40,9 +41,11 @@ int run(int argc, char** argv) {
     auto problem = make_dist_problem(name, size_factor);
     auto opt = default_run_options();
     apply_backend_args(args, opt);
+    capture.apply(opt);
     auto runs = run_three_methods(problem, procs, opt);
     table.row().cell(name);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
+    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
     std::optional<dist::DistRunResult::AtTarget> at[3];
     for (int m = 0; m < 3; ++m) at[m] = results[m]->at_target(target);
     auto emit = [&](auto getter, int precision) {

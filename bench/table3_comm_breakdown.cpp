@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "support/bench_support.hpp"
+#include "util/error.hpp"
 
 namespace dsouth::bench {
 namespace {
@@ -19,10 +20,35 @@ int run(int argc, char** argv) {
   const double size_factor = args.get_double_or("size_factor", 1.0);
   const double target = args.get_double_or("target", 0.1);
   const auto matrices = select_matrices(args);
+  TraceCapture capture(args);
 
   print_header("Table 3 — communication breakdown (PS vs DS)",
                "paper Table 3",
                "same runs as Table 2; message categories tagged per put");
+
+  // With -trace, re-derive the breakdown from the per-tag trace counters
+  // and cross-check it against the CommStats the table is built from. The
+  // counters never drop (only ring events can), so the match must be exact.
+  std::size_t checked = 0, mismatched = 0;
+  auto cross_check = [&](const dist::DistRunResult& r,
+                         const std::string& label) {
+    if (!r.trace_log) return;
+    const auto& m = r.trace_log->metrics;
+    const double pcount = static_cast<double>(r.num_ranks);
+    const trace::MetricId solve_id = m.find("simmpi.msgs_solve");
+    const trace::MetricId res_id = m.find("simmpi.msgs_residual");
+    DSOUTH_CHECK(solve_id != trace::kInvalidMetric &&
+                 res_id != trace::kInvalidMetric);
+    ++checked;
+    if (m.total(solve_id) / pcount != r.solve_comm.back() ||
+        m.total(res_id) / pcount != r.res_comm.back()) {
+      ++mismatched;
+      std::cerr << "  [" << label << "] trace/CommStats MISMATCH: trace "
+                << m.total(solve_id) / pcount << "/"
+                << m.total(res_id) / pcount << " vs stats "
+                << r.solve_comm.back() << "/" << r.res_comm.back() << "\n";
+    }
+  };
 
   util::Table table({"Matrix", "Solve:PS", "Solve:DS", "Res:PS", "Res:DS"});
   util::CsvWriter csv(csv_path("table3_comm_breakdown.csv"),
@@ -35,10 +61,15 @@ int run(int argc, char** argv) {
     dist::DistLayout layout(problem.a, part);
     auto opt = default_run_options();
     apply_backend_args(args, opt);
+    capture.apply(opt);
     auto ps = dist::run_distributed(dist::DistMethod::kParallelSouthwell,
                                     layout, problem.b, problem.x0, opt);
     auto ds = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
                                     layout, problem.b, problem.x0, opt);
+    capture.add_run(name + " PS", ps);
+    capture.add_run(name + " DS", ds);
+    cross_check(ps, name + " PS");
+    cross_check(ds, name + " DS");
     auto ps_at = ps.at_target(target);
     auto ds_at = ds.at_target(target);
     table.row().cell(name);
@@ -61,8 +92,14 @@ int run(int argc, char** argv) {
     std::cerr << "  [" << name << "] done\n";
   }
   table.print(std::cout);
+  if (checked > 0) {
+    std::cout << "\nTrace cross-check: " << (checked - mismatched) << "/"
+              << checked
+              << " runs where the per-tag trace counters reproduce the "
+                 "CommStats breakdown exactly\n";
+  }
   std::cout << "\nCSV: " << csv.path() << "\n";
-  return 0;
+  return mismatched == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -17,6 +17,7 @@ int run(int argc, char** argv) {
   const auto procs = static_cast<index_t>(args.get_int_or("procs", 8192));
   const double size_factor = args.get_double_or("size_factor", 1.0);
   const auto matrices = select_matrices(args);
+  TraceCapture capture(args);
 
   print_header("Table 4 — per-parallel-step cost over 50 steps",
                "paper Table 4",
@@ -32,8 +33,10 @@ int run(int argc, char** argv) {
     auto problem = make_dist_problem(name, size_factor);
     auto opt = default_run_options();
     apply_backend_args(args, opt);
+    capture.apply(opt);
     auto runs = run_three_methods(problem, procs, opt);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
+    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
     table.row().cell(name);
     for (const auto* r : results) table.cell(r->mean_step_time() * 1e3, 4);
     for (const auto* r : results) table.cell(r->mean_step_comm(), 3);

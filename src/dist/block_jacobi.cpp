@@ -23,6 +23,7 @@ void BlockJacobi::rank_relax(simmpi::RankContext& ctx, int p) {
   ctx.add_flops(flops);
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
+  trace_relax(ctx, rd.num_rows());
   const auto& x_old = x_before_[up];
   std::vector<double> payload;
   for (const auto& nb : rd.neighbors) {
@@ -44,6 +45,7 @@ void BlockJacobi::rank_absorb(simmpi::RankContext& ctx, int p) {
     apply_incoming_delta(ctx, rd.neighbors[static_cast<std::size_t>(nbi)],
                          msg.payload);
   }
+  trace_absorb(ctx);
   ctx.consume();
 }
 

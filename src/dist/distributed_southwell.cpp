@@ -18,6 +18,13 @@ DistributedSouthwell::DistributedSouthwell(
   ghost_.resize(static_cast<std::size_t>(nranks));
   corrections_sent_.assign(static_cast<std::size_t>(nranks), 0);
   deferred_sends_.assign(static_cast<std::size_t>(nranks), 0);
+  if (auto* tracer = rt.tracer()) {
+    auto& m = tracer->metrics();
+    m_corrections_sent_ = m.register_metric("ds.corrections_sent",
+                                            trace::MetricKind::kCounter);
+    m_deferred_sends_ =
+        m.register_metric("ds.deferred_sends", trace::MetricKind::kCounter);
+  }
   if (opt_.send_threshold > 0.0) {
     pending_dx_.resize(static_cast<std::size_t>(nranks));
     for (int p = 0; p < nranks; ++p) {
@@ -86,6 +93,7 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
   ctx.add_flops(flops);
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
+  trace_relax(ctx, rd.num_rows());
   const value_t norm2_new = local_norm_sq(rp);
   // Δx over the full local vector (a_qp columns only touch boundary rows,
   // and message payloads pick out the per-neighbor boundary entries).
@@ -125,6 +133,7 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
       }
       if (acc_sq <= opt_.send_threshold * opt_.send_threshold * norm2_new) {
         ++deferred_sends_[up];
+        ctx.metric_add(m_deferred_sends_, 1.0);
         continue;  // no message this step; Γ̃ untouched (q learns nothing)
       }
       gtilde2_[up][k] = norm2_new;
@@ -181,6 +190,7 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
     ctx.put(nb.rank, simmpi::MsgTag::kResidual, payload);
     gtilde2_[up][k] = norm2;
     ++corrections_sent_[up];
+    ctx.metric_add(m_corrections_sent_, 1.0);
   }
 }
 
@@ -210,6 +220,7 @@ void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
     gamma2_[up][unbi] = msg.payload[1];
     gtilde2_[up][unbi] = msg.payload[2];
   }
+  trace_absorb(ctx);
   ctx.consume();
 }
 

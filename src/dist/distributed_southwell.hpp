@@ -88,6 +88,9 @@ class DistributedSouthwell final : public DistStationarySolver {
   std::vector<std::vector<std::vector<value_t>>> pending_dx_;
   // Per-rank counters (each rank phase bumps only its own slot).
   std::vector<std::uint64_t> corrections_sent_, deferred_sends_;
+  // Observability metrics (kInvalidMetric when tracing is off).
+  trace::MetricId m_corrections_sent_ = trace::kInvalidMetric;
+  trace::MetricId m_deferred_sends_ = trace::kInvalidMetric;
   index_t step_count_ = 0;
 
  public:

@@ -110,6 +110,13 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
                               std::span<const value_t> x0,
                               const DistRunOptions& opt) {
   simmpi::Runtime rt(layout.num_ranks(), opt.machine, opt.delivery);
+  // The tracer must be attached before the solver is constructed so solver
+  // ctors can register their metrics.
+  std::unique_ptr<trace::Tracer> tracer;
+  if (opt.trace.enabled) {
+    tracer = std::make_unique<trace::Tracer>(layout.num_ranks(), opt.trace);
+    rt.set_tracer(tracer.get());
+  }
   auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
   auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
   solver->set_backend(*backend);
@@ -149,6 +156,12 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     if (opt.divergence_abort > 0.0 && rn >= opt.divergence_abort) break;
   }
   result.final_x = solver->gather_x();
+  if (tracer) {
+    tracer->flush();
+    result.trace_log =
+        std::make_shared<const trace::TraceLog>(tracer->take_log());
+    rt.set_tracer(nullptr);
+  }
   return result;
 }
 

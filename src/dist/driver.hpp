@@ -17,6 +17,7 @@
 #include "graph/partition.hpp"
 #include "simmpi/execution.hpp"
 #include "simmpi/machine_model.hpp"
+#include "trace/trace.hpp"
 
 namespace dsouth::dist {
 
@@ -54,6 +55,13 @@ struct DistRunOptions {
   simmpi::BackendKind backend = simmpi::BackendKind::kSequential;
   /// Thread count for the thread-pool backend (0 = hardware concurrency).
   int num_threads = 0;
+  /// Structured tracing (src/trace). `trace.enabled = true` attaches a
+  /// tracer to the runtime for the whole run; the merged event log and
+  /// metric totals come back in DistRunResult::trace_log. The trace stream
+  /// is deterministic: byte-identical across backends and thread counts
+  /// (wall-clock timestamps are recorded but excluded from default
+  /// exports). Disabled tracing has zero effect on results or stats.
+  trace::TraceOptions trace{};
 };
 
 /// Per-run series; index k = state after k parallel steps (index 0 = the
@@ -76,6 +84,9 @@ struct DistRunResult {
   std::vector<double> relaxations;    ///< row relaxations, cumulative
   std::vector<index_t> active_ranks;  ///< per step (size = #steps)
   std::vector<value_t> final_x;       ///< gathered iterate after the run
+  /// Merged event log + metric totals when opt.trace.enabled, else null.
+  /// Export with trace::write_jsonl / trace::write_chrome_trace.
+  std::shared_ptr<const trace::TraceLog> trace_log;
 
   std::size_t steps_taken() const { return active_ranks.size(); }
 

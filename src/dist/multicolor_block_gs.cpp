@@ -40,6 +40,7 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
   ctx.add_flops(flops);
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
+  trace_relax(ctx, rd.num_rows());
   std::vector<double> payload;
   for (const auto& nb : rd.neighbors) {
     payload.clear();
@@ -60,6 +61,7 @@ void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
     apply_incoming_delta(ctx, rd.neighbors[static_cast<std::size_t>(nbi)],
                          msg.payload);
   }
+  trace_absorb(ctx);
   ctx.consume();
 }
 

@@ -49,6 +49,7 @@ void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
   ctx.add_flops(flops);
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
+  trace_relax(ctx, rd.num_rows());
   const value_t norm2_new = local_norm_sq(rp);
   advertised2_[up] = norm2_new;
   std::vector<double> payload;
@@ -98,6 +99,7 @@ void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
       DSOUTH_CHECK(msg.payload.size() == 2);
     }
   }
+  trace_absorb(ctx);
   ctx.consume();
 }
 

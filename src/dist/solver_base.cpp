@@ -48,6 +48,37 @@ DistStationarySolver::DistStationarySolver(const DistLayout& layout,
     scratch_[static_cast<std::size_t>(p)].resize(
         static_cast<std::size_t>(layout.rank(p).num_rows()));
   }
+  if (auto* tracer = rt.tracer()) {
+    auto& m = tracer->metrics();
+    m_relaxed_rows_ = m.register_metric("solver.relaxed_rows",
+                                        trace::MetricKind::kCounter);
+    m_rank_relaxations_ = m.register_metric("solver.rank_relaxations",
+                                            trace::MetricKind::kCounter);
+    m_absorbed_msgs_ = m.register_metric("solver.absorbed_msgs",
+                                         trace::MetricKind::kCounter);
+  }
+}
+
+void DistStationarySolver::trace_relax(simmpi::RankContext& ctx,
+                                       index_t rows) {
+  if (!ctx.tracing()) return;
+  const auto& rp = r_[static_cast<std::size_t>(ctx.rank())];
+  ctx.trace_event(trace::EventKind::kRelax, static_cast<double>(rows),
+                  local_norm_sq(rp));
+  ctx.metric_add(m_relaxed_rows_, static_cast<double>(rows));
+  ctx.metric_add(m_rank_relaxations_, 1.0);
+}
+
+void DistStationarySolver::trace_absorb(simmpi::RankContext& ctx) {
+  if (!ctx.tracing()) return;
+  const auto window = ctx.window();
+  if (window.empty()) return;
+  std::size_t doubles = 0;
+  for (const auto& msg : window) doubles += msg.payload.size();
+  ctx.trace_event(trace::EventKind::kAbsorb,
+                  static_cast<double>(window.size()),
+                  static_cast<double>(doubles));
+  ctx.metric_add(m_absorbed_msgs_, static_cast<double>(window.size()));
 }
 
 double DistStationarySolver::global_residual_norm() const {

@@ -88,6 +88,22 @@ class DistStationarySolver {
   /// (call once at the end of step()).
   DistStepStats merge_rank_stats();
 
+  /// Observability hooks (docs/observability.md). Both are inlined no-ops
+  /// on untraced runs and never touch the simulation state, so enabling
+  /// tracing cannot change results.
+  ///
+  /// Record that rank `ctx.rank()` relaxed `rows` rows this epoch: emits a
+  /// kRelax event (a0 = rows, a1 = the rank's new local ‖r‖² — computed
+  /// here, observer-side, only when tracing) and bumps the
+  /// "solver.relaxed_rows"/"solver.rank_relaxations" counters.
+  void trace_relax(simmpi::RankContext& ctx, index_t rows);
+
+  /// Record the rank's absorb phase; call *before* ctx.consume(). Emits a
+  /// kAbsorb event (a0 = messages in the window, a1 = total payload
+  /// doubles) when the window is non-empty and bumps
+  /// "solver.absorbed_msgs".
+  void trace_absorb(simmpi::RankContext& ctx);
+
   /// r_p -= a_pq · Δx_q and charge the flops; dx is ordered by the
   /// neighbor's ghost_rows channel convention.
   void apply_incoming_delta(simmpi::RankContext& ctx, const NeighborBlock& nb,
@@ -101,6 +117,11 @@ class DistStationarySolver {
   std::vector<std::vector<value_t>> scratch_;
   /// Per-rank step accounting, merged by merge_rank_stats().
   std::vector<DistStepStats> rank_stats_;
+  /// Metric ids registered at construction when the runtime carries a
+  /// tracer (trace::kInvalidMetric otherwise — all bumps no-op).
+  trace::MetricId m_relaxed_rows_ = trace::kInvalidMetric;
+  trace::MetricId m_rank_relaxations_ = trace::kInvalidMetric;
+  trace::MetricId m_absorbed_msgs_ = trace::kInvalidMetric;
 
  private:
   std::unique_ptr<simmpi::ExecutionBackend> owned_backend_;

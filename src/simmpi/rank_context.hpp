@@ -45,6 +45,23 @@ class RankContext {
   /// Report local computation performed by this rank in this epoch.
   void add_flops(double flops) { rt_->add_flops(rank_, flops); }
 
+  /// True when a trace::Tracer is attached to the runtime. Rank phases use
+  /// this to skip observer-side work (e.g. computing a norm only needed
+  /// for the trace record) on untraced runs.
+  bool tracing() const { return rt_->tracer() != nullptr; }
+
+  /// Record a solver-level trace event (relax/absorb) for this rank.
+  /// Inlined no-op when untraced; never perturbs simulation results.
+  void trace_event(trace::EventKind kind, double a0 = 0.0, double a1 = 0.0) {
+    rt_->trace_rank_event(rank_, kind, a0, a1);
+  }
+
+  /// Bump this rank's slot of a registered metric (no-op when untraced or
+  /// when `id` is trace::kInvalidMetric).
+  void metric_add(trace::MetricId id, double v) {
+    rt_->metric_add(id, rank_, v);
+  }
+
  private:
   Runtime* rt_;
   int rank_;

@@ -22,6 +22,28 @@ Runtime::Runtime(int num_ranks, MachineModel model, DeliveryModel delivery)
   DSOUTH_CHECK(num_ranks > 0);
 }
 
+void Runtime::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (!tracer_) {
+    m_msgs_sent_ = trace::kInvalidMetric;
+    m_bytes_sent_ = trace::kInvalidMetric;
+    m_msgs_by_tag_.fill(trace::kInvalidMetric);
+    return;
+  }
+  DSOUTH_CHECK(tracer->num_ranks() == num_ranks_);
+  auto& m = tracer_->metrics();
+  m_msgs_sent_ = m.register_metric("simmpi.msgs_sent",
+                                   trace::MetricKind::kCounter);
+  m_bytes_sent_ = m.register_metric("simmpi.bytes_sent",
+                                    trace::MetricKind::kCounter);
+  m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kSolve)] =
+      m.register_metric("simmpi.msgs_solve", trace::MetricKind::kCounter);
+  m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kResidual)] =
+      m.register_metric("simmpi.msgs_residual", trace::MetricKind::kCounter);
+  m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kOther)] =
+      m.register_metric("simmpi.msgs_other", trace::MetricKind::kCounter);
+}
+
 std::span<const Message> Runtime::window(int rank) const {
   DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
   return windows_[static_cast<std::size_t>(rank)];
@@ -40,7 +62,20 @@ void Runtime::put(int source, int dest, MsgTag tag,
       Staged{dest, tag, lane_seq_[us]++,
              std::vector<double>(payload.begin(), payload.end())});
   ++epoch_msgs_[us];
-  epoch_bytes_[us] += message_bytes(payload.size());
+  const std::uint64_t bytes = message_bytes(payload.size());
+  epoch_bytes_[us] += bytes;
+  if (tracer_) {
+    // Indexed by `source` like everything above: the event goes to the
+    // source's private trace lane, the metric slots are the source's own.
+    tracer_->record(source, trace::EventKind::kPut, dest,
+                    static_cast<int>(tag),
+                    static_cast<double>(payload.size()),
+                    static_cast<double>(bytes), epochs_, model_time_);
+    auto& m = tracer_->metrics();
+    m.add(m_msgs_sent_, source, 1.0);
+    m.add(m_bytes_sent_, source, static_cast<double>(bytes));
+    m.add(m_msgs_by_tag_[static_cast<std::size_t>(tag)], source, 1.0);
+  }
 }
 
 void Runtime::add_flops(int rank, double flops) {
@@ -69,6 +104,13 @@ void Runtime::fence() {
   model_time_ += last_epoch_seconds_;
   const std::uint64_t closed_epoch = epochs_;
   ++epochs_;
+  if (tracer_) {
+    // Merge the per-rank event lanes in (rank, record-order) order — the
+    // same deterministic order the staged puts merge in below — and stamp
+    // the fence event with the post-charge modeled time.
+    tracer_->end_epoch(closed_epoch, model_time_, last_epoch_seconds_,
+                       epoch_total_msgs);
+  }
 
   // Per-message accounting, merged from the per-source staging lanes in
   // (source, send-order) order — exactly the chronological put order of a

@@ -33,12 +33,14 @@
 /// draws, CommStats, and modeled time are bit-identical whichever backend
 /// staged the puts.
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "simmpi/machine_model.hpp"
 #include "simmpi/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace dsouth::simmpi {
 
@@ -115,6 +117,41 @@ class Runtime {
   /// accessor — accounting is written only by the runtime itself.
   void reset_stats() { stats_.reset(); }
 
+  /// Attach a structured-event tracer (docs/observability.md). Not owned;
+  /// must outlive the runtime (or be detached with nullptr). Registers the
+  /// runtime's metrics ("simmpi.msgs_sent" etc.) into the tracer's
+  /// registry. Call before the first epoch: registration is not
+  /// thread-safe against in-flight rank programs, and attaching mid-run
+  /// would start the trace at a nonzero epoch.
+  ///
+  /// Determinism: the trace stream inherits the fence-merge guarantee —
+  /// per-rank event lanes merge at each fence() in (source, record-order)
+  /// order, so the stream is bit-identical across execution backends.
+  /// With no tracer attached every hook below is an inlined null test and
+  /// results are byte-identical to an untraced build.
+  void set_tracer(trace::Tracer* tracer);
+
+  /// The attached tracer, or nullptr.
+  trace::Tracer* tracer() const { return tracer_; }
+
+  /// Record a solver-level event for `rank` (relax/absorb — see
+  /// trace::EventKind). Inlined no-op when no tracer is attached. Safe to
+  /// call from `rank`'s program mid-epoch: the epoch counter and modeled
+  /// time it stamps are only mutated at the fence.
+  void trace_rank_event(int rank, trace::EventKind kind, double a0,
+                        double a1) {
+    if (tracer_) {
+      tracer_->record(rank, kind, /*peer=*/-1, /*tag=*/-1, a0, a1, epochs_,
+                      model_time_);
+    }
+  }
+
+  /// Bump a per-rank metric slot (inlined no-op when untraced or when the
+  /// id is trace::kInvalidMetric).
+  void metric_add(trace::MetricId id, int rank, double v) {
+    if (tracer_) tracer_->metrics().add(id, rank, v);
+  }
+
  private:
   /// A put staged in its source's lane, awaiting the fence.
   struct Staged {
@@ -136,6 +173,12 @@ class Runtime {
   int num_ranks_;
   MachineModel model_;
   DeliveryModel delivery_;
+  trace::Tracer* tracer_ = nullptr;
+  // Runtime-owned metric ids (kInvalidMetric while untraced).
+  trace::MetricId m_msgs_sent_ = trace::kInvalidMetric;
+  trace::MetricId m_bytes_sent_ = trace::kInvalidMetric;
+  std::array<trace::MetricId, kNumTags> m_msgs_by_tag_{
+      trace::kInvalidMetric, trace::kInvalidMetric, trace::kInvalidMetric};
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
   std::uint64_t delayed_in_flight_ = 0;
   CommStats stats_;

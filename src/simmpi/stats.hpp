@@ -22,23 +22,33 @@ enum class MsgTag : int {
 };
 inline constexpr int kNumTags = 3;
 
+/// Exact per-put message/byte counters, kept by the Runtime and read by the
+/// drivers between epochs. Counts are deterministic (they accumulate at the
+/// fence in merge order) and therefore identical across execution backends;
+/// the trace layer's "simmpi.msgs_*" counters mirror them independently,
+/// which table3's cross-check exploits.
 class CommStats {
  public:
   explicit CommStats(int num_ranks);
 
   int num_ranks() const { return num_ranks_; }
 
+  /// Account one sent message. Called by the runtime only (at the fence,
+  /// in deterministic merge order) — drivers read, never write.
   void record_send(int source, MsgTag tag, std::uint64_t bytes);
 
   std::uint64_t total_messages() const;
   std::uint64_t total_messages(MsgTag tag) const;
   std::uint64_t total_bytes() const;
+  /// Messages sent by `rank` since construction / the last reset().
   std::uint64_t messages_from(int rank) const;
 
   /// Paper metric: total messages / P.
   double comm_cost() const;
+  /// Table 3 breakdown: messages of one category / P.
   double comm_cost(MsgTag tag) const;
 
+  /// Zero every counter (see Runtime::reset_stats).
   void reset();
 
  private:

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file export.hpp
+/// Serializers for TraceLog: JSON Lines for scripting (jq/pandas) and
+/// Chrome trace_event JSON for chrome://tracing / Perfetto. The schema is
+/// documented in docs/observability.md.
+///
+/// Determinism: with default options both formats are a pure function of
+/// the deterministic TraceLog fields, so two runs that are bit-identical
+/// in simulation produce byte-identical files — the trace determinism
+/// tests compare exporter output across execution backends directly.
+/// `include_wall_clock` opts into the one non-deterministic field.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace dsouth::trace {
+
+struct TraceExportOptions {
+  /// Emit the host wall-clock timestamp per event ("t_wall" / args.wall).
+  /// Off by default: it is the only non-deterministic Event field.
+  bool include_wall_clock = false;
+  /// Free-form run label carried in the JSONL header line and used as the
+  /// Chrome process name (e.g. "DS P=32 bone010p").
+  std::string run_label;
+};
+
+/// JSON Lines: one header object, one object per event (in seq order), one
+/// object per metric. See docs/observability.md for the field tables.
+void write_jsonl(std::ostream& out, const TraceLog& log,
+                 const TraceExportOptions& opt = {});
+
+/// Incremental writer for Chrome trace_event JSON. Each add_run() becomes
+/// one Chrome "process" (pid), with simulated ranks as threads (tid) and
+/// the fence/runtime lane as tid = num_ranks; `ts` is modeled time in
+/// microseconds. finish() closes the JSON document — the file is invalid
+/// until then.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& out);
+  ~ChromeTraceWriter();  ///< calls finish() if the caller forgot
+
+  ChromeTraceWriter(const ChromeTraceWriter&) = delete;
+  ChromeTraceWriter& operator=(const ChromeTraceWriter&) = delete;
+
+  void add_run(const TraceLog& log, const TraceExportOptions& opt = {});
+  void finish();
+
+ private:
+  void emit(const std::string& json_object);
+
+  std::ostream* out_;
+  int next_pid_ = 0;
+  bool any_event_ = false;
+  bool finished_ = false;
+};
+
+/// One-run convenience wrapper around ChromeTraceWriter.
+void write_chrome_trace(std::ostream& out, const TraceLog& log,
+                        const TraceExportOptions& opt = {});
+
+}  // namespace dsouth::trace

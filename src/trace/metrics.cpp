@@ -1,0 +1,88 @@
+#include "trace/metrics.hpp"
+
+#include "util/error.hpp"
+
+namespace dsouth::trace {
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+  }
+  return "?";
+}
+
+MetricsRegistry::MetricsRegistry(int num_ranks) : num_ranks_(num_ranks) {
+  DSOUTH_CHECK(num_ranks > 0);
+}
+
+MetricId MetricsRegistry::register_metric(std::string_view name,
+                                          MetricKind kind) {
+  DSOUTH_CHECK(!name.empty());
+  const MetricId existing = find(name);
+  if (existing != kInvalidMetric) {
+    DSOUTH_CHECK_MSG(metrics_[static_cast<std::size_t>(existing)].kind == kind,
+                     "metric '" << std::string(name)
+                                << "' re-registered with a different kind");
+    return existing;
+  }
+  metrics_.push_back(Metric{
+      std::string(name), kind,
+      std::vector<double>(static_cast<std::size_t>(num_ranks_), 0.0)});
+  return static_cast<MetricId>(metrics_.size() - 1);
+}
+
+MetricId MetricsRegistry::find(std::string_view name) const {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) return static_cast<MetricId>(i);
+  }
+  return kInvalidMetric;
+}
+
+const std::string& MetricsRegistry::name(MetricId id) const {
+  DSOUTH_CHECK(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  return metrics_[static_cast<std::size_t>(id)].name;
+}
+
+MetricKind MetricsRegistry::kind(MetricId id) const {
+  DSOUTH_CHECK(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  return metrics_[static_cast<std::size_t>(id)].kind;
+}
+
+void MetricsRegistry::add(MetricId id, int rank, double v) {
+  if (id == kInvalidMetric) return;
+  DSOUTH_ASSERT(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  metrics_[static_cast<std::size_t>(id)]
+      .slots[static_cast<std::size_t>(rank)] += v;
+}
+
+void MetricsRegistry::set(MetricId id, int rank, double v) {
+  if (id == kInvalidMetric) return;
+  DSOUTH_ASSERT(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  metrics_[static_cast<std::size_t>(id)]
+      .slots[static_cast<std::size_t>(rank)] = v;
+}
+
+double MetricsRegistry::value(MetricId id, int rank) const {
+  DSOUTH_CHECK(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
+  return metrics_[static_cast<std::size_t>(id)]
+      .slots[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<double>& MetricsRegistry::per_rank(MetricId id) const {
+  DSOUTH_CHECK(id >= 0 && static_cast<std::size_t>(id) < metrics_.size());
+  return metrics_[static_cast<std::size_t>(id)].slots;
+}
+
+double MetricsRegistry::total(MetricId id) const {
+  double sum = 0.0;
+  for (double v : per_rank(id)) sum += v;
+  return sum;
+}
+
+}  // namespace dsouth::trace

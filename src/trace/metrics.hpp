@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named per-rank counters and gauges for the observability layer
+/// (docs/observability.md). Solvers and the runtime register metrics at
+/// setup time; rank programs then bump their own rank's slot during an
+/// epoch with no synchronization — the same one-thread-per-rank discipline
+/// the simmpi Runtime relies on, so metric values are bit-identical across
+/// execution backends.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dsouth::trace {
+
+/// Handle returned by MetricsRegistry::register_metric. Invalid handles
+/// (no tracer attached) are tolerated by the mutation API as no-ops so
+/// call sites need no branching.
+using MetricId = int;
+inline constexpr MetricId kInvalidMetric = -1;
+
+enum class MetricKind : std::uint8_t {
+  kCounter,  ///< monotonically accumulated via add()
+  kGauge,    ///< last-written value via set()
+};
+
+/// Returns "counter" or "gauge".
+const char* metric_kind_name(MetricKind kind);
+
+/// Registry of named per-rank metric slots.
+///
+/// Thread-safety contract: register_metric() must only be called while no
+/// epoch is in flight (solver/runtime setup). add()/set() for rank p may be
+/// called concurrently with add()/set() for any other rank; at most one
+/// thread touches a given rank's slots at a time. Reads (value/total/
+/// snapshot) are driver-side, between epochs.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Register (or look up) the metric named `name`. Idempotent: a second
+  /// registration with the same name returns the existing id (the kind must
+  /// match; mismatches throw CheckError).
+  MetricId register_metric(std::string_view name, MetricKind kind);
+
+  /// Id of an already-registered metric, or kInvalidMetric.
+  MetricId find(std::string_view name) const;
+
+  std::size_t size() const { return metrics_.size(); }
+  const std::string& name(MetricId id) const;
+  MetricKind kind(MetricId id) const;
+
+  /// Counter increment for `rank`'s slot. No-op when id is kInvalidMetric.
+  void add(MetricId id, int rank, double v);
+
+  /// Gauge write for `rank`'s slot. No-op when id is kInvalidMetric.
+  void set(MetricId id, int rank, double v);
+
+  double value(MetricId id, int rank) const;
+  const std::vector<double>& per_rank(MetricId id) const;
+
+  /// Sum over ranks (counters; for gauges this is rarely meaningful but
+  /// still defined).
+  double total(MetricId id) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    MetricKind kind;
+    std::vector<double> slots;  // one per rank
+  };
+
+  int num_ranks_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace dsouth::trace

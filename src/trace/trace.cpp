@@ -1,0 +1,117 @@
+#include "trace/trace.hpp"
+
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace dsouth::trace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kPut:
+      return "put";
+    case EventKind::kFence:
+      return "fence";
+    case EventKind::kRelax:
+      return "relax";
+    case EventKind::kAbsorb:
+      return "absorb";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Tracer::Tracer(int num_ranks, TraceOptions opt)
+    : num_ranks_(num_ranks),
+      opt_(opt),
+      metrics_(num_ranks),
+      lanes_(static_cast<std::size_t>(num_ranks)),
+      wall_t0_ns_(steady_now_ns()) {
+  DSOUTH_CHECK(num_ranks > 0);
+  DSOUTH_CHECK(opt.ring_capacity > 0);
+}
+
+double Tracer::wall_now() const {
+  return static_cast<double>(steady_now_ns() - wall_t0_ns_) * 1e-9;
+}
+
+void Tracer::record(int rank, EventKind kind, int peer, int tag, double a0,
+                    double a1, std::uint64_t epoch, double t_model) {
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  Lane& lane = lanes_[static_cast<std::size_t>(rank)];
+  Event e;
+  e.kind = kind;
+  e.rank = rank;
+  e.peer = peer;
+  e.tag = tag;
+  e.epoch = epoch;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.t_model = t_model;
+  e.t_wall = opt_.record_wall_clock ? wall_now() : 0.0;
+  if (lane.count < opt_.ring_capacity) {
+    if (lane.buf.size() < opt_.ring_capacity &&
+        lane.buf.size() == lane.count) {
+      lane.buf.push_back(e);  // storage still growing to capacity
+    } else {
+      lane.buf[(lane.head + lane.count) % lane.buf.size()] = e;
+    }
+    ++lane.count;
+  } else {
+    // Ring full: drop the oldest (deterministic — lane contents depend only
+    // on this rank's program order).
+    lane.buf[lane.head] = e;
+    lane.head = (lane.head + 1) % lane.buf.size();
+    ++lane.dropped;
+  }
+}
+
+void Tracer::merge_lanes() {
+  for (Lane& lane : lanes_) {
+    for (std::size_t i = 0; i < lane.count; ++i) {
+      Event e = lane.buf[(lane.head + i) % lane.buf.size()];
+      e.seq = next_seq_++;
+      merged_.push_back(e);
+    }
+    dropped_ += lane.dropped;
+    lane.head = 0;
+    lane.count = 0;
+    lane.dropped = 0;
+  }
+}
+
+void Tracer::end_epoch(std::uint64_t closed_epoch, double t_model_after,
+                       double epoch_seconds, std::uint64_t epoch_msgs) {
+  merge_lanes();
+  Event e;
+  e.kind = EventKind::kFence;
+  e.rank = -1;
+  e.epoch = closed_epoch;
+  e.seq = next_seq_++;
+  e.a0 = epoch_seconds;
+  e.a1 = static_cast<double>(epoch_msgs);
+  e.t_model = t_model_after;
+  e.t_wall = opt_.record_wall_clock ? wall_now() : 0.0;
+  merged_.push_back(e);
+}
+
+void Tracer::flush() { merge_lanes(); }
+
+TraceLog Tracer::take_log() {
+  TraceLog log(num_ranks_);
+  log.events = std::move(merged_);
+  log.metrics = std::move(metrics_);
+  log.dropped_events = dropped_;
+  merged_.clear();
+  return log;
+}
+
+}  // namespace dsouth::trace

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON emission helpers for the trace exporters (and any other
+/// machine-readable output). Emission only — the repo never needs to parse
+/// JSON; tests that validate exporter output carry their own tiny parser.
+
+#include <string>
+#include <string_view>
+
+namespace dsouth::util {
+
+/// RFC 8259 string escaping: backslash, double quote, and control
+/// characters (\b \f \n \r \t, \u00XX for the rest). Input is passed
+/// through byte-wise, so valid UTF-8 stays valid UTF-8.
+std::string json_escape(std::string_view s);
+
+/// Append `v` to `out` as a JSON number token that round-trips the double
+/// exactly (the shortest of %.15g/%.16g/%.17g that parses back bit-equal).
+/// Non-finite values — which JSON cannot represent — are emitted as null.
+void append_json_number(std::string& out, double v);
+
+/// Convenience wrapper around append_json_number.
+std::string json_number(double v);
+
+}  // namespace dsouth::util

@@ -1,0 +1,572 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/driver.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "simmpi/rank_context.hpp"
+#include "simmpi/runtime.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::trace {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, RegisterIsIdempotentAndFindable) {
+  MetricsRegistry m(4);
+  const MetricId a = m.register_metric("x.count", MetricKind::kCounter);
+  const MetricId b = m.register_metric("x.count", MetricKind::kCounter);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(m.find("x.count"), a);
+  EXPECT_EQ(m.find("missing"), kInvalidMetric);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.name(a), "x.count");
+  EXPECT_EQ(m.kind(a), MetricKind::kCounter);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  MetricsRegistry m(2);
+  m.register_metric("v", MetricKind::kCounter);
+  EXPECT_THROW(m.register_metric("v", MetricKind::kGauge), util::CheckError);
+}
+
+TEST(MetricsRegistry, CounterAndGaugeSemantics) {
+  MetricsRegistry m(3);
+  const MetricId c = m.register_metric("c", MetricKind::kCounter);
+  const MetricId g = m.register_metric("g", MetricKind::kGauge);
+  m.add(c, 0, 2.0);
+  m.add(c, 0, 3.0);
+  m.add(c, 2, 1.0);
+  m.set(g, 1, 7.0);
+  m.set(g, 1, 9.0);
+  EXPECT_EQ(m.value(c, 0), 5.0);
+  EXPECT_EQ(m.value(c, 1), 0.0);
+  EXPECT_EQ(m.total(c), 6.0);
+  EXPECT_EQ(m.value(g, 1), 9.0);  // last write wins
+  EXPECT_EQ(m.per_rank(c), (std::vector<double>{5.0, 0.0, 1.0}));
+}
+
+TEST(MetricsRegistry, InvalidIdIsANoOp) {
+  MetricsRegistry m(2);
+  m.add(kInvalidMetric, 0, 1.0);  // must not crash or register anything
+  m.set(kInvalidMetric, 1, 1.0);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: lane merge ordering and ring-drop behavior.
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, FenceMergesLanesInRankThenRecordOrder) {
+  Tracer t(3);
+  // Record out of rank order; the merge must come back rank-ascending,
+  // FIFO within a rank, with the fence event appended last.
+  t.record(2, EventKind::kRelax, -1, -1, 1.0, 0.0, 0, 0.0);
+  t.record(0, EventKind::kRelax, -1, -1, 2.0, 0.0, 0, 0.0);
+  t.record(2, EventKind::kPut, 0, 0, 3.0, 0.0, 0, 0.0);
+  t.end_epoch(0, 0.5, 0.5, 1);
+  const auto& ev = t.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].rank, 0);
+  EXPECT_EQ(ev[1].rank, 2);
+  EXPECT_EQ(ev[1].kind, EventKind::kRelax);
+  EXPECT_EQ(ev[2].rank, 2);
+  EXPECT_EQ(ev[2].kind, EventKind::kPut);
+  EXPECT_EQ(ev[3].kind, EventKind::kFence);
+  EXPECT_EQ(ev[3].rank, -1);
+  for (std::size_t k = 0; k < ev.size(); ++k) {
+    EXPECT_EQ(ev[k].seq, k);  // global order is assigned densely
+  }
+}
+
+TEST(Tracer, RingDropsOldestDeterministically) {
+  TraceOptions opt;
+  opt.ring_capacity = 2;
+  Tracer t(1, opt);
+  for (int k = 0; k < 5; ++k) {
+    t.record(0, EventKind::kRelax, -1, -1, static_cast<double>(k), 0.0, 0,
+             0.0);
+  }
+  t.end_epoch(0, 0.0, 0.0, 0);
+  EXPECT_EQ(t.dropped_events(), 3u);
+  const auto& ev = t.events();
+  ASSERT_EQ(ev.size(), 3u);  // 2 survivors + the fence
+  EXPECT_EQ(ev[0].a0, 3.0);  // oldest dropped, newest kept
+  EXPECT_EQ(ev[1].a0, 4.0);
+  auto log = t.take_log();
+  EXPECT_EQ(log.dropped_events, 3u);
+}
+
+TEST(Tracer, FlushCollectsPostFenceEvents) {
+  Tracer t(2);
+  t.end_epoch(0, 0.0, 0.0, 0);
+  // The absorb phase runs after the fence; its events sit in lanes until
+  // the next fence — or a final flush.
+  t.record(1, EventKind::kAbsorb, -1, -1, 2.0, 8.0, 1, 0.0);
+  t.flush();
+  const auto& ev = t.events();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_EQ(ev[1].kind, EventKind::kAbsorb);
+  EXPECT_EQ(ev[1].epoch, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime integration: put/fence hooks and the simmpi.* metrics.
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeTracing, PutAndFenceAreRecordedWithMetrics) {
+  simmpi::Runtime rt(3);
+  Tracer tracer(3);
+  rt.set_tracer(&tracer);
+  simmpi::RankContext c0(rt, 0);
+  const double payload[3] = {1.0, 2.0, 3.0};
+  c0.put(2, simmpi::MsgTag::kSolve, payload);
+  c0.put(1, simmpi::MsgTag::kResidual, std::span<const double>(payload, 1));
+  rt.fence();
+
+  const auto& ev = tracer.events();
+  ASSERT_EQ(ev.size(), 3u);  // 2 puts + fence
+  EXPECT_EQ(ev[0].kind, EventKind::kPut);
+  EXPECT_EQ(ev[0].rank, 0);
+  EXPECT_EQ(ev[0].peer, 2);
+  EXPECT_EQ(ev[0].tag, 0);
+  EXPECT_EQ(ev[0].a0, 3.0);  // payload doubles
+  EXPECT_EQ(ev[1].peer, 1);
+  EXPECT_EQ(ev[1].tag, 1);
+  EXPECT_EQ(ev[2].kind, EventKind::kFence);
+  EXPECT_EQ(ev[2].a1, 2.0);  // epoch messages
+
+  const auto& m = tracer.metrics();
+  EXPECT_EQ(m.total(m.find("simmpi.msgs_sent")), 2.0);
+  EXPECT_EQ(m.value(m.find("simmpi.msgs_sent"), 0), 2.0);
+  EXPECT_EQ(m.total(m.find("simmpi.msgs_solve")), 1.0);
+  EXPECT_EQ(m.total(m.find("simmpi.msgs_residual")), 1.0);
+  EXPECT_EQ(m.total(m.find("simmpi.msgs_other")), 0.0);
+  EXPECT_GT(m.total(m.find("simmpi.bytes_sent")), 0.0);
+  rt.set_tracer(nullptr);
+}
+
+TEST(RuntimeTracing, RankCountMismatchIsRejected) {
+  simmpi::Runtime rt(3);
+  Tracer tracer(2);
+  EXPECT_THROW(rt.set_tracer(&tracer), util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validity checker for the exporter tests (structure only; no
+// value model). Accepts exactly the RFC 8259 grammar the exporters emit.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int k = 0; k < 4; ++k) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(std::string_view s) { return JsonChecker(s).valid(); }
+
+TEST(JsonChecker, SelfTest) {
+  EXPECT_TRUE(is_valid_json(R"({"a": [1, -2.5e3, "x\n"], "b": null})"));
+  EXPECT_FALSE(is_valid_json(R"({"a": })"));
+  EXPECT_FALSE(is_valid_json(R"({"a": 1} trailing)"));
+  EXPECT_FALSE(is_valid_json("{'a': 1}"));
+  EXPECT_FALSE(is_valid_json(R"([1,])"));
+}
+
+}  // namespace
+}  // namespace dsouth::trace
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced distributed runs. The merged trace stream — and hence
+// the default exporter output — must be byte-identical across execution
+// backends and thread counts, for every solver and rank count; the per-tag
+// trace counters must reproduce the CommStats breakdown exactly; and
+// tracing must be invisible to the simulation itself.
+// ---------------------------------------------------------------------------
+
+namespace dsouth::dist {
+namespace {
+
+struct Problem {
+  CsrMatrix a;
+  std::vector<value_t> b, x0;
+  graph::Partition part;
+};
+
+Problem make_problem(index_t nx, index_t k, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, nx)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  auto g = graph::Graph::from_matrix_structure(p.a);
+  p.part = graph::partition_recursive_bisection(g, k);
+  return p;
+}
+
+std::string jsonl_of(const trace::TraceLog& log,
+                     const trace::TraceExportOptions& opt = {}) {
+  std::ostringstream os;
+  trace::write_jsonl(os, log, opt);
+  return os.str();
+}
+
+std::string chrome_of(const trace::TraceLog& log) {
+  std::ostringstream os;
+  trace::write_chrome_trace(os, log);
+  return os.str();
+}
+
+class TraceDeterminism
+    : public ::testing::TestWithParam<std::tuple<DistMethod, index_t>> {};
+
+TEST_P(TraceDeterminism, ExportIsByteIdenticalAcrossBackends) {
+  const auto [method, nranks] = GetParam();
+  auto p = make_problem(10, nranks, 23 + static_cast<std::uint64_t>(nranks));
+
+  DistRunOptions opt;
+  opt.max_parallel_steps = 12;
+  opt.trace.enabled = true;
+
+  DistRunOptions seq_opt = opt;
+  seq_opt.backend = simmpi::BackendKind::kSequential;
+  auto seq = run_distributed(method, p.a, p.part, p.b, p.x0, seq_opt);
+
+  DistRunOptions thr_opt = opt;
+  thr_opt.backend = simmpi::BackendKind::kThreadPool;
+  thr_opt.num_threads = 4;
+  auto thr = run_distributed(method, p.a, p.part, p.b, p.x0, thr_opt);
+
+  ASSERT_TRUE(seq.trace_log);
+  ASSERT_TRUE(thr.trace_log);
+  EXPECT_GT(seq.trace_log->events.size(), 0u);
+  EXPECT_EQ(seq.trace_log->dropped_events, 0u);
+
+  // Default exports (no wall clock) are pure functions of the deterministic
+  // trace, so a string comparison is the whole determinism check.
+  EXPECT_EQ(jsonl_of(*seq.trace_log), jsonl_of(*thr.trace_log));
+  EXPECT_EQ(chrome_of(*seq.trace_log), chrome_of(*thr.trace_log));
+}
+
+TEST_P(TraceDeterminism, StreamIsWellFormed) {
+  const auto [method, nranks] = GetParam();
+  auto p = make_problem(8, nranks, 31);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 8;
+  opt.trace.enabled = true;
+  auto r = run_distributed(method, p.a, p.part, p.b, p.x0, opt);
+  ASSERT_TRUE(r.trace_log);
+  const auto& ev = r.trace_log->events;
+  std::uint64_t last_epoch = 0;
+  for (std::size_t k = 0; k < ev.size(); ++k) {
+    EXPECT_EQ(ev[k].seq, k);
+    EXPECT_GE(ev[k].epoch, last_epoch);  // epochs are nondecreasing
+    last_epoch = ev[k].epoch;
+    switch (ev[k].kind) {
+      case trace::EventKind::kPut:
+        EXPECT_GE(ev[k].peer, 0);
+        EXPECT_GE(ev[k].tag, 0);
+        EXPECT_GE(ev[k].rank, 0);
+        break;
+      case trace::EventKind::kFence:
+        EXPECT_EQ(ev[k].rank, -1);
+        break;
+      default:
+        EXPECT_GE(ev[k].rank, 0);
+        EXPECT_EQ(ev[k].peer, -1);
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsRanks, TraceDeterminism,
+    ::testing::Combine(
+        ::testing::Values(DistMethod::kBlockJacobi,
+                          DistMethod::kParallelSouthwell,
+                          DistMethod::kDistributedSouthwell,
+                          DistMethod::kMulticolorBlockGs),
+        ::testing::Values<index_t>(1, 4, 13)),
+    [](const auto& info) {
+      return std::string(method_name(std::get<0>(info.param))) + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Exporter output parses as JSON: every JSONL line and the whole Chrome
+// document (which is what Perfetto ingests).
+TEST(TraceExport, JsonlAndChromeAreValidJson) {
+  auto p = make_problem(8, 4, 7);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 6;
+  opt.trace.enabled = true;
+  auto r = run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                           p.b, p.x0, opt);
+  ASSERT_TRUE(r.trace_log);
+
+  trace::TraceExportOptions eopt;
+  eopt.include_wall_clock = true;  // exercise the optional field too
+  eopt.run_label = "unit \"quoted\" label\n";
+  std::istringstream lines(jsonl_of(*r.trace_log, eopt));
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(trace::is_valid_json(line)) << "line " << count << ": "
+                                            << line;
+    ++count;
+  }
+  // header + every event + every metric.
+  EXPECT_EQ(count, 1 + r.trace_log->events.size() +
+                       r.trace_log->metrics.size());
+
+  EXPECT_TRUE(trace::is_valid_json(chrome_of(*r.trace_log)));
+}
+
+// The Table-3 cross-check: per-tag trace counters reproduce the CommStats
+// communication breakdown exactly (they share no code path past put()).
+TEST(TraceMetrics, PerTagCountersMatchCommStatsExactly) {
+  auto p = make_problem(10, 13, 3);
+  for (auto method : {DistMethod::kParallelSouthwell,
+                      DistMethod::kDistributedSouthwell}) {
+    DistRunOptions opt;
+    opt.max_parallel_steps = 15;
+    opt.trace.enabled = true;
+    auto r = run_distributed(method, p.a, p.part, p.b, p.x0, opt);
+    ASSERT_TRUE(r.trace_log);
+    const auto& m = r.trace_log->metrics;
+    const double pcount = static_cast<double>(r.num_ranks);
+    EXPECT_EQ(m.total(m.find("simmpi.msgs_solve")) / pcount,
+              r.solve_comm.back());
+    EXPECT_EQ(m.total(m.find("simmpi.msgs_residual")) / pcount,
+              r.res_comm.back());
+    EXPECT_EQ(m.total(m.find("simmpi.msgs_sent")) / pcount,
+              r.comm_cost.back());
+    // Event counts agree with the counters when nothing was dropped.
+    ASSERT_EQ(r.trace_log->dropped_events, 0u);
+    std::size_t puts = 0;
+    for (const auto& ev : r.trace_log->events) {
+      puts += ev.kind == trace::EventKind::kPut;
+    }
+    EXPECT_EQ(static_cast<double>(puts), m.total(m.find("simmpi.msgs_sent")));
+  }
+}
+
+// DS-specific counters mirror the solver's own per-rank tallies.
+TEST(TraceMetrics, DistributedSouthwellCountersMatchSolver) {
+  auto p = make_problem(10, 8, 5);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 15;
+  opt.trace.enabled = true;
+  opt.ds.send_threshold = 0.05;  // exercise the deferral counter too
+  auto r = run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                           p.b, p.x0, opt);
+  ASSERT_TRUE(r.trace_log);
+  const auto& m = r.trace_log->metrics;
+  // res_comm counts exactly the correction messages, so the ds counter must
+  // agree with the runtime's per-tag stats.
+  EXPECT_EQ(m.total(m.find("ds.corrections_sent")),
+            m.total(m.find("simmpi.msgs_residual")));
+  EXPECT_NE(m.find("ds.deferred_sends"), trace::kInvalidMetric);
+}
+
+// Tracing must be invisible: the simulation's results with tracing enabled
+// are bit-identical to a run without it, and a run without it carries no
+// trace log.
+TEST(TraceOverhead, TracingDoesNotPerturbTheSimulation) {
+  auto p = make_problem(10, 6, 11);
+  DistRunOptions off;
+  off.max_parallel_steps = 12;
+  auto a = run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                           p.b, p.x0, off);
+  EXPECT_FALSE(a.trace_log);
+
+  DistRunOptions on = off;
+  on.trace.enabled = true;
+  auto b = run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                           p.b, p.x0, on);
+  ASSERT_TRUE(b.trace_log);
+
+  EXPECT_EQ(a.residual_norm, b.residual_norm);
+  EXPECT_EQ(a.model_time, b.model_time);
+  EXPECT_EQ(a.comm_cost, b.comm_cost);
+  EXPECT_EQ(a.solve_comm, b.solve_comm);
+  EXPECT_EQ(a.res_comm, b.res_comm);
+  EXPECT_EQ(a.relaxations, b.relaxations);
+  EXPECT_EQ(a.final_x, b.final_x);
+}
+
+// Ring overflow drops the same events no matter which backend ran the
+// epochs — drop accounting is part of the determinism contract.
+TEST(TraceOverhead, RingDropsAreBackendIndependent) {
+  auto p = make_problem(10, 4, 13);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 10;
+  opt.trace.enabled = true;
+  opt.trace.ring_capacity = 2;  // absurdly small: force drops
+
+  DistRunOptions seq_opt = opt;
+  seq_opt.backend = simmpi::BackendKind::kSequential;
+  auto seq = run_distributed(DistMethod::kParallelSouthwell, p.a, p.part,
+                             p.b, p.x0, seq_opt);
+
+  DistRunOptions thr_opt = opt;
+  thr_opt.backend = simmpi::BackendKind::kThreadPool;
+  thr_opt.num_threads = 3;
+  auto thr = run_distributed(DistMethod::kParallelSouthwell, p.a, p.part,
+                             p.b, p.x0, thr_opt);
+
+  ASSERT_TRUE(seq.trace_log);
+  ASSERT_TRUE(thr.trace_log);
+  EXPECT_GT(seq.trace_log->dropped_events, 0u);
+  EXPECT_EQ(seq.trace_log->dropped_events, thr.trace_log->dropped_events);
+  EXPECT_EQ(jsonl_of(*seq.trace_log), jsonl_of(*thr.trace_log));
+}
+
+}  // namespace
+}  // namespace dsouth::dist

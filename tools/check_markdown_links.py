@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that local links in the repo's markdown docs resolve.
+
+Usage: tools/check_markdown_links.py FILE [FILE ...]
+
+Verifies every inline markdown link/image target that is not an external
+URL or a pure in-page anchor: the referenced path must exist relative to
+the containing file (or the repo root, for absolute-style paths). Exits
+nonzero listing every broken link. External http(s)/mailto links are not
+fetched — this guards against repo-internal drift (renamed docs, moved
+sources), not the internet.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — tolerates one level of nested
+# brackets in the text, strips optional "title" suffixes in the target.
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_targets(text):
+    # Fenced code blocks routinely contain example syntax; skip them.
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(md_path, repo_root):
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    for lineno, target in iter_targets(text):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        if path_part.startswith("/"):
+            resolved = repo_root / path_part.lstrip("/")
+        else:
+            resolved = md_path.parent / path_part
+        if not resolved.exists():
+            errors.append(f"{md_path}:{lineno}: broken link -> {target}")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    errors = []
+    for name in argv[1:]:
+        md_path = Path(name)
+        if not md_path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(md_path, repo_root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} files, all local links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
