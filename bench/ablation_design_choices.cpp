@@ -30,6 +30,8 @@ int run(int argc, char** argv) {
   const double size_factor = args.get_double_or("size_factor", 0.25);
   std::vector<std::string> matrices{"Serenap", "af_5_k101p", "msdoorp"};
   if (args.has("matrices")) matrices = select_matrices(args);
+  TraceCapture capture(args);
+  BenchRecorder record("ablation", args);
 
   print_header("Ablations — deadlock avoidance, local estimates, "
                "partitioner",
@@ -49,6 +51,7 @@ int run(int argc, char** argv) {
 
     auto run_options = default_run_options();
     apply_backend_args(args, run_options);
+    capture.apply(run_options);
 
     struct Variant {
       std::string label;
@@ -78,6 +81,8 @@ int run(int argc, char** argv) {
     for (const auto& v : variants) {
       auto r = dist::run_distributed(v.method, layout, problem.b, problem.x0,
                                      v.opt);
+      capture.add_run(name + " " + v.label, r);
+      record.add_run(name + " " + v.label, name, r);
       // Stall = the first step after which no rank ever relaxes again.
       std::string stall = "-";
       for (std::size_t k = 0; k < r.active_ranks.size(); ++k) {

@@ -37,6 +37,7 @@ int run(int argc, char** argv) {
                                     "af_5_k101p"};
   if (args.has("matrices")) matrices = select_matrices(args);
   TraceCapture capture(args);
+  BenchRecorder record("fig7", args);
 
   print_header("Figure 7 — residual traces vs time / comm / step",
                "paper Figure 7",
@@ -53,7 +54,10 @@ int run(int argc, char** argv) {
     capture.apply(opt);
     auto runs = run_three_methods(problem, procs, opt);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
-    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
+    for (const auto* r : results) {
+      capture.add_run(name + " " + r->method, *r);
+      record.add_run(name + " " + r->method, name, *r);
+    }
 
     std::cout << "--- " << name << " ---\n";
     util::Table table({"Step", "r:BJ", "r:PS", "r:DS"});

@@ -27,6 +27,7 @@ int run(int argc, char** argv) {
   apply_backend_args(args, base_opt);
   TraceCapture capture(args);
   capture.apply(base_opt);
+  BenchRecorder record("fig8", args);
 
   print_header("Figure 8 — strong scaling: model time to ||r||=0.1 vs P",
                "paper Figure 8",
@@ -56,6 +57,8 @@ int run(int argc, char** argv) {
         const auto* r = results[m];
         capture.add_run(name + " P=" + std::to_string(p) + " " + r->method,
                         *r);
+        record.add_run(name + " P=" + std::to_string(p) + " " + r->method,
+                       name, *r);
         auto at = r->at_target(target);
         if (at) {
           plot[static_cast<std::size_t>(m)].x.push_back(

@@ -22,6 +22,7 @@ int run(int argc, char** argv) {
   std::vector<std::string> matrices = scaling_figure_matrices();
   if (args.has("matrices")) matrices = select_matrices(args);
   TraceCapture capture(args);
+  BenchRecorder record("fig9", args);
 
   print_header("Figure 9 — residual after 50 parallel steps vs P",
                "paper Figure 9",
@@ -47,6 +48,8 @@ int run(int argc, char** argv) {
       for (const auto* r : results) {
         capture.add_run(name + " P=" + std::to_string(p) + " " + r->method,
                         *r);
+        record.add_run(name + " P=" + std::to_string(p) + " " + r->method,
+                       name, *r);
       }
       table.row().cell(static_cast<std::size_t>(p));
       for (int m = 0; m < 3; ++m) {

@@ -97,10 +97,17 @@ int run(int argc, char** argv) {
   dist::DistRunOptions bopt;
   bopt.max_parallel_steps = 1000;
   bopt.stop_at_residual = 0.1;
+  TraceCapture capture(args);
+  BenchRecorder record("related_work", args);
+  capture.apply(bopt);
   auto bj = dist::run_distributed(dist::DistMethod::kBlockJacobi, layout, b,
                                   x0, bopt);
   auto dsb = dist::run_distributed(dist::DistMethod::kDistributedSouthwell,
                                    layout, b, x0, bopt);
+  capture.add_run("fem BJ", bj);
+  capture.add_run("fem DS", dsb);
+  record.add_run("fem BJ", "fem", bj);
+  record.add_run("fem DS", "fem", dsb);
   util::Table blocks({"Method", "block relaxations", "parallel steps"});
   blocks.row()
       .cell("greedy Schwarz (Ref. 10)")

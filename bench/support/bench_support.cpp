@@ -1,5 +1,7 @@
 #include "support/bench_support.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -10,6 +12,7 @@
 #include "sparse/scaling.hpp"
 #include "trace/export.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 
 namespace dsouth::bench {
@@ -94,6 +97,7 @@ TraceCapture::TraceCapture(const util::ArgParser& args) {
     jsonl_ = path_.size() >= 6 &&
              path_.compare(path_.size() - 6, 6, ".jsonl") == 0;
   }
+  if (auto p = args.get("metrics"); p && !p->empty()) metrics_path_ = *p;
 }
 
 TraceCapture::~TraceCapture() {
@@ -117,26 +121,158 @@ void TraceCapture::add_run(const std::string& label,
 void TraceCapture::write() {
   if (!enabled() || written_) return;
   written_ = true;
-  std::ofstream out(path_);
-  DSOUTH_CHECK_MSG(out.good(), "cannot open trace file '" << path_ << "'");
-  if (jsonl_) {
-    for (const auto& run : runs_) {
-      trace::TraceExportOptions opt;
-      opt.run_label = run.label;
-      trace::write_jsonl(out, *run.log, opt);
+  if (!path_.empty()) {
+    std::ofstream out(path_);
+    DSOUTH_CHECK_MSG(out.good(), "cannot open trace file '" << path_ << "'");
+    if (jsonl_) {
+      for (const auto& run : runs_) {
+        trace::TraceExportOptions opt;
+        opt.run_label = run.label;
+        trace::write_jsonl(out, *run.log, opt);
+      }
+    } else {
+      trace::ChromeTraceWriter writer(out);
+      for (const auto& run : runs_) {
+        trace::TraceExportOptions opt;
+        opt.run_label = run.label;
+        writer.add_run(*run.log, opt);
+      }
+      writer.finish();
     }
-  } else {
-    trace::ChromeTraceWriter writer(out);
-    for (const auto& run : runs_) {
-      trace::TraceExportOptions opt;
-      opt.run_label = run.label;
-      writer.add_run(*run.log, opt);
-    }
-    writer.finish();
+    std::cout << "Trace:       wrote " << runs_.size() << " run"
+              << (runs_.size() == 1 ? "" : "s") << " to " << path_ << " ("
+              << (jsonl_ ? "JSON Lines" : "Chrome trace_event") << ")\n";
   }
-  std::cout << "Trace:       wrote " << runs_.size() << " run"
-            << (runs_.size() == 1 ? "" : "s") << " to " << path_ << " ("
-            << (jsonl_ ? "JSON Lines" : "Chrome trace_event") << ")\n";
+  if (!metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    DSOUTH_CHECK_MSG(out.good(),
+                     "cannot open metrics file '" << metrics_path_ << "'");
+    out << "{\"schema\":\"dsouth.metrics\",\"schema_version\":1,\"runs\":[";
+    for (std::size_t r = 0; r < runs_.size(); ++r) {
+      const auto& run = runs_[r];
+      const auto& m = run.log->metrics;
+      if (r > 0) out << ",";
+      out << "\n{\"run\":" << util::json_quote(run.label)
+          << ",\"num_ranks\":" << run.log->num_ranks << ",\"metrics\":[";
+      for (std::size_t id = 0; id < m.size(); ++id) {
+        const auto mid = static_cast<trace::MetricId>(id);
+        if (id > 0) out << ",";
+        out << "\n  {\"name\":" << util::json_quote(m.name(mid))
+            << ",\"kind\":" << util::json_quote(metric_kind_name(m.kind(mid)))
+            << ",\"total\":" << util::json_number(m.total(mid))
+            << ",\"per_rank\":[";
+        const auto& slots = m.per_rank(mid);
+        for (std::size_t p = 0; p < slots.size(); ++p) {
+          if (p > 0) out << ",";
+          out << util::json_number(slots[p]);
+        }
+        out << "]}";
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+    DSOUTH_CHECK_MSG(out.good(),
+                     "write to metrics file '" << metrics_path_
+                                               << "' failed");
+    std::cout << "Metrics:     wrote " << runs_.size() << " run"
+              << (runs_.size() == 1 ? "" : "s") << " to " << metrics_path_
+              << "\n";
+  }
+}
+
+namespace {
+
+/// Best-effort revision id for bench records: DSOUTH_GIT_SHA when set (CI
+/// exports it; keeps records hermetic), else `git rev-parse HEAD`, else
+/// "unknown". Advisory only — bench_compare.py never gates on it.
+std::string detect_git_sha() {
+  if (const char* env = std::getenv("DSOUTH_GIT_SHA"); env && *env) {
+    return env;
+  }
+  std::string sha;
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe)) sha = buf;
+    ::pclose(pipe);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  if (sha.size() != 40) return "unknown";
+  for (char c : sha) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return "unknown";
+  }
+  return sha;
+}
+
+}  // namespace
+
+BenchRecorder::BenchRecorder(std::string bench_name,
+                             const util::ArgParser& args)
+    : bench_name_(std::move(bench_name)) {
+  if (!args.has("json")) return;
+  path_ = args.get_or("json", "");
+  if (path_.empty()) path_ = csv_path("BENCH_" + bench_name_ + ".json");
+}
+
+BenchRecorder::~BenchRecorder() {
+  try {
+    write();
+  } catch (const std::exception& e) {
+    std::cerr << "bench record: " << e.what() << "\n";
+  }
+}
+
+void BenchRecorder::add_run(const std::string& label,
+                            const std::string& matrix,
+                            const dist::DistRunResult& result) {
+  if (!enabled()) return;
+  const auto& ct = result.comm_totals;
+  std::ostringstream os;
+  os << "{\"label\":" << util::json_quote(label)
+     << ",\n   \"config\":{\"matrix\":" << util::json_quote(matrix)
+     << ",\"method\":" << util::json_quote(result.method)
+     << ",\"procs\":" << result.num_ranks << ",\"n\":" << result.n
+     << ",\"backend\":" << util::json_quote(result.backend)
+     << ",\"threads\":" << result.num_threads << "},"
+     << "\n   \"deterministic\":{\"steps\":" << result.steps_taken()
+     << ",\"modeled_time\":"
+     << util::json_number(result.model_time.empty() ? 0.0
+                                                    : result.model_time.back())
+     << ",\"msgs_total\":" << ct.msgs << ",\"msgs_solve\":" << ct.msgs_solve
+     << ",\"msgs_residual\":" << ct.msgs_residual
+     << ",\"msgs_other\":" << ct.msgs_other << ",\"bytes_total\":" << ct.bytes
+     << ",\"comm_cost\":"
+     << util::json_number(result.comm_cost.empty() ? 0.0
+                                                   : result.comm_cost.back())
+     << ",\"final_residual\":"
+     << util::json_number(
+            result.residual_norm.empty() ? 0.0 : result.residual_norm.back())
+     << "},"
+     << "\n   \"advisory\":{\"wall_seconds\":"
+     << util::json_number(result.wall_seconds) << "}}";
+  records_.push_back(os.str());
+}
+
+void BenchRecorder::write() {
+  if (!enabled() || written_) return;
+  written_ = true;
+  std::ofstream out(path_);
+  DSOUTH_CHECK_MSG(out.good(),
+                   "cannot open bench record file '" << path_ << "'");
+  out << "{\"schema\":\"dsouth.bench_record\",\"schema_version\":1,"
+      << "\"bench\":" << util::json_quote(bench_name_)
+      << ",\"git_sha\":" << util::json_quote(detect_git_sha())
+      << ",\"runs\":[";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out << (i == 0 ? "\n  " : ",\n  ") << records_[i];
+  }
+  out << "\n]}\n";
+  DSOUTH_CHECK_MSG(out.good(),
+                   "write to bench record file '" << path_ << "' failed");
+  std::cout << "Record:      wrote " << records_.size() << " run"
+            << (records_.size() == 1 ? "" : "s") << " to " << path_ << "\n";
 }
 
 }  // namespace dsouth::bench

@@ -72,25 +72,31 @@ dist::DistRunOptions default_run_options();
 /// real wall-clock time (reported next to modeled time).
 void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
 
-/// Shared `-trace <path>` flag: captures the trace log of every run a bench
-/// performs and writes one file on destruction (docs/observability.md).
-/// Path ending in `.jsonl` selects JSON Lines (one header/event/metric
-/// object per line, one header per captured run); any other extension
-/// selects Chrome trace_event JSON, loadable in Perfetto or
-/// chrome://tracing, with one "process" per captured run. Without `-trace`
-/// the capture is inert and `apply()` leaves tracing disabled.
+/// Shared `-trace <path>` / `-metrics <path>` flags: captures the trace log
+/// of every run a bench performs and writes the files on destruction
+/// (docs/observability.md).
+///
+/// `-trace`: path ending in `.jsonl` selects JSON Lines (one
+/// header/event/metric object per line, one header per captured run); any
+/// other extension selects Chrome trace_event JSON, loadable in Perfetto or
+/// chrome://tracing, with one "process" per captured run.
+///
+/// `-metrics`: writes just the end-of-run MetricsRegistry values (no event
+/// stream) as one JSON document — schema "dsouth.metrics", one entry per
+/// run with every counter/gauge's total and per-rank values. Either flag
+/// alone enables tracing via `apply()`; with neither, the capture is inert.
 class TraceCapture {
  public:
   explicit TraceCapture(const util::ArgParser& args);
-  ~TraceCapture();  ///< writes the file (best effort; logs failures)
+  ~TraceCapture();  ///< writes the files (best effort; logs failures)
 
-  bool enabled() const { return !path_.empty(); }
-  /// Enable tracing in `opt` when the flag was given (no-op otherwise).
+  bool enabled() const { return !path_.empty() || !metrics_path_.empty(); }
+  /// Enable tracing in `opt` when either flag was given (no-op otherwise).
   void apply(dist::DistRunOptions& opt) const;
   /// Capture one finished run under `label` (e.g. "fig8 ldoorp P=64 DS").
   /// Runs without a trace log (tracing off) are ignored.
   void add_run(const std::string& label, const dist::DistRunResult& result);
-  /// Write the capture file now (idempotent; the destructor calls it).
+  /// Write the capture file(s) now (idempotent; the destructor calls it).
   void write();
 
  private:
@@ -98,10 +104,38 @@ class TraceCapture {
     std::string label;
     std::shared_ptr<const trace::TraceLog> log;
   };
-  std::string path_;
+  std::string path_;          ///< -trace target ("" = off)
+  std::string metrics_path_;  ///< -metrics target ("" = off)
   bool jsonl_ = false;
   bool written_ = false;
   std::vector<Captured> runs_;
+};
+
+/// Shared `-json [<path>]` flag: machine-readable bench records for the
+/// perf-regression gate (tools/bench_compare.py). Each captured run adds
+/// one record — config plus the *deterministic* results (steps, modeled
+/// time, CommStats totals, final residual; bit-identical across execution
+/// backends) and the advisory wall clock — and destruction writes one
+/// versioned JSON document (schema "dsouth.bench_record"). With no path
+/// the file is `bench_results/BENCH_<bench>.json`; without `-json` the
+/// recorder is inert.
+class BenchRecorder {
+ public:
+  BenchRecorder(std::string bench_name, const util::ArgParser& args);
+  ~BenchRecorder();  ///< writes the file (best effort; logs failures)
+
+  bool enabled() const { return !path_.empty(); }
+  /// Record one finished run. `matrix` is the problem name ("" if n/a).
+  void add_run(const std::string& label, const std::string& matrix,
+               const dist::DistRunResult& result);
+  /// Write the record file now (idempotent; the destructor calls it).
+  void write();
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  bool written_ = false;
+  std::vector<std::string> records_;  ///< pre-rendered JSON objects
 };
 
 }  // namespace dsouth::bench

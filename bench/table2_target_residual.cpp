@@ -20,6 +20,7 @@ int run(int argc, char** argv) {
   const double target = args.get_double_or("target", 0.1);
   const auto matrices = select_matrices(args);
   TraceCapture capture(args);
+  BenchRecorder record("table2", args);
 
   print_header(
       "Table 2 — reducing ||r||_2 to 0.1",
@@ -45,7 +46,10 @@ int run(int argc, char** argv) {
     auto runs = run_three_methods(problem, procs, opt);
     table.row().cell(name);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
-    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
+    for (const auto* r : results) {
+      capture.add_run(name + " " + r->method, *r);
+      record.add_run(name + " " + r->method, name, *r);
+    }
     std::optional<dist::DistRunResult::AtTarget> at[3];
     for (int m = 0; m < 3; ++m) at[m] = results[m]->at_target(target);
     auto emit = [&](auto getter, int precision) {

@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
   const double target = args.get_double_or("target", 0.1);
   const auto matrices = select_matrices(args);
   TraceCapture capture(args);
+  BenchRecorder record("table3", args);
 
   print_header("Table 3 — communication breakdown (PS vs DS)",
                "paper Table 3",
@@ -68,6 +69,8 @@ int run(int argc, char** argv) {
                                     layout, problem.b, problem.x0, opt);
     capture.add_run(name + " PS", ps);
     capture.add_run(name + " DS", ds);
+    record.add_run(name + " PS", name, ps);
+    record.add_run(name + " DS", name, ds);
     cross_check(ps, name + " PS");
     cross_check(ds, name + " DS");
     auto ps_at = ps.at_target(target);

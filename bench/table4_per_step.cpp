@@ -18,6 +18,7 @@ int run(int argc, char** argv) {
   const double size_factor = args.get_double_or("size_factor", 1.0);
   const auto matrices = select_matrices(args);
   TraceCapture capture(args);
+  BenchRecorder record("table4", args);
 
   print_header("Table 4 — per-parallel-step cost over 50 steps",
                "paper Table 4",
@@ -36,7 +37,10 @@ int run(int argc, char** argv) {
     capture.apply(opt);
     auto runs = run_three_methods(problem, procs, opt);
     const dist::DistRunResult* results[3] = {&runs.bj, &runs.ps, &runs.ds};
-    for (const auto* r : results) capture.add_run(name + " " + r->method, *r);
+    for (const auto* r : results) {
+      capture.add_run(name + " " + r->method, *r);
+      record.add_run(name + " " + r->method, name, *r);
+    }
     table.row().cell(name);
     for (const auto* r : results) table.cell(r->mean_step_time() * 1e3, 4);
     for (const auto* r : results) table.cell(r->mean_step_comm(), 3);

@@ -1,0 +1,359 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dsouth::analysis {
+
+namespace {
+
+/// Per-(rank, epoch) accumulators, rebuilt the way the runtime builds its
+/// own per-epoch counters: walk the stream in seq order, add each event to
+/// its recording rank's slot, and close the epoch at the fence event. The
+/// stream's merge order (rank-ascending, FIFO per rank within an epoch)
+/// makes the floating-point flop sums reproduce the runtime's bit-exactly.
+struct EpochScan {
+  struct RankSlot {
+    double flops = 0.0;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  std::vector<RankSlot> slots;
+
+  explicit EpochScan(int num_ranks)
+      : slots(static_cast<std::size_t>(num_ranks)) {}
+
+  void add(const trace::Event& e) {
+    DSOUTH_CHECK(e.rank >= 0 &&
+                 e.rank < static_cast<std::int32_t>(slots.size()));
+    RankSlot& s = slots[static_cast<std::size_t>(e.rank)];
+    switch (e.kind) {
+      case trace::EventKind::kCompute:
+        s.flops += e.a0;
+        break;
+      case trace::EventKind::kPut:
+        s.msgs += 1;
+        s.bytes += static_cast<std::uint64_t>(e.a1);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void reset() {
+    for (RankSlot& s : slots) s = RankSlot{};
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// (a) Timeline
+// ---------------------------------------------------------------------------
+
+TimelineReport analyze_timeline(const RunTrace& run,
+                                const simmpi::MachineModel& model) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  const int p = run.num_ranks;
+  TimelineReport rep;
+  rep.num_ranks = p;
+  rep.ranks.resize(static_cast<std::size_t>(p));
+
+  EpochScan scan(p);
+  for (const trace::Event& e : run.events) {
+    if (e.kind == trace::EventKind::kFence) {
+      // Close the epoch: charge each rank its busy split and the shared
+      // wait remainder, and record the step's balance numbers.
+      TimelineReport::Step step;
+      step.epoch = e.epoch;
+      step.epoch_seconds = e.a0;
+      double sum_cost = 0.0;
+      for (int r = 0; r < p; ++r) {
+        const auto& s = scan.slots[static_cast<std::size_t>(r)];
+        const double cost = model.rank_cost(s.flops, s.msgs, s.bytes);
+        sum_cost += cost;
+        if (cost > step.max_cost) {
+          step.max_cost = cost;
+          step.straggler = r;
+        }
+        auto& acc = rep.ranks[static_cast<std::size_t>(r)];
+        acc.compute_seconds += s.flops * model.flop_time;
+        acc.send_seconds += static_cast<double>(s.msgs) * model.alpha +
+                            static_cast<double>(s.bytes) * model.beta;
+        acc.wait_seconds += step.epoch_seconds - cost;
+      }
+      step.mean_cost = sum_cost / static_cast<double>(p);
+      if (step.max_cost == 0.0) step.straggler = -1;  // all-idle epoch
+      rep.total_model_seconds += step.epoch_seconds;
+      rep.steps.push_back(step);
+      scan.reset();
+      continue;
+    }
+    scan.add(e);
+    auto& acc = rep.ranks[static_cast<std::size_t>(e.rank)];
+    switch (e.kind) {
+      case trace::EventKind::kRelax:
+        acc.relax_phases += 1;
+        acc.rows_relaxed += static_cast<std::uint64_t>(e.a0);
+        break;
+      case trace::EventKind::kAbsorb:
+        acc.absorb_phases += 1;
+        acc.absorbed_msgs += static_cast<std::uint64_t>(e.a0);
+        break;
+      case trace::EventKind::kPut:
+        acc.msgs_sent += 1;
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (!rep.steps.empty()) {
+    double sum = 0.0;
+    double mx = 0.0;
+    for (const auto& s : rep.steps) {
+      sum += s.imbalance();
+      mx = std::max(mx, s.imbalance());
+    }
+    rep.max_imbalance = mx;
+    rep.mean_imbalance = sum / static_cast<double>(rep.steps.size());
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// (b) Communication matrix
+// ---------------------------------------------------------------------------
+
+double CommMatrixReport::comm_cost() const {
+  return static_cast<double>(total_msgs) / static_cast<double>(num_ranks);
+}
+
+double CommMatrixReport::comm_cost(simmpi::MsgTag tag) const {
+  return static_cast<double>(total_by_tag[static_cast<std::size_t>(tag)]) /
+         static_cast<double>(num_ranks);
+}
+
+CommMatrixReport analyze_comm_matrix(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  const int p = run.num_ranks;
+  const auto pp = static_cast<std::size_t>(p) * static_cast<std::size_t>(p);
+  CommMatrixReport rep;
+  rep.num_ranks = p;
+  rep.msgs.assign(pp, 0);
+  rep.bytes.assign(pp, 0);
+  for (auto& m : rep.msgs_by_tag) m.assign(pp, 0);
+
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kPut) continue;
+    DSOUTH_CHECK(e.rank >= 0 && e.rank < p && e.peer >= 0 && e.peer < p);
+    DSOUTH_CHECK(e.tag >= 0 && e.tag < simmpi::kNumTags);
+    const std::size_t idx =
+        static_cast<std::size_t>(e.rank) * static_cast<std::size_t>(p) +
+        static_cast<std::size_t>(e.peer);
+    const auto bytes = static_cast<std::uint64_t>(e.a1);
+    rep.msgs[idx] += 1;
+    rep.bytes[idx] += bytes;
+    rep.msgs_by_tag[static_cast<std::size_t>(e.tag)][idx] += 1;
+    rep.total_msgs += 1;
+    rep.total_bytes += bytes;
+    rep.total_by_tag[static_cast<std::size_t>(e.tag)] += 1;
+  }
+
+  for (int src = 0; src < p; ++src) {
+    for (int dst = 0; dst < p; ++dst) {
+      const std::size_t idx =
+          static_cast<std::size_t>(src) * static_cast<std::size_t>(p) +
+          static_cast<std::size_t>(dst);
+      if (rep.msgs[idx] == 0) continue;
+      rep.hot_pairs.push_back(
+          CommMatrixReport::Pair{src, dst, rep.msgs[idx], rep.bytes[idx]});
+    }
+  }
+  std::sort(rep.hot_pairs.begin(), rep.hot_pairs.end(),
+            [](const CommMatrixReport::Pair& a,
+               const CommMatrixReport::Pair& b) {
+              if (a.msgs != b.msgs) return a.msgs > b.msgs;
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// (c) Critical path
+// ---------------------------------------------------------------------------
+
+const char* cost_term_name(CostTerm term) {
+  switch (term) {
+    case CostTerm::kCompute:
+      return "compute";
+    case CostTerm::kLatency:
+      return "latency";
+    case CostTerm::kBandwidth:
+      return "bandwidth";
+    case CostTerm::kNetwork:
+      return "network";
+    case CostTerm::kSync:
+      return "sync";
+  }
+  return "?";
+}
+
+CriticalPathReport analyze_critical_path(const RunTrace& run,
+                                         const simmpi::MachineModel& model) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  const int p = run.num_ranks;
+  CriticalPathReport rep;
+  rep.num_ranks = p;
+  rep.straggler_epochs.assign(static_cast<std::size_t>(p), 0);
+  rep.model_matches = true;
+
+  EpochScan scan(p);
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kFence) {
+      scan.add(e);
+      continue;
+    }
+    CriticalPathReport::Step step;
+    step.epoch = e.epoch;
+    step.recorded_seconds = e.a0;
+    // Reproduce the fence's accounting loop (runtime.cpp): running max in
+    // rank order (so ties pick the lowest rank) and the epoch's aggregate
+    // message count.
+    double max_cost = 0.0;
+    std::uint64_t epoch_msgs = 0;
+    int straggler = -1;
+    for (int r = 0; r < p; ++r) {
+      const auto& s = scan.slots[static_cast<std::size_t>(r)];
+      const double cost = model.rank_cost(s.flops, s.msgs, s.bytes);
+      if (cost > max_cost) {
+        max_cost = cost;
+        straggler = r;
+      }
+      epoch_msgs += s.msgs;
+    }
+    step.modeled_seconds = model.epoch_seconds(max_cost, epoch_msgs, p);
+    step.straggler = straggler;
+    if (straggler >= 0) {
+      const auto& s = scan.slots[static_cast<std::size_t>(straggler)];
+      step.terms[static_cast<std::size_t>(CostTerm::kCompute)] =
+          s.flops * model.flop_time;
+      step.terms[static_cast<std::size_t>(CostTerm::kLatency)] =
+          static_cast<double>(s.msgs) * model.alpha;
+      step.terms[static_cast<std::size_t>(CostTerm::kBandwidth)] =
+          static_cast<double>(s.bytes) * model.beta;
+      rep.straggler_epochs[static_cast<std::size_t>(straggler)] += 1;
+    }
+    step.terms[static_cast<std::size_t>(CostTerm::kNetwork)] =
+        model.gamma * static_cast<double>(epoch_msgs) /
+        static_cast<double>(p);
+    step.terms[static_cast<std::size_t>(CostTerm::kSync)] = model.sigma;
+    // Dominant term: largest share; ties go to the earlier term in enum
+    // order (compute before latency before …), deterministically.
+    int dom = 0;
+    for (int t = 1; t < kNumCostTerms; ++t) {
+      if (step.terms[static_cast<std::size_t>(t)] >
+          step.terms[static_cast<std::size_t>(dom)]) {
+        dom = t;
+      }
+    }
+    step.dominant = static_cast<CostTerm>(dom);
+
+    rep.epochs_dominated[static_cast<std::size_t>(dom)] += 1;
+    for (int t = 0; t < kNumCostTerms; ++t) {
+      rep.total_seconds_by_term[static_cast<std::size_t>(t)] +=
+          step.terms[static_cast<std::size_t>(t)];
+    }
+    rep.total_recorded_seconds += step.recorded_seconds;
+    rep.total_modeled_seconds += step.modeled_seconds;
+    if (step.modeled_seconds != step.recorded_seconds) {
+      rep.model_matches = false;
+    }
+    rep.steps.push_back(step);
+    scan.reset();
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// (d) Convergence
+// ---------------------------------------------------------------------------
+
+ConvergenceReport analyze_convergence(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  const int p = run.num_ranks;
+  ConvergenceReport rep;
+  rep.num_ranks = p;
+
+  std::vector<double> last_norm2(static_cast<std::size_t>(p), 0.0);
+  std::vector<bool> seen(static_cast<std::size_t>(p), false);
+  int reporting = 0;
+  std::uint64_t epoch_relax = 0;
+
+  for (const trace::Event& e : run.events) {
+    if (e.kind == trace::EventKind::kRelax) {
+      const auto r = static_cast<std::size_t>(e.rank);
+      last_norm2[r] = e.a1;
+      if (!seen[r]) {
+        seen[r] = true;
+        ++reporting;
+      }
+      ++epoch_relax;
+      continue;
+    }
+    if (e.kind != trace::EventKind::kFence) continue;
+    ConvergenceReport::Point pt;
+    pt.epoch = e.epoch;
+    pt.t_model = e.t_model;
+    pt.relax_events = epoch_relax;
+    pt.msgs = static_cast<std::uint64_t>(e.a1);
+    pt.ranks_reporting = reporting;
+    double sum = 0.0;
+    for (double v : last_norm2) sum += v;
+    pt.residual_estimate = std::sqrt(sum);
+    rep.points.push_back(pt);
+    epoch_relax = 0;
+  }
+
+  // Stall runs: maximal spans of fenced epochs with no relax anywhere.
+  std::optional<ConvergenceReport::Stall> open;
+  for (const auto& pt : rep.points) {
+    if (pt.relax_events == 0) {
+      ++rep.stalled_epochs;
+      if (open) {
+        open->last_epoch = pt.epoch;
+      } else {
+        open = ConvergenceReport::Stall{pt.epoch, pt.epoch};
+      }
+    } else if (open) {
+      rep.stalls.push_back(*open);
+      open.reset();
+    }
+  }
+  if (open) rep.stalls.push_back(*open);
+
+  if (const MetricSeries* m = run.find_metric("ds.corrections_sent")) {
+    rep.ds_corrections_sent = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("ds.deferred_sends")) {
+    rep.ds_deferred_sends = m->total();
+    if (m->total() > 0.0) {
+      int arg = 0;
+      for (int r = 1; r < p; ++r) {
+        if (m->per_rank[static_cast<std::size_t>(r)] >
+            m->per_rank[static_cast<std::size_t>(arg)]) {
+          arg = r;
+        }
+      }
+      rep.max_deferral_rank = arg;
+    }
+  }
+  return rep;
+}
+
+}  // namespace dsouth::analysis

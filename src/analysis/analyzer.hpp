@@ -1,0 +1,200 @@
+#pragma once
+
+/// \file analyzer.hpp
+/// Trace analysis: turns a RunTrace (the deterministic event stream of one
+/// run) into the reports the paper's communication-cost argument is made
+/// of — who computed, who talked to whom, which α–β–γ term paid for each
+/// superstep, and how the residual fell against modeled time. Every report
+/// is a pure function of (RunTrace, MachineModel), so reports — like the
+/// traces they come from — are bit-identical across execution backends.
+///
+/// Epoch accounting mirrors the runtime exactly (simmpi/runtime.cpp):
+/// events carry the epoch index in flight when they were recorded, so
+/// summing compute/put events per (rank, epoch) in stream order reproduces
+/// the runtime's per-epoch accumulators addend for addend — which is what
+/// lets the critical-path report recompute every fence's modeled seconds
+/// bit-exactly (`CriticalPathReport::model_matches`).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/run_trace.hpp"
+#include "simmpi/machine_model.hpp"
+#include "simmpi/stats.hpp"
+
+namespace dsouth::analysis {
+
+// ---------------------------------------------------------------------------
+// (a) Per-rank timeline and load imbalance
+// ---------------------------------------------------------------------------
+
+struct TimelineReport {
+  /// Per-rank totals over all fenced epochs. Modeled seconds split the way
+  /// the machine model charges them: compute = flops·c_flop, send = msgs·α
+  /// + bytes·β (together the rank's "busy" cost), wait = the rest of each
+  /// epoch's duration (straggler gap plus the epoch's γ/σ share).
+  struct Rank {
+    double compute_seconds = 0.0;
+    double send_seconds = 0.0;
+    double wait_seconds = 0.0;
+    std::uint64_t relax_phases = 0;
+    std::uint64_t rows_relaxed = 0;
+    std::uint64_t absorb_phases = 0;
+    std::uint64_t absorbed_msgs = 0;
+    std::uint64_t msgs_sent = 0;
+
+    double busy_seconds() const { return compute_seconds + send_seconds; }
+  };
+
+  /// Per-epoch load balance: max and mean of the per-rank busy cost, and
+  /// who the straggler (max) rank was.
+  struct Step {
+    std::uint64_t epoch = 0;
+    double epoch_seconds = 0.0;  ///< as recorded by the fence event
+    double max_cost = 0.0;
+    double mean_cost = 0.0;
+    int straggler = -1;
+
+    /// max/mean busy cost; 1 = perfectly balanced. An all-idle epoch has
+    /// no meaningful ratio and reports 1.
+    double imbalance() const {
+      return mean_cost > 0.0 ? max_cost / mean_cost : 1.0;
+    }
+  };
+
+  int num_ranks = 0;
+  std::vector<Rank> ranks;
+  std::vector<Step> steps;
+  double total_model_seconds = 0.0;  ///< Σ epoch_seconds
+  double max_imbalance = 1.0;        ///< max over steps
+  double mean_imbalance = 1.0;       ///< mean over steps
+};
+
+TimelineReport analyze_timeline(const RunTrace& run,
+                                const simmpi::MachineModel& model);
+
+// ---------------------------------------------------------------------------
+// (b) P×P communication matrix
+// ---------------------------------------------------------------------------
+
+struct CommMatrixReport {
+  int num_ranks = 0;
+  /// Row-major P×P: entry [src * P + dst].
+  std::vector<std::uint64_t> msgs;
+  std::vector<std::uint64_t> bytes;
+  /// Per-tag message matrices (solve / residual / other — Table 3's split).
+  std::array<std::vector<std::uint64_t>, simmpi::kNumTags> msgs_by_tag;
+
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_bytes = 0;
+  std::array<std::uint64_t, simmpi::kNumTags> total_by_tag{};
+
+  /// Communicating pairs ranked by message count (ties: bytes, then
+  /// (src, dst)), descending.
+  struct Pair {
+    int src = -1;
+    int dst = -1;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Pair> hot_pairs;
+
+  /// The paper's §4.3 metric, total msgs / P — equals CommStats::comm_cost
+  /// exactly when the trace is drop-free.
+  double comm_cost() const;
+  /// Per-tag comm cost (Table 3 columns).
+  double comm_cost(simmpi::MsgTag tag) const;
+};
+
+CommMatrixReport analyze_comm_matrix(const RunTrace& run);
+
+// ---------------------------------------------------------------------------
+// (c) Critical-path attribution under the α–β–γ model
+// ---------------------------------------------------------------------------
+
+/// The five places an epoch's modeled seconds can go:
+/// T_epoch = max_p(flops_p·c + msgs_p·α + bytes_p·β) + γ·msgs/P + σ.
+enum class CostTerm : int {
+  kCompute = 0,    ///< straggler's flops·c_flop
+  kLatency = 1,    ///< straggler's msgs·α
+  kBandwidth = 2,  ///< straggler's bytes·β
+  kNetwork = 3,    ///< γ·(epoch msgs)/P
+  kSync = 4,       ///< σ
+};
+inline constexpr int kNumCostTerms = 5;
+
+/// "compute"/"latency"/"bandwidth"/"network"/"sync".
+const char* cost_term_name(CostTerm term);
+
+struct CriticalPathReport {
+  struct Step {
+    std::uint64_t epoch = 0;
+    int straggler = -1;  ///< argmax rank (lowest rank on ties, like fence())
+    /// Seconds by term; terms[0..2] are the straggler's, [3..4] epoch-wide.
+    std::array<double, kNumCostTerms> terms{};
+    double recorded_seconds = 0.0;  ///< fence event a0
+    double modeled_seconds = 0.0;   ///< recomputed from events
+    CostTerm dominant = CostTerm::kSync;
+  };
+
+  int num_ranks = 0;
+  std::vector<Step> steps;
+  std::array<double, kNumCostTerms> total_seconds_by_term{};
+  std::array<std::uint64_t, kNumCostTerms> epochs_dominated{};
+  std::vector<std::uint64_t> straggler_epochs;  ///< per rank
+  double total_recorded_seconds = 0.0;
+  double total_modeled_seconds = 0.0;
+  /// True when every epoch's recomputed seconds equal the fence record
+  /// bit-for-bit — the analyzer's proof that it reconstructed the machine
+  /// model's accounting exactly. Drop-free version-2 traces must match.
+  bool model_matches = false;
+};
+
+CriticalPathReport analyze_critical_path(const RunTrace& run,
+                                         const simmpi::MachineModel& model);
+
+// ---------------------------------------------------------------------------
+// (d) Convergence diagnostics
+// ---------------------------------------------------------------------------
+
+struct ConvergenceReport {
+  /// One point per fenced epoch. The residual estimate is the trace's view:
+  /// √(Σ_p last ‖r_p‖²) over each rank's most recent relax event — exactly
+  /// the quantity Distributed Southwell itself tracks. Ranks that have not
+  /// relaxed yet contribute 0 (see `ranks_reporting`).
+  struct Point {
+    std::uint64_t epoch = 0;
+    double t_model = 0.0;  ///< cumulative modeled seconds after the fence
+    double residual_estimate = 0.0;
+    int ranks_reporting = 0;   ///< ranks with ≥1 relax event so far
+    std::uint64_t relax_events = 0;  ///< in this epoch
+    std::uint64_t msgs = 0;          ///< in this epoch (fence record)
+  };
+
+  /// A maximal run of consecutive epochs in which no rank relaxed — pure
+  /// communication/synchronization, the stalls the ds.* counters explain.
+  struct Stall {
+    std::uint64_t first_epoch = 0;
+    std::uint64_t last_epoch = 0;
+    std::uint64_t epochs() const { return last_epoch - first_epoch + 1; }
+  };
+
+  int num_ranks = 0;
+  std::vector<Point> points;
+  std::vector<Stall> stalls;
+  std::uint64_t stalled_epochs = 0;
+
+  /// Distributed Southwell deferral diagnostics, from the ds.* counters
+  /// (absent for other methods).
+  std::optional<double> ds_corrections_sent;  ///< total over ranks
+  std::optional<double> ds_deferred_sends;    ///< total over ranks
+  /// Rank with the most deferred sends (set iff ds_deferred_sends > 0).
+  std::optional<int> max_deferral_rank;
+};
+
+ConvergenceReport analyze_convergence(const RunTrace& run);
+
+}  // namespace dsouth::analysis

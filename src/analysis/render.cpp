@@ -1,0 +1,525 @@
+#include "analysis/render.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/ascii_plot.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace dsouth::analysis {
+
+using util::append_json_number;
+using util::format_double;
+using util::json_quote;
+
+RunAnalysis analyze_run(const RunTrace& run, const AnalyzeOptions& opt) {
+  RunAnalysis a;
+  a.label = run.label;
+  a.num_ranks = run.num_ranks;
+  a.trace_version = run.version;
+  a.dropped_events = run.dropped_events;
+  a.timeline = analyze_timeline(run, opt.model);
+  a.comm = analyze_comm_matrix(run);
+  a.critical_path = analyze_critical_path(run, opt.model);
+  a.convergence = analyze_convergence(run);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// ASCII
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string seconds_str(double s) { return format_double(s * 1e3, 4); }
+
+const char* tag_name(int tag) {
+  switch (static_cast<simmpi::MsgTag>(tag)) {
+    case simmpi::MsgTag::kSolve:
+      return "solve";
+    case simmpi::MsgTag::kResidual:
+      return "residual";
+    case simmpi::MsgTag::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void render_ascii(std::ostream& os, const RunAnalysis& a,
+                  const AnalyzeOptions& opt) {
+  os << "=== dsouth-analyze: " << (a.label.empty() ? "(unnamed run)" : a.label)
+     << " ===\n";
+  os << "Ranks: " << a.num_ranks << "   fenced epochs: "
+     << a.timeline.steps.size() << "   events analyzed from trace v"
+     << a.trace_version << "\n";
+  if (a.dropped_events > 0) {
+    os << "WARNING: " << a.dropped_events
+       << " events were dropped at capture (ring overflow); counts below "
+          "are lower bounds and model reconstruction is approximate.\n";
+  }
+
+  // --- (a) timeline / load imbalance ---
+  os << "\n--- Per-rank timeline (modeled ms) ---\n";
+  util::Table tl({"Rank", "compute", "send", "wait", "relaxes", "rows",
+                  "absorbs", "msgs_in", "msgs_out"});
+  for (int r = 0; r < a.num_ranks; ++r) {
+    const auto& rk = a.timeline.ranks[static_cast<std::size_t>(r)];
+    tl.row().cell(static_cast<std::size_t>(r));
+    tl.cell(seconds_str(rk.compute_seconds));
+    tl.cell(seconds_str(rk.send_seconds));
+    tl.cell(seconds_str(rk.wait_seconds));
+    tl.cell(static_cast<std::size_t>(rk.relax_phases));
+    tl.cell(static_cast<std::size_t>(rk.rows_relaxed));
+    tl.cell(static_cast<std::size_t>(rk.absorb_phases));
+    tl.cell(static_cast<std::size_t>(rk.absorbed_msgs));
+    tl.cell(static_cast<std::size_t>(rk.msgs_sent));
+  }
+  tl.print(os);
+  os << "Load imbalance (max busy / mean busy per epoch): max "
+     << format_double(a.timeline.max_imbalance, 3) << ", mean "
+     << format_double(a.timeline.mean_imbalance, 3) << " over "
+     << a.timeline.steps.size() << " epochs; total modeled time "
+     << format_double(a.timeline.total_model_seconds * 1e3, 4) << " ms\n";
+
+  // --- (b) communication matrix ---
+  os << "\n--- Communication (" << a.comm.total_msgs << " msgs, "
+     << a.comm.total_bytes << " bytes) ---\n";
+  os << "Comm cost (msgs/P): total "
+     << format_double(a.comm.comm_cost(), 3);
+  for (int t = 0; t < simmpi::kNumTags; ++t) {
+    os << ", " << tag_name(t) << " "
+       << format_double(
+              a.comm.comm_cost(static_cast<simmpi::MsgTag>(t)), 3);
+  }
+  os << "\n";
+  const auto top = static_cast<std::size_t>(std::max(0, opt.top_pairs));
+  util::Table hot({"src", "dst", "msgs", "bytes"});
+  for (std::size_t i = 0; i < a.comm.hot_pairs.size() && i < top; ++i) {
+    const auto& pr = a.comm.hot_pairs[i];
+    hot.row().cell(static_cast<std::size_t>(pr.src));
+    hot.cell(static_cast<std::size_t>(pr.dst));
+    hot.cell(static_cast<std::size_t>(pr.msgs));
+    hot.cell(static_cast<std::size_t>(pr.bytes));
+  }
+  if (!a.comm.hot_pairs.empty()) {
+    os << "Hottest " << std::min(top, a.comm.hot_pairs.size()) << " of "
+       << a.comm.hot_pairs.size() << " communicating pairs:\n";
+    hot.print(os);
+  }
+
+  // --- (c) critical path ---
+  os << "\n--- Critical path (T_step = max_p(flops*c + msgs*a + bytes*b) + "
+        "gamma*msgs/P + sigma) ---\n";
+  util::Table cp({"term", "seconds", "share", "epochs dominated"});
+  const double tot = a.critical_path.total_recorded_seconds;
+  for (int t = 0; t < kNumCostTerms; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    cp.row().cell(cost_term_name(static_cast<CostTerm>(t)));
+    cp.cell(format_double(a.critical_path.total_seconds_by_term[i] * 1e3, 4) +
+            " ms");
+    cp.cell(tot > 0.0 ? format_double(
+                            a.critical_path.total_seconds_by_term[i] / tot,
+                            3)
+                      : "0");
+    cp.cell(static_cast<std::size_t>(a.critical_path.epochs_dominated[i]));
+  }
+  cp.print(os);
+  os << "Model reconstruction: "
+     << (a.critical_path.model_matches
+             ? "every epoch matches the fence record bit-exactly"
+             : "MISMATCH vs fence records (v1 trace without compute "
+               "events, or dropped events?)")
+     << "\n";
+  // Straggler ranking: who was the max-cost rank most often.
+  std::vector<int> order(static_cast<std::size_t>(a.num_ranks));
+  for (int r = 0; r < a.num_ranks; ++r) order[static_cast<std::size_t>(r)] = r;
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    const auto sx =
+        a.critical_path.straggler_epochs[static_cast<std::size_t>(x)];
+    const auto sy =
+        a.critical_path.straggler_epochs[static_cast<std::size_t>(y)];
+    if (sx != sy) return sx > sy;
+    return x < y;
+  });
+  os << "Straggler ranks (epochs on the critical path):";
+  const int show = std::min(a.num_ranks, 5);
+  for (int i = 0; i < show; ++i) {
+    const int r = order[static_cast<std::size_t>(i)];
+    const auto n =
+        a.critical_path.straggler_epochs[static_cast<std::size_t>(r)];
+    if (n == 0) break;
+    os << " r" << r << "=" << n;
+  }
+  os << "\n";
+
+  // --- (d) convergence ---
+  os << "\n--- Convergence (trace-side residual estimate) ---\n";
+  if (a.convergence.points.empty()) {
+    os << "(no fenced epochs)\n";
+    return;
+  }
+  os << "Stalled epochs (no relaxation anywhere): "
+     << a.convergence.stalled_epochs << " of " << a.convergence.points.size();
+  if (!a.convergence.stalls.empty()) {
+    os << "  [";
+    for (std::size_t i = 0; i < a.convergence.stalls.size(); ++i) {
+      const auto& st = a.convergence.stalls[i];
+      if (i) os << ", ";
+      os << st.first_epoch << "-" << st.last_epoch;
+    }
+    os << "]";
+  }
+  os << "\n";
+  if (a.convergence.ds_corrections_sent || a.convergence.ds_deferred_sends) {
+    os << "Distributed Southwell counters: corrections_sent "
+       << format_double(a.convergence.ds_corrections_sent.value_or(0.0), 0)
+       << ", deferred_sends "
+       << format_double(a.convergence.ds_deferred_sends.value_or(0.0), 0);
+    if (a.convergence.max_deferral_rank) {
+      os << " (max at rank " << *a.convergence.max_deferral_rank << ")";
+    }
+    os << "\n";
+  }
+  util::PlotSeries series;
+  series.name = "||r|| est";
+  for (const auto& pt : a.convergence.points) {
+    if (pt.residual_estimate > 0.0 && pt.t_model > 0.0) {
+      series.x.push_back(pt.t_model * 1e3);
+      series.y.push_back(pt.residual_estimate);
+    }
+  }
+  if (series.x.size() >= 2) {
+    os << "Residual estimate vs modeled time (ms), log y:\n";
+    util::PlotOptions popt;
+    popt.height = 14;
+    popt.log_y = true;
+    popt.x_label = "model ms";
+    popt.y_label = "sqrt(sum_p last ||r_p||^2)";
+    util::render_plot(os, {series}, popt);
+  } else {
+    os << "(too few positive residual samples to plot)\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void csv_num(std::string& out, double v, int precision = 12) {
+  out += format_double(v, precision);
+}
+
+}  // namespace
+
+std::string timeline_csv(const RunAnalysis& a) {
+  std::string out =
+      "rank,compute_seconds,send_seconds,wait_seconds,relax_phases,"
+      "rows_relaxed,absorb_phases,absorbed_msgs,msgs_sent\n";
+  for (int r = 0; r < a.num_ranks; ++r) {
+    const auto& rk = a.timeline.ranks[static_cast<std::size_t>(r)];
+    out += std::to_string(r);
+    out += ',';
+    csv_num(out, rk.compute_seconds);
+    out += ',';
+    csv_num(out, rk.send_seconds);
+    out += ',';
+    csv_num(out, rk.wait_seconds);
+    out += ',';
+    out += std::to_string(rk.relax_phases);
+    out += ',';
+    out += std::to_string(rk.rows_relaxed);
+    out += ',';
+    out += std::to_string(rk.absorb_phases);
+    out += ',';
+    out += std::to_string(rk.absorbed_msgs);
+    out += ',';
+    out += std::to_string(rk.msgs_sent);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string steps_csv(const RunAnalysis& a) {
+  std::string out =
+      "epoch,epoch_seconds,max_cost,mean_cost,imbalance,straggler\n";
+  for (const auto& s : a.timeline.steps) {
+    out += std::to_string(s.epoch);
+    out += ',';
+    csv_num(out, s.epoch_seconds);
+    out += ',';
+    csv_num(out, s.max_cost);
+    out += ',';
+    csv_num(out, s.mean_cost);
+    out += ',';
+    csv_num(out, s.imbalance());
+    out += ',';
+    out += std::to_string(s.straggler);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string comm_matrix_csv(const RunAnalysis& a) {
+  std::string out = "src,dst,msgs,bytes,msgs_solve,msgs_residual,msgs_other\n";
+  const auto p = static_cast<std::size_t>(a.num_ranks);
+  for (std::size_t src = 0; src < p; ++src) {
+    for (std::size_t dst = 0; dst < p; ++dst) {
+      const std::size_t idx = src * p + dst;
+      if (a.comm.msgs[idx] == 0) continue;
+      out += std::to_string(src);
+      out += ',';
+      out += std::to_string(dst);
+      out += ',';
+      out += std::to_string(a.comm.msgs[idx]);
+      out += ',';
+      out += std::to_string(a.comm.bytes[idx]);
+      for (int t = 0; t < simmpi::kNumTags; ++t) {
+        out += ',';
+        out += std::to_string(
+            a.comm.msgs_by_tag[static_cast<std::size_t>(t)][idx]);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string critical_path_csv(const RunAnalysis& a) {
+  std::string out =
+      "epoch,straggler,compute,latency,bandwidth,network,sync,"
+      "recorded_seconds,modeled_seconds,dominant\n";
+  for (const auto& s : a.critical_path.steps) {
+    out += std::to_string(s.epoch);
+    out += ',';
+    out += std::to_string(s.straggler);
+    for (int t = 0; t < kNumCostTerms; ++t) {
+      out += ',';
+      csv_num(out, s.terms[static_cast<std::size_t>(t)]);
+    }
+    out += ',';
+    csv_num(out, s.recorded_seconds);
+    out += ',';
+    csv_num(out, s.modeled_seconds);
+    out += ',';
+    out += cost_term_name(s.dominant);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string convergence_csv(const RunAnalysis& a) {
+  std::string out =
+      "epoch,t_model,residual_estimate,ranks_reporting,relax_events,msgs\n";
+  for (const auto& pt : a.convergence.points) {
+    out += std::to_string(pt.epoch);
+    out += ',';
+    csv_num(out, pt.t_model);
+    out += ',';
+    csv_num(out, pt.residual_estimate);
+    out += ',';
+    out += std::to_string(pt.ranks_reporting);
+    out += ',';
+    out += std::to_string(pt.relax_events);
+    out += ',';
+    out += std::to_string(pt.msgs);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void kv(std::string& out, const char* key, double v, bool first = false) {
+  if (!first) out += ',';
+  out += json_quote(key);
+  out += ':';
+  append_json_number(out, v);
+}
+
+void kv_u(std::string& out, const char* key, std::uint64_t v,
+          bool first = false) {
+  if (!first) out += ',';
+  out += json_quote(key);
+  out += ':';
+  out += std::to_string(v);
+}
+
+void kv_i(std::string& out, const char* key, std::int64_t v,
+          bool first = false) {
+  if (!first) out += ',';
+  out += json_quote(key);
+  out += ':';
+  out += std::to_string(v);
+}
+
+void kv_s(std::string& out, const char* key, const std::string& v,
+          bool first = false) {
+  if (!first) out += ',';
+  out += json_quote(key);
+  out += ':';
+  out += json_quote(v);
+}
+
+}  // namespace
+
+std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{";
+  kv_s(out, "schema", "dsouth.analysis", /*first=*/true);
+  kv_i(out, "schema_version", 1);
+  kv_s(out, "run", a.label);
+  kv_i(out, "num_ranks", a.num_ranks);
+  kv_i(out, "trace_version", a.trace_version);
+  kv_u(out, "dropped_events", a.dropped_events);
+
+  // model parameters the attribution used
+  out += ",\"machine_model\":{";
+  kv(out, "alpha", opt.model.alpha, true);
+  kv(out, "beta", opt.model.beta);
+  kv(out, "flop_time", opt.model.flop_time);
+  kv(out, "gamma", opt.model.gamma);
+  kv(out, "sigma", opt.model.sigma);
+  out += "}";
+
+  // (a) timeline
+  out += ",\"timeline\":{";
+  kv(out, "total_model_seconds", a.timeline.total_model_seconds, true);
+  kv(out, "max_imbalance", a.timeline.max_imbalance);
+  kv(out, "mean_imbalance", a.timeline.mean_imbalance);
+  kv_u(out, "epochs", a.timeline.steps.size());
+  out += ",\"ranks\":[";
+  for (int r = 0; r < a.num_ranks; ++r) {
+    const auto& rk = a.timeline.ranks[static_cast<std::size_t>(r)];
+    if (r) out += ',';
+    out += '{';
+    kv_i(out, "rank", r, true);
+    kv(out, "compute_seconds", rk.compute_seconds);
+    kv(out, "send_seconds", rk.send_seconds);
+    kv(out, "wait_seconds", rk.wait_seconds);
+    kv_u(out, "relax_phases", rk.relax_phases);
+    kv_u(out, "rows_relaxed", rk.rows_relaxed);
+    kv_u(out, "absorb_phases", rk.absorb_phases);
+    kv_u(out, "absorbed_msgs", rk.absorbed_msgs);
+    kv_u(out, "msgs_sent", rk.msgs_sent);
+    out += '}';
+  }
+  out += "]}";
+
+  // (b) comm matrix (sparse: nonzero entries only)
+  out += ",\"comm_matrix\":{";
+  kv_u(out, "total_msgs", a.comm.total_msgs, true);
+  kv_u(out, "total_bytes", a.comm.total_bytes);
+  kv(out, "comm_cost", a.comm.comm_cost());
+  for (int t = 0; t < simmpi::kNumTags; ++t) {
+    const std::string key =
+        std::string("msgs_") +
+        (t == 0 ? "solve" : t == 1 ? "residual" : "other");
+    kv_u(out, key.c_str(),
+         a.comm.total_by_tag[static_cast<std::size_t>(t)]);
+  }
+  out += ",\"pairs\":[";
+  for (std::size_t i = 0; i < a.comm.hot_pairs.size(); ++i) {
+    const auto& pr = a.comm.hot_pairs[i];
+    if (i) out += ',';
+    out += '{';
+    kv_i(out, "src", pr.src, true);
+    kv_i(out, "dst", pr.dst);
+    kv_u(out, "msgs", pr.msgs);
+    kv_u(out, "bytes", pr.bytes);
+    out += '}';
+  }
+  out += "]}";
+
+  // (c) critical path
+  out += ",\"critical_path\":{";
+  kv(out, "total_recorded_seconds", a.critical_path.total_recorded_seconds,
+     true);
+  kv(out, "total_modeled_seconds", a.critical_path.total_modeled_seconds);
+  out += ",\"model_matches\":";
+  out += a.critical_path.model_matches ? "true" : "false";
+  out += ",\"terms\":{";
+  for (int t = 0; t < kNumCostTerms; ++t) {
+    const auto i = static_cast<std::size_t>(t);
+    if (t) out += ',';
+    out += json_quote(cost_term_name(static_cast<CostTerm>(t)));
+    out += ":{";
+    kv(out, "seconds", a.critical_path.total_seconds_by_term[i], true);
+    kv_u(out, "epochs_dominated", a.critical_path.epochs_dominated[i]);
+    out += '}';
+  }
+  out += "},\"straggler_epochs\":[";
+  for (int r = 0; r < a.num_ranks; ++r) {
+    if (r) out += ',';
+    out += std::to_string(
+        a.critical_path.straggler_epochs[static_cast<std::size_t>(r)]);
+  }
+  out += "],\"steps\":[";
+  for (std::size_t i = 0; i < a.critical_path.steps.size(); ++i) {
+    const auto& s = a.critical_path.steps[i];
+    if (i) out += ',';
+    out += '{';
+    kv_u(out, "epoch", s.epoch, true);
+    kv_i(out, "straggler", s.straggler);
+    for (int t = 0; t < kNumCostTerms; ++t) {
+      kv(out, cost_term_name(static_cast<CostTerm>(t)),
+         s.terms[static_cast<std::size_t>(t)]);
+    }
+    kv(out, "recorded_seconds", s.recorded_seconds);
+    kv(out, "modeled_seconds", s.modeled_seconds);
+    kv_s(out, "dominant", cost_term_name(s.dominant));
+    out += '}';
+  }
+  out += "]}";
+
+  // (d) convergence
+  out += ",\"convergence\":{";
+  kv_u(out, "stalled_epochs", a.convergence.stalled_epochs, true);
+  if (a.convergence.ds_corrections_sent) {
+    kv(out, "ds_corrections_sent", *a.convergence.ds_corrections_sent);
+  }
+  if (a.convergence.ds_deferred_sends) {
+    kv(out, "ds_deferred_sends", *a.convergence.ds_deferred_sends);
+  }
+  if (a.convergence.max_deferral_rank) {
+    kv_i(out, "max_deferral_rank", *a.convergence.max_deferral_rank);
+  }
+  out += ",\"stalls\":[";
+  for (std::size_t i = 0; i < a.convergence.stalls.size(); ++i) {
+    const auto& st = a.convergence.stalls[i];
+    if (i) out += ',';
+    out += '{';
+    kv_u(out, "first_epoch", st.first_epoch, true);
+    kv_u(out, "last_epoch", st.last_epoch);
+    out += '}';
+  }
+  out += "],\"points\":[";
+  for (std::size_t i = 0; i < a.convergence.points.size(); ++i) {
+    const auto& pt = a.convergence.points[i];
+    if (i) out += ',';
+    out += '{';
+    kv_u(out, "epoch", pt.epoch, true);
+    kv(out, "t_model", pt.t_model);
+    kv(out, "residual_estimate", pt.residual_estimate);
+    kv_i(out, "ranks_reporting", pt.ranks_reporting);
+    kv_u(out, "relax_events", pt.relax_events);
+    kv_u(out, "msgs", pt.msgs);
+    out += '}';
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace dsouth::analysis

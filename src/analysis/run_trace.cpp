@@ -1,0 +1,174 @@
+#include "analysis/run_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace dsouth::analysis {
+
+using util::JsonValue;
+
+double MetricSeries::total() const {
+  double t = 0.0;
+  for (double v : per_rank) t += v;
+  return t;
+}
+
+const MetricSeries* RunTrace::find_metric(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+RunTrace from_trace_log(const trace::TraceLog& log, std::string label) {
+  RunTrace run;
+  run.label = std::move(label);
+  run.num_ranks = log.num_ranks;
+  run.dropped_events = log.dropped_events;
+  run.events = log.events;
+  const trace::MetricsRegistry& reg = log.metrics;
+  run.metrics.reserve(reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const auto id = static_cast<trace::MetricId>(i);
+    run.metrics.push_back(
+        MetricSeries{reg.name(id), reg.kind(id), reg.per_rank(id)});
+  }
+  return run;
+}
+
+namespace {
+
+/// The JSONL versions this reader understands. Version 1 traces (pre
+/// "compute" events) still parse; the critical-path report then sees zero
+/// flops and says so (RunTrace::version lets callers warn).
+constexpr int kMinVersion = 1;
+constexpr int kMaxVersion = 2;
+
+trace::EventKind parse_kind(const std::string& name) {
+  for (int k = 0; k < trace::kNumEventKinds; ++k) {
+    const auto kind = static_cast<trace::EventKind>(k);
+    if (name == trace::event_kind_name(kind)) return kind;
+  }
+  DSOUTH_CHECK_MSG(false, "JSONL trace: unknown event kind '" << name << "'");
+  return trace::EventKind::kPut;  // unreachable
+}
+
+trace::MetricKind parse_metric_kind(const std::string& name) {
+  if (name == trace::metric_kind_name(trace::MetricKind::kCounter)) {
+    return trace::MetricKind::kCounter;
+  }
+  if (name == trace::metric_kind_name(trace::MetricKind::kGauge)) {
+    return trace::MetricKind::kGauge;
+  }
+  DSOUTH_CHECK_MSG(false, "JSONL trace: unknown metric kind '" << name << "'");
+  return trace::MetricKind::kCounter;  // unreachable
+}
+
+}  // namespace
+
+std::vector<RunTrace> parse_jsonl(std::string_view text) {
+  std::vector<RunTrace> runs;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::size_t end = eol == std::string_view::npos ? text.size() : eol;
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + (eol == std::string_view::npos ? 0 : 1);
+    ++line_no;
+    // Skip blank lines (a concatenation of captures may leave them).
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') blank = false;
+    }
+    if (blank) continue;
+
+    JsonValue v;
+    try {
+      v = util::parse_json(line);
+    } catch (const util::CheckError& e) {
+      DSOUTH_CHECK_MSG(false, "JSONL trace line " << line_no << ": "
+                                                  << e.what());
+    }
+    const std::string& type = v.at("type").as_string();
+    if (type == "header") {
+      RunTrace run;
+      run.version = static_cast<int>(v.at("version").as_int());
+      DSOUTH_CHECK_MSG(
+          run.version >= kMinVersion && run.version <= kMaxVersion,
+          "JSONL trace: unsupported schema version " << run.version);
+      run.num_ranks = static_cast<int>(v.at("num_ranks").as_int());
+      DSOUTH_CHECK(run.num_ranks > 0);
+      run.dropped_events =
+          static_cast<std::uint64_t>(v.at("dropped_events").as_int());
+      if (const JsonValue* label = v.find("run")) {
+        run.label = label->as_string();
+      }
+      runs.push_back(std::move(run));
+      continue;
+    }
+    DSOUTH_CHECK_MSG(!runs.empty(), "JSONL trace line "
+                                        << line_no
+                                        << ": '" << type
+                                        << "' line before any header");
+    RunTrace& run = runs.back();
+    if (type == "event") {
+      trace::Event e;
+      e.kind = parse_kind(v.at("kind").as_string());
+      e.seq = static_cast<std::uint64_t>(v.at("seq").as_int());
+      e.epoch = static_cast<std::uint64_t>(v.at("epoch").as_int());
+      e.rank = static_cast<std::int32_t>(v.at("rank").as_int());
+      if (const JsonValue* peer = v.find("peer")) {
+        e.peer = static_cast<std::int32_t>(peer->as_int());
+      }
+      if (const JsonValue* tag = v.find("tag")) {
+        e.tag = static_cast<std::int32_t>(tag->as_int());
+      }
+      e.t_model = v.at("t_model").as_number();
+      e.a0 = v.at("a0").as_number();
+      e.a1 = v.at("a1").as_number();
+      if (const JsonValue* wall = v.find("t_wall")) {
+        e.t_wall = wall->as_number();
+      }
+      run.events.push_back(e);
+    } else if (type == "metric") {
+      MetricSeries m;
+      m.name = v.at("name").as_string();
+      m.kind = parse_metric_kind(v.at("metric_kind").as_string());
+      const auto& slots = v.at("per_rank").as_array();
+      DSOUTH_CHECK_MSG(
+          slots.size() == static_cast<std::size_t>(run.num_ranks),
+          "JSONL trace: metric '" << m.name << "' has " << slots.size()
+                                  << " slots for " << run.num_ranks
+                                  << " ranks");
+      m.per_rank.reserve(slots.size());
+      for (const auto& s : slots) m.per_rank.push_back(s.as_number());
+      run.metrics.push_back(std::move(m));
+    } else {
+      DSOUTH_CHECK_MSG(false, "JSONL trace line " << line_no
+                                                  << ": unknown type '"
+                                                  << type << "'");
+    }
+  }
+  for (const RunTrace& run : runs) {
+    for (std::size_t i = 1; i < run.events.size(); ++i) {
+      DSOUTH_CHECK_MSG(run.events[i - 1].seq < run.events[i].seq,
+                       "JSONL trace: events out of seq order in run '"
+                           << run.label << "'");
+    }
+  }
+  return runs;
+}
+
+std::vector<RunTrace> read_jsonl_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DSOUTH_CHECK_MSG(in.good(), "cannot open trace file '" << path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_jsonl(buf.str());
+}
+
+}  // namespace dsouth::analysis

@@ -156,6 +156,13 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     if (opt.divergence_abort > 0.0 && rn >= opt.divergence_abort) break;
   }
   result.final_x = solver->gather_x();
+  const simmpi::CommStats& cs = rt.stats();
+  result.comm_totals.msgs = cs.total_messages();
+  result.comm_totals.bytes = cs.total_bytes();
+  result.comm_totals.msgs_solve = cs.total_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_residual =
+      cs.total_messages(simmpi::MsgTag::kResidual);
+  result.comm_totals.msgs_other = cs.total_messages(simmpi::MsgTag::kOther);
   if (tracer) {
     tracer->flush();
     result.trace_log =

@@ -76,6 +76,17 @@ struct DistRunResult {
   /// model — that is `model_time`). This is what the backend knob changes.
   double wall_seconds = 0.0;
 
+  /// Exact end-of-run CommStats totals (integers, deterministic across
+  /// backends) — the quantities the bench `-json` records gate on.
+  struct CommTotals {
+    std::uint64_t msgs = 0;           ///< all messages sent
+    std::uint64_t bytes = 0;          ///< all modeled bytes sent
+    std::uint64_t msgs_solve = 0;     ///< MsgTag::kSolve messages
+    std::uint64_t msgs_residual = 0;  ///< MsgTag::kResidual messages
+    std::uint64_t msgs_other = 0;     ///< MsgTag::kOther messages
+  };
+  CommTotals comm_totals;
+
   std::vector<double> residual_norm;  ///< ‖r‖₂ (exact, observer-side)
   std::vector<double> model_time;     ///< modeled seconds, cumulative
   std::vector<double> comm_cost;      ///< total msgs / P, cumulative

@@ -27,6 +27,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
   if (!tracer_) {
     m_msgs_sent_ = trace::kInvalidMetric;
     m_bytes_sent_ = trace::kInvalidMetric;
+    m_flops_ = trace::kInvalidMetric;
     m_msgs_by_tag_.fill(trace::kInvalidMetric);
     return;
   }
@@ -36,6 +37,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
                                    trace::MetricKind::kCounter);
   m_bytes_sent_ = m.register_metric("simmpi.bytes_sent",
                                     trace::MetricKind::kCounter);
+  m_flops_ = m.register_metric("simmpi.flops", trace::MetricKind::kCounter);
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kSolve)] =
       m.register_metric("simmpi.msgs_solve", trace::MetricKind::kCounter);
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kResidual)] =
@@ -82,6 +84,15 @@ void Runtime::add_flops(int rank, double flops) {
   DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
   DSOUTH_CHECK(flops >= 0.0);
   epoch_flops_[static_cast<std::size_t>(rank)] += flops;
+  if (tracer_) {
+    // Indexed by `rank` like the accumulator above. Recording each charge
+    // (rather than a per-epoch total) preserves call order in the rank's
+    // lane, so an analyzer summing compute events per (rank, epoch)
+    // reproduces epoch_flops_ bit-exactly — same addends, same order.
+    tracer_->record(rank, trace::EventKind::kCompute, /*peer=*/-1,
+                    /*tag=*/-1, flops, 0.0, epochs_, model_time_);
+    tracer_->metrics().add(m_flops_, rank, flops);
+  }
 }
 
 void Runtime::fence() {

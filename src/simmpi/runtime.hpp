@@ -177,6 +177,7 @@ class Runtime {
   // Runtime-owned metric ids (kInvalidMetric while untraced).
   trace::MetricId m_msgs_sent_ = trace::kInvalidMetric;
   trace::MetricId m_bytes_sent_ = trace::kInvalidMetric;
+  trace::MetricId m_flops_ = trace::kInvalidMetric;
   std::array<trace::MetricId, kNumTags> m_msgs_by_tag_{
       trace::kInvalidMetric, trace::kInvalidMetric, trace::kInvalidMetric};
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws

@@ -48,7 +48,10 @@ void write_jsonl(std::ostream& out, const TraceLog& log,
   std::string line;
   line.reserve(256);
 
-  line = "{\"type\":\"header\",\"version\":1,";
+  // Version history: 1 = PR-2 schema (put/fence/relax/absorb);
+  // 2 = adds "compute" events (flops charged via Runtime::add_flops) and
+  // the "simmpi.flops" counter, consumed by the analysis layer.
+  line = "{\"type\":\"header\",\"version\":2,";
   append_kv(line, "num_ranks", log.num_ranks);
   line += ",";
   append_kv(line, "events", static_cast<std::uint64_t>(log.events.size()));
@@ -199,6 +202,10 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
         append_kv(line, "msgs", e.a0);
         line += ",";
         append_kv(line, "payload_doubles", e.a1);
+        break;
+      case EventKind::kCompute:
+        line += ",";
+        append_kv(line, "flops", e.a0);
         break;
     }
     if (opt.include_wall_clock) {

@@ -16,6 +16,8 @@ const char* event_kind_name(EventKind kind) {
       return "relax";
     case EventKind::kAbsorb:
       return "absorb";
+    case EventKind::kCompute:
+      return "compute";
   }
   return "?";
 }

@@ -35,10 +35,15 @@ enum class EventKind : std::uint8_t {
   kFence = 1,   ///< epoch closed (a0 = epoch model seconds, a1 = epoch msgs)
   kRelax = 2,   ///< a rank relaxed its subdomain (a0 = rows, a1 = new ‖r‖²)
   kAbsorb = 3,  ///< a rank drained its window (a0 = msgs, a1 = payload dbls)
+  /// Local computation charged to the machine model (a0 = flops, a1 = 0),
+  /// recorded by Runtime::add_flops. Together with the put events this lets
+  /// the analysis layer rebuild every per-rank epoch cost term of the α–β–γ
+  /// model from the trace alone (src/analysis).
+  kCompute = 4,
 };
-inline constexpr int kNumEventKinds = 4;
+inline constexpr int kNumEventKinds = 5;
 
-/// Returns "put"/"fence"/"relax"/"absorb".
+/// Returns "put"/"fence"/"relax"/"absorb"/"compute".
 const char* event_kind_name(EventKind kind);
 
 /// One trace record. All fields except `t_wall` are deterministic.

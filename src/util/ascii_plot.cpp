@@ -32,6 +32,25 @@ std::string short_number(double v) {
 
 }  // namespace
 
+std::vector<double> log_ticks(double lo, double hi, int max_ticks) {
+  DSOUTH_CHECK_MSG(
+      std::isfinite(lo) && std::isfinite(hi) && lo > 0.0 && hi > 0.0,
+      "log-axis tick bounds must be positive and finite (got " << lo << ", "
+                                                               << hi << ")");
+  DSOUTH_CHECK(max_ticks >= 2);
+  if (lo > hi) std::swap(lo, hi);
+  // Decades fully inside [lo, hi]; the epsilon absorbs log10 rounding so
+  // exact powers of ten at the bounds count as covered.
+  const int dlo = static_cast<int>(std::ceil(std::log10(lo) - 1e-9));
+  const int dhi = static_cast<int>(std::floor(std::log10(hi) + 1e-9));
+  if (dhi < dlo) return {};
+  int stride = 1;
+  while ((dhi - dlo) / stride + 1 > max_ticks) ++stride;
+  std::vector<double> ticks;
+  for (int d = dhi; d >= dlo; d -= stride) ticks.push_back(std::pow(10.0, d));
+  return ticks;
+}
+
 void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
                  const PlotOptions& opt) {
   DSOUTH_CHECK(opt.width >= 10 && opt.height >= 4);
@@ -108,19 +127,30 @@ void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
     }
   }
 
-  // Emit: y-axis labels on the first/last rows, then the x range line.
+  // Emit: y-axis labels on the first/last rows — plus, on a log y-axis,
+  // decade tick labels on the interior rows they map to — then the x range
+  // line.
   const std::string y_top =
       short_number(opt.log_y ? std::pow(10.0, ymax) : ymax);
   const std::string y_bot =
       short_number(opt.log_y ? std::pow(10.0, ymin) : ymin);
-  const std::size_t label_w = std::max(y_top.size(), y_bot.size());
-  for (int r = 0; r < opt.height; ++r) {
-    std::string label(label_w, ' ');
-    if (r == 0) label = y_top + std::string(label_w - y_top.size(), ' ');
-    if (r == opt.height - 1) {
-      label = y_bot + std::string(label_w - y_bot.size(), ' ');
+  std::vector<std::string> row_label(static_cast<std::size_t>(opt.height));
+  row_label.front() = y_top;
+  row_label.back() = y_bot;
+  if (opt.log_y) {
+    const int max_ticks = std::max(2, opt.height / 3);
+    for (double tick :
+         log_ticks(std::pow(10.0, ymin), std::pow(10.0, ymax), max_ticks)) {
+      const auto r = static_cast<std::size_t>(to_row(std::log10(tick)));
+      if (row_label[r].empty()) row_label[r] = short_number(tick);
     }
-    os << label << " |" << raster[static_cast<std::size_t>(r)] << "\n";
+  }
+  std::size_t label_w = 0;
+  for (const auto& l : row_label) label_w = std::max(label_w, l.size());
+  for (int r = 0; r < opt.height; ++r) {
+    const std::string& l = row_label[static_cast<std::size_t>(r)];
+    os << l << std::string(label_w - l.size(), ' ') << " |"
+       << raster[static_cast<std::size_t>(r)] << "\n";
   }
   os << std::string(label_w, ' ') << " +"
      << std::string(static_cast<std::size_t>(opt.width), '-') << "\n";

@@ -28,11 +28,21 @@ struct PlotOptions {
 };
 
 /// Render the series into a character raster with axes, tick labels on the
-/// corners, and a marker legend. Series markers cycle through
+/// corners (plus interior decade ticks on a log y-axis — see log_ticks),
+/// and a marker legend. Series markers cycle through
 /// "*o+x#@%&". Points with non-positive coordinates on a log axis are
 /// skipped. Throws CheckError on malformed input (mismatched x/y sizes,
 /// nonpositive dimensions, nothing plottable).
 void render_plot(std::ostream& os, const std::vector<PlotSeries>& series,
                  const PlotOptions& opt = {});
+
+/// Decade tick values for a log-scale axis spanning [lo, hi]: exact powers
+/// of ten within the range, thinned to an integer decade stride so at most
+/// `max_ticks` remain, descending from the largest covered decade. Both
+/// bounds must be positive and finite (a log axis cannot place zero or
+/// negative values — callers skip such points; this throws CheckError).
+/// May be empty when no power of ten lies inside the range: the plot then
+/// falls back to its corner labels alone.
+std::vector<double> log_ticks(double lo, double hi, int max_ticks);
 
 }  // namespace dsouth::util

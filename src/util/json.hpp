@@ -1,12 +1,16 @@
 #pragma once
 
 /// \file json.hpp
-/// Minimal JSON emission helpers for the trace exporters (and any other
-/// machine-readable output). Emission only — the repo never needs to parse
-/// JSON; tests that validate exporter output carry their own tiny parser.
+/// Minimal JSON support for the machine-readable outputs: emission helpers
+/// (used by the trace exporters and the bench `-json` records) and a small
+/// strict RFC 8259 parser (used by the analysis layer to read JSONL traces
+/// back, and by the round-trip tests).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dsouth::util {
 
@@ -17,10 +21,79 @@ std::string json_escape(std::string_view s);
 
 /// Append `v` to `out` as a JSON number token that round-trips the double
 /// exactly (the shortest of %.15g/%.16g/%.17g that parses back bit-equal).
-/// Non-finite values — which JSON cannot represent — are emitted as null.
+/// Non-finite values — which JSON cannot represent — are emitted as `null`
+/// (and parse back as JsonValue null; callers that need NaN/Inf must carry
+/// them out of band).
 void append_json_number(std::string& out, double v);
 
 /// Convenience wrapper around append_json_number.
 std::string json_number(double v);
+
+/// `"escaped"` — json_escape plus the surrounding quotes.
+std::string json_quote(std::string_view s);
+
+/// A parsed JSON document node. Objects preserve insertion order (the
+/// analyzer's reports are rendered in schema order and compared
+/// byte-for-byte across backends).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw CheckError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number, checked to be integral and in int64 range.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  /// Object entries in document order.
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Member lookup that throws CheckError when the key is absent.
+  const JsonValue& at(std::string_view key) const;
+
+  /// Factories (used by tests building expected documents).
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+  /// Serialize back to compact JSON (object order preserved, numbers via
+  /// append_json_number — so parse(dump(v)) round-trips).
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Strict parse of one JSON document (throws CheckError on syntax errors or
+/// trailing garbage). `\uXXXX` escapes decode to UTF-8, including surrogate
+/// pairs; duplicate object keys keep the last value (RFC 8259 §4 behavior).
+JsonValue parse_json(std::string_view text);
+
+/// Parse the first JSON document on `text` starting at `pos`; advances
+/// `pos` past it (whitespace included). The JSONL reader uses this
+/// line-by-line.
+JsonValue parse_json_prefix(std::string_view text, std::size_t& pos);
 
 }  // namespace dsouth::util

@@ -1,0 +1,377 @@
+/// Tests for the trace-analysis layer (src/analysis): the golden P=4
+/// Distributed Southwell run the ISSUE acceptance criteria name — comm
+/// matrix totals equal to CommStats exactly, critical-path terms equal to
+/// a hand-computed α–β–γ breakdown, byte-identical analyzer output across
+/// execution backends — plus JSONL round-trip fidelity and the timeline /
+/// convergence invariants.
+
+#include "analysis/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/render.hpp"
+#include "analysis/run_trace.hpp"
+#include "dist/driver.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "trace/export.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::analysis {
+namespace {
+
+using dist::DistMethod;
+using dist::DistRunOptions;
+using dist::DistRunResult;
+using sparse::index_t;
+using sparse::value_t;
+
+struct Problem {
+  sparse::CsrMatrix a;
+  std::vector<value_t> b;
+  std::vector<value_t> x0;
+  graph::Partition part;
+};
+
+Problem make_problem(index_t nx, index_t ranks, std::uint64_t seed) {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(nx, nx)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(seed);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  auto g = graph::Graph::from_matrix_structure(p.a);
+  p.part = graph::partition_recursive_bisection(g, ranks);
+  return p;
+}
+
+/// The golden run: P=4 Distributed Southwell, 12 steps, traced.
+DistRunResult golden_ds_run(simmpi::BackendKind backend =
+                                simmpi::BackendKind::kSequential) {
+  auto p = make_problem(12, 4, 77);
+  DistRunOptions opt;
+  opt.max_parallel_steps = 12;
+  opt.trace.enabled = true;
+  opt.backend = backend;
+  if (backend == simmpi::BackendKind::kThreadPool) opt.num_threads = 3;
+  return dist::run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                               p.b, p.x0, opt);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Comm matrix vs CommStats: exact.
+// ---------------------------------------------------------------------------
+
+TEST(CommMatrix, TotalsEqualCommStatsExactly) {
+  const auto r = golden_ds_run();
+  ASSERT_TRUE(r.trace_log);
+  ASSERT_EQ(r.trace_log->dropped_events, 0u);
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto cm = analyze_comm_matrix(run);
+
+  EXPECT_EQ(cm.total_msgs, r.comm_totals.msgs);
+  EXPECT_EQ(cm.total_bytes, r.comm_totals.bytes);
+  EXPECT_EQ(cm.total_by_tag[static_cast<int>(simmpi::MsgTag::kSolve)],
+            r.comm_totals.msgs_solve);
+  EXPECT_EQ(cm.total_by_tag[static_cast<int>(simmpi::MsgTag::kResidual)],
+            r.comm_totals.msgs_residual);
+  EXPECT_EQ(cm.total_by_tag[static_cast<int>(simmpi::MsgTag::kOther)],
+            r.comm_totals.msgs_other);
+  // The paper's comm-cost metric (msgs / P) falls out of the matrix too —
+  // Table 3's breakdown reproduced from the trace alone.
+  EXPECT_EQ(cm.comm_cost(), r.comm_cost.back());
+  EXPECT_EQ(cm.comm_cost(simmpi::MsgTag::kSolve), r.solve_comm.back());
+  EXPECT_EQ(cm.comm_cost(simmpi::MsgTag::kResidual), r.res_comm.back());
+}
+
+TEST(CommMatrix, MatrixCellsAreConsistentWithTotals) {
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto cm = analyze_comm_matrix(run);
+  ASSERT_EQ(cm.num_ranks, 4);
+  ASSERT_EQ(cm.msgs.size(), 16u);
+
+  std::uint64_t msgs = 0, bytes = 0;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(cm.msgs[static_cast<std::size_t>(s * 4 + s)], 0u)
+        << "self-messages are impossible";
+    for (int d = 0; d < 4; ++d) {
+      msgs += cm.msgs[static_cast<std::size_t>(s * 4 + d)];
+      bytes += cm.bytes[static_cast<std::size_t>(s * 4 + d)];
+    }
+  }
+  EXPECT_EQ(msgs, cm.total_msgs);
+  EXPECT_EQ(bytes, cm.total_bytes);
+  // Per-tag matrices partition the message matrix.
+  for (std::size_t i = 0; i < cm.msgs.size(); ++i) {
+    std::uint64_t by_tag = 0;
+    for (const auto& tm : cm.msgs_by_tag) by_tag += tm[i];
+    EXPECT_EQ(by_tag, cm.msgs[i]);
+  }
+  // Hot pairs are exactly the nonzero cells, ranked msgs-descending.
+  std::size_t nonzero = 0;
+  for (auto v : cm.msgs) nonzero += v != 0 ? 1 : 0;
+  EXPECT_EQ(cm.hot_pairs.size(), nonzero);
+  for (std::size_t i = 1; i < cm.hot_pairs.size(); ++i) {
+    EXPECT_GE(cm.hot_pairs[i - 1].msgs, cm.hot_pairs[i].msgs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) Critical path: bit-exact model reconstruction + hand-computed check.
+// ---------------------------------------------------------------------------
+
+TEST(CriticalPath, ReproducesFenceModelSecondsBitExactly) {
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto cp = analyze_critical_path(run, simmpi::MachineModel{});
+
+  EXPECT_TRUE(cp.model_matches);
+  for (const auto& step : cp.steps) {
+    EXPECT_EQ(step.modeled_seconds, step.recorded_seconds)
+        << "epoch " << step.epoch;
+  }
+  // Total modeled time re-derived from the trace equals the runtime's own
+  // accumulation bit-for-bit (same addends, same order).
+  EXPECT_EQ(cp.total_recorded_seconds, r.model_time.back());
+  EXPECT_EQ(cp.total_modeled_seconds, r.model_time.back());
+}
+
+TEST(CriticalPath, TermsMatchHandComputedBreakdownOnSyntheticTrace) {
+  // Hand-built two-epoch trace with round numbers so every α–β–γ term is
+  // computable on paper. Model: c_flop=2, α=10, β=0.5, γ=8, σ=1.
+  simmpi::MachineModel m;
+  m.flop_time = 2.0;
+  m.alpha = 10.0;
+  m.beta = 0.5;
+  m.gamma = 8.0;
+  m.sigma = 1.0;
+
+  RunTrace run;
+  run.label = "synthetic";
+  run.num_ranks = 2;
+  auto ev = [&](trace::EventKind kind, int rank, int peer, int tag,
+                std::uint64_t epoch, double a0, double a1) {
+    trace::Event e;
+    e.kind = kind;
+    e.rank = rank;
+    e.peer = peer;
+    e.tag = tag;
+    e.epoch = epoch;
+    e.seq = run.events.size();
+    e.a0 = a0;
+    e.a1 = a1;
+    run.events.push_back(e);
+  };
+  using trace::EventKind;
+  // Epoch 0: rank 0 does 3 flops (cost 6) and sends 2 msgs of 16 bytes
+  // (cost 2*10 + 32*0.5 = 36); rank 1 does 5 flops (cost 10). Straggler is
+  // rank 0 at 42; latency (20) dominates its terms. Epoch-wide: network
+  // gamma*2/2 = 8, sync 1. T = 42 + 8 + 1 = 51.
+  ev(EventKind::kCompute, 0, -1, -1, 0, 3.0, 0.0);
+  ev(EventKind::kPut, 0, 1, 0, 0, 2.0, 16.0);
+  ev(EventKind::kPut, 0, 1, 1, 0, 2.0, 16.0);
+  ev(EventKind::kCompute, 1, -1, -1, 0, 5.0, 0.0);
+  ev(EventKind::kFence, -1, -1, -1, 0, 51.0, 2.0);
+  // Epoch 1: rank 1 does 20 flops (cost 40), no messages. Straggler rank 1,
+  // compute dominates. T = 40 + 0 + 1 = 41.
+  ev(EventKind::kCompute, 1, -1, -1, 1, 20.0, 0.0);
+  ev(EventKind::kFence, -1, -1, -1, 1, 41.0, 0.0);
+
+  const auto cp = analyze_critical_path(run, m);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  EXPECT_TRUE(cp.model_matches);
+
+  const auto& s0 = cp.steps[0];
+  EXPECT_EQ(s0.straggler, 0);
+  EXPECT_EQ(s0.terms[static_cast<int>(CostTerm::kCompute)], 6.0);
+  EXPECT_EQ(s0.terms[static_cast<int>(CostTerm::kLatency)], 20.0);
+  EXPECT_EQ(s0.terms[static_cast<int>(CostTerm::kBandwidth)], 16.0);
+  EXPECT_EQ(s0.terms[static_cast<int>(CostTerm::kNetwork)], 8.0);
+  EXPECT_EQ(s0.terms[static_cast<int>(CostTerm::kSync)], 1.0);
+  EXPECT_EQ(s0.modeled_seconds, 51.0);
+  EXPECT_EQ(s0.dominant, CostTerm::kLatency);
+
+  const auto& s1 = cp.steps[1];
+  EXPECT_EQ(s1.straggler, 1);
+  EXPECT_EQ(s1.terms[static_cast<int>(CostTerm::kCompute)], 40.0);
+  EXPECT_EQ(s1.terms[static_cast<int>(CostTerm::kLatency)], 0.0);
+  EXPECT_EQ(s1.modeled_seconds, 41.0);
+  EXPECT_EQ(s1.dominant, CostTerm::kCompute);
+
+  EXPECT_EQ(cp.epochs_dominated[static_cast<int>(CostTerm::kLatency)], 1u);
+  EXPECT_EQ(cp.epochs_dominated[static_cast<int>(CostTerm::kCompute)], 1u);
+  ASSERT_EQ(cp.straggler_epochs.size(), 2u);
+  EXPECT_EQ(cp.straggler_epochs[0], 1u);
+  EXPECT_EQ(cp.straggler_epochs[1], 1u);
+  EXPECT_EQ(cp.total_modeled_seconds, 92.0);
+}
+
+TEST(CriticalPath, MismatchedModelIsDetected) {
+  // The bit-exact flag is the analyzer's alarm for "you analyzed with the
+  // wrong machine model" — make sure it actually trips.
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  simmpi::MachineModel wrong;
+  wrong.alpha *= 2.0;
+  EXPECT_FALSE(analyze_critical_path(run, wrong).model_matches);
+}
+
+// ---------------------------------------------------------------------------
+// (a) Timeline invariants.
+// ---------------------------------------------------------------------------
+
+TEST(Timeline, PerRankAccountingMatchesRunTotals) {
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto tl = analyze_timeline(run, simmpi::MachineModel{});
+
+  ASSERT_EQ(tl.num_ranks, 4);
+  std::uint64_t msgs = 0, rows = 0;
+  for (const auto& rk : tl.ranks) {
+    msgs += rk.msgs_sent;
+    rows += rk.rows_relaxed;
+    EXPECT_GE(rk.compute_seconds, 0.0);
+    EXPECT_GE(rk.send_seconds, 0.0);
+    EXPECT_GE(rk.wait_seconds, 0.0);
+  }
+  EXPECT_EQ(msgs, r.comm_totals.msgs);
+  EXPECT_EQ(static_cast<double>(rows), r.relaxations.back());
+  EXPECT_EQ(tl.total_model_seconds, r.model_time.back());
+  EXPECT_GE(tl.max_imbalance, 1.0);
+  // Every epoch's per-rank busy time is bounded by the epoch duration.
+  for (const auto& step : tl.steps) {
+    EXPECT_LE(step.max_cost, step.epoch_seconds);
+    EXPECT_LE(step.mean_cost, step.max_cost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (d) Convergence diagnostics.
+// ---------------------------------------------------------------------------
+
+TEST(Convergence, PointsTrackEpochsAndDsCountersSurface) {
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto cv = analyze_convergence(run);
+
+  ASSERT_FALSE(cv.points.empty());
+  for (std::size_t i = 1; i < cv.points.size(); ++i) {
+    EXPECT_GT(cv.points[i].epoch, cv.points[i - 1].epoch);
+    EXPECT_GE(cv.points[i].t_model, cv.points[i - 1].t_model);
+  }
+  EXPECT_EQ(cv.points.back().ranks_reporting, 4);
+  EXPECT_GT(cv.points.back().residual_estimate, 0.0);
+  // Distributed Southwell registers its deferral counters.
+  EXPECT_TRUE(cv.ds_corrections_sent.has_value());
+  EXPECT_TRUE(cv.ds_deferred_sends.has_value());
+  std::uint64_t stall_total = 0;
+  for (const auto& s : cv.stalls) stall_total += s.epochs();
+  EXPECT_EQ(stall_total, cv.stalled_epochs);
+}
+
+// ---------------------------------------------------------------------------
+// Backend determinism: the whole analyzer output, byte for byte.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzerDeterminism, EveryRenderedFormatIsByteIdenticalAcrossBackends) {
+  const auto seq = golden_ds_run(simmpi::BackendKind::kSequential);
+  const auto thr = golden_ds_run(simmpi::BackendKind::kThreadPool);
+  ASSERT_TRUE(seq.trace_log && thr.trace_log);
+
+  const AnalyzeOptions opt;
+  auto render_all = [&](const DistRunResult& r) {
+    const auto run = from_trace_log(*r.trace_log, "golden");
+    const auto a = analyze_run(run, opt);
+    std::ostringstream ascii;
+    render_ascii(ascii, a, opt);
+    return ascii.str() + "\x1f" + timeline_csv(a) + "\x1f" + steps_csv(a) +
+           "\x1f" + comm_matrix_csv(a) + "\x1f" + critical_path_csv(a) +
+           "\x1f" + convergence_csv(a) + "\x1f" + to_json(a, opt);
+  };
+  EXPECT_EQ(render_all(seq), render_all(thr));
+}
+
+// ---------------------------------------------------------------------------
+// JSONL round trip: parse(write_jsonl(log)) == from_trace_log(log).
+// ---------------------------------------------------------------------------
+
+TEST(RunTrace, JsonlRoundTripPreservesEveryDeterministicField) {
+  const auto r = golden_ds_run();
+  auto direct = from_trace_log(*r.trace_log, "golden");
+
+  std::ostringstream os;
+  trace::TraceExportOptions eopt;
+  eopt.run_label = "golden";
+  trace::write_jsonl(os, *r.trace_log, eopt);
+  const auto parsed_runs = parse_jsonl(os.str());
+  ASSERT_EQ(parsed_runs.size(), 1u);
+  const auto& parsed = parsed_runs[0];
+
+  EXPECT_EQ(parsed.label, "golden");
+  EXPECT_EQ(parsed.version, 2);  // compute events -> schema v2
+  EXPECT_EQ(parsed.num_ranks, direct.num_ranks);
+  EXPECT_EQ(parsed.dropped_events, direct.dropped_events);
+  ASSERT_EQ(parsed.events.size(), direct.events.size());
+  for (std::size_t i = 0; i < parsed.events.size(); ++i) {
+    const auto& a = parsed.events[i];
+    const auto& b = direct.events[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.rank, b.rank) << i;
+    EXPECT_EQ(a.peer, b.peer) << i;
+    EXPECT_EQ(a.tag, b.tag) << i;
+    EXPECT_EQ(a.epoch, b.epoch) << i;
+    EXPECT_EQ(a.seq, b.seq) << i;
+    EXPECT_EQ(a.a0, b.a0) << i;
+    EXPECT_EQ(a.a1, b.a1) << i;
+    EXPECT_EQ(a.t_model, b.t_model) << i;
+    // t_wall is non-deterministic and excluded from the default export.
+  }
+  ASSERT_EQ(parsed.metrics.size(), direct.metrics.size());
+  for (std::size_t i = 0; i < parsed.metrics.size(); ++i) {
+    EXPECT_EQ(parsed.metrics[i].name, direct.metrics[i].name);
+    EXPECT_EQ(parsed.metrics[i].kind, direct.metrics[i].kind);
+    EXPECT_EQ(parsed.metrics[i].per_rank, direct.metrics[i].per_rank);
+  }
+  // And the analyses built from both paths agree byte-for-byte.
+  // trace_version records provenance (0 = in-memory log, 2 = JSONL) and is
+  // the one legitimate difference; align it so the rest must match exactly.
+  direct.version = parsed.version;
+  EXPECT_EQ(to_json(analyze_run(parsed)), to_json(analyze_run(direct)));
+}
+
+TEST(RunTrace, ParserRejectsGarbageAndUnknownVersions) {
+  EXPECT_THROW(parse_jsonl("not json\n"), util::CheckError);
+  EXPECT_THROW(
+      parse_jsonl(R"({"type":"header","version":99,"num_ranks":2,)"
+                  R"("events":0,"dropped_events":0})"
+                  "\n"),
+      util::CheckError);
+  // Events before any header have no run to belong to.
+  EXPECT_THROW(
+      parse_jsonl(R"({"type":"event","kind":"fence","seq":0,"epoch":0,)"
+                  R"("rank":-1,"t_model":0,"a0":0,"a1":0})"
+                  "\n"),
+      util::CheckError);
+  EXPECT_TRUE(parse_jsonl("\n\n").empty());
+}
+
+TEST(RunTrace, FindMetricLooksUpByName) {
+  const auto r = golden_ds_run();
+  const auto run = from_trace_log(*r.trace_log, "golden");
+  const auto* m = run.find_metric("simmpi.msgs_sent");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(static_cast<std::uint64_t>(m->total()), r.comm_totals.msgs);
+  EXPECT_EQ(run.find_metric("no.such.metric"), nullptr);
+}
+
+}  // namespace
+}  // namespace dsouth::analysis

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -88,6 +90,82 @@ TEST(AsciiPlot, InterpolatedTraceConnectsDistantPoints) {
   opt.height = 10;
   const std::string out = render({s}, opt);
   EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// log_ticks: decade tick placement for the log y-axis
+// ---------------------------------------------------------------------------
+
+TEST(LogTicks, EveryDecadeWhenTheyFit) {
+  EXPECT_EQ(log_ticks(1e-3, 1.0, 10),
+            (std::vector<double>{1.0, 1e-1, 1e-2, 1e-3}));
+}
+
+TEST(LogTicks, DescendingFromLargestDecade) {
+  const auto t = log_ticks(0.5, 500.0, 10);
+  EXPECT_EQ(t, (std::vector<double>{100.0, 10.0, 1.0}));
+}
+
+TEST(LogTicks, ThinnedToIntegerDecadeStride) {
+  // 13 decades, at most 4 ticks -> stride 4: 1e6, 1e2, 1e-2, 1e-6.
+  EXPECT_EQ(log_ticks(1e-6, 1e6, 4),
+            (std::vector<double>{1e6, 1e2, 1e-2, 1e-6}));
+}
+
+TEST(LogTicks, TicksAreExactPowersOfTenInsideRange) {
+  const auto t = log_ticks(3.7e-5, 8.1e3, 6);
+  ASSERT_FALSE(t.empty());
+  for (double v : t) {
+    EXPECT_GE(v, 3.7e-5);
+    EXPECT_LE(v, 8.1e3);
+    const double d = std::log10(v);
+    EXPECT_NEAR(d, std::round(d), 1e-9) << v;
+  }
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_LT(t[i], t[i - 1]);
+}
+
+TEST(LogTicks, BoundsThatArePowersOfTenAreIncluded) {
+  // An epsilon-free implementation loses the endpoint decades to rounding.
+  const auto t = log_ticks(0.01, 100.0, 10);
+  EXPECT_EQ(t.front(), 100.0);
+  EXPECT_EQ(t.back(), 0.01);
+}
+
+TEST(LogTicks, EmptyWhenNoDecadeInsideRange) {
+  EXPECT_TRUE(log_ticks(2.0, 5.0, 10).empty());
+}
+
+TEST(LogTicks, SingleDecadeRange) {
+  EXPECT_EQ(log_ticks(1.0, 1.0, 10), (std::vector<double>{1.0}));
+}
+
+TEST(LogTicks, ZeroAndNegativeBoundsThrow) {
+  EXPECT_THROW(log_ticks(0.0, 1.0, 5), CheckError);
+  EXPECT_THROW(log_ticks(-1.0, 1.0, 5), CheckError);
+  EXPECT_THROW(log_ticks(1.0, -1.0, 5), CheckError);
+}
+
+TEST(LogTicks, NonFiniteBoundsAndBadTickBudgetThrow) {
+  EXPECT_THROW(log_ticks(1.0, std::numeric_limits<double>::infinity(), 5),
+               CheckError);
+  EXPECT_THROW(log_ticks(std::numeric_limits<double>::quiet_NaN(), 1.0, 5),
+               CheckError);
+  EXPECT_THROW(log_ticks(1.0, 10.0, 0), CheckError);  // no room for ticks
+}
+
+TEST(LogTicks, InvertedBoundsAreSwapped) {
+  EXPECT_EQ(log_ticks(100.0, 1.0, 10), log_ticks(1.0, 100.0, 10));
+}
+
+TEST(LogTicks, InteriorDecadesAppearAsAxisLabels) {
+  // A 4-decade span tall enough for interior labels: 0.1 and 0.01 must
+  // show up on the axis (not only the corner labels 1 and 0.001).
+  PlotSeries s{"r", {0.0, 1.0, 2.0, 3.0}, {1.0, 0.1, 0.01, 0.001}};
+  PlotOptions opt;
+  opt.height = 16;
+  const std::string out = render({s}, opt);
+  EXPECT_NE(out.find("0.1"), std::string::npos);
+  EXPECT_NE(out.find("0.01"), std::string::npos);
 }
 
 }  // namespace

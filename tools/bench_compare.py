@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench record against a committed baseline.
+
+The benches' `-json` flag writes a versioned record (schema
+"dsouth.bench_record", see docs/observability.md) whose `deterministic`
+block holds only quantities that are bit-identical across execution
+backends and thread counts: parallel steps, modeled time, CommStats
+message/byte totals, and the final residual. Those are compared exactly
+by default — any drift is a real behavior change, not noise. The
+`advisory` block (wall-clock seconds) and the backend/threads config are
+reported but never gate.
+
+Usage:
+  bench_compare.py BASELINE.json FRESH.json [options]
+
+Options:
+  --float-rel-tol X   relative tolerance for the deterministic float
+                      fields (modeled_time, comm_cost, final_residual).
+                      Default 0.0 = bit-exact. Integers are always exact.
+  --ignore-missing    do not fail when the fresh record lacks runs the
+                      baseline has (partial reruns, e.g. -matrices subset)
+
+Exit status: 0 = no deterministic drift, 1 = drift or run-set mismatch,
+2 = bad invocation / unreadable or malformed record.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "dsouth.bench_record"
+SCHEMA_VERSION = 1
+
+# (field, is_float): comparison of record["deterministic"].
+DETERMINISTIC_FIELDS = [
+    ("steps", False),
+    ("msgs_total", False),
+    ("msgs_solve", False),
+    ("msgs_residual", False),
+    ("msgs_other", False),
+    ("bytes_total", False),
+    ("modeled_time", True),
+    ("comm_cost", True),
+    ("final_residual", True),
+]
+
+# Config fields that must agree for the comparison to be meaningful.
+# backend/threads are deliberately absent: results are bit-identical
+# across backends, so comparing records from different backends is not
+# only legal but the point.
+CONFIG_FIELDS = ["matrix", "method", "procs", "n"]
+
+
+def load_record(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read '{path}': {e}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_compare: '{path}' is not a {SCHEMA} document")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        sys.exit(
+            f"bench_compare: '{path}' has schema_version "
+            f"{doc.get('schema_version')!r}, this tool knows {SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def rel_diff(a, b):
+    scale = max(abs(a), abs(b))
+    return abs(a - b) / scale if scale > 0 else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--float-rel-tol", type=float, default=0.0)
+    ap.add_argument("--ignore-missing", action="store_true")
+    args = ap.parse_args()
+
+    base = load_record(args.baseline)
+    fresh = load_record(args.fresh)
+
+    if base.get("bench") != fresh.get("bench"):
+        print(
+            f"NOTE: comparing different benches: baseline "
+            f"'{base.get('bench')}' vs fresh '{fresh.get('bench')}'"
+        )
+    print(
+        f"baseline: {args.baseline} (git {base.get('git_sha', '?')[:12]}, "
+        f"{len(base.get('runs', []))} runs)"
+    )
+    print(
+        f"fresh:    {args.fresh} (git {fresh.get('git_sha', '?')[:12]}, "
+        f"{len(fresh.get('runs', []))} runs)"
+    )
+
+    base_runs = {r["label"]: r for r in base.get("runs", [])}
+    fresh_runs = {r["label"]: r for r in fresh.get("runs", [])}
+
+    failures = 0
+    compared = 0
+
+    missing = sorted(set(base_runs) - set(fresh_runs))
+    extra = sorted(set(fresh_runs) - set(base_runs))
+    if missing and not args.ignore_missing:
+        failures += len(missing)
+        for label in missing:
+            print(f"FAIL [{label}]: in baseline but not in fresh record")
+    elif missing:
+        print(f"note: {len(missing)} baseline run(s) absent from fresh record (ignored)")
+    for label in extra:
+        # New runs cannot regress anything; surface them for baseline refresh.
+        print(f"note: fresh run '{label}' has no baseline (add one to gate it)")
+
+    wall_base = wall_fresh = 0.0
+    for label in sorted(set(base_runs) & set(fresh_runs)):
+        b, f = base_runs[label], fresh_runs[label]
+        compared += 1
+
+        for key in CONFIG_FIELDS:
+            bv, fv = b["config"].get(key), f["config"].get(key)
+            if bv != fv:
+                failures += 1
+                print(f"FAIL [{label}] config.{key}: baseline {bv!r} != fresh {fv!r}")
+
+        for key, is_float in DETERMINISTIC_FIELDS:
+            bv, fv = b["deterministic"].get(key), f["deterministic"].get(key)
+            if bv == fv:
+                continue
+            if is_float and bv is not None and fv is not None:
+                d = rel_diff(float(bv), float(fv))
+                if d <= args.float_rel_tol:
+                    continue
+                failures += 1
+                print(
+                    f"FAIL [{label}] {key}: baseline {bv} != fresh {fv} "
+                    f"(rel diff {d:.3e}, tol {args.float_rel_tol:.3e})"
+                )
+            else:
+                failures += 1
+                print(f"FAIL [{label}] {key}: baseline {bv} != fresh {fv}")
+
+        wall_base += float(b.get("advisory", {}).get("wall_seconds", 0.0))
+        wall_fresh += float(f.get("advisory", {}).get("wall_seconds", 0.0))
+
+    if compared and wall_base > 0:
+        change = 100.0 * (wall_fresh - wall_base) / wall_base
+        print(
+            f"advisory: wall-clock {wall_base:.3f}s -> {wall_fresh:.3f}s "
+            f"({change:+.1f}%; informational only, never gates)"
+        )
+
+    if failures:
+        print(f"bench_compare: FAILED — {failures} mismatch(es) over {compared} run(s)")
+        return 1
+    print(f"bench_compare: OK — {compared} run(s), no deterministic drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

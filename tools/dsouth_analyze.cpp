@@ -1,0 +1,231 @@
+/// \file dsouth_analyze.cpp
+/// `dsouth-analyze`: the offline half of the observability stack. Reads a
+/// JSON Lines trace capture (the `-trace foo.jsonl` output of any
+/// distributed bench, possibly holding several runs) and emits, per run,
+/// the four analyzer reports — per-rank timeline & load imbalance, P×P
+/// communication matrix with hot-pair ranking, α–β–γ critical-path
+/// attribution, and convergence diagnostics — as ASCII, CSV, and/or JSON.
+///
+/// Because the trace is deterministic (docs/observability.md), every
+/// deterministic output of this tool is byte-identical no matter which
+/// execution backend produced the capture. `-check` turns that promise
+/// into an exit code: it fails unless the critical-path report reproduces
+/// every fence's modeled seconds bit-exactly AND the comm-matrix totals
+/// equal the run's simmpi.* counters (i.e. CommStats) exactly.
+///
+/// Usage:
+///   dsouth-analyze -trace runs.jsonl [-run SUBSTR] [-format ascii|csv|json|all]
+///                  [-out PREFIX] [-top K] [-check] [-list]
+///                  [-alpha A] [-beta B] [-gamma G] [-sigma S] [-flop_time C]
+///
+/// The machine-model flags must match the traced run's model (the benches
+/// all use the MachineModel defaults); `-check` is how you find out when
+/// they do not.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/render.hpp"
+#include "analysis/run_trace.hpp"
+#include "simmpi/machine_model.hpp"
+#include "simmpi/stats.hpp"
+#include "util/error.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using dsouth::analysis::AnalyzeOptions;
+using dsouth::analysis::RunAnalysis;
+using dsouth::analysis::RunTrace;
+
+/// Filesystem-friendly run label: [A-Za-z0-9._-] kept, runs of anything
+/// else collapsed to one '_'.
+std::string slug(const std::string& label) {
+  std::string out;
+  bool gap = false;
+  for (char c : label) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '_';
+    if (ok) {
+      if (gap && !out.empty()) out += '_';
+      gap = false;
+      out += c;
+    } else {
+      gap = true;
+    }
+  }
+  return out.empty() ? "run" : out;
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  DSOUTH_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  os << body;
+  DSOUTH_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+  std::cerr << "wrote " << path << "\n";
+}
+
+/// The `-check` consistency gate for one run. Prints one line per check;
+/// returns false if any fails.
+bool run_checks(const RunTrace& run, const RunAnalysis& a) {
+  bool ok = true;
+  auto check = [&](bool cond, const std::string& what) {
+    std::cout << (cond ? "CHECK ok:   " : "CHECK FAIL: ") << what << "\n";
+    ok = ok && cond;
+  };
+
+  check(run.dropped_events == 0, "trace is drop-free");
+  check(a.critical_path.model_matches,
+        "critical path reproduces every fence's modeled seconds bit-exactly");
+
+  // Comm-matrix totals vs the run's end-of-run counters (CommStats' view).
+  auto counter_total = [&](const char* name) -> std::uint64_t {
+    const auto* m = run.find_metric(name);
+    return m ? static_cast<std::uint64_t>(m->total()) : 0;
+  };
+  if (run.find_metric("simmpi.msgs_sent") != nullptr) {
+    check(a.comm.total_msgs == counter_total("simmpi.msgs_sent"),
+          "comm matrix total msgs == simmpi.msgs_sent");
+    check(a.comm.total_bytes == counter_total("simmpi.bytes_sent"),
+          "comm matrix total bytes == simmpi.bytes_sent");
+    using dsouth::simmpi::MsgTag;
+    check(a.comm.total_by_tag[static_cast<int>(MsgTag::kSolve)] ==
+              counter_total("simmpi.msgs_solve"),
+          "solve-tag msgs == simmpi.msgs_solve");
+    check(a.comm.total_by_tag[static_cast<int>(MsgTag::kResidual)] ==
+              counter_total("simmpi.msgs_residual"),
+          "residual-tag msgs == simmpi.msgs_residual");
+    check(a.comm.total_by_tag[static_cast<int>(MsgTag::kOther)] ==
+              counter_total("simmpi.msgs_other"),
+          "other-tag msgs == simmpi.msgs_other");
+  } else {
+    check(false, "trace has simmpi.* counters (needed for comm cross-check)");
+  }
+  return ok;
+}
+
+int run_main(int argc, char** argv) {
+  dsouth::util::ArgParser args(argc, argv);
+
+  if (args.has("help")) {
+    std::cout
+        << "usage: " << args.program() << " -trace FILE [options]\n"
+        << "  -trace FILE    JSONL trace capture (required)\n"
+        << "  -list          list run labels in the capture and exit\n"
+        << "  -run SUBSTR    only analyze runs whose label contains SUBSTR\n"
+        << "  -format F      ascii|csv|json|all (default ascii)\n"
+        << "  -out PREFIX    file prefix for csv/json output\n"
+        << "                 (default: trace path minus .jsonl)\n"
+        << "  -top K         hot pairs to list (default 10)\n"
+        << "  -check         verify model reconstruction + counter\n"
+        << "                 consistency; nonzero exit on failure\n"
+        << "  -alpha/-beta/-gamma/-sigma/-flop_time  machine model\n"
+        << "                 overrides (defaults match the benches)\n";
+    return 0;
+  }
+
+  auto trace_path = args.get("trace");
+  DSOUTH_CHECK_MSG(trace_path.has_value(),
+                   "missing required -trace FILE (see -help)");
+
+  const bool list_only = args.has("list");
+  const std::string run_filter = args.get_or("run", "");
+  const std::string format =
+      args.get_choice_or("format", {"ascii", "csv", "json", "all"}, "ascii");
+  const bool check = args.has("check");
+  std::string out_prefix = args.get_or("out", "");
+  if (out_prefix.empty()) {
+    out_prefix = *trace_path;
+    const std::string ext = ".jsonl";
+    if (out_prefix.size() > ext.size() &&
+        out_prefix.compare(out_prefix.size() - ext.size(), ext.size(), ext) ==
+            0) {
+      out_prefix.resize(out_prefix.size() - ext.size());
+    }
+  }
+
+  AnalyzeOptions opt;
+  opt.top_pairs = static_cast<int>(args.get_int_or("top", 10));
+  opt.model.alpha = args.get_double_or("alpha", opt.model.alpha);
+  opt.model.beta = args.get_double_or("beta", opt.model.beta);
+  opt.model.gamma = args.get_double_or("gamma", opt.model.gamma);
+  opt.model.sigma = args.get_double_or("sigma", opt.model.sigma);
+  opt.model.flop_time = args.get_double_or("flop_time", opt.model.flop_time);
+
+  auto unknown = args.unqueried();
+  DSOUTH_CHECK_MSG(unknown.empty(), "unknown option -" << unknown.front()
+                                                       << " (see -help)");
+
+  std::vector<RunTrace> runs =
+      dsouth::analysis::read_jsonl_file(*trace_path);
+  DSOUTH_CHECK_MSG(!runs.empty(), "no runs found in '" << *trace_path << "'");
+
+  if (list_only) {
+    for (const auto& r : runs) {
+      std::cout << r.label << "  (P=" << r.num_ranks << ", "
+                << r.events.size() << " events, v" << r.version << ")\n";
+    }
+    return 0;
+  }
+
+  bool all_ok = true;
+  int analyzed = 0;
+  for (const auto& run : runs) {
+    if (!run_filter.empty() &&
+        run.label.find(run_filter) == std::string::npos) {
+      continue;
+    }
+    ++analyzed;
+    RunAnalysis a = dsouth::analysis::analyze_run(run, opt);
+
+    if (format == "ascii" || format == "all") {
+      dsouth::analysis::render_ascii(std::cout, a, opt);
+      std::cout << "\n";
+    }
+    if (format == "csv" || format == "all") {
+      const std::string base = out_prefix + "_" + slug(run.label);
+      write_file(base + "_timeline.csv", dsouth::analysis::timeline_csv(a));
+      write_file(base + "_steps.csv", dsouth::analysis::steps_csv(a));
+      write_file(base + "_comm_matrix.csv",
+                 dsouth::analysis::comm_matrix_csv(a));
+      write_file(base + "_critical_path.csv",
+                 dsouth::analysis::critical_path_csv(a));
+      write_file(base + "_convergence.csv",
+                 dsouth::analysis::convergence_csv(a));
+    }
+    if (format == "json" || format == "all") {
+      write_file(out_prefix + "_" + slug(run.label) + ".json",
+                 dsouth::analysis::to_json(a, opt));
+    }
+    if (check) {
+      std::cout << "consistency checks for '" << run.label << "':\n";
+      if (!run_checks(run, a)) all_ok = false;
+      std::cout << "\n";
+    }
+  }
+
+  DSOUTH_CHECK_MSG(analyzed > 0, "no run label contains '" << run_filter
+                                                           << "'");
+  if (check) {
+    std::cout << (all_ok ? "all consistency checks passed"
+                         : "CONSISTENCY CHECKS FAILED")
+              << " (" << analyzed << " run" << (analyzed == 1 ? "" : "s")
+              << ")\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const dsouth::util::CheckError& e) {
+    std::cerr << "dsouth-analyze: " << e.what() << "\n";
+    return 2;
+  }
+}
