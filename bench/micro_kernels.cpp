@@ -19,6 +19,7 @@
 #include "sparse/stencils.hpp"
 #include "util/indexed_heap.hpp"
 #include "util/rng.hpp"
+#include "wire/wire.hpp"
 
 namespace dsouth {
 namespace {
@@ -137,6 +138,103 @@ BENCHMARK(BM_DistStep)
     ->Arg(static_cast<int>(dist::DistMethod::kBlockJacobi))
     ->Arg(static_cast<int>(dist::DistMethod::kParallelSouthwell))
     ->Arg(static_cast<int>(dist::DistMethod::kDistributedSouthwell));
+
+void BM_WireEncode(benchmark::State& state) {
+  const auto nb = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(wire::encoded_doubles(
+      wire::RecordType::kSolveUpdate, nb));
+  for (auto _ : state) {
+    auto rec = wire::begin_record(wire::RecordType::kSolveUpdate, 0.5, 0.25,
+                                  out, nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+      rec.dx[i] = static_cast<double>(i);
+      rec.rb[i] = static_cast<double>(i) * 0.5;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_WireEncode)->Arg(8)->Arg(64);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto nb = static_cast<std::size_t>(state.range(0));
+  std::vector<double> buf(wire::encoded_doubles(
+      wire::RecordType::kSolveUpdate, nb));
+  auto enc = wire::begin_record(wire::RecordType::kSolveUpdate, 0.5, 0.25,
+                                buf, nb);
+  for (std::size_t i = 0; i < nb; ++i) enc.dx[i] = enc.rb[i] = 1.0;
+  double sink = 0.0;
+  for (auto _ : state) {
+    wire::for_each_record(wire::Family::kEstimate, buf, nb,
+                          [&](const wire::Record& rec) {
+                            sink += rec.norm2 + rec.dx[0] + rec.rb[nb - 1];
+                          });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_WireDecode)->Arg(8)->Arg(64);
+
+void BM_WireFrameRoundTrip(benchmark::State& state) {
+  // Coalesced frame: `count` Correction records for one peer, encoded and
+  // then walked — the synthetic multi-record traffic the solvers' one
+  // record per (neighbor, epoch) never produces.
+  const auto count = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kNb = 16;
+  const std::size_t len =
+      wire::encoded_doubles(wire::RecordType::kCorrection, kNb);
+  std::vector<wire::RecordType> types(count, wire::RecordType::kCorrection);
+  std::vector<std::size_t> lengths(count, len);
+  std::vector<double> bodies(count * len);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto rec = wire::begin_record(
+        wire::RecordType::kCorrection, 1.0, 2.0,
+        std::span<double>(bodies).subspan(i * len, len), kNb);
+    for (std::size_t g = 0; g < kNb; ++g) rec.rb[g] = static_cast<double>(g);
+  }
+  std::vector<double> frame(wire::frame_doubles(lengths));
+  double sink = 0.0;
+  for (auto _ : state) {
+    wire::encode_frame(types, lengths, bodies, frame);
+    wire::for_each_record(wire::Family::kEstimate, frame, kNb,
+                          [&](const wire::Record& rec) { sink += rec.norm2; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_WireFrameRoundTrip)->Arg(2)->Arg(8);
+
+void BM_ChannelStaging(benchmark::State& state) {
+  // put()-with-copy vs stage()-in-place for one epoch of boundary traffic
+  // between two ranks (range(1) selects the path). The pools make both
+  // allocation-free once warm; stage() additionally skips the memcpy at
+  // put time (the fence's delivery copy remains in both).
+  const bool use_stage = state.range(1) != 0;
+  const auto nb = static_cast<std::size_t>(state.range(0));
+  simmpi::Runtime rt(2);
+  std::vector<double> payload(nb, 1.5);
+  for (auto _ : state) {
+    if (use_stage) {
+      auto out = rt.stage(0, 1, simmpi::MsgTag::kSolve, nb);
+      for (std::size_t i = 0; i < nb; ++i) out[i] = 1.5;
+    } else {
+      rt.put(0, 1, simmpi::MsgTag::kSolve, payload);
+    }
+    rt.fence();
+    rt.consume(1);
+  }
+  state.SetLabel(use_stage ? "stage" : "put");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nb));
+}
+BENCHMARK(BM_ChannelStaging)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1});
 
 }  // namespace
 }  // namespace dsouth

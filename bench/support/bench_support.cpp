@@ -89,6 +89,7 @@ void apply_backend_args(const util::ArgParser& args,
   DSOUTH_CHECK(kind.has_value());  // the choice set above is exhaustive
   opt.backend = *kind;
   opt.num_threads = static_cast<int>(args.get_int_or("threads", 0));
+  opt.coalesce_messages = args.has("coalesce");
 }
 
 TraceCapture::TraceCapture(const util::ArgParser& args) {
@@ -242,7 +243,9 @@ void BenchRecorder::add_run(const std::string& label,
                                                     : result.model_time.back())
      << ",\"msgs_total\":" << ct.msgs << ",\"msgs_solve\":" << ct.msgs_solve
      << ",\"msgs_residual\":" << ct.msgs_residual
-     << ",\"msgs_other\":" << ct.msgs_other << ",\"bytes_total\":" << ct.bytes
+     << ",\"msgs_other\":" << ct.msgs_other
+     << ",\"msgs_logical\":" << ct.msgs_logical
+     << ",\"bytes_total\":" << ct.bytes
      << ",\"comm_cost\":"
      << util::json_number(result.comm_cost.empty() ? 0.0
                                                    : result.comm_cost.back())

@@ -67,9 +67,11 @@ void print_header(const std::string& title, const std::string& regenerates,
 /// steps, the calibrated machine model).
 dist::DistRunOptions default_run_options();
 
-/// Apply the shared `-backend sequential|threads` / `-threads N` flags to
-/// `opt`. Results are bit-identical across backends; the knob only changes
-/// real wall-clock time (reported next to modeled time).
+/// Apply the shared `-backend sequential|threads` / `-threads N` /
+/// `-coalesce` flags to `opt`. Results are bit-identical across backends
+/// and coalescing modes; backends only change real wall-clock time, and
+/// `-coalesce` only lowers the physical message counts (wire/comm_plan.hpp)
+/// while the logical counts stay fixed.
 void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
 
 /// Shared `-trace <path>` / `-metrics <path>` flags: captures the trace log

@@ -73,6 +73,16 @@ int run(int argc, char** argv) {
     record.add_run(name + " DS", name, ds);
     cross_check(ps, name + " PS");
     cross_check(ds, name + " DS");
+    if (opt.coalesce_messages) {
+      // The wire-layer split (-coalesce): physical puts vs the logical
+      // records they carry. Equal counts mean every (neighbor, epoch)
+      // pair already had at most one record — the protocols' per-pair
+      // minimality, which coalescing measures rather than improves.
+      std::cout << "  [" << name << "] coalesced msgs physical/logical: PS "
+                << ps.comm_totals.msgs << "/" << ps.comm_totals.msgs_logical
+                << ", DS " << ds.comm_totals.msgs << "/"
+                << ds.comm_totals.msgs_logical << "\n";
+    }
     auto ps_at = ps.at_target(target);
     auto ds_at = ds.at_target(target);
     table.row().cell(name);

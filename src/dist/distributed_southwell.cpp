@@ -16,6 +16,7 @@ DistributedSouthwell::DistributedSouthwell(
   gamma2_.resize(static_cast<std::size_t>(nranks));
   gtilde2_.resize(static_cast<std::size_t>(nranks));
   ghost_.resize(static_cast<std::size_t>(nranks));
+  dz_scratch_.resize(static_cast<std::size_t>(nranks));
   corrections_sent_.assign(static_cast<std::size_t>(nranks), 0);
   deferred_sends_.assign(static_cast<std::size_t>(nranks), 0);
   if (auto* tracer = rt.tracer()) {
@@ -101,8 +102,8 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
     snap[li] = xp[li] - snap[li];
   }
   const auto dx_full = std::span<const value_t>(snap.data(), xp.size());
-  std::vector<double> payload;
-  std::vector<value_t> dz;
+  auto& dz = dz_scratch_[up];
+  auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
     const auto& nb = rd.neighbors[k];
     // Local estimate maintenance: z_q -= a_qp · Δx_p, and fold the ghost
@@ -137,33 +138,25 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
         continue;  // no message this step; Γ̃ untouched (q learns nothing)
       }
       gtilde2_[up][k] = norm2_new;
-      payload.clear();
-      payload.reserve(3 + 2 * nb.send_rows_local.size());
-      payload.push_back(0.0);
-      payload.push_back(norm2_new);
-      payload.push_back(gamma2_[up][k]);
-      for (value_t dx : pend) payload.push_back(dx);
-      for (index_t li : nb.send_rows_local) {
-        payload.push_back(rp[static_cast<std::size_t>(li)]);
+      auto rec = ch.open(ctx, k, wire::RecordType::kSolveUpdate, norm2_new,
+                         gamma2_[up][k]);
+      std::copy(pend.begin(), pend.end(), rec.dx.begin());
+      for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+        rec.rb[s] = rp[static_cast<std::size_t>(nb.send_rows_local[s])];
       }
       std::fill(pend.begin(), pend.end(), 0.0);
-      ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
       continue;
     }
     gtilde2_[up][k] = norm2_new;  // the message tells q our exact norm
-    payload.clear();
-    payload.reserve(3 + 2 * nb.send_rows_local.size());
-    payload.push_back(0.0);
-    payload.push_back(norm2_new);
-    payload.push_back(gamma2_[up][k]);
-    for (index_t li : nb.send_rows_local) {
-      payload.push_back(dx_full[static_cast<std::size_t>(li)]);
+    auto rec = ch.open(ctx, k, wire::RecordType::kSolveUpdate, norm2_new,
+                       gamma2_[up][k]);
+    for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+      const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
+      rec.dx[s] = dx_full[li];
+      rec.rb[s] = rp[li];
     }
-    for (index_t li : nb.send_rows_local) {
-      payload.push_back(rp[static_cast<std::size_t>(li)]);
-    }
-    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
   }
+  ch.flush(ctx);
 }
 
 void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
@@ -174,51 +167,45 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
   const value_t norm2 = local_norm_sq(r_[up]);
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
   const auto& rp = r_[up];
-  std::vector<double> payload;
+  auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
     const bool must_heartbeat = heartbeat && norm2 > 0.0;
     if (!(norm2 < gtilde2_[up][k]) && !must_heartbeat) continue;
     const auto& nb = rd.neighbors[k];
-    payload.clear();
-    payload.reserve(3 + nb.send_rows_local.size());
-    payload.push_back(1.0);
-    payload.push_back(norm2);
-    payload.push_back(gamma2_[up][k]);
-    for (index_t li : nb.send_rows_local) {
-      payload.push_back(rp[static_cast<std::size_t>(li)]);
+    auto rec = ch.open(ctx, k, wire::RecordType::kCorrection, norm2,
+                       gamma2_[up][k]);
+    for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+      rec.rb[s] = rp[static_cast<std::size_t>(nb.send_rows_local[s])];
     }
-    ctx.put(nb.rank, simmpi::MsgTag::kResidual, payload);
     gtilde2_[up][k] = norm2;
     ++corrections_sent_[up];
     ctx.metric_add(m_corrections_sent_, 1.0);
   }
+  ch.flush(ctx);
 }
 
 void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
   const RankData& rd = layout_->rank(p);
   const auto up = static_cast<std::size_t>(p);
   for (const auto& msg : ctx.window()) {
-    DSOUTH_CHECK(msg.payload.size() >= 3);
     const int nbi = rd.neighbor_index(msg.source);
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
     const auto unbi = static_cast<std::size_t>(nbi);
     const auto& nb = rd.neighbors[unbi];
-    const std::size_t nbd = nb.ghost_rows.size();
-    if (msg.payload[0] == 0.0) {
-      // SOLVE: Δx + exact boundary residuals.
-      DSOUTH_CHECK(msg.payload.size() == 3 + 2 * nbd);
-      auto dx = std::span<const double>(msg.payload).subspan(3, nbd);
-      auto rb = std::span<const double>(msg.payload).subspan(3 + nbd, nbd);
-      apply_incoming_delta(ctx, nb, dx);
-      std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
-    } else {
-      // RES: exact boundary residuals only.
-      DSOUTH_CHECK(msg.payload.size() == 3 + nbd);
-      auto rb = std::span<const double>(msg.payload).subspan(3);
-      std::copy(rb.begin(), rb.end(), ghost_[up][unbi].begin());
-    }
-    gamma2_[up][unbi] = msg.payload[1];
-    gtilde2_[up][unbi] = msg.payload[2];
+    // Decode against the channel's receive width (the codec validates
+    // every length); a frame yields each coalesced record in send order.
+    wire::for_each_record(
+        wire::Family::kEstimate, msg.payload, nb.ghost_rows.size(),
+        [&](const wire::Record& rec) {
+          if (rec.type == wire::RecordType::kSolveUpdate) {
+            // SOLVE: Δx + exact boundary residuals.
+            apply_incoming_delta(ctx, nb, rec.dx);
+          }
+          // Both types carry the sender's exact boundary residuals.
+          std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][unbi].begin());
+          gamma2_[up][unbi] = rec.norm2;
+          gtilde2_[up][unbi] = rec.gamma2;
+        });
   }
   trace_absorb(ctx);
   ctx.consume();

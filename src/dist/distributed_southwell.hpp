@@ -70,11 +70,11 @@ class DistributedSouthwell final : public DistStationarySolver {
   std::uint64_t corrections_sent() const;
 
  private:
-  // Message formats (payload doubles), nb = boundary count of the channel:
-  //   SOLVE p->q: [0]=0, [1]=new ‖r_p‖², [2]=Γ_p[q]²,
-  //               [3..3+nb) = Δx, [3+nb..3+2nb) = exact r_p boundary values.
-  //   RES   p->q: [0]=1, [1]=‖r_p‖², [2]=Γ_p[q]²,
-  //               [3..3+nb) = exact r_p boundary values.
+  // Wire records (encodings in wire/wire.hpp; nb = directed channel width):
+  //   SOLVE p->q: SolveUpdate{norm2 = new ‖r_p‖², gamma2 = Γ_p[q]²,
+  //               dx = boundary Δx, rb = exact r_p boundary values}.
+  //   RES   p->q: Correction{norm2 = ‖r_p‖², gamma2 = Γ_p[q]²,
+  //               rb = exact r_p boundary values}.
   void rank_relax(simmpi::RankContext& ctx, int p);
   void rank_correct(simmpi::RankContext& ctx, int p, bool heartbeat);
   void rank_absorb(simmpi::RankContext& ctx, int p);
@@ -83,6 +83,9 @@ class DistributedSouthwell final : public DistStationarySolver {
   std::vector<std::vector<value_t>> gamma2_;   // per rank/neighbor: ‖r_q‖² est
   std::vector<std::vector<value_t>> gtilde2_;  // per rank/neighbor: their est of me
   std::vector<std::vector<std::vector<value_t>>> ghost_;  // z_q layers
+  // Per-rank Δz scratch for the local ghost-layer updates (reused across
+  // neighbors and steps so the relax hot path never allocates).
+  std::vector<std::vector<value_t>> dz_scratch_;
   // send_threshold extension: per rank/neighbor accumulated unsent Δx
   // (aligned with send_rows_local).
   std::vector<std::vector<std::vector<value_t>>> pending_dx_;

@@ -120,6 +120,7 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
   auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
   auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
   solver->set_backend(*backend);
+  if (opt.coalesce_messages) solver->set_message_coalescing(true);
 
   DistRunResult result;
   result.method = method_name(method);
@@ -163,6 +164,11 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
   result.comm_totals.msgs_residual =
       cs.total_messages(simmpi::MsgTag::kResidual);
   result.comm_totals.msgs_other = cs.total_messages(simmpi::MsgTag::kOther);
+  result.comm_totals.msgs_logical = cs.logical_messages();
+  result.comm_totals.msgs_logical_solve =
+      cs.logical_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_logical_residual =
+      cs.logical_messages(simmpi::MsgTag::kResidual);
   if (tracer) {
     tracer->flush();
     result.trace_log =

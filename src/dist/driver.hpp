@@ -55,6 +55,14 @@ struct DistRunOptions {
   simmpi::BackendKind backend = simmpi::BackendKind::kSequential;
   /// Thread count for the thread-pool backend (0 = hardware concurrency).
   int num_threads = 0;
+  /// Per-neighbor message coalescing (wire/comm_plan.hpp): each put phase
+  /// ships all records a rank staged to one neighbor as a single physical
+  /// message. Solver trajectories and residuals are bit-identical either
+  /// way; with coalescing, CommTotals' physical counts can only drop while
+  /// logical counts stay fixed. Default off — direct mode keeps the
+  /// deterministic bench records byte-identical to the committed
+  /// baselines.
+  bool coalesce_messages = false;
   /// Structured tracing (src/trace). `trace.enabled = true` attaches a
   /// tracer to the runtime for the whole run; the merged event log and
   /// metric totals come back in DistRunResult::trace_log. The trace stream
@@ -79,11 +87,16 @@ struct DistRunResult {
   /// Exact end-of-run CommStats totals (integers, deterministic across
   /// backends) — the quantities the bench `-json` records gate on.
   struct CommTotals {
-    std::uint64_t msgs = 0;           ///< all messages sent
+    std::uint64_t msgs = 0;           ///< all (physical) messages sent
     std::uint64_t bytes = 0;          ///< all modeled bytes sent
     std::uint64_t msgs_solve = 0;     ///< MsgTag::kSolve messages
     std::uint64_t msgs_residual = 0;  ///< MsgTag::kResidual messages
     std::uint64_t msgs_other = 0;     ///< MsgTag::kOther messages
+    /// Wire records carried (== msgs unless coalescing framed several
+    /// records into one put; see wire/comm_plan.hpp).
+    std::uint64_t msgs_logical = 0;
+    std::uint64_t msgs_logical_solve = 0;
+    std::uint64_t msgs_logical_residual = 0;
   };
   CommTotals comm_totals;
 

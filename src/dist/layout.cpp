@@ -96,6 +96,19 @@ DistLayout::DistLayout(const CsrMatrix& a, const graph::Partition& partition) {
       rd.neighbors.push_back(std::move(nb));  // map iterates ascending rank
     }
   }
+
+  // Derive the wire CommPlan from the neighbor blocks, one Peer per
+  // NeighborBlock in the same (ascending-rank) order so solvers can index
+  // channels and neighbors with the same k.
+  std::vector<std::vector<wire::CommPlan::Peer>> peers(ranks_.size());
+  for (std::size_t p = 0; p < ranks_.size(); ++p) {
+    peers[p].reserve(ranks_[p].neighbors.size());
+    for (const auto& nb : ranks_[p].neighbors) {
+      peers[p].emplace_back(nb.rank, nb.send_rows_local.size(),
+                            nb.ghost_rows.size());
+    }
+  }
+  plan_ = wire::CommPlan(std::move(peers));
 }
 
 const RankData& DistLayout::rank(int p) const {

@@ -32,6 +32,7 @@
 #include "graph/partition.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
+#include "wire/comm_plan.hpp"
 
 namespace dsouth::dist {
 
@@ -82,9 +83,17 @@ class DistLayout {
   /// ghost/send lists, and a_qp == a_pqᵀ.
   bool validate(const CsrMatrix& a) const;
 
+  /// The wire-level communication plan precomputed from the neighbor
+  /// blocks: for each rank, one Peer per NeighborBlock (same order), with
+  /// send_width = |send_rows_local| (values shipped to that neighbor) and
+  /// recv_width = |ghost_rows| (values arriving from it). The two differ
+  /// in general — the channel is directed.
+  const wire::CommPlan& comm_plan() const { return plan_; }
+
  private:
   index_t n_ = 0;
   std::vector<RankData> ranks_;
+  wire::CommPlan plan_;
   std::vector<int> rank_of_;       // global row -> rank
   std::vector<index_t> local_of_;  // global row -> local index
 };

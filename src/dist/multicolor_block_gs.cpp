@@ -41,16 +41,16 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
   trace_relax(ctx, rd.num_rows());
-  std::vector<double> payload;
-  for (const auto& nb : rd.neighbors) {
-    payload.clear();
-    payload.reserve(nb.send_rows_local.size());
-    for (index_t li : nb.send_rows_local) {
-      payload.push_back(xp[static_cast<std::size_t>(li)] -
-                        snap[static_cast<std::size_t>(li)]);
+  auto& ch = channels_[up];
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    const auto& nb = rd.neighbors[k];
+    auto rec = ch.open(ctx, k, wire::RecordType::kGhostDelta);
+    for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+      const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
+      rec.dx[s] = xp[li] - snap[li];
     }
-    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
   }
+  ch.flush(ctx);
 }
 
 void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
@@ -58,8 +58,12 @@ void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
   for (const auto& msg : ctx.window()) {
     const int nbi = rd.neighbor_index(msg.source);
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    apply_incoming_delta(ctx, rd.neighbors[static_cast<std::size_t>(nbi)],
-                         msg.payload);
+    const auto& nb = rd.neighbors[static_cast<std::size_t>(nbi)];
+    wire::for_each_record(wire::Family::kDelta, msg.payload,
+                          nb.ghost_rows.size(),
+                          [&](const wire::Record& rec) {
+                            apply_incoming_delta(ctx, nb, rec.dx);
+                          });
   }
   trace_absorb(ctx);
   ctx.consume();

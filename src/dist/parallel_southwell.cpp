@@ -52,18 +52,16 @@ void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
   trace_relax(ctx, rd.num_rows());
   const value_t norm2_new = local_norm_sq(rp);
   advertised2_[up] = norm2_new;
-  std::vector<double> payload;
-  for (const auto& nb : rd.neighbors) {
-    payload.clear();
-    payload.reserve(2 + nb.send_rows_local.size());
-    payload.push_back(0.0);
-    payload.push_back(norm2_new);
-    for (index_t li : nb.send_rows_local) {
-      payload.push_back(xp[static_cast<std::size_t>(li)] -
-                        snap[static_cast<std::size_t>(li)]);
+  auto& ch = channels_[up];
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    const auto& nb = rd.neighbors[k];
+    auto rec = ch.open(ctx, k, wire::RecordType::kNormUpdate, norm2_new);
+    for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+      const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
+      rec.dx[s] = xp[li] - snap[li];
     }
-    ctx.put(nb.rank, simmpi::MsgTag::kSolve, payload);
   }
+  ch.flush(ctx);
 }
 
 void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
@@ -75,29 +73,31 @@ void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
   if (norm2 == advertised2_[up]) return;
   advertised2_[up] = norm2;
-  const double res_payload[2] = {1.0, norm2};
-  for (const auto& nb : rd.neighbors) {
-    ctx.put(nb.rank, simmpi::MsgTag::kResidual, res_payload);
+  auto& ch = channels_[up];
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    ch.open(ctx, k, wire::RecordType::kResidualNorm, norm2);
   }
+  ch.flush(ctx);
 }
 
 void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
   const RankData& rd = layout_->rank(p);
   const auto up = static_cast<std::size_t>(p);
   for (const auto& msg : ctx.window()) {
-    DSOUTH_CHECK(!msg.payload.empty());
     const int nbi = rd.neighbor_index(msg.source);
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
     const auto unbi = static_cast<std::size_t>(nbi);
-    gamma2_[up][unbi] = msg.payload[1];
-    if (msg.payload[0] == 0.0) {
-      // SOLVE: piggy-backed norm plus boundary Δx.
-      apply_incoming_delta(ctx, rd.neighbors[unbi],
-                           std::span<const double>(msg.payload).subspan(2));
-    } else {
-      // RES: norm only.
-      DSOUTH_CHECK(msg.payload.size() == 2);
-    }
+    const auto& nb = rd.neighbors[unbi];
+    wire::for_each_record(
+        wire::Family::kNorm, msg.payload, nb.ghost_rows.size(),
+        [&](const wire::Record& rec) {
+          // Both types carry the sender's new norm; only NormUpdate
+          // piggy-backs boundary Δx.
+          gamma2_[up][unbi] = rec.norm2;
+          if (rec.type == wire::RecordType::kNormUpdate) {
+            apply_incoming_delta(ctx, nb, rec.dx);
+          }
+        });
   }
   trace_absorb(ctx);
   ctx.consume();

@@ -35,9 +35,9 @@ class ParallelSouthwell final : public DistStationarySolver {
   const char* name() const override { return "ParallelSouthwell"; }
 
  private:
-  // Message formats (payload doubles):
-  //   SOLVE p->q: [0]=0, [1]=new ‖r_p‖², [2..] = Δx boundary values.
-  //   RES   p->q: [0]=1, [1]=current ‖r_p‖².
+  // Wire records (encodings in wire/wire.hpp):
+  //   SOLVE p->q: NormUpdate{norm2 = new ‖r_p‖², dx = boundary Δx}.
+  //   RES   p->q: ResidualNorm{norm2 = current ‖r_p‖²}.
   void rank_relax(simmpi::RankContext& ctx, int p);
   void rank_residual_update(simmpi::RankContext& ctx, int p);
   void rank_absorb(simmpi::RankContext& ctx, int p);

@@ -43,10 +43,12 @@ DistStationarySolver::DistStationarySolver(const DistLayout& layout,
   const auto nranks = static_cast<std::size_t>(layout.num_ranks());
   scratch_.resize(nranks);
   rank_stats_.resize(nranks);
+  channels_.reserve(nranks);
   for (int p = 0; p < layout.num_ranks(); ++p) {
     subtract_a_times_x_local(layout, x_, r_[static_cast<std::size_t>(p)], p);
     scratch_[static_cast<std::size_t>(p)].resize(
         static_cast<std::size_t>(layout.rank(p).num_rows()));
+    channels_.emplace_back(layout.comm_plan(), p);
   }
   if (auto* tracer = rt.tracer()) {
     auto& m = tracer->metrics();
@@ -91,21 +93,43 @@ std::vector<value_t> DistStationarySolver::gather_x() const {
   return layout_->gather(x_);
 }
 
+void DistStationarySolver::set_message_coalescing(bool on) {
+  for (auto& ch : channels_) ch.set_coalescing(on);
+}
+
+bool DistStationarySolver::message_coalescing() const {
+  return !channels_.empty() && channels_.front().coalescing();
+}
+
+// The dispatch lambdas below capture exactly one reference (8 bytes) to a
+// stack-local Call struct so the std::function run_epoch receives fits in
+// libstdc++'s small-buffer (16 bytes) — capturing the span + this + fn
+// directly would heap-allocate on every epoch and break the hot path's
+// zero-allocation guarantee (tested in test_wire).
 void DistStationarySolver::for_each_rank(
     const std::function<void(simmpi::RankContext&, int)>& fn) {
-  backend_->run_epoch(layout_->num_ranks(), [&](int p) {
-    simmpi::RankContext ctx(*rt_, p);
-    fn(ctx, p);
+  struct Call {
+    simmpi::Runtime* rt;
+    const std::function<void(simmpi::RankContext&, int)>* fn;
+  } call{rt_, &fn};
+  backend_->run_epoch(layout_->num_ranks(), [&call](int p) {
+    simmpi::RankContext ctx(*call.rt, p);
+    (*call.fn)(ctx, p);
   });
 }
 
 void DistStationarySolver::for_ranks(
     std::span<const int> ranks,
     const std::function<void(simmpi::RankContext&, int)>& fn) {
-  backend_->run_epoch(static_cast<int>(ranks.size()), [&](int i) {
-    const int p = ranks[static_cast<std::size_t>(i)];
-    simmpi::RankContext ctx(*rt_, p);
-    fn(ctx, p);
+  struct Call {
+    const int* ranks;
+    simmpi::Runtime* rt;
+    const std::function<void(simmpi::RankContext&, int)>* fn;
+  } call{ranks.data(), rt_, &fn};
+  backend_->run_epoch(static_cast<int>(ranks.size()), [&call](int i) {
+    const int p = call.ranks[static_cast<std::size_t>(i)];
+    simmpi::RankContext ctx(*call.rt, p);
+    (*call.fn)(ctx, p);
   });
 }
 

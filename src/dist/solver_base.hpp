@@ -25,6 +25,7 @@
 #include "simmpi/execution.hpp"
 #include "simmpi/rank_context.hpp"
 #include "simmpi/runtime.hpp"
+#include "wire/comm_plan.hpp"
 
 namespace dsouth::dist {
 
@@ -64,6 +65,13 @@ class DistStationarySolver {
   /// outlive the solver. Defaults to a private sequential backend.
   void set_backend(simmpi::ExecutionBackend& backend) { backend_ = &backend; }
   const simmpi::ExecutionBackend& backend() const { return *backend_; }
+
+  /// Toggle per-neighbor message coalescing (wire/comm_plan.hpp) on every
+  /// rank's channel set. Call between steps only (the channels must hold
+  /// no buffered records). Default off: direct mode is byte-identical to
+  /// the legacy ad-hoc payload layouts.
+  void set_message_coalescing(bool on);
+  bool message_coalescing() const;
 
   /// Observer-side exact global residual norm (gathers local residuals;
   /// local residuals are exact by construction in all three methods).
@@ -112,6 +120,9 @@ class DistStationarySolver {
   const DistLayout* layout_;
   simmpi::Runtime* rt_;
   std::vector<std::vector<value_t>> x_, r_;
+  /// Per-rank wire channels over the layout's CommPlan (channel index k ==
+  /// neighbor index k). Each rank phase may touch only its own slot.
+  std::vector<wire::ChannelSet> channels_;
   /// Per-rank reusable buffer (sized to the rank's subdomain) — each rank
   /// phase may use only its own slot.
   std::vector<std::vector<value_t>> scratch_;

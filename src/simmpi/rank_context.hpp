@@ -42,6 +42,13 @@ class RankContext {
     rt_->put(rank_, dest, tag, payload);
   }
 
+  /// Zero-copy put originating from this rank: reserve a staged message
+  /// and encode into the returned span directly (see Runtime::stage).
+  std::span<double> stage(int dest, MsgTag tag, std::size_t doubles,
+                          std::uint64_t logical_records = 1) {
+    return rt_->stage(rank_, dest, tag, doubles, logical_records);
+  }
+
   /// Report local computation performed by this rank in this epoch.
   void add_flops(double flops) { rt_->add_flops(rank_, flops); }
 

@@ -16,6 +16,9 @@ Runtime::Runtime(int num_ranks, MachineModel model, DeliveryModel delivery)
       lanes_(static_cast<std::size_t>(num_ranks)),
       lane_seq_(static_cast<std::size_t>(num_ranks), 0),
       deferred_(static_cast<std::size_t>(num_ranks)),
+      stage_pools_(static_cast<std::size_t>(num_ranks)),
+      window_pools_(static_cast<std::size_t>(num_ranks)),
+      fence_matured_(static_cast<std::size_t>(num_ranks)),
       epoch_flops_(static_cast<std::size_t>(num_ranks), 0.0),
       epoch_msgs_(static_cast<std::size_t>(num_ranks), 0),
       epoch_bytes_(static_cast<std::size_t>(num_ranks), 0) {
@@ -28,6 +31,8 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
     m_msgs_sent_ = trace::kInvalidMetric;
     m_bytes_sent_ = trace::kInvalidMetric;
     m_flops_ = trace::kInvalidMetric;
+    m_msgs_physical_ = trace::kInvalidMetric;
+    m_msgs_logical_ = trace::kInvalidMetric;
     m_msgs_by_tag_.fill(trace::kInvalidMetric);
     return;
   }
@@ -38,6 +43,10 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
   m_bytes_sent_ = m.register_metric("simmpi.bytes_sent",
                                     trace::MetricKind::kCounter);
   m_flops_ = m.register_metric("simmpi.flops", trace::MetricKind::kCounter);
+  m_msgs_physical_ = m.register_metric("simmpi.msgs_physical",
+                                       trace::MetricKind::kCounter);
+  m_msgs_logical_ = m.register_metric("simmpi.msgs_logical",
+                                      trace::MetricKind::kCounter);
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kSolve)] =
       m.register_metric("simmpi.msgs_solve", trace::MetricKind::kCounter);
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kResidual)] =
@@ -53,31 +62,42 @@ std::span<const Message> Runtime::window(int rank) const {
 
 void Runtime::put(int source, int dest, MsgTag tag,
                   std::span<const double> payload) {
+  auto out = stage(source, dest, tag, payload.size());
+  std::copy(payload.begin(), payload.end(), out.begin());
+}
+
+std::span<double> Runtime::stage(int source, int dest, MsgTag tag,
+                                 std::size_t doubles,
+                                 std::uint64_t logical_records) {
   DSOUTH_CHECK(source >= 0 && source < num_ranks_);
   DSOUTH_CHECK(dest >= 0 && dest < num_ranks_);
   DSOUTH_CHECK_MSG(source != dest, "rank " << source << " put to itself");
-  // Everything below is indexed by `source`: concurrent puts from distinct
-  // sources touch disjoint state. Stats and delay draws are deferred to
-  // the fence so their order does not depend on thread scheduling.
+  DSOUTH_CHECK(logical_records >= 1);
+  // Everything below is indexed by `source`: concurrent stages from
+  // distinct sources touch disjoint state (including the source's own
+  // buffer pool). Stats and delay draws are deferred to the fence so
+  // their order does not depend on thread scheduling.
   const auto us = static_cast<std::size_t>(source);
-  lanes_[us].push_back(
-      Staged{dest, tag, lane_seq_[us]++,
-             std::vector<double>(payload.begin(), payload.end())});
+  lanes_[us].push_back(Staged{dest, tag, lane_seq_[us]++, logical_records,
+                              stage_pools_[us].acquire(doubles)});
   ++epoch_msgs_[us];
-  const std::uint64_t bytes = message_bytes(payload.size());
+  const std::uint64_t bytes = message_bytes(doubles);
   epoch_bytes_[us] += bytes;
   if (tracer_) {
     // Indexed by `source` like everything above: the event goes to the
     // source's private trace lane, the metric slots are the source's own.
     tracer_->record(source, trace::EventKind::kPut, dest,
-                    static_cast<int>(tag),
-                    static_cast<double>(payload.size()),
+                    static_cast<int>(tag), static_cast<double>(doubles),
                     static_cast<double>(bytes), epochs_, model_time_);
     auto& m = tracer_->metrics();
     m.add(m_msgs_sent_, source, 1.0);
     m.add(m_bytes_sent_, source, static_cast<double>(bytes));
+    m.add(m_msgs_physical_, source, 1.0);
+    m.add(m_msgs_logical_, source,
+          static_cast<double>(logical_records));
     m.add(m_msgs_by_tag_[static_cast<std::size_t>(tag)], source, 1.0);
   }
+  return lanes_[us].back().payload;
 }
 
 void Runtime::add_flops(int rank, double flops) {
@@ -127,9 +147,12 @@ void Runtime::fence() {
   // (source, send-order) order — exactly the chronological put order of a
   // sequential rank sweep, so stats accumulation and the delivery-delay
   // RNG consume in the same order regardless of which backend (or test)
-  // staged the puts.
-  std::vector<std::vector<Deferred>> matured(
-      static_cast<std::size_t>(num_ranks_));
+  // staged the puts. The fence runs on a single thread after the backend
+  // joins the epoch, so it may touch every rank's pools: each payload is
+  // copied from its source's staging buffer into a buffer from the
+  // DEST's window pool and the staging buffer returns to its source —
+  // both pools stay closed per-rank loops, which is what keeps
+  // steady-state traffic allocation-free.
   auto next_u64 = [this] {
     std::uint64_t z = (delivery_state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -139,7 +162,8 @@ void Runtime::fence() {
   for (int s = 0; s < num_ranks_; ++s) {
     auto& lane = lanes_[static_cast<std::size_t>(s)];
     for (auto& m : lane) {
-      stats_.record_send(s, m.tag, message_bytes(m.payload.size()));
+      stats_.record_send(s, m.tag, message_bytes(m.payload.size()),
+                         m.records);
       std::uint64_t deliver_epoch = closed_epoch;  // matures at this fence
       if (delivery_.delay_probability > 0.0) {
         const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
@@ -152,11 +176,16 @@ void Runtime::fence() {
           ++delayed_in_flight_;
         }
       }
-      auto& sink = deliver_epoch < epochs_
-                       ? matured[static_cast<std::size_t>(m.dest)]
-                       : deferred_[static_cast<std::size_t>(m.dest)];
+      const auto ud = static_cast<std::size_t>(m.dest);
+      std::vector<double> delivered =
+          window_pools_[ud].acquire(m.payload.size());
+      std::copy(m.payload.begin(), m.payload.end(), delivered.begin());
+      stage_pools_[static_cast<std::size_t>(s)].release(
+          std::move(m.payload));
+      auto& sink =
+          deliver_epoch < epochs_ ? fence_matured_[ud] : deferred_[ud];
       sink.push_back(
-          Deferred{s, m.tag, m.seq, deliver_epoch, std::move(m.payload)});
+          Deferred{s, m.tag, m.seq, deliver_epoch, std::move(delivered)});
     }
     lane.clear();
   }
@@ -167,18 +196,18 @@ void Runtime::fence() {
   for (int r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
     auto& held = deferred_[i];
-    auto& ready = matured[i];
-    std::vector<Deferred> keep;
+    auto& ready = fence_matured_[i];
+    fence_keep_.clear();
     for (auto& d : held) {
       if (d.deliver_epoch < epochs_) {
         DSOUTH_ASSERT(delayed_in_flight_ > 0);
         --delayed_in_flight_;
         ready.push_back(std::move(d));
       } else {
-        keep.push_back(std::move(d));
+        fence_keep_.push_back(std::move(d));
       }
     }
-    held.swap(keep);
+    held.swap(fence_keep_);
     std::sort(ready.begin(), ready.end(),
               [](const Deferred& a, const Deferred& b) {
                 if (a.source != b.source) return a.source < b.source;
@@ -188,12 +217,25 @@ void Runtime::fence() {
     for (auto& d : ready) {
       win.push_back(Message{d.source, d.tag, std::move(d.payload)});
     }
+    ready.clear();
   }
 }
 
 void Runtime::consume(int rank) {
   DSOUTH_CHECK(rank >= 0 && rank < num_ranks_);
-  windows_[static_cast<std::size_t>(rank)].clear();
+  const auto i = static_cast<std::size_t>(rank);
+  auto& win = windows_[i];
+  auto& pool = window_pools_[i];
+  for (auto& msg : win) pool.release(std::move(msg.payload));
+  const std::size_t consumed = win.size();
+  win.clear();
+  // Swap-shrink a pathological window: a delivery burst (delayed-delivery
+  // pileup) can leave capacity far above steady state. The floor keeps
+  // ordinary small windows from thrashing on quiet epochs.
+  constexpr std::size_t kShrinkFloor = 64;
+  if (win.capacity() > kShrinkFloor && win.capacity() > 4 * consumed) {
+    std::vector<Message>().swap(win);
+  }
 }
 
 void Runtime::drain_delayed() {

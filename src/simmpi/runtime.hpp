@@ -78,6 +78,10 @@ class Runtime {
   std::span<const Message> window(int rank) const;
 
   /// Discard `rank`'s window contents (call after processing them).
+  /// Payload buffers return to the rank's window pool for reuse, and a
+  /// pathologically over-grown window (capacity > 4× the consumed size
+  /// after a delivery burst) is swap-shrunk so burst capacity is not held
+  /// forever.
   void consume(int rank);
 
   /// One-sided put: stage `payload` for delivery into `dest`'s window at
@@ -85,7 +89,24 @@ class Runtime {
   /// into `source`'s private lane; safe to call concurrently from distinct
   /// sources. Per-message accounting (stats, delivery-delay draws) happens
   /// at the fence, in (source, send-order) order.
+  /// Implemented as stage() + copy; callers that can encode in place
+  /// should use stage() directly and skip the copy.
   void put(int source, int dest, MsgTag tag, std::span<const double> payload);
+
+  /// Zero-copy put: reserve a `doubles`-long staged message from `source`
+  /// to `dest` and return its payload span for the caller to encode into
+  /// directly. The buffer comes from the source's free-list pool (no heap
+  /// allocation once warm) and the span stays valid until the next
+  /// fence(). The caller must write every element before the fence.
+  ///
+  /// `logical_records` is the number of wire records the message carries
+  /// (> 1 for coalesced frames, see wire/comm_plan.hpp): CommStats and the
+  /// "simmpi.msgs_logical" metric count records, while every physical
+  /// counter (per-put stats, bytes, the machine model) counts this one
+  /// message. Accounting is otherwise identical to put().
+  std::span<double> stage(int source, int dest, MsgTag tag,
+                          std::size_t doubles,
+                          std::uint64_t logical_records = 1);
 
   /// Report local computation performed by `rank` in this epoch (flops).
   void add_flops(int rank, double flops);
@@ -153,12 +174,39 @@ class Runtime {
   }
 
  private:
+  /// Per-rank free list of payload buffers. The runtime keeps two closed
+  /// loops per rank — staging buffers (handed out by stage(), returned at
+  /// the fence) and window buffers (filled at the fence, returned by
+  /// consume()) — so steady-state message traffic performs no heap
+  /// allocation: buffers circulate and converge to the largest payload
+  /// size their rank uses.
+  class BufferPool {
+   public:
+    std::vector<double> acquire(std::size_t doubles) {
+      if (free_.empty()) return std::vector<double>(doubles);
+      std::vector<double> v = std::move(free_.back());
+      free_.pop_back();
+      v.resize(doubles);
+      return v;
+    }
+    void release(std::vector<double>&& v) {
+      if (free_.size() < kMaxPooled) free_.push_back(std::move(v));
+    }
+
+   private:
+    // Bounds hoarding after bursts; far above any per-epoch buffer count
+    // the solvers reach.
+    static constexpr std::size_t kMaxPooled = 1024;
+    std::vector<std::vector<double>> free_;
+  };
+
   /// A put staged in its source's lane, awaiting the fence.
   struct Staged {
     int dest;
     MsgTag tag;
     std::uint64_t seq;  // per-source send counter (monotonic, never reset)
-    std::vector<double> payload;
+    std::uint64_t records;  // logical wire records carried (1 unless framed)
+    std::vector<double> payload;  // from the source's stage pool
   };
   /// A message held back by the delivery model, keyed for the
   /// deterministic (source, send-order) delivery sort.
@@ -178,6 +226,12 @@ class Runtime {
   trace::MetricId m_msgs_sent_ = trace::kInvalidMetric;
   trace::MetricId m_bytes_sent_ = trace::kInvalidMetric;
   trace::MetricId m_flops_ = trace::kInvalidMetric;
+  // Logical vs physical message counters (docs/observability.md):
+  // "simmpi.msgs_physical" counts puts (== msgs_sent, kept for
+  // compatibility); "simmpi.msgs_logical" counts the wire records they
+  // carry. They differ only when coalesced frames are in flight.
+  trace::MetricId m_msgs_physical_ = trace::kInvalidMetric;
+  trace::MetricId m_msgs_logical_ = trace::kInvalidMetric;
   std::array<trace::MetricId, kNumTags> m_msgs_by_tag_{
       trace::kInvalidMetric, trace::kInvalidMetric, trace::kInvalidMetric};
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
@@ -187,6 +241,14 @@ class Runtime {
   std::vector<std::vector<Staged>> lanes_;      // pending, per SOURCE rank
   std::vector<std::uint64_t> lane_seq_;         // per-source send counters
   std::vector<std::vector<Deferred>> deferred_;  // delayed, per dest rank
+  // Buffer recycling (see BufferPool): stage_pools_[s] feeds stage(s, ...)
+  // mid-epoch (touched only by s's thread); window_pools_[d] feeds the
+  // fence's delivery copies and is refilled by consume(d). The fence runs
+  // single-threaded, so it may touch every pool.
+  std::vector<BufferPool> stage_pools_, window_pools_;
+  // Fence scratch, hoisted so steady-state fences do not allocate.
+  std::vector<std::vector<Deferred>> fence_matured_;  // per dest rank
+  std::vector<Deferred> fence_keep_;
   // Per-epoch accounting for the machine model.
   std::vector<double> epoch_flops_;
   std::vector<std::uint64_t> epoch_msgs_, epoch_bytes_;

@@ -10,11 +10,14 @@ CommStats::CommStats(int num_ranks)
   DSOUTH_CHECK(num_ranks > 0);
 }
 
-void CommStats::record_send(int source, MsgTag tag, std::uint64_t bytes) {
+void CommStats::record_send(int source, MsgTag tag, std::uint64_t bytes,
+                            std::uint64_t logical) {
   DSOUTH_CHECK(source >= 0 && source < num_ranks_);
   const auto t = static_cast<std::size_t>(tag);
   DSOUTH_CHECK(t < kNumTags);
+  DSOUTH_CHECK(logical >= 1);
   ++msgs_by_tag_[t];
+  logical_by_tag_[t] += logical;
   bytes_by_tag_[t] += bytes;
   ++msgs_per_rank_[static_cast<std::size_t>(source)];
 }
@@ -27,6 +30,16 @@ std::uint64_t CommStats::total_messages() const {
 
 std::uint64_t CommStats::total_messages(MsgTag tag) const {
   return msgs_by_tag_[static_cast<std::size_t>(tag)];
+}
+
+std::uint64_t CommStats::logical_messages() const {
+  std::uint64_t sum = 0;
+  for (auto m : logical_by_tag_) sum += m;
+  return sum;
+}
+
+std::uint64_t CommStats::logical_messages(MsgTag tag) const {
+  return logical_by_tag_[static_cast<std::size_t>(tag)];
 }
 
 std::uint64_t CommStats::total_bytes() const {
@@ -52,6 +65,7 @@ double CommStats::comm_cost(MsgTag tag) const {
 
 void CommStats::reset() {
   msgs_by_tag_.fill(0);
+  logical_by_tag_.fill(0);
   bytes_by_tag_.fill(0);
   for (auto& m : msgs_per_rank_) m = 0;
 }

@@ -33,12 +33,19 @@ class CommStats {
 
   int num_ranks() const { return num_ranks_; }
 
-  /// Account one sent message. Called by the runtime only (at the fence,
-  /// in deterministic merge order) — drivers read, never write.
-  void record_send(int source, MsgTag tag, std::uint64_t bytes);
+  /// Account one sent (physical) message carrying `logical` wire records
+  /// (> 1 only for coalesced frames, see wire/comm_plan.hpp). Called by
+  /// the runtime only (at the fence, in deterministic merge order) —
+  /// drivers read, never write.
+  void record_send(int source, MsgTag tag, std::uint64_t bytes,
+                   std::uint64_t logical = 1);
 
   std::uint64_t total_messages() const;
   std::uint64_t total_messages(MsgTag tag) const;
+  /// Wire records carried by the messages counted above. Equal to the
+  /// message counts unless coalescing framed several records per put.
+  std::uint64_t logical_messages() const;
+  std::uint64_t logical_messages(MsgTag tag) const;
   std::uint64_t total_bytes() const;
   /// Messages sent by `rank` since construction / the last reset().
   std::uint64_t messages_from(int rank) const;
@@ -54,6 +61,7 @@ class CommStats {
  private:
   int num_ranks_;
   std::array<std::uint64_t, kNumTags> msgs_by_tag_{};
+  std::array<std::uint64_t, kNumTags> logical_by_tag_{};
   std::array<std::uint64_t, kNumTags> bytes_by_tag_{};
   std::vector<std::uint64_t> msgs_per_rank_;
 };

@@ -1,0 +1,92 @@
+#include "wire/comm_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsouth::wire {
+
+std::span<const CommPlan::Peer> CommPlan::peers(int rank) const {
+  DSOUTH_CHECK(rank >= 0 && rank < num_ranks());
+  return peers_[static_cast<std::size_t>(rank)];
+}
+
+std::size_t CommPlan::max_record_doubles() const {
+  std::size_t mx = 0;
+  for (const auto& rank_peers : peers_) {
+    for (const auto& peer : rank_peers) {
+      mx = std::max(mx, encoded_doubles(RecordType::kSolveUpdate,
+                                        peer.send_width));
+    }
+  }
+  return mx;
+}
+
+ChannelSet::ChannelSet(const CommPlan& plan, int rank)
+    : plan_(&plan), rank_(rank) {
+  DSOUTH_CHECK(rank >= 0 && rank < plan.num_ranks());
+  buffers_.resize(plan.peers(rank).size());
+}
+
+void ChannelSet::set_coalescing(bool on) {
+  for (const auto& buf : buffers_) {
+    DSOUTH_CHECK_MSG(buf.types.empty(),
+                     "cannot toggle coalescing with records buffered");
+  }
+  coalesce_ = on;
+}
+
+std::size_t ChannelSet::buffered(std::size_t k) const {
+  DSOUTH_CHECK(k < buffers_.size());
+  return buffers_[k].types.size();
+}
+
+MutableRecord ChannelSet::open(simmpi::RankContext& ctx, std::size_t k,
+                               RecordType t, double norm2, double gamma2) {
+  const auto peers = plan_->peers(rank_);
+  DSOUTH_CHECK(k < peers.size());
+  const auto& peer = peers[k];
+  const std::size_t len = encoded_doubles(t, peer.send_width);
+  if (!coalesce_) {
+    // Direct: one physical put per record, encoded straight into the
+    // runtime's pooled staging buffer (no copy — see Runtime::stage).
+    auto out = ctx.stage(peer.rank, tag_of(t), len);
+    return begin_record(t, norm2, gamma2, out, peer.send_width);
+  }
+  auto& buf = buffers_[k];
+  const std::size_t off = buf.bodies.size();
+  buf.bodies.resize(off + len);
+  buf.types.push_back(t);
+  buf.lengths.push_back(len);
+  return begin_record(t, norm2, gamma2,
+                      std::span<double>(buf.bodies).subspan(off, len),
+                      peer.send_width);
+}
+
+void ChannelSet::flush(simmpi::RankContext& ctx) {
+  if (!coalesce_) return;
+  const auto peers = plan_->peers(rank_);
+  for (std::size_t k = 0; k < buffers_.size(); ++k) {
+    auto& buf = buffers_[k];
+    if (buf.types.empty()) continue;
+    const simmpi::MsgTag tag = tag_of(buf.types.front());
+    for (RecordType t : buf.types) {
+      DSOUTH_CHECK_MSG(tag_of(t) == tag,
+                       "mixed-tag records coalesced to one peer");
+    }
+    if (buf.types.size() == 1) {
+      // A group of one ships bare — byte-identical to direct mode.
+      auto out = ctx.stage(peers[k].rank, tag, buf.lengths.front());
+      std::copy(buf.bodies.begin(), buf.bodies.end(), out.begin());
+    } else {
+      const std::size_t total = frame_doubles(buf.lengths);
+      auto out = ctx.stage(peers[k].rank, tag, total, buf.types.size());
+      encode_frame(buf.types, buf.lengths, buf.bodies, out);
+    }
+    buf.bodies.clear();
+    buf.types.clear();
+    buf.lengths.clear();
+  }
+}
+
+}  // namespace dsouth::wire

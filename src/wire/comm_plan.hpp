@@ -1,0 +1,113 @@
+#pragma once
+
+/// \file comm_plan.hpp
+/// Precomputed communication plans and per-neighbor staging channels.
+///
+/// A CommPlan is the static half of a rank's communication: who its
+/// neighbors are and the directed boundary widths of each channel. It is
+/// computed once at layout time (DistLayout owns one) and shared by every
+/// solver run on that layout.
+///
+/// A ChannelSet is the dynamic half: one per (solver, rank), it stages
+/// typed wire records (wire.hpp) to the rank's peers. Records encode
+/// in place — directly into the runtime's pooled staging buffer in direct
+/// mode, or into the channel's persistent per-peer buffer in coalescing
+/// mode — so the solver hot paths perform no heap allocation per epoch
+/// once buffers are warm.
+///
+/// Coalescing (DistRunOptions::coalesce_messages): all records a rank
+/// stages to one peer within a put phase ship as a single physical
+/// message. A group of one record is sent in the bare v1 encoding —
+/// byte-identical to direct mode — and only groups of two or more are
+/// framed (wire.hpp). The paper's bulk-synchronous solvers stage at most
+/// one record per (neighbor, epoch) — each protocol phase already merges
+/// everything it knows into one compound record — so for them coalescing
+/// is provably behavior-preserving and the logical/physical split it
+/// reports (CommStats) *measures* that per-pair minimality; synthetic
+/// multi-record traffic (tests, micro-benches) shows the strict physical
+/// reduction.
+///
+/// Thread-safety: a ChannelSet belongs to one rank and is only touched by
+/// the thread driving that rank's phase (the ExecutionBackend discipline,
+/// simmpi/execution.hpp).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "simmpi/rank_context.hpp"
+#include "wire/wire.hpp"
+
+namespace dsouth::wire {
+
+/// Static per-rank communication plan: the peer list with directed
+/// channel widths, in the deterministic neighbor order the solvers
+/// iterate (ascending peer rank — dist/layout.hpp).
+class CommPlan {
+ public:
+  struct Peer {
+    int rank = -1;               ///< peer rank id
+    std::size_t send_width = 0;  ///< doubles per boundary segment we send
+    std::size_t recv_width = 0;  ///< doubles per boundary segment we receive
+  };
+
+  CommPlan() = default;
+  explicit CommPlan(std::vector<std::vector<Peer>> peers_per_rank)
+      : peers_(std::move(peers_per_rank)) {}
+
+  int num_ranks() const { return static_cast<int>(peers_.size()); }
+  std::span<const Peer> peers(int rank) const;
+
+  /// Largest single-record encoding any rank sends (buffer sizing hint).
+  std::size_t max_record_doubles() const;
+
+ private:
+  std::vector<std::vector<Peer>> peers_;
+};
+
+/// Per-rank staging facade over the plan. open() hands out encode-in-place
+/// segments; flush() ships whatever coalescing buffered.
+class ChannelSet {
+ public:
+  ChannelSet(const CommPlan& plan, int rank);
+
+  /// Toggle coalescing. Must be called between epochs (checked: no
+  /// buffered records).
+  void set_coalescing(bool on);
+  bool coalescing() const { return coalesce_; }
+
+  /// Begin a record of type `t` addressed to peer index `k` (plan order ==
+  /// layout neighbor order). Direct mode: the record is staged into the
+  /// runtime immediately (one physical put, encoded in place). Coalescing
+  /// mode: the record is buffered until flush(). Returned spans are valid
+  /// until this ChannelSet's next open()/flush() in coalescing mode, and
+  /// until the runtime's next fence() in direct mode; the caller must
+  /// write every element.
+  MutableRecord open(simmpi::RankContext& ctx, std::size_t k, RecordType t,
+                     double norm2 = 0.0, double gamma2 = 0.0);
+
+  /// Ship buffered records (no-op in direct mode / for empty buffers).
+  /// One record goes out bare (byte-identical to direct mode); two or
+  /// more go out as one frame counted as N logical messages. All records
+  /// buffered for one peer must share a MsgTag (mixed-tag frames would
+  /// make the per-tag Table 3 accounting ambiguous). Call at the end of
+  /// every put phase that used open().
+  void flush(simmpi::RankContext& ctx);
+
+  /// Records currently buffered for peer `k` (coalescing mode only).
+  std::size_t buffered(std::size_t k) const;
+
+ private:
+  struct PeerBuffer {
+    std::vector<double> bodies;  ///< concatenated v1 encodings
+    std::vector<RecordType> types;
+    std::vector<std::size_t> lengths;
+  };
+
+  const CommPlan* plan_;
+  int rank_;
+  bool coalesce_ = false;
+  std::vector<PeerBuffer> buffers_;  ///< indexed like peers(rank_)
+};
+
+}  // namespace dsouth::wire

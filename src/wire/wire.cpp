@@ -1,0 +1,242 @@
+#include "wire/wire.hpp"
+
+#include "util/error.hpp"
+
+namespace dsouth::wire {
+
+namespace {
+constexpr double kSolveDiscriminator = 0.0;
+constexpr double kResidualDiscriminator = 1.0;
+}  // namespace
+
+const char* record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kGhostDelta:
+      return "GhostDelta";
+    case RecordType::kNormUpdate:
+      return "NormUpdate";
+    case RecordType::kResidualNorm:
+      return "ResidualNorm";
+    case RecordType::kSolveUpdate:
+      return "SolveUpdate";
+    case RecordType::kCorrection:
+      return "Correction";
+  }
+  return "?";
+}
+
+simmpi::MsgTag tag_of(RecordType t) {
+  switch (t) {
+    case RecordType::kGhostDelta:
+    case RecordType::kNormUpdate:
+    case RecordType::kSolveUpdate:
+      return simmpi::MsgTag::kSolve;
+    case RecordType::kResidualNorm:
+    case RecordType::kCorrection:
+      return simmpi::MsgTag::kResidual;
+  }
+  return simmpi::MsgTag::kOther;
+}
+
+Family family_of(RecordType t) {
+  switch (t) {
+    case RecordType::kGhostDelta:
+      return Family::kDelta;
+    case RecordType::kNormUpdate:
+    case RecordType::kResidualNorm:
+      return Family::kNorm;
+    case RecordType::kSolveUpdate:
+    case RecordType::kCorrection:
+      return Family::kEstimate;
+  }
+  return Family::kDelta;
+}
+
+std::size_t encoded_doubles(RecordType t, std::size_t nb) {
+  switch (t) {
+    case RecordType::kGhostDelta:
+      return nb;
+    case RecordType::kNormUpdate:
+      return 2 + nb;
+    case RecordType::kResidualNorm:
+      return 2;
+    case RecordType::kSolveUpdate:
+      return 3 + 2 * nb;
+    case RecordType::kCorrection:
+      return 3 + nb;
+  }
+  DSOUTH_CHECK(false);
+  return 0;
+}
+
+MutableRecord begin_record(RecordType t, double norm2, double gamma2,
+                           std::span<double> out, std::size_t nb) {
+  DSOUTH_CHECK(out.size() == encoded_doubles(t, nb));
+  MutableRecord rec;
+  switch (t) {
+    case RecordType::kGhostDelta:
+      rec.dx = out;
+      break;
+    case RecordType::kNormUpdate:
+      out[0] = kSolveDiscriminator;
+      out[1] = norm2;
+      rec.dx = out.subspan(2, nb);
+      break;
+    case RecordType::kResidualNorm:
+      out[0] = kResidualDiscriminator;
+      out[1] = norm2;
+      break;
+    case RecordType::kSolveUpdate:
+      out[0] = kSolveDiscriminator;
+      out[1] = norm2;
+      out[2] = gamma2;
+      rec.dx = out.subspan(3, nb);
+      rec.rb = out.subspan(3 + nb, nb);
+      break;
+    case RecordType::kCorrection:
+      out[0] = kResidualDiscriminator;
+      out[1] = norm2;
+      out[2] = gamma2;
+      rec.rb = out.subspan(3, nb);
+      break;
+  }
+  return rec;
+}
+
+namespace detail {
+
+Record decode_typed(RecordType t, std::span<const double> body,
+                    std::size_t nb) {
+  DSOUTH_CHECK_MSG(body.size() == encoded_doubles(t, nb),
+                   record_type_name(t) << " record has " << body.size()
+                                       << " doubles, channel width " << nb);
+  Record rec;
+  rec.type = t;
+  switch (t) {
+    case RecordType::kGhostDelta:
+      rec.dx = body;
+      break;
+    case RecordType::kNormUpdate:
+      DSOUTH_CHECK(body[0] == kSolveDiscriminator);
+      rec.norm2 = body[1];
+      rec.dx = body.subspan(2, nb);
+      break;
+    case RecordType::kResidualNorm:
+      DSOUTH_CHECK(body[0] == kResidualDiscriminator);
+      rec.norm2 = body[1];
+      break;
+    case RecordType::kSolveUpdate:
+      DSOUTH_CHECK(body[0] == kSolveDiscriminator);
+      rec.norm2 = body[1];
+      rec.gamma2 = body[2];
+      rec.dx = body.subspan(3, nb);
+      rec.rb = body.subspan(3 + nb, nb);
+      break;
+    case RecordType::kCorrection:
+      DSOUTH_CHECK(body[0] == kResidualDiscriminator);
+      rec.norm2 = body[1];
+      rec.gamma2 = body[2];
+      rec.rb = body.subspan(3, nb);
+      break;
+  }
+  return rec;
+}
+
+std::size_t check_frame_header(std::span<const double> payload) {
+  DSOUTH_CHECK(payload.size() >= kFrameHeaderDoubles);
+  const int version = static_cast<int>(payload[1]);
+  DSOUTH_CHECK_MSG(
+      payload[1] == static_cast<double>(version) && version >= 1 &&
+          version <= kWireVersion,
+      "frame version " << payload[1] << " not in [1, " << kWireVersion << "]");
+  const auto count = static_cast<std::size_t>(payload[2]);
+  DSOUTH_CHECK_MSG(payload[2] == static_cast<double>(count),
+                   "frame record count " << payload[2] << " not integral");
+  return count;
+}
+
+FrameEntry check_frame_entry(std::span<const double> payload, std::size_t off,
+                             std::size_t nb) {
+  DSOUTH_CHECK_MSG(off + kFrameEntryDoubles <= payload.size(),
+                   "frame entry header truncated at " << off);
+  const int type_val = static_cast<int>(payload[off]);
+  DSOUTH_CHECK_MSG(payload[off] == static_cast<double>(type_val) &&
+                       type_val >= 0 && type_val < kNumRecordTypes,
+                   "frame entry has invalid record type " << payload[off]);
+  const auto t = static_cast<RecordType>(type_val);
+  const auto length = static_cast<std::size_t>(payload[off + 1]);
+  DSOUTH_CHECK_MSG(payload[off + 1] == static_cast<double>(length) &&
+                       length == encoded_doubles(t, nb),
+                   record_type_name(t)
+                       << " frame entry declares length " << payload[off + 1]
+                       << ", expected " << encoded_doubles(t, nb));
+  DSOUTH_CHECK_MSG(off + kFrameEntryDoubles + length <= payload.size(),
+                   record_type_name(t) << " frame entry body truncated");
+  return FrameEntry{t, length};
+}
+
+void check_frame_end(std::span<const double> payload, std::size_t off) {
+  DSOUTH_CHECK_MSG(off == payload.size(),
+                   "frame has " << payload.size() - off
+                                << " trailing doubles");
+}
+
+}  // namespace detail
+
+Record decode_record(Family family, std::span<const double> payload,
+                     std::size_t nb) {
+  switch (family) {
+    case Family::kDelta:
+      return detail::decode_typed(RecordType::kGhostDelta, payload, nb);
+    case Family::kNorm: {
+      DSOUTH_CHECK(payload.size() >= 2);
+      const bool solve = payload[0] == kSolveDiscriminator;
+      DSOUTH_CHECK(solve || payload[0] == kResidualDiscriminator);
+      return detail::decode_typed(
+          solve ? RecordType::kNormUpdate : RecordType::kResidualNorm,
+          payload, nb);
+    }
+    case Family::kEstimate: {
+      DSOUTH_CHECK(payload.size() >= 3);
+      const bool solve = payload[0] == kSolveDiscriminator;
+      DSOUTH_CHECK(solve || payload[0] == kResidualDiscriminator);
+      return detail::decode_typed(
+          solve ? RecordType::kSolveUpdate : RecordType::kCorrection, payload,
+          nb);
+    }
+  }
+  DSOUTH_CHECK(false);
+  return {};
+}
+
+std::size_t frame_doubles(std::span<const std::size_t> record_lengths) {
+  std::size_t total = kFrameHeaderDoubles;
+  for (std::size_t len : record_lengths) total += kFrameEntryDoubles + len;
+  return total;
+}
+
+void encode_frame(std::span<const RecordType> types,
+                  std::span<const std::size_t> lengths,
+                  std::span<const double> bodies, std::span<double> out) {
+  DSOUTH_CHECK(types.size() == lengths.size());
+  DSOUTH_CHECK(out.size() == frame_doubles(lengths));
+  out[0] = frame_magic();
+  out[1] = static_cast<double>(kWireVersion);
+  out[2] = static_cast<double>(types.size());
+  std::size_t body_off = 0;
+  std::size_t off = kFrameHeaderDoubles;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    out[off] = static_cast<double>(static_cast<int>(types[i]));
+    out[off + 1] = static_cast<double>(lengths[i]);
+    off += kFrameEntryDoubles;
+    DSOUTH_CHECK(body_off + lengths[i] <= bodies.size());
+    for (std::size_t j = 0; j < lengths[i]; ++j) {
+      out[off + j] = bodies[body_off + j];
+    }
+    off += lengths[i];
+    body_off += lengths[i];
+  }
+  DSOUTH_CHECK(body_off == bodies.size());
+}
+
+}  // namespace dsouth::wire

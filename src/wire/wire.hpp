@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file wire.hpp
+/// Versioned, typed wire format for the distributed solvers' messages.
+///
+/// Every payload the dist/ solvers exchange is one of five record types;
+/// before this layer each solver hand-rolled its layout as a raw
+/// std::vector<double> with implicit field offsets (DESIGN.md §10). The
+/// codec makes the layouts explicit and checked while keeping the encoded
+/// bytes EXACTLY what the solvers always sent — layout v1 below is the
+/// legacy format, so default-mode bench records and baselines are
+/// byte-identical across the refactor.
+///
+/// Layout v1 (doubles; nb = boundary width of the directed channel):
+///
+///   record         | encoding                                | sender
+///   ---------------|-----------------------------------------|----------
+///   kGhostDelta    | [dx_0 .. dx_nb)                         | BJ, MCBGS
+///   kNormUpdate    | [0, ‖r‖², dx_0 .. dx_nb)                | PS solve
+///   kResidualNorm  | [1, ‖r‖²]                               | PS Epoch B
+///   kSolveUpdate   | [0, ‖r‖², Γ², dx.. (nb), rb.. (nb)]     | DS solve
+///   kCorrection    | [1, ‖r‖², Γ², rb.. (nb)]                | DS Epoch B
+///
+/// The leading 0/1 discriminator distinguishes the members of a decode
+/// *family* — the set of record types one receiving channel can observe
+/// (PS windows see kNormUpdate/kResidualNorm, DS windows see
+/// kSolveUpdate/kCorrection, BJ/MCBGS windows only kGhostDelta, which is
+/// headerless because its family has a single member).
+///
+/// Frames: the opt-in coalescing mode (comm_plan.hpp) packs several
+/// records bound for one neighbor into a single physical message. A frame
+/// is marked by a magic quiet-NaN first double (bit-exact compare; no
+/// legitimate record starts with that bit pattern — discriminators are
+/// 0/1 and Δx values are finite in any non-diverged run), followed by the
+/// format version, the record count, and [type, length, body...] per
+/// record. Decoding validates every length against the channel width, so
+/// a stale or delayed frame can never be misparsed as a bare record or
+/// vice versa.
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+#include "simmpi/stats.hpp"
+
+namespace dsouth::wire {
+
+/// Wire format version; bumped on any encoding change. Frames carry it
+/// explicitly; bare records are implicitly v1 (their layout is frozen —
+/// it is the byte-compatibility contract with the committed baselines).
+inline constexpr int kWireVersion = 1;
+
+enum class RecordType : int {
+  kGhostDelta = 0,    ///< boundary Δx only (BJ / MCBGS solve)
+  kNormUpdate = 1,    ///< ‖r‖² + boundary Δx (PS solve)
+  kResidualNorm = 2,  ///< ‖r‖² only (PS explicit residual update)
+  kSolveUpdate = 3,   ///< ‖r‖², Γ², Δx, exact boundary residuals (DS solve)
+  kCorrection = 4,    ///< ‖r‖², Γ², exact boundary residuals (DS Epoch B)
+};
+inline constexpr int kNumRecordTypes = 5;
+
+/// The record types one receiving channel can observe. Determines how a
+/// bare (headerless-or-discriminated) payload is decoded.
+enum class Family : int {
+  kDelta = 0,     ///< {kGhostDelta}
+  kNorm = 1,      ///< {kNormUpdate, kResidualNorm}
+  kEstimate = 2,  ///< {kSolveUpdate, kCorrection}
+};
+
+const char* record_type_name(RecordType t);
+
+/// The simmpi tag a record travels under (Table 3's solve vs explicit-
+/// residual breakdown).
+simmpi::MsgTag tag_of(RecordType t);
+
+Family family_of(RecordType t);
+
+/// Encoded size in doubles for a record of type `t` on a channel whose
+/// outgoing boundary width is `nb`.
+std::size_t encoded_doubles(RecordType t, std::size_t nb);
+
+/// A decoded record. The spans alias the decoded payload buffer — valid
+/// as long as the message it came from.
+struct Record {
+  RecordType type = RecordType::kGhostDelta;
+  double norm2 = 0.0;   ///< sender's ‖r‖² (kNormUpdate/kSolveUpdate: new)
+  double gamma2 = 0.0;  ///< sender's Γ² estimate of the receiver (DS only)
+  std::span<const double> dx;  ///< boundary Δx (empty if the type has none)
+  std::span<const double> rb;  ///< exact boundary residuals (DS types)
+};
+
+/// Encode-in-place handle: begin_record() writes the fixed header fields
+/// into `out` and hands back the variable segments for the caller to
+/// gather boundary values into directly (no intermediate arrays).
+struct MutableRecord {
+  std::span<double> dx;
+  std::span<double> rb;
+};
+
+/// Write the v1 header of a `t` record into `out` (which must be exactly
+/// encoded_doubles(t, nb) long) and return the dx/rb segments to fill.
+/// The caller must write every element of the returned spans.
+MutableRecord begin_record(RecordType t, double norm2, double gamma2,
+                           std::span<double> out, std::size_t nb);
+
+/// Decode a single bare (non-frame) record of `family` received on a
+/// channel of incoming width `nb`. Checks the discriminator and the exact
+/// payload length (DSOUTH_CHECK — malformed data throws, never misparses).
+Record decode_record(Family family, std::span<const double> payload,
+                     std::size_t nb);
+
+// ---------------------------------------------------------------------------
+// Frames (coalesced physical messages).
+
+/// Frame magic: a specific quiet NaN, compared bit-exactly.
+inline constexpr std::uint64_t kFrameMagicBits = 0x7ff8'd500'57e1'1ed1ULL;
+
+inline double frame_magic() { return std::bit_cast<double>(kFrameMagicBits); }
+
+/// True when `payload` is a coalesced frame (magic first double).
+inline bool is_frame(std::span<const double> payload) {
+  return payload.size() >= 3 &&
+         std::bit_cast<std::uint64_t>(payload[0]) == kFrameMagicBits;
+}
+
+inline constexpr std::size_t kFrameHeaderDoubles = 3;  ///< magic, ver, count
+inline constexpr std::size_t kFrameEntryDoubles = 2;   ///< type, length
+
+/// Total doubles of a frame holding records of the given encoded lengths.
+std::size_t frame_doubles(std::span<const std::size_t> record_lengths);
+
+/// Serialize `count` records (concatenated v1 encodings in `bodies`, with
+/// per-record types/lengths) into `out` as one frame. `out` must be
+/// exactly frame_doubles(lengths) long.
+void encode_frame(std::span<const RecordType> types,
+                  std::span<const std::size_t> lengths,
+                  std::span<const double> bodies, std::span<double> out);
+
+/// Decode every record of a physical payload — a bare record of `family`
+/// or a frame — invoking fn(const Record&) per record in send order.
+/// Frame entries are validated (version, type, per-record length against
+/// `nb`, total size) before fn sees them.
+template <typename Fn>
+void for_each_record(Family family, std::span<const double> payload,
+                     std::size_t nb, Fn&& fn);
+
+// ---------------------------------------------------------------------------
+// Implementation details.
+
+namespace detail {
+/// Decode one record whose type is already known (frame entries). Checks
+/// body.size() == encoded_doubles(type, nb).
+Record decode_typed(RecordType t, std::span<const double> body,
+                    std::size_t nb);
+/// Validate a frame header and return the record count.
+std::size_t check_frame_header(std::span<const double> payload);
+/// Validate one frame entry header at `off`; returns (type, length).
+struct FrameEntry {
+  RecordType type;
+  std::size_t length;
+};
+FrameEntry check_frame_entry(std::span<const double> payload,
+                             std::size_t off, std::size_t nb);
+/// Validate that a fully-walked frame consumed the whole payload.
+void check_frame_end(std::span<const double> payload, std::size_t off);
+}  // namespace detail
+
+template <typename Fn>
+void for_each_record(Family family, std::span<const double> payload,
+                     std::size_t nb, Fn&& fn) {
+  if (!is_frame(payload)) {
+    fn(decode_record(family, payload, nb));
+    return;
+  }
+  const std::size_t count = detail::check_frame_header(payload);
+  std::size_t off = kFrameHeaderDoubles;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto entry = detail::check_frame_entry(payload, off, nb);
+    off += kFrameEntryDoubles;
+    fn(detail::decode_typed(entry.type, payload.subspan(off, entry.length),
+                            nb));
+    off += entry.length;
+  }
+  detail::check_frame_end(payload, off);
+}
+
+}  // namespace dsouth::wire

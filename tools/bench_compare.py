@@ -44,6 +44,13 @@ DETERMINISTIC_FIELDS = [
     ("final_residual", True),
 ]
 
+# Deterministic fields added after some baselines were committed; compared
+# exactly, but only when BOTH records carry them, so a new field never
+# invalidates an old baseline.
+OPTIONAL_DETERMINISTIC_FIELDS = [
+    ("msgs_logical", False),
+]
+
 # Config fields that must agree for the comparison to be meaningful.
 # backend/threads are deliberately absent: results are bit-identical
 # across backends, so comparing records from different backends is not
@@ -128,7 +135,12 @@ def main():
                 failures += 1
                 print(f"FAIL [{label}] config.{key}: baseline {bv!r} != fresh {fv!r}")
 
-        for key, is_float in DETERMINISTIC_FIELDS:
+        optional_present = [
+            (key, is_float)
+            for key, is_float in OPTIONAL_DETERMINISTIC_FIELDS
+            if key in b["deterministic"] and key in f["deterministic"]
+        ]
+        for key, is_float in DETERMINISTIC_FIELDS + optional_present:
             bv, fv = b["deterministic"].get(key), f["deterministic"].get(key)
             if bv == fv:
                 continue

@@ -102,6 +102,17 @@ bool run_checks(const RunTrace& run, const RunAnalysis& a) {
     check(a.comm.total_by_tag[static_cast<int>(MsgTag::kOther)] ==
               counter_total("simmpi.msgs_other"),
           "other-tag msgs == simmpi.msgs_other");
+    // Wire-layer split (present in traces since the codec landed): kPut
+    // events and the comm matrix count physical puts, so msgs_physical
+    // must equal the matrix total; logical records can only exceed the
+    // physical count (coalesced frames carry several records per put).
+    if (run.find_metric("simmpi.msgs_physical") != nullptr) {
+      check(a.comm.total_msgs == counter_total("simmpi.msgs_physical"),
+            "comm matrix total msgs == simmpi.msgs_physical");
+      check(counter_total("simmpi.msgs_logical") >=
+                counter_total("simmpi.msgs_physical"),
+            "simmpi.msgs_logical >= simmpi.msgs_physical");
+    }
   } else {
     check(false, "trace has simmpi.* counters (needed for comm cross-check)");
   }
