@@ -90,6 +90,19 @@ void apply_backend_args(const util::ArgParser& args,
   opt.backend = *kind;
   opt.num_threads = static_cast<int>(args.get_int_or("threads", 0));
   opt.coalesce_messages = args.has("coalesce");
+  // Weak-delivery model knobs (simmpi::DeliveryModel): -delay-prob enables
+  // random message delays, -max-delay bounds them. Delayed traffic still
+  // drains before the driver returns (Runtime::drain_delayed), so the
+  // *final* x is exact; only the trajectory (and the message schedule)
+  // changes. Defaults keep faithful bulk-synchronous delivery.
+  opt.delivery.delay_probability = args.get_double_or("delay-prob", 0.0);
+  opt.delivery.max_delay_epochs =
+      static_cast<int>(args.get_int_or("max-delay", 2));
+  DSOUTH_CHECK_MSG(opt.delivery.delay_probability >= 0.0 &&
+                       opt.delivery.delay_probability <= 1.0,
+                   "-delay-prob must be in [0, 1]");
+  DSOUTH_CHECK_MSG(opt.delivery.max_delay_epochs >= 1,
+                   "-max-delay must be >= 1");
 }
 
 TraceCapture::TraceCapture(const util::ArgParser& args) {
@@ -251,8 +264,20 @@ void BenchRecorder::add_run(const std::string& label,
                                                    : result.comm_cost.back())
      << ",\"final_residual\":"
      << util::json_number(
-            result.residual_norm.empty() ? 0.0 : result.residual_norm.back())
-     << "},"
+            result.residual_norm.empty() ? 0.0 : result.residual_norm.back());
+  // Fault-injection totals, present only when a FaultSchedule was attached
+  // (fault-free records stay byte-identical to the pre-fault schema). All
+  // six are deterministic: the fault draws are stateless hashes.
+  if (result.fault_summary) {
+    const auto& fs = *result.fault_summary;
+    os << ",\"msgs_dropped\":" << fs.msgs_dropped
+       << ",\"msgs_duplicated\":" << fs.msgs_duplicated
+       << ",\"msgs_corrupted\":" << fs.msgs_corrupted
+       << ",\"rejected_corrupt\":" << fs.rejected_corrupt
+       << ",\"rejected_stale\":" << fs.rejected_stale
+       << ",\"refreshes_sent\":" << fs.refreshes_sent;
+  }
+  os << "},"
      << "\n   \"advisory\":{\"wall_seconds\":"
      << util::json_number(result.wall_seconds) << "}}";
   records_.push_back(os.str());

@@ -72,6 +72,12 @@ dist::DistRunOptions default_run_options();
 /// and coalescing modes; backends only change real wall-clock time, and
 /// `-coalesce` only lowers the physical message counts (wire/comm_plan.hpp)
 /// while the logical counts stay fixed.
+///
+/// Also applies the weak-delivery knobs `-delay-prob P` (per-message delay
+/// probability, default 0 = faithful bulk-synchronous delivery) and
+/// `-max-delay K` (delays are 1..K extra fences, default 2). These DO
+/// change the trajectory — they are for robustness studies, not for the
+/// bit-identity comparisons above.
 void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
 
 /// Shared `-trace <path>` / `-metrics <path>` flags: captures the trace log

@@ -356,4 +356,56 @@ ConvergenceReport analyze_convergence(const RunTrace& run) {
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// (e) Fault injection
+// ---------------------------------------------------------------------------
+
+const char* FaultReport::action_name(int action) {
+  switch (action) {
+    case kDrop:
+      return "drop";
+    case kDuplicate:
+      return "duplicate";
+    case kReorder:
+      return "reorder";
+    case kCorrupt:
+      return "corrupt";
+    case kTruncate:
+      return "truncate";
+    case kStall:
+      return "stall";
+    default:
+      return "?";
+  }
+}
+
+FaultReport analyze_faults(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  FaultReport rep;
+  rep.by_source.assign(static_cast<std::size_t>(run.num_ranks), 0);
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kFault) continue;
+    DSOUTH_CHECK(e.rank >= 0 &&
+                 e.rank < static_cast<std::int32_t>(run.num_ranks));
+    DSOUTH_CHECK_MSG(e.tag >= 0 && e.tag < FaultReport::kNumActions,
+                     "fault event with unknown action " << e.tag);
+    rep.by_action[static_cast<std::size_t>(e.tag)] += 1;
+    rep.by_source[static_cast<std::size_t>(e.rank)] += 1;
+    rep.total += 1;
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.faults_dropped")) {
+    rep.metric_dropped = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.faults_duplicated")) {
+    rep.metric_duplicated = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.faults_corrupted")) {
+    rep.metric_corrupted = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.faults_reordered")) {
+    rep.metric_reordered = m->total();
+  }
+  return rep;
+}
+
 }  // namespace dsouth::analysis

@@ -197,4 +197,43 @@ struct ConvergenceReport {
 
 ConvergenceReport analyze_convergence(const RunTrace& run);
 
+// ---------------------------------------------------------------------------
+// (e) Fault injection (src/faults)
+// ---------------------------------------------------------------------------
+
+/// Tally of the version-3 "fault" events the runtime records when a
+/// FaultSchedule is attached (trace.hpp: peer = destination, tag = action
+/// code, a0 = message seq, a1 = action detail). Empty/zero for fault-free
+/// traces — the renderers emit a faults section only when any() is true.
+struct FaultReport {
+  /// Action codes, exactly as the runtime emits them.
+  enum Action : int {
+    kDrop = 0,
+    kDuplicate = 1,
+    kReorder = 2,
+    kCorrupt = 3,
+    kTruncate = 4,
+    kStall = 5,
+  };
+  static constexpr int kNumActions = 6;
+  static const char* action_name(int action);
+
+  std::array<std::uint64_t, kNumActions> by_action{};
+  /// Faults per source rank (the rank whose outgoing message was hit).
+  std::vector<std::uint64_t> by_source;
+  std::uint64_t total = 0;
+
+  bool any() const { return total > 0; }
+
+  /// The runtime's simmpi.faults_* metric totals, when the trace carries
+  /// them (cross-checked against the event tallies by `dsouth-analyze
+  /// -check`; faults_corrupted counts corrupt + truncate actions).
+  std::optional<double> metric_dropped;
+  std::optional<double> metric_duplicated;
+  std::optional<double> metric_corrupted;
+  std::optional<double> metric_reordered;
+};
+
+FaultReport analyze_faults(const RunTrace& run);
+
 }  // namespace dsouth::analysis

@@ -26,6 +26,7 @@ RunAnalysis analyze_run(const RunTrace& run, const AnalyzeOptions& opt) {
   a.comm = analyze_comm_matrix(run);
   a.critical_path = analyze_critical_path(run, opt.model);
   a.convergence = analyze_convergence(run);
+  a.faults = analyze_faults(run);
   return a;
 }
 
@@ -111,6 +112,39 @@ void render_ascii(std::ostream& os, const RunAnalysis& a,
     os << "Hottest " << std::min(top, a.comm.hot_pairs.size()) << " of "
        << a.comm.hot_pairs.size() << " communicating pairs:\n";
     hot.print(os);
+  }
+
+  // --- (e) injected faults (only for traces that carry fault events) ---
+  if (a.faults.any()) {
+    os << "\n--- Injected faults (" << a.faults.total << " events) ---\n";
+    util::Table ft({"action", "count"});
+    for (int t = 0; t < FaultReport::kNumActions; ++t) {
+      const auto n = a.faults.by_action[static_cast<std::size_t>(t)];
+      if (n == 0) continue;
+      ft.row().cell(FaultReport::action_name(t));
+      ft.cell(static_cast<std::size_t>(n));
+    }
+    ft.print(os);
+    // Worst-hit source ranks (descending, ties to the lower rank).
+    std::vector<int> worst(static_cast<std::size_t>(a.num_ranks));
+    for (int r = 0; r < a.num_ranks; ++r) {
+      worst[static_cast<std::size_t>(r)] = r;
+    }
+    std::sort(worst.begin(), worst.end(), [&](int x, int y) {
+      const auto fx = a.faults.by_source[static_cast<std::size_t>(x)];
+      const auto fy = a.faults.by_source[static_cast<std::size_t>(y)];
+      if (fx != fy) return fx > fy;
+      return x < y;
+    });
+    os << "Most-faulted source ranks:";
+    const int fshow = std::min(a.num_ranks, 5);
+    for (int i = 0; i < fshow; ++i) {
+      const int r = worst[static_cast<std::size_t>(i)];
+      const auto n = a.faults.by_source[static_cast<std::size_t>(r)];
+      if (n == 0) break;
+      os << " r" << r << "=" << n;
+    }
+    os << "\n";
   }
 
   // --- (c) critical path ---
@@ -518,7 +552,38 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
     kv_u(out, "msgs", pt.msgs);
     out += '}';
   }
-  out += "]}}";
+  out += "]}";
+
+  // (e) faults — emitted only when the trace carried fault events, so
+  // fault-free analysis JSON is byte-identical to the previous schema.
+  if (a.faults.any()) {
+    out += ",\"faults\":{";
+    kv_u(out, "total", a.faults.total, true);
+    for (int t = 0; t < FaultReport::kNumActions; ++t) {
+      kv_u(out, FaultReport::action_name(t),
+           a.faults.by_action[static_cast<std::size_t>(t)]);
+    }
+    out += ",\"by_source\":[";
+    for (int r = 0; r < a.num_ranks; ++r) {
+      if (r) out += ',';
+      out += std::to_string(a.faults.by_source[static_cast<std::size_t>(r)]);
+    }
+    out += ']';
+    if (a.faults.metric_dropped) {
+      kv(out, "metric_dropped", *a.faults.metric_dropped);
+    }
+    if (a.faults.metric_duplicated) {
+      kv(out, "metric_duplicated", *a.faults.metric_duplicated);
+    }
+    if (a.faults.metric_corrupted) {
+      kv(out, "metric_corrupted", *a.faults.metric_corrupted);
+    }
+    if (a.faults.metric_reordered) {
+      kv(out, "metric_reordered", *a.faults.metric_reordered);
+    }
+    out += '}';
+  }
+  out += '}';
   return out;
 }
 

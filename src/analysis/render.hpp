@@ -25,6 +25,9 @@ struct RunAnalysis {
   CommMatrixReport comm;
   CriticalPathReport critical_path;
   ConvergenceReport convergence;
+  /// Fault-injection tallies; all-zero (and omitted from every renderer)
+  /// for fault-free traces, so fault-free output is unchanged.
+  FaultReport faults;
 };
 
 struct AnalyzeOptions {

@@ -65,6 +65,13 @@ DistributedSouthwell::DistributedSouthwell(
   }
 }
 
+void DistributedSouthwell::set_resilience(const ResilienceOptions& opt) {
+  DSOUTH_CHECK_MSG(!(opt.enabled && opt_.send_threshold > 0.0),
+                   "resilience is incompatible with send_threshold "
+                   "(deferred sends would ship partial boundary state)");
+  DistStationarySolver::set_resilience(opt);
+}
+
 std::uint64_t DistributedSouthwell::corrections_sent() const {
   return std::accumulate(corrections_sent_.begin(), corrections_sent_.end(),
                          std::uint64_t{0});
@@ -152,9 +159,12 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
                        gamma2_[up][k]);
     for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
       const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
-      rec.dx[s] = dx_full[li];
+      // Resilient mode ships absolute boundary x (self-healing across
+      // message loss — solver_base.hpp); default mode ships the delta.
+      rec.dx[s] = resilient() ? xp[li] : dx_full[li];
       rec.rb[s] = rp[li];
     }
+    if (resilient()) resil_note_send(p, k);
   }
   ch.flush(ctx);
 }
@@ -167,11 +177,28 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
   const value_t norm2 = local_norm_sq(r_[up]);
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
   const auto& rp = r_[up];
+  const auto& xp = x_[up];
   auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    const auto& nb = rd.neighbors[k];
+    // Resilient mode: a channel silent for >= refresh_period steps gets a
+    // full SolveUpdate (absolute boundary x, exact boundary residuals,
+    // norms) regardless of the Γ̃ condition — bounding the staleness a
+    // dropped message can cause in the neighbor's estimates and cache.
+    if (resilient() && resil_refresh_due(p, k)) {
+      auto rec = ch.open(ctx, k, wire::RecordType::kSolveUpdate, norm2,
+                         gamma2_[up][k]);
+      for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+        const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
+        rec.dx[s] = xp[li];
+        rec.rb[s] = rp[li];
+      }
+      gtilde2_[up][k] = norm2;  // it also corrects any overestimate
+      resil_note_refresh(ctx, p, k);
+      continue;
+    }
     const bool must_heartbeat = heartbeat && norm2 > 0.0;
     if (!(norm2 < gtilde2_[up][k]) && !must_heartbeat) continue;
-    const auto& nb = rd.neighbors[k];
     auto rec = ch.open(ctx, k, wire::RecordType::kCorrection, norm2,
                        gamma2_[up][k]);
     for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
@@ -192,6 +219,19 @@ void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
     const auto unbi = static_cast<std::size_t>(nbi);
     const auto& nb = rd.neighbors[unbi];
+    if (resilient()) {
+      const auto body = resil_accept(ctx, p, unbi, msg.payload);
+      if (body.empty()) continue;
+      const auto rec = wire::decode_record(wire::Family::kEstimate, body,
+                                           nb.ghost_rows.size());
+      if (rec.type == wire::RecordType::kSolveUpdate) {
+        resil_apply_boundary_x(ctx, p, unbi, rec.dx);
+      }
+      std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][unbi].begin());
+      gamma2_[up][unbi] = rec.norm2;
+      gtilde2_[up][unbi] = rec.gamma2;
+      continue;
+    }
     // Decode against the channel's receive width (the codec validates
     // every length); a frame yields each coalesced record in send order.
     wire::for_each_record(
@@ -212,6 +252,7 @@ void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
 }
 
 DistStepStats DistributedSouthwell::step() {
+  resil_begin_step();
   // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
   for_each_rank([this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);

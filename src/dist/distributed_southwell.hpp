@@ -65,6 +65,11 @@ class DistributedSouthwell final : public DistStationarySolver {
   DistStepStats step() override;
   const char* name() const override { return "DistributedSouthwell"; }
 
+  /// Rejects the combination with send_threshold: deferral accumulates
+  /// unsent Δx, which contradicts the resilient absolute-x encoding
+  /// (every message must carry the full boundary state).
+  void set_resilience(const ResilienceOptions& opt) override;
+
   /// Explicit residual-update messages sent so far (observer convenience;
   /// also available from the runtime's per-tag stats).
   std::uint64_t corrections_sent() const;

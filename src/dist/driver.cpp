@@ -117,10 +117,22 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     tracer = std::make_unique<trace::Tracer>(layout.num_ranks(), opt.trace);
     rt.set_tracer(tracer.get());
   }
+  // A fault schedule is attached only for a nonzero plan, so the default
+  // path stays byte-identical to a fault-free build (no extra RNG draws,
+  // no extra metrics).
+  std::unique_ptr<faults::FaultSchedule> fault_schedule;
+  if (opt.faults.any()) {
+    fault_schedule =
+        std::make_unique<faults::FaultSchedule>(opt.faults, layout.num_ranks());
+    rt.set_fault_schedule(fault_schedule.get());
+  }
   auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
   auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
   solver->set_backend(*backend);
+  DSOUTH_CHECK_MSG(!(opt.resilience.enabled && opt.coalesce_messages),
+                   "resilience and message coalescing are incompatible");
   if (opt.coalesce_messages) solver->set_message_coalescing(true);
+  if (opt.resilience.enabled) solver->set_resilience(opt.resilience);
 
   DistRunResult result;
   result.method = method_name(method);
@@ -142,6 +154,9 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
   record_state();
 
   index_t total_relax = 0;
+  const double r0 = result.residual_norm.front();
+  double best_rn = r0;
+  index_t steps_since_best = 0;
   for (index_t k = 0; k < opt.max_parallel_steps; ++k) {
     // Time the parallel steps only — the observer-side recording below is
     // backend-independent bookkeeping.
@@ -155,6 +170,27 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     const double rn = result.residual_norm.back();
     if (opt.stop_at_residual > 0.0 && rn <= opt.stop_at_residual) break;
     if (opt.divergence_abort > 0.0 && rn >= opt.divergence_abort) break;
+    if (opt.watchdog.enabled) {
+      // Observer-side divergence watchdog: a faulted run stops with a
+      // report instead of hanging or overflowing.
+      if (!std::isfinite(rn)) {
+        result.watchdog = {true, "non-finite residual", k + 1};
+        break;
+      }
+      if (rn > opt.watchdog.growth_factor * r0) {
+        result.watchdog = {true, "residual exceeded growth_factor x initial",
+                           k + 1};
+        break;
+      }
+      if (rn < best_rn) {
+        best_rn = rn;
+        steps_since_best = 0;
+      } else if (opt.watchdog.stall_steps > 0 &&
+                 ++steps_since_best >= opt.watchdog.stall_steps) {
+        result.watchdog = {true, "residual stalled", k + 1};
+        break;
+      }
+    }
   }
   result.final_x = solver->gather_x();
   const simmpi::CommStats& cs = rt.stats();
@@ -169,6 +205,17 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
       cs.logical_messages(simmpi::MsgTag::kSolve);
   result.comm_totals.msgs_logical_residual =
       cs.logical_messages(simmpi::MsgTag::kResidual);
+  if (fault_schedule) {
+    FaultSummary fs;
+    fs.msgs_dropped = cs.dropped_messages();
+    fs.msgs_duplicated = cs.duplicated_messages();
+    fs.msgs_corrupted = cs.corrupted_messages();
+    const ResilienceStats rs = solver->resilience_stats();
+    fs.rejected_corrupt = rs.rejected_corrupt;
+    fs.rejected_stale = rs.rejected_stale;
+    fs.refreshes_sent = rs.refreshes_sent;
+    result.fault_summary = fs;
+  }
   if (tracer) {
     tracer->flush();
     result.trace_log =

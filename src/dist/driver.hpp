@@ -14,6 +14,7 @@
 
 #include "dist/distributed_southwell.hpp"
 #include "dist/solver_base.hpp"
+#include "faults/fault_plan.hpp"
 #include "graph/partition.hpp"
 #include "simmpi/execution.hpp"
 #include "simmpi/machine_model.hpp"
@@ -32,6 +33,40 @@ enum class DistMethod {
 
 const char* method_name(DistMethod m);
 const char* method_abbrev(DistMethod m);  // BJ / PS / DS, as in the tables
+
+/// Divergence watchdog (docs/resilience.md): observer-side checks on the
+/// recorded residual series that stop a faulted run deterministically
+/// instead of letting it hang or overflow. Fires are reported, never
+/// thrown — histories keep everything recorded up to the stop.
+struct WatchdogOptions {
+  bool enabled = false;
+  /// Fire when ‖r‖ exceeds growth_factor × the initial residual, or is
+  /// NaN/Inf (always checked when enabled).
+  double growth_factor = 1e3;
+  /// Fire when the best residual seen has not improved for this many
+  /// consecutive steps (0 disables the stall check).
+  index_t stall_steps = 0;
+};
+
+struct WatchdogReport {
+  bool fired = false;
+  std::string reason;  ///< human-readable cause ("" unless fired)
+  index_t step = 0;    ///< parallel step at which the watchdog fired
+};
+
+/// End-of-run fault/recovery accounting, present iff a nonzero FaultPlan
+/// was attached (so zero-plan records stay identical to fault-free runs).
+/// Injection counts come from the runtime's CommStats; rejection/refresh
+/// counts from the solver's resilient receive path (zero when resilience
+/// was off).
+struct FaultSummary {
+  std::uint64_t msgs_dropped = 0;
+  std::uint64_t msgs_duplicated = 0;
+  std::uint64_t msgs_corrupted = 0;  ///< bit-flipped or truncated
+  std::uint64_t rejected_corrupt = 0;
+  std::uint64_t rejected_stale = 0;
+  std::uint64_t refreshes_sent = 0;
+};
 
 struct DistRunOptions {
   index_t max_parallel_steps = 50;  ///< the paper runs 50 everywhere
@@ -70,6 +105,18 @@ struct DistRunOptions {
   /// (wall-clock timestamps are recorded but excluded from default
   /// exports). Disabled tracing has zero effect on results or stats.
   trace::TraceOptions trace{};
+  /// Deterministic fault injection (src/faults). A schedule is compiled
+  /// and attached to the runtime only when the plan is nonzero
+  /// (`faults.any()`), so the default path is byte-identical to a
+  /// fault-free build. Injected faults are bit-reproducible across
+  /// execution backends.
+  faults::FaultPlan faults{};
+  /// Solver-side recovery (solver_base.hpp). Incompatible with
+  /// coalesce_messages, and with ds.send_threshold for DS.
+  ResilienceOptions resilience{};
+  /// Observer-side divergence watchdog; fires stop the run loop early and
+  /// are reported in DistRunResult::watchdog.
+  WatchdogOptions watchdog{};
 };
 
 /// Per-run series; index k = state after k parallel steps (index 0 = the
@@ -111,6 +158,10 @@ struct DistRunResult {
   /// Merged event log + metric totals when opt.trace.enabled, else null.
   /// Export with trace::write_jsonl / trace::write_chrome_trace.
   std::shared_ptr<const trace::TraceLog> trace_log;
+  /// Fault/recovery totals iff a nonzero FaultPlan was attached.
+  std::optional<FaultSummary> fault_summary;
+  /// Watchdog outcome (default-constructed / not fired unless enabled).
+  WatchdogReport watchdog;
 
   std::size_t steps_taken() const { return active_ranks.size(); }
 

@@ -47,7 +47,9 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
     auto rec = ch.open(ctx, k, wire::RecordType::kGhostDelta);
     for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
       const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
-      rec.dx[s] = xp[li] - snap[li];
+      // Resilient mode ships absolute boundary x (self-healing across
+      // message loss — solver_base.hpp); default mode ships the delta.
+      rec.dx[s] = resilient() ? xp[li] : xp[li] - snap[li];
     }
   }
   ch.flush(ctx);
@@ -58,7 +60,16 @@ void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
   for (const auto& msg : ctx.window()) {
     const int nbi = rd.neighbor_index(msg.source);
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    const auto& nb = rd.neighbors[static_cast<std::size_t>(nbi)];
+    const auto unbi = static_cast<std::size_t>(nbi);
+    const auto& nb = rd.neighbors[unbi];
+    if (resilient()) {
+      const auto body = resil_accept(ctx, p, unbi, msg.payload);
+      if (body.empty()) continue;
+      const auto rec =
+          wire::decode_record(wire::Family::kDelta, body, nb.ghost_rows.size());
+      resil_apply_boundary_x(ctx, p, unbi, rec.dx);
+      continue;
+    }
     wire::for_each_record(wire::Family::kDelta, msg.payload,
                           nb.ghost_rows.size(),
                           [&](const wire::Record& rec) {
@@ -70,6 +81,7 @@ void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
 }
 
 DistStepStats MulticolorBlockGs::step() {
+  resil_begin_step();
   const auto& ranks = color_ranks_[static_cast<std::size_t>(next_color_)];
   next_color_ = (next_color_ + 1) % num_colors();
 

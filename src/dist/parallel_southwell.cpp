@@ -58,8 +58,11 @@ void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
     auto rec = ch.open(ctx, k, wire::RecordType::kNormUpdate, norm2_new);
     for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
       const auto li = static_cast<std::size_t>(nb.send_rows_local[s]);
-      rec.dx[s] = xp[li] - snap[li];
+      // Resilient mode ships absolute boundary x (self-healing across
+      // message loss — solver_base.hpp); default mode ships the delta.
+      rec.dx[s] = resilient() ? xp[li] : xp[li] - snap[li];
     }
+    if (resilient()) resil_note_send(p, k);
   }
   ch.flush(ctx);
 }
@@ -71,12 +74,35 @@ void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
   const auto up = static_cast<std::size_t>(p);
   const value_t norm2 = local_norm_sq(r_[up]);
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
-  if (norm2 == advertised2_[up]) return;
-  advertised2_[up] = norm2;
+  const bool norm_changed = norm2 != advertised2_[up];
   auto& ch = channels_[up];
-  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
-    ch.open(ctx, k, wire::RecordType::kResidualNorm, norm2);
+  if (!resilient()) {
+    if (!norm_changed) return;
+    advertised2_[up] = norm2;
+    for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+      ch.open(ctx, k, wire::RecordType::kResidualNorm, norm2);
+    }
+    ch.flush(ctx);
+    return;
   }
+  // Resilient mode: a channel silent for >= refresh_period steps gets a
+  // full-state NormUpdate (absolute boundary x + current norm) even when
+  // the norm is unchanged — this bounds the staleness a dropped message
+  // can cause in both the neighbor's Γ entry and its boundary-x cache.
+  const auto& xp = x_[up];
+  for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+    if (resil_refresh_due(p, k)) {
+      const auto& nb = rd.neighbors[k];
+      auto rec = ch.open(ctx, k, wire::RecordType::kNormUpdate, norm2);
+      for (std::size_t s = 0; s < nb.send_rows_local.size(); ++s) {
+        rec.dx[s] = xp[static_cast<std::size_t>(nb.send_rows_local[s])];
+      }
+      resil_note_refresh(ctx, p, k);
+    } else if (norm_changed) {
+      ch.open(ctx, k, wire::RecordType::kResidualNorm, norm2);
+    }
+  }
+  if (norm_changed) advertised2_[up] = norm2;
   ch.flush(ctx);
 }
 
@@ -88,6 +114,17 @@ void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
     DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
     const auto unbi = static_cast<std::size_t>(nbi);
     const auto& nb = rd.neighbors[unbi];
+    if (resilient()) {
+      const auto body = resil_accept(ctx, p, unbi, msg.payload);
+      if (body.empty()) continue;
+      const auto rec =
+          wire::decode_record(wire::Family::kNorm, body, nb.ghost_rows.size());
+      gamma2_[up][unbi] = rec.norm2;
+      if (rec.type == wire::RecordType::kNormUpdate) {
+        resil_apply_boundary_x(ctx, p, unbi, rec.dx);
+      }
+      continue;
+    }
     wire::for_each_record(
         wire::Family::kNorm, msg.payload, nb.ghost_rows.size(),
         [&](const wire::Record& rec) {
@@ -104,6 +141,7 @@ void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
 }
 
 DistStepStats ParallelSouthwell::step() {
+  resil_begin_step();
   // ---- Epoch A: relax where the Parallel Southwell criterion holds.
   for_each_rank([this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);

@@ -101,6 +101,124 @@ bool DistStationarySolver::message_coalescing() const {
   return !channels_.empty() && channels_.front().coalescing();
 }
 
+void DistStationarySolver::set_resilience(const ResilienceOptions& opt) {
+  DSOUTH_CHECK_MSG(resil_step_count_ == 0,
+                   "set_resilience must precede the first step");
+  DSOUTH_CHECK_MSG(!(opt.enabled && message_coalescing()),
+                   "resilience and message coalescing are incompatible");
+  DSOUTH_CHECK_MSG(opt.refresh_period >= 0, "refresh_period must be >= 0");
+  resil_ = opt;
+  for (auto& ch : channels_) ch.set_sequencing(opt.enabled);
+  if (!opt.enabled) {
+    ghost_x_.clear();
+    recv_min_seq_.clear();
+    last_send_step_.clear();
+    resil_dx_.clear();
+    resil_stats_.clear();
+    return;
+  }
+  const auto nranks = static_cast<std::size_t>(layout_->num_ranks());
+  ghost_x_.resize(nranks);
+  recv_min_seq_.resize(nranks);
+  last_send_step_.resize(nranks);
+  resil_dx_.resize(nranks);
+  resil_stats_.assign(nranks, ResilienceStats{});
+  for (int p = 0; p < layout_->num_ranks(); ++p) {
+    const RankData& rd = layout_->rank(p);
+    const auto up = static_cast<std::size_t>(p);
+    ghost_x_[up].resize(rd.neighbors.size());
+    recv_min_seq_[up].assign(rd.neighbors.size(), 0);
+    // Setup counts as a full exchange: both ends agree on x0 exactly.
+    last_send_step_[up].assign(rd.neighbors.size(), 0);
+    std::size_t max_width = 0;
+    for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
+      const auto& nb = rd.neighbors[k];
+      max_width = std::max(max_width, nb.ghost_rows.size());
+      auto& cache = ghost_x_[up][k];
+      cache.resize(nb.ghost_rows.size());
+      for (std::size_t g = 0; g < nb.ghost_rows.size(); ++g) {
+        const index_t gr = nb.ghost_rows[g];
+        cache[g] = x_[static_cast<std::size_t>(layout_->rank_of_row(gr))]
+                     [static_cast<std::size_t>(layout_->local_of_row(gr))];
+      }
+    }
+    resil_dx_[up].resize(max_width);
+  }
+  if (auto* tracer = rt_->tracer()) {
+    auto& m = tracer->metrics();
+    m_resil_rejected_ = m.register_metric("solver.resil_rejected",
+                                          trace::MetricKind::kCounter);
+    m_resil_refreshes_ = m.register_metric("solver.resil_refreshes",
+                                           trace::MetricKind::kCounter);
+  }
+}
+
+ResilienceStats DistStationarySolver::resilience_stats() const {
+  ResilienceStats total;
+  for (const auto& st : resil_stats_) {
+    total.rejected_corrupt += st.rejected_corrupt;
+    total.rejected_stale += st.rejected_stale;
+    total.refreshes_sent += st.refreshes_sent;
+  }
+  return total;
+}
+
+std::span<const double> DistStationarySolver::resil_accept(
+    simmpi::RankContext& ctx, int p, std::size_t nbi,
+    std::span<const double> payload) {
+  const auto up = static_cast<std::size_t>(p);
+  try {
+    const wire::EnvelopeView env = wire::decode_envelope(payload);
+    auto& next = recv_min_seq_[up][nbi];
+    if (env.seq < next) {
+      ++resil_stats_[up].rejected_stale;
+      ctx.metric_add(m_resil_rejected_, 1.0);
+      return {};
+    }
+    next = env.seq + 1;
+    return env.body;
+  } catch (const wire::DecodeError&) {
+    // Truncated, bit-corrupted, or otherwise malformed — drop it; the
+    // sender's next (or refresh) message carries the full state anyway.
+    ++resil_stats_[up].rejected_corrupt;
+    ctx.metric_add(m_resil_rejected_, 1.0);
+    return {};
+  }
+}
+
+void DistStationarySolver::resil_apply_boundary_x(
+    simmpi::RankContext& ctx, int p, std::size_t nbi,
+    std::span<const double> x_abs) {
+  const auto up = static_cast<std::size_t>(p);
+  const NeighborBlock& nb = layout_->rank(p).neighbors[nbi];
+  auto& cache = ghost_x_[up][nbi];
+  DSOUTH_CHECK(x_abs.size() == cache.size());
+  const std::span<value_t> dx(resil_dx_[up].data(), cache.size());
+  for (std::size_t g = 0; g < cache.size(); ++g) {
+    dx[g] = x_abs[g] - cache[g];
+    cache[g] = x_abs[g];
+  }
+  apply_incoming_delta(ctx, nb, dx);
+}
+
+void DistStationarySolver::resil_note_send(int p, std::size_t nbi) {
+  last_send_step_[static_cast<std::size_t>(p)][nbi] = resil_step_count_;
+}
+
+void DistStationarySolver::resil_note_refresh(simmpi::RankContext& ctx,
+                                              int p, std::size_t nbi) {
+  resil_note_send(p, nbi);
+  ++resil_stats_[static_cast<std::size_t>(p)].refreshes_sent;
+  ctx.metric_add(m_resil_refreshes_, 1.0);
+}
+
+bool DistStationarySolver::resil_refresh_due(int p, std::size_t nbi) const {
+  if (resil_.refresh_period <= 0) return false;
+  const auto up = static_cast<std::size_t>(p);
+  return resil_step_count_ - last_send_step_[up][nbi] >=
+         resil_.refresh_period;
+}
+
 // The dispatch lambdas below capture exactly one reference (8 bytes) to a
 // stack-local Call struct so the std::function run_epoch receives fits in
 // libstdc++'s small-buffer (16 bytes) — capturing the span + this + fn

@@ -16,6 +16,7 @@
 /// other's arrays except through simmpi messages; the tests enforce the
 /// convergence consequences of that discipline.
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -33,6 +34,38 @@ namespace dsouth::dist {
 struct DistStepStats {
   index_t active_ranks = 0;  ///< ranks that relaxed their subdomain
   index_t relaxations = 0;   ///< rows relaxed (sum of active subdomains)
+};
+
+/// Solver-side fault recovery (docs/resilience.md). When enabled, every
+/// message ships in a sequenced wire-v2 envelope
+/// (ChannelSet::set_sequencing) and the Δx payload fields carry ABSOLUTE
+/// boundary x values instead of deltas. The receiver keeps a per-channel
+/// cache of the sender's boundary x and applies the difference, which
+/// makes absorption idempotent (a duplicated message applies a zero
+/// delta) and self-healing (the message after a drop carries the full
+/// accumulated change). Duplicated, reordered, truncated, and
+/// bit-corrupted payloads are rejected by sequence gating and the
+/// envelope checksum; estimate staleness from dropped messages is bounded
+/// by a periodic full-state refresh on the conditional-send solvers
+/// (Parallel/Distributed Southwell).
+struct ResilienceOptions {
+  bool enabled = false;
+  /// Refresh-resend period, in parallel steps: a rank that has not sent a
+  /// full-state (x-bearing) message to a neighbor for this many steps
+  /// resends one unconditionally, bounding how stale a neighbor's ghost
+  /// cache and Γ estimates can become after message loss. 0 disables the
+  /// refresh (sequence gating and absolute-x encoding stay active).
+  /// Block Jacobi and Multicolor Block GS send full state on every relax
+  /// turn, so the period only affects PS and DS.
+  index_t refresh_period = 8;
+};
+
+/// Counters kept by the resilient receive/refresh paths (summed over
+/// ranks by DistStationarySolver::resilience_stats).
+struct ResilienceStats {
+  std::uint64_t rejected_corrupt = 0;  ///< decode failures (checksum, ...)
+  std::uint64_t rejected_stale = 0;    ///< duplicate / out-of-order seq
+  std::uint64_t refreshes_sent = 0;    ///< proactive full-state resends
 };
 
 /// Setup-phase helper shared with greedy_schwarz: r_p -= A_pp x_p +
@@ -72,6 +105,20 @@ class DistStationarySolver {
   /// the legacy ad-hoc payload layouts.
   void set_message_coalescing(bool on);
   bool message_coalescing() const;
+
+  /// Enable solver-side fault recovery (see ResilienceOptions). Must be
+  /// called before the first step() — the receiver's boundary-x caches are
+  /// initialized from the current iterate, which both ends only agree on
+  /// at setup. Mutually exclusive with message coalescing (sequenced
+  /// envelopes wrap exactly one record). Virtual so solvers with
+  /// incompatible extensions can reject the combination.
+  virtual void set_resilience(const ResilienceOptions& opt);
+  bool resilient() const { return resil_.enabled; }
+  const ResilienceOptions& resilience() const { return resil_; }
+
+  /// Totals of the resilient-path counters across ranks (zeros when
+  /// resilience is off).
+  ResilienceStats resilience_stats() const;
 
   /// Observer-side exact global residual norm (gathers local residuals;
   /// local residuals are exact by construction in all three methods).
@@ -117,6 +164,39 @@ class DistStationarySolver {
   void apply_incoming_delta(simmpi::RankContext& ctx, const NeighborBlock& nb,
                             std::span<const double> dx);
 
+  // --- Resilient-mode helpers (no-ops / unused unless resilient()). Each
+  // touches only rank-p slots, preserving the SPMD phase discipline.
+
+  /// Bump the solver's internal step counter; every step() implementation
+  /// calls this first (it also locks set_resilience).
+  void resil_begin_step() { ++resil_step_count_; }
+
+  /// Validate one received payload on channel (p, neighbor nbi): decode
+  /// the wire-v2 envelope and gate on its sequence number. Returns the
+  /// record body, or an empty span when the payload was rejected
+  /// (corrupt/truncated/stale/duplicate — counted in resil_stats_[p]).
+  std::span<const double> resil_accept(simmpi::RankContext& ctx, int p,
+                                       std::size_t nbi,
+                                       std::span<const double> payload);
+
+  /// Absorb an absolute-boundary-x payload from neighbor nbi of rank p:
+  /// apply dx = x_abs - cached ghost x to r_p and refresh the cache.
+  /// Idempotent — reapplying the same x_abs is a zero delta.
+  void resil_apply_boundary_x(simmpi::RankContext& ctx, int p,
+                              std::size_t nbi,
+                              std::span<const double> x_abs);
+
+  /// Record that rank p sent a full-state (x-bearing) message to neighbor
+  /// nbi this step — resets the channel's refresh clock.
+  void resil_note_send(int p, std::size_t nbi);
+
+  /// Same, for a proactive refresh (also counts refreshes_sent).
+  void resil_note_refresh(simmpi::RankContext& ctx, int p, std::size_t nbi);
+
+  /// True when rank p owes neighbor nbi a full-state refresh: no x-bearing
+  /// message for >= refresh_period steps (and the period is nonzero).
+  bool resil_refresh_due(int p, std::size_t nbi) const;
+
   const DistLayout* layout_;
   simmpi::Runtime* rt_;
   std::vector<std::vector<value_t>> x_, r_;
@@ -133,6 +213,25 @@ class DistStationarySolver {
   trace::MetricId m_relaxed_rows_ = trace::kInvalidMetric;
   trace::MetricId m_rank_relaxations_ = trace::kInvalidMetric;
   trace::MetricId m_absorbed_msgs_ = trace::kInvalidMetric;
+
+  // --- Resilient-mode state (sized by set_resilience; empty otherwise).
+  ResilienceOptions resil_{};
+  index_t resil_step_count_ = 0;
+  /// Per rank, per neighbor: cached boundary x of that neighbor, aligned
+  /// with NeighborBlock::ghost_rows (what the last accepted message said).
+  std::vector<std::vector<std::vector<value_t>>> ghost_x_;
+  /// Per rank, per neighbor: lowest acceptable envelope sequence number
+  /// (last accepted + 1); anything below is a duplicate or stale.
+  std::vector<std::vector<std::uint64_t>> recv_min_seq_;
+  /// Per rank, per neighbor: step index of the last x-bearing send.
+  std::vector<std::vector<index_t>> last_send_step_;
+  /// Per-rank Δx scratch for resil_apply_boundary_x (sized to the rank's
+  /// widest incoming channel so the absorb path never allocates).
+  std::vector<std::vector<value_t>> resil_dx_;
+  /// Per-rank counters (each rank phase bumps only its own slot).
+  std::vector<ResilienceStats> resil_stats_;
+  trace::MetricId m_resil_rejected_ = trace::kInvalidMetric;
+  trace::MetricId m_resil_refreshes_ = trace::kInvalidMetric;
 
  private:
   std::unique_ptr<simmpi::ExecutionBackend> owned_backend_;

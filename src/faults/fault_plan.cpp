@@ -1,0 +1,177 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dsouth::faults {
+
+namespace {
+
+/// SplitMix64 output function (same constants the runtime's delay RNG
+/// uses), applied as a stateless avalanche over the draw key.
+inline std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash of (seed, salt, epoch, src, dst, seq). Each fault type uses its
+/// own salt so the draws are mutually independent; `lane` further splits
+/// one fault type into independent sub-draws (e.g. corrupt index vs bit).
+inline std::uint64_t draw(std::uint64_t seed, std::uint64_t salt,
+                          std::uint64_t epoch, int src, int dst,
+                          std::uint64_t seq, std::uint64_t lane = 0) {
+  std::uint64_t h = mix(seed ^ salt);
+  h = mix(h ^ epoch);
+  h = mix(h ^ ((static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+                << 32) |
+               static_cast<std::uint32_t>(dst)));
+  h = mix(h ^ seq);
+  if (lane != 0) h = mix(h ^ lane);
+  return h;
+}
+
+/// Map a hash to a uniform double in [0, 1) — same bit recipe as the
+/// runtime's delivery-delay draw.
+inline double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Per-fault-type salts (arbitrary distinct constants).
+constexpr std::uint64_t kSaltDrop = 0xD409ULL;
+constexpr std::uint64_t kSaltDuplicate = 0xD0B1ULL;
+constexpr std::uint64_t kSaltReorder = 0x4E04ULL;
+constexpr std::uint64_t kSaltCorrupt = 0xC042ULL;
+constexpr std::uint64_t kSaltTruncate = 0x7420ULL;
+
+inline void check_probability(double p) { DSOUTH_CHECK(p >= 0.0 && p <= 1.0); }
+
+void check_edge(const EdgeFaults& e) {
+  check_probability(e.drop_probability);
+  check_probability(e.duplicate_probability);
+  check_probability(e.reorder_probability);
+  check_probability(e.corrupt_probability);
+  check_probability(e.truncate_probability);
+}
+
+}  // namespace
+
+bool FaultPlan::any() const {
+  if (defaults.any()) return true;
+  for (const auto& e : edges) {
+    if (e.faults.any()) return true;
+  }
+  for (const auto& s : stragglers) {
+    if (s.slowdown != 1.0) return true;
+  }
+  for (const auto& s : stalls) {
+    if (s.epochs > 0) return true;
+  }
+  return false;
+}
+
+FaultSchedule::FaultSchedule(const FaultPlan& plan, int num_ranks)
+    : plan_(plan),
+      num_ranks_(num_ranks),
+      edges_(static_cast<std::size_t>(num_ranks) *
+                 static_cast<std::size_t>(num_ranks),
+             plan.defaults),
+      slowdowns_(static_cast<std::size_t>(num_ranks), 1.0),
+      stalls_(static_cast<std::size_t>(num_ranks)) {
+  DSOUTH_CHECK(num_ranks > 0);
+  DSOUTH_CHECK(plan.max_reorder_epochs >= 1);
+  check_edge(plan.defaults);
+  for (const auto& o : plan.edges) {
+    DSOUTH_CHECK(o.src >= 0 && o.src < num_ranks);
+    DSOUTH_CHECK(o.dst >= 0 && o.dst < num_ranks);
+    DSOUTH_CHECK_MSG(o.src != o.dst, "fault edge " << o.src << " -> itself");
+    check_edge(o.faults);
+    edges_[static_cast<std::size_t>(o.src) *
+               static_cast<std::size_t>(num_ranks) +
+           static_cast<std::size_t>(o.dst)] = o.faults;
+  }
+  for (const auto& s : plan.stragglers) {
+    DSOUTH_CHECK(s.rank >= 0 && s.rank < num_ranks);
+    DSOUTH_CHECK_MSG(s.slowdown >= 1.0, "straggler speeds a rank up");
+    slowdowns_[static_cast<std::size_t>(s.rank)] = s.slowdown;
+  }
+  for (const auto& s : plan.stalls) {
+    DSOUTH_CHECK(s.rank >= 0 && s.rank < num_ranks);
+    stalls_[static_cast<std::size_t>(s.rank)].push_back(s);
+  }
+  for (auto& per_rank : stalls_) {
+    std::sort(per_rank.begin(), per_rank.end(),
+              [](const Stall& a, const Stall& b) {
+                return a.first_epoch < b.first_epoch;
+              });
+  }
+}
+
+FaultDecision FaultSchedule::decide(std::uint64_t epoch, int src, int dst,
+                                    std::uint64_t seq,
+                                    std::size_t payload_doubles) const {
+  DSOUTH_ASSERT(src >= 0 && src < num_ranks_);
+  DSOUTH_ASSERT(dst >= 0 && dst < num_ranks_);
+  const EdgeFaults& e = edge(src, dst);
+  const std::uint64_t seed = plan_.seed;
+  FaultDecision d;
+  if (e.drop_probability > 0.0 &&
+      unit(draw(seed, kSaltDrop, epoch, src, dst, seq)) <
+          e.drop_probability) {
+    d.drop = true;
+    return d;  // a dropped message suffers no further faults
+  }
+  if (e.duplicate_probability > 0.0 &&
+      unit(draw(seed, kSaltDuplicate, epoch, src, dst, seq)) <
+          e.duplicate_probability) {
+    d.duplicate = true;
+  }
+  if (e.reorder_probability > 0.0 &&
+      unit(draw(seed, kSaltReorder, epoch, src, dst, seq)) <
+          e.reorder_probability) {
+    d.reorder_extra =
+        1 + static_cast<int>(
+                draw(seed, kSaltReorder, epoch, src, dst, seq, /*lane=*/1) %
+                static_cast<std::uint64_t>(plan_.max_reorder_epochs));
+  }
+  if (payload_doubles > 0 && e.corrupt_probability > 0.0 &&
+      unit(draw(seed, kSaltCorrupt, epoch, src, dst, seq)) <
+          e.corrupt_probability) {
+    d.corrupt = true;
+    d.corrupt_index = static_cast<std::size_t>(
+        draw(seed, kSaltCorrupt, epoch, src, dst, seq, /*lane=*/1) %
+        static_cast<std::uint64_t>(payload_doubles));
+    d.corrupt_bit = static_cast<int>(
+        draw(seed, kSaltCorrupt, epoch, src, dst, seq, /*lane=*/2) % 64);
+  }
+  if (payload_doubles > 0 && e.truncate_probability > 0.0 &&
+      unit(draw(seed, kSaltTruncate, epoch, src, dst, seq)) <
+          e.truncate_probability) {
+    d.truncate = true;
+    d.truncate_len = static_cast<std::size_t>(
+        draw(seed, kSaltTruncate, epoch, src, dst, seq, /*lane=*/1) %
+        static_cast<std::uint64_t>(payload_doubles));
+    d.corrupt = false;  // truncation supersedes the bit flip
+  }
+  return d;
+}
+
+double FaultSchedule::slowdown(int rank) const {
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  return slowdowns_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t FaultSchedule::hold_until(int rank, std::uint64_t epoch) const {
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  std::uint64_t until = epoch;
+  for (const auto& s : stalls_[static_cast<std::size_t>(rank)]) {
+    if (s.first_epoch > epoch) break;  // sorted by start; none can cover
+    const std::uint64_t end = s.first_epoch + s.epochs;
+    if (epoch < end) until = std::max(until, end);
+  }
+  return until;
+}
+
+}  // namespace dsouth::faults

@@ -1,7 +1,9 @@
 #include "simmpi/runtime.hpp"
 
 #include <algorithm>
+#include <bit>
 
+#include "faults/fault_plan.hpp"
 #include "util/error.hpp"
 
 namespace dsouth::simmpi {
@@ -34,6 +36,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
     m_msgs_physical_ = trace::kInvalidMetric;
     m_msgs_logical_ = trace::kInvalidMetric;
     m_msgs_by_tag_.fill(trace::kInvalidMetric);
+    refresh_fault_metrics();
     return;
   }
   DSOUTH_CHECK(tracer->num_ranks() == num_ranks_);
@@ -53,6 +56,34 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
       m.register_metric("simmpi.msgs_residual", trace::MetricKind::kCounter);
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kOther)] =
       m.register_metric("simmpi.msgs_other", trace::MetricKind::kCounter);
+  refresh_fault_metrics();
+}
+
+void Runtime::set_fault_schedule(const faults::FaultSchedule* schedule) {
+  if (schedule) {
+    DSOUTH_CHECK(schedule->num_ranks() == num_ranks_);
+  }
+  faults_ = schedule;
+  refresh_fault_metrics();
+}
+
+void Runtime::refresh_fault_metrics() {
+  if (!tracer_ || !faults_) {
+    m_faults_dropped_ = trace::kInvalidMetric;
+    m_faults_duplicated_ = trace::kInvalidMetric;
+    m_faults_corrupted_ = trace::kInvalidMetric;
+    m_faults_reordered_ = trace::kInvalidMetric;
+    return;
+  }
+  auto& m = tracer_->metrics();
+  m_faults_dropped_ = m.register_metric("simmpi.faults_dropped",
+                                        trace::MetricKind::kCounter);
+  m_faults_duplicated_ = m.register_metric("simmpi.faults_duplicated",
+                                           trace::MetricKind::kCounter);
+  m_faults_corrupted_ = m.register_metric("simmpi.faults_corrupted",
+                                          trace::MetricKind::kCounter);
+  m_faults_reordered_ = m.register_metric("simmpi.faults_reordered",
+                                          trace::MetricKind::kCounter);
 }
 
 std::span<const Message> Runtime::window(int rank) const {
@@ -116,15 +147,17 @@ void Runtime::add_flops(int rank, double flops) {
 }
 
 void Runtime::fence() {
-  // Charge the machine model for this epoch.
+  // Charge the machine model for this epoch. A straggler rank's cost is
+  // multiplied by its slowdown before the max: the bulk-synchronous fence
+  // then runs at the straggler's pace.
   double max_rank_cost = 0.0;
   std::uint64_t epoch_total_msgs = 0;
   for (int r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
-    max_rank_cost =
-        std::max(max_rank_cost, model_.rank_cost(epoch_flops_[i],
-                                                 epoch_msgs_[i],
-                                                 epoch_bytes_[i]));
+    double rank_cost = model_.rank_cost(epoch_flops_[i], epoch_msgs_[i],
+                                        epoch_bytes_[i]);
+    if (faults_) rank_cost *= faults_->slowdown(r);
+    max_rank_cost = std::max(max_rank_cost, rank_cost);
     epoch_total_msgs += epoch_msgs_[i];
     epoch_flops_[i] = 0.0;
     epoch_msgs_[i] = 0;
@@ -135,13 +168,20 @@ void Runtime::fence() {
   model_time_ += last_epoch_seconds_;
   const std::uint64_t closed_epoch = epochs_;
   ++epochs_;
-  if (tracer_) {
-    // Merge the per-rank event lanes in (rank, record-order) order — the
-    // same deterministic order the staged puts merge in below — and stamp
-    // the fence event with the post-charge modeled time.
-    tracer_->end_epoch(closed_epoch, model_time_, last_epoch_seconds_,
-                       epoch_total_msgs);
-  }
+
+  // Fault-event hook: kFault events go into the SOURCE rank's trace lane
+  // (mid-merge, like the puts they describe) and are folded into the
+  // global stream by the end_epoch() below — which therefore runs AFTER
+  // the merge loop. For fault-free runs the merge loop records nothing,
+  // so the trace stream is byte-identical to the pre-fault ordering.
+  auto record_fault = [this, closed_epoch](int src, int dest, int action,
+                                           std::uint64_t seq, double detail) {
+    if (tracer_) {
+      tracer_->record(src, trace::EventKind::kFault, dest, action,
+                      static_cast<double>(seq), detail, closed_epoch,
+                      model_time_);
+    }
+  };
 
   // Per-message accounting, merged from the per-source staging lanes in
   // (source, send-order) order — exactly the chronological put order of a
@@ -164,6 +204,24 @@ void Runtime::fence() {
     for (auto& m : lane) {
       stats_.record_send(s, m.tag, message_bytes(m.payload.size()),
                          m.records);
+      faults::FaultDecision fd;
+      if (faults_) {
+        fd = faults_->decide(closed_epoch, s, m.dest, m.seq,
+                             m.payload.size());
+      }
+      if (fd.drop) {
+        // Dropped before the fabric: the sender still paid for the put
+        // (record_send above, machine-model bytes), but the delivery-delay
+        // RNG is NOT consumed — the drop decision replaces the delivery
+        // path entirely, and skipping the draw here keeps the fault hash
+        // draws and the delay stream mutually independent.
+        stats_.record_drop(s);
+        record_fault(s, m.dest, /*action=*/0, m.seq, 0.0);
+        if (tracer_) tracer_->metrics().add(m_faults_dropped_, s, 1.0);
+        stage_pools_[static_cast<std::size_t>(s)].release(
+            std::move(m.payload));
+        continue;
+      }
       std::uint64_t deliver_epoch = closed_epoch;  // matures at this fence
       if (delivery_.delay_probability > 0.0) {
         const double u = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
@@ -173,21 +231,73 @@ void Runtime::fence() {
                                      static_cast<std::uint64_t>(
                                          delivery_.max_delay_epochs));
           deliver_epoch = closed_epoch + extra;
-          ++delayed_in_flight_;
+        }
+      }
+      if (fd.reorder_extra > 0) {
+        deliver_epoch += static_cast<std::uint64_t>(fd.reorder_extra);
+        record_fault(s, m.dest, /*action=*/2, m.seq,
+                     static_cast<double>(fd.reorder_extra));
+        if (tracer_) tracer_->metrics().add(m_faults_reordered_, s, 1.0);
+      }
+      if (faults_) {
+        // A stalled sender's traffic is frozen until its stall window
+        // closes (composes with delay/reorder by taking the max).
+        const std::uint64_t hold = faults_->hold_until(s, closed_epoch);
+        if (hold != closed_epoch) {
+          record_fault(s, m.dest, /*action=*/5, m.seq,
+                       static_cast<double>(hold - closed_epoch));
+          deliver_epoch = std::max(deliver_epoch, hold);
         }
       }
       const auto ud = static_cast<std::size_t>(m.dest);
-      std::vector<double> delivered =
-          window_pools_[ud].acquire(m.payload.size());
-      std::copy(m.payload.begin(), m.payload.end(), delivered.begin());
+      const std::size_t delivered_len =
+          fd.truncate ? fd.truncate_len : m.payload.size();
+      std::vector<double> delivered = window_pools_[ud].acquire(delivered_len);
+      std::copy(m.payload.begin(),
+                m.payload.begin() + static_cast<std::ptrdiff_t>(delivered_len),
+                delivered.begin());
       stage_pools_[static_cast<std::size_t>(s)].release(
           std::move(m.payload));
+      if (fd.truncate) {
+        stats_.record_corrupt(s);
+        record_fault(s, m.dest, /*action=*/4, m.seq,
+                     static_cast<double>(delivered_len));
+        if (tracer_) tracer_->metrics().add(m_faults_corrupted_, s, 1.0);
+      } else if (fd.corrupt) {
+        double& slot = delivered[fd.corrupt_index];
+        slot = std::bit_cast<double>(std::bit_cast<std::uint64_t>(slot) ^
+                                     (1ULL << fd.corrupt_bit));
+        stats_.record_corrupt(s);
+        record_fault(s, m.dest, /*action=*/3, m.seq,
+                     static_cast<double>(fd.corrupt_index) * 64.0 +
+                         static_cast<double>(fd.corrupt_bit));
+        if (tracer_) tracer_->metrics().add(m_faults_corrupted_, s, 1.0);
+      }
       auto& sink =
           deliver_epoch < epochs_ ? fence_matured_[ud] : deferred_[ud];
-      sink.push_back(
-          Deferred{s, m.tag, m.seq, deliver_epoch, std::move(delivered)});
+      if (fd.duplicate) {
+        // Two identical deliveries with the same (source, seq) key: the
+        // stable maturation sort keeps them adjacent and in push order.
+        std::vector<double> dup = window_pools_[ud].acquire(delivered_len);
+        std::copy(delivered.begin(), delivered.end(), dup.begin());
+        stats_.record_duplicate(s);
+        record_fault(s, m.dest, /*action=*/1, m.seq, 0.0);
+        if (tracer_) tracer_->metrics().add(m_faults_duplicated_, s, 1.0);
+        sink.push_back(Deferred{s, m.tag, m.seq, deliver_epoch,
+                                arrival_counter_++, std::move(dup)});
+      }
+      sink.push_back(Deferred{s, m.tag, m.seq, deliver_epoch,
+                              arrival_counter_++, std::move(delivered)});
     }
     lane.clear();
+  }
+
+  if (tracer_) {
+    // Merge the per-rank event lanes in (rank, record-order) order — the
+    // same deterministic order the staged puts merged in above — and stamp
+    // the fence event with the post-charge modeled time.
+    tracer_->end_epoch(closed_epoch, model_time_, last_epoch_seconds_,
+                       epoch_total_msgs);
   }
 
   // Deliver matured messages (fresh plus previously-deferred ones whose
@@ -200,18 +310,22 @@ void Runtime::fence() {
     fence_keep_.clear();
     for (auto& d : held) {
       if (d.deliver_epoch < epochs_) {
-        DSOUTH_ASSERT(delayed_in_flight_ > 0);
-        --delayed_in_flight_;
         ready.push_back(std::move(d));
       } else {
         fence_keep_.push_back(std::move(d));
       }
     }
     held.swap(fence_keep_);
+    // Stable: duplicated messages share a (source, seq) key, and their
+    // delivery order must not depend on the sort's tie-breaking, so the
+    // arrival counter completes the key into a total order (equivalent to
+    // a stable sort, but in-place — std::stable_sort's temp buffer would
+    // cost an allocation per fence).
     std::sort(ready.begin(), ready.end(),
               [](const Deferred& a, const Deferred& b) {
                 if (a.source != b.source) return a.source < b.source;
-                return a.seq < b.seq;
+                if (a.seq != b.seq) return a.seq < b.seq;
+                return a.arrival < b.arrival;
               });
     auto& win = windows_[i];
     for (auto& d : ready) {
@@ -239,7 +353,12 @@ void Runtime::consume(int rank) {
 }
 
 void Runtime::drain_delayed() {
-  for (int i = 0; i <= delivery_.max_delay_epochs; ++i) {
+  // Terminates because deferred deliver_epochs are fixed finite values and
+  // every fence strictly increments epochs_; the guard turns a logic error
+  // (a schedule handing out ever-later hold epochs) into a check failure
+  // instead of a hang.
+  for (std::uint64_t guard = 0;; ++guard) {
+    DSOUTH_CHECK_MSG(guard < (1ULL << 20), "drain_delayed did not converge");
     bool any = false;
     for (const auto& lane : lanes_) {
       if (!lane.empty()) any = true;

@@ -42,6 +42,10 @@
 #include "simmpi/stats.hpp"
 #include "trace/trace.hpp"
 
+namespace dsouth::faults {
+class FaultSchedule;
+}
+
 namespace dsouth::simmpi {
 
 /// A delivered message as seen in the destination window.
@@ -124,11 +128,25 @@ class Runtime {
 
   std::uint64_t epochs_completed() const { return epochs_; }
 
-  /// Messages currently deferred by the delivery model.
-  std::uint64_t delayed_in_flight() const { return delayed_in_flight_; }
+  /// Messages currently held back — by the delivery model's delay draws
+  /// or by fault-injection reordering/stalls — awaiting a later fence.
+  std::uint64_t delayed_in_flight() const {
+    std::uint64_t n = 0;
+    for (const auto& held : deferred_) n += held.size();
+    return n;
+  }
 
-  /// Run extra empty fences until every deferred message has landed
-  /// (bounded by max_delay_epochs). No-op without a delivery model.
+  /// Run extra empty fences until every staged or deferred message has
+  /// landed in its destination window. Semantics:
+  ///   - puts staged since the last fence are fenced first (an implicit
+  ///     epoch close), then fences repeat while the delivery model or the
+  ///     fault schedule still holds messages in flight;
+  ///   - windows are NOT consumed — drained messages stay visible until
+  ///     the ranks call consume(), exactly as after a normal fence;
+  ///   - every extra fence charges the machine model for an (otherwise
+  ///     empty) epoch and increments epochs_completed(), so modeled time
+  ///     advances — drain before reading a "final" modeled time;
+  ///   - no-op when nothing is staged or deferred.
   void drain_delayed();
 
   const CommStats& stats() const { return stats_; }
@@ -154,6 +172,26 @@ class Runtime {
 
   /// The attached tracer, or nullptr.
   trace::Tracer* tracer() const { return tracer_; }
+
+  /// Attach a compiled fault-injection schedule (src/faults,
+  /// docs/resilience.md). Not owned; must outlive the runtime (or be
+  /// detached with nullptr). The schedule is consulted once per staged
+  /// message at fence time — drops, duplications, reordering, payload
+  /// corruption/truncation, stalls — and straggler slowdowns multiply the
+  /// per-rank epoch cost. Call before the first epoch, like set_tracer.
+  ///
+  /// Composition and determinism: fault draws are stateless hashes of
+  /// (epoch, src, dst, seq), so they neither consume nor perturb the
+  /// DeliveryModel's RNG stream, and runs are bit-identical across
+  /// execution backends. With no schedule attached (the default) every
+  /// hook is an inlined null test and behaviour is byte-identical to a
+  /// build that never heard of fault injection. When both a tracer and a
+  /// schedule are attached (either order), the runtime registers the
+  /// "simmpi.faults_*" counters and emits kFault trace events.
+  void set_fault_schedule(const faults::FaultSchedule* schedule);
+
+  /// The attached fault schedule, or nullptr.
+  const faults::FaultSchedule* fault_schedule() const { return faults_; }
 
   /// Record a solver-level event for `rank` (relax/absorb — see
   /// trace::EventKind). Inlined no-op when no tracer is attached. Safe to
@@ -215,8 +253,20 @@ class Runtime {
     MsgTag tag;
     std::uint64_t seq;
     std::uint64_t deliver_epoch;  // earliest fence that may deliver it
+    /// Push-order tiebreaker for the maturation sort: duplicated messages
+    /// share a (source, seq) key, and their delivery order must not depend
+    /// on the sort's tie-breaking. An explicit total order lets the fence
+    /// use in-place std::sort (std::stable_sort allocates a temp buffer
+    /// every call, which would break the allocation-free steady state).
+    std::uint64_t arrival;
     std::vector<double> payload;
   };
+
+  /// Register (or invalidate) the "simmpi.faults_*" metrics depending on
+  /// whether both a tracer and a fault schedule are attached. Idempotent;
+  /// called from set_tracer and set_fault_schedule so attach order does
+  /// not matter.
+  void refresh_fault_metrics();
 
   int num_ranks_;
   MachineModel model_;
@@ -234,8 +284,15 @@ class Runtime {
   trace::MetricId m_msgs_logical_ = trace::kInvalidMetric;
   std::array<trace::MetricId, kNumTags> m_msgs_by_tag_{
       trace::kInvalidMetric, trace::kInvalidMetric, trace::kInvalidMetric};
+  // Fault-injection counters, registered only when BOTH a tracer and a
+  // fault schedule are attached — so fault-free traces carry no fault
+  // metrics and stay byte-identical to pre-fault builds.
+  trace::MetricId m_faults_dropped_ = trace::kInvalidMetric;
+  trace::MetricId m_faults_duplicated_ = trace::kInvalidMetric;
+  trace::MetricId m_faults_corrupted_ = trace::kInvalidMetric;
+  trace::MetricId m_faults_reordered_ = trace::kInvalidMetric;
+  const faults::FaultSchedule* faults_ = nullptr;
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
-  std::uint64_t delayed_in_flight_ = 0;
   CommStats stats_;
   std::vector<std::vector<Message>> windows_;   // delivered, per rank
   std::vector<std::vector<Staged>> lanes_;      // pending, per SOURCE rank
@@ -249,6 +306,7 @@ class Runtime {
   // Fence scratch, hoisted so steady-state fences do not allocate.
   std::vector<std::vector<Deferred>> fence_matured_;  // per dest rank
   std::vector<Deferred> fence_keep_;
+  std::uint64_t arrival_counter_ = 0;  // Deferred::arrival source
   // Per-epoch accounting for the machine model.
   std::vector<double> epoch_flops_;
   std::vector<std::uint64_t> epoch_msgs_, epoch_bytes_;

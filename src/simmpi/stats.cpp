@@ -22,6 +22,11 @@ void CommStats::record_send(int source, MsgTag tag, std::uint64_t bytes,
   ++msgs_per_rank_[static_cast<std::size_t>(source)];
 }
 
+void CommStats::bump_fault(int source, std::uint64_t& counter) {
+  DSOUTH_CHECK(source >= 0 && source < num_ranks_);
+  ++counter;
+}
+
 std::uint64_t CommStats::total_messages() const {
   std::uint64_t sum = 0;
   for (auto m : msgs_by_tag_) sum += m;
@@ -67,6 +72,9 @@ void CommStats::reset() {
   msgs_by_tag_.fill(0);
   logical_by_tag_.fill(0);
   bytes_by_tag_.fill(0);
+  msgs_dropped_ = 0;
+  msgs_duplicated_ = 0;
+  msgs_corrupted_ = 0;
   for (auto& m : msgs_per_rank_) m = 0;
 }
 

@@ -40,6 +40,21 @@ class CommStats {
   void record_send(int source, MsgTag tag, std::uint64_t bytes,
                    std::uint64_t logical = 1);
 
+  /// Fault-injection accounting (src/faults, docs/resilience.md), written
+  /// by the runtime at the fence like record_send. Dropped/duplicated/
+  /// corrupted messages are *also* counted as sent — the sender paid for
+  /// the put — so these counters are a breakdown of delivery outcomes,
+  /// not a correction to the send totals. All stay 0 when no fault
+  /// schedule is attached.
+  void record_drop(int source) { bump_fault(source, msgs_dropped_); }
+  void record_duplicate(int source) { bump_fault(source, msgs_duplicated_); }
+  /// Counts bit-flip corruption and truncation alike.
+  void record_corrupt(int source) { bump_fault(source, msgs_corrupted_); }
+
+  std::uint64_t dropped_messages() const { return msgs_dropped_; }
+  std::uint64_t duplicated_messages() const { return msgs_duplicated_; }
+  std::uint64_t corrupted_messages() const { return msgs_corrupted_; }
+
   std::uint64_t total_messages() const;
   std::uint64_t total_messages(MsgTag tag) const;
   /// Wire records carried by the messages counted above. Equal to the
@@ -59,10 +74,15 @@ class CommStats {
   void reset();
 
  private:
+  void bump_fault(int source, std::uint64_t& counter);
+
   int num_ranks_;
   std::array<std::uint64_t, kNumTags> msgs_by_tag_{};
   std::array<std::uint64_t, kNumTags> logical_by_tag_{};
   std::array<std::uint64_t, kNumTags> bytes_by_tag_{};
+  std::uint64_t msgs_dropped_ = 0;
+  std::uint64_t msgs_duplicated_ = 0;
+  std::uint64_t msgs_corrupted_ = 0;
   std::vector<std::uint64_t> msgs_per_rank_;
 };
 

@@ -50,8 +50,19 @@ void write_jsonl(std::ostream& out, const TraceLog& log,
 
   // Version history: 1 = PR-2 schema (put/fence/relax/absorb);
   // 2 = adds "compute" events (flops charged via Runtime::add_flops) and
-  // the "simmpi.flops" counter, consumed by the analysis layer.
-  line = "{\"type\":\"header\",\"version\":2,";
+  // the "simmpi.flops" counter, consumed by the analysis layer;
+  // 3 = adds "fault" events (fault injection, src/faults). The header
+  // advertises 3 only when fault events are actually present, so traces
+  // of fault-free runs stay byte-identical to the version-2 schema.
+  bool has_fault_events = false;
+  for (const Event& e : log.events) {
+    if (e.kind == EventKind::kFault) {
+      has_fault_events = true;
+      break;
+    }
+  }
+  line = has_fault_events ? "{\"type\":\"header\",\"version\":3,"
+                          : "{\"type\":\"header\",\"version\":2,";
   append_kv(line, "num_ranks", log.num_ranks);
   line += ",";
   append_kv(line, "events", static_cast<std::uint64_t>(log.events.size()));
@@ -160,7 +171,10 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
 
   for (const Event& e : log.events) {
     const bool fence = e.kind == EventKind::kFence;
-    line = "{";
+    // clear()+append instead of assignment: GCC 12's -Wrestrict misfires
+    // on short const-char* assignments to a loop-carried string.
+    line.clear();
+    line += "{";
     append_kv(line, "name", std::string(event_kind_name(e.kind)));
     // Instant events, thread-scoped for rank events and process-scoped for
     // fences (Chrome requires a scope for ph:"i").
@@ -206,6 +220,16 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
       case EventKind::kCompute:
         line += ",";
         append_kv(line, "flops", e.a0);
+        break;
+      case EventKind::kFault:
+        line += ",";
+        append_kv(line, "dest", static_cast<int>(e.peer));
+        line += ",";
+        append_kv(line, "action", static_cast<int>(e.tag));
+        line += ",";
+        append_kv(line, "msg_seq", e.a0);
+        line += ",";
+        append_kv(line, "detail", e.a1);
         break;
     }
     if (opt.include_wall_clock) {

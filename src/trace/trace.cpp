@@ -18,6 +18,8 @@ const char* event_kind_name(EventKind kind) {
       return "absorb";
     case EventKind::kCompute:
       return "compute";
+    case EventKind::kFault:
+      return "fault";
   }
   return "?";
 }

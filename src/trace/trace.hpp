@@ -40,10 +40,18 @@ enum class EventKind : std::uint8_t {
   /// the analysis layer rebuild every per-rank epoch cost term of the α–β–γ
   /// model from the trace alone (src/analysis).
   kCompute = 4,
+  /// A fault-injection action applied to a staged message at the fence
+  /// (src/faults, docs/resilience.md), recorded by the Runtime into the
+  /// *source* rank's lane. `peer` = destination, `tag` = action code
+  /// (0 drop, 1 duplicate, 2 reorder, 3 corrupt, 4 truncate, 5 stall),
+  /// a0 = the message's per-source send seq, a1 = action detail (extra
+  /// epochs for reorder/stall, flipped-bit index for corrupt, delivered
+  /// length for truncate, 0 otherwise).
+  kFault = 5,
 };
-inline constexpr int kNumEventKinds = 5;
+inline constexpr int kNumEventKinds = 6;
 
-/// Returns "put"/"fence"/"relax"/"absorb"/"compute".
+/// Returns "put"/"fence"/"relax"/"absorb"/"compute"/"fault".
 const char* event_kind_name(EventKind kind);
 
 /// One trace record. All fields except `t_wall` are deterministic.

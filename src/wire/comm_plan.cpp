@@ -26,6 +26,7 @@ ChannelSet::ChannelSet(const CommPlan& plan, int rank)
     : plan_(&plan), rank_(rank) {
   DSOUTH_CHECK(rank >= 0 && rank < plan.num_ranks());
   buffers_.resize(plan.peers(rank).size());
+  send_seq_.assign(plan.peers(rank).size(), 0);
 }
 
 void ChannelSet::set_coalescing(bool on) {
@@ -33,7 +34,22 @@ void ChannelSet::set_coalescing(bool on) {
     DSOUTH_CHECK_MSG(buf.types.empty(),
                      "cannot toggle coalescing with records buffered");
   }
+  DSOUTH_CHECK_MSG(!(on && sequence_),
+                   "coalescing and sequencing are mutually exclusive");
   coalesce_ = on;
+}
+
+void ChannelSet::set_sequencing(bool on) {
+  DSOUTH_CHECK_MSG(!(on && coalesce_),
+                   "coalescing and sequencing are mutually exclusive");
+  DSOUTH_CHECK_MSG(pending_.empty(),
+                   "cannot toggle sequencing with unsealed envelopes");
+  sequence_ = on;
+}
+
+std::uint64_t ChannelSet::sent_seq(std::size_t k) const {
+  DSOUTH_CHECK(k < send_seq_.size());
+  return send_seq_[k];
 }
 
 std::size_t ChannelSet::buffered(std::size_t k) const {
@@ -48,6 +64,16 @@ MutableRecord ChannelSet::open(simmpi::RankContext& ctx, std::size_t k,
   const auto& peer = peers[k];
   const std::size_t len = encoded_doubles(t, peer.send_width);
   if (!coalesce_) {
+    if (sequence_) {
+      // Sequenced: the record rides inside a wire-v2 envelope. The
+      // envelope header (with this channel's next seq) is written now;
+      // the checksum is sealed at flush(), once the caller has filled
+      // the record body (the staged span stays valid until the fence).
+      auto out = ctx.stage(peer.rank, tag_of(t), kEnvelopeDoubles + len);
+      auto body = begin_envelope(out, send_seq_[k]++);
+      pending_.push_back(out);
+      return begin_record(t, norm2, gamma2, body, peer.send_width);
+    }
     // Direct: one physical put per record, encoded straight into the
     // runtime's pooled staging buffer (no copy — see Runtime::stage).
     auto out = ctx.stage(peer.rank, tag_of(t), len);
@@ -64,6 +90,10 @@ MutableRecord ChannelSet::open(simmpi::RankContext& ctx, std::size_t k,
 }
 
 void ChannelSet::flush(simmpi::RankContext& ctx) {
+  if (sequence_) {
+    for (auto span : pending_) seal_envelope(span);
+    pending_.clear();
+  }
   if (!coalesce_) return;
   const auto peers = plan_->peers(rank_);
   for (std::size_t k = 0; k < buffers_.size(); ++k) {

@@ -72,9 +72,24 @@ class ChannelSet {
   ChannelSet(const CommPlan& plan, int rank);
 
   /// Toggle coalescing. Must be called between epochs (checked: no
-  /// buffered records).
+  /// buffered records). Mutually exclusive with sequencing.
   void set_coalescing(bool on);
   bool coalescing() const { return coalesce_; }
+
+  /// Toggle sequenced envelopes (wire v2, resilient mode). When on, every
+  /// record ships wrapped in an envelope carrying a per-peer monotonically
+  /// increasing sequence number and a checksum (wire.hpp), which the
+  /// receiving solver uses to reject duplicated/stale/corrupted payloads
+  /// (docs/resilience.md). Envelope checksums are sealed at flush() —
+  /// call flush() at the end of every put phase that used open(), exactly
+  /// as in coalescing mode. Mutually exclusive with coalescing (an
+  /// enveloped frame would need per-frame and per-record sequencing; the
+  /// resilient path keeps one record per physical message instead).
+  void set_sequencing(bool on);
+  bool sequencing() const { return sequence_; }
+
+  /// Envelopes sent so far to peer `k` (== the next sequence number).
+  std::uint64_t sent_seq(std::size_t k) const;
 
   /// Begin a record of type `t` addressed to peer index `k` (plan order ==
   /// layout neighbor order). Direct mode: the record is staged into the
@@ -86,7 +101,10 @@ class ChannelSet {
   MutableRecord open(simmpi::RankContext& ctx, std::size_t k, RecordType t,
                      double norm2 = 0.0, double gamma2 = 0.0);
 
-  /// Ship buffered records (no-op in direct mode / for empty buffers).
+  /// Ship buffered records, and seal any unsealed envelope checksums
+  /// (sequencing mode — the staged spans stay valid until the fence, so
+  /// sealing here covers everything the phase encoded after open()).
+  /// No-op in plain direct mode / for empty buffers.
   /// One record goes out bare (byte-identical to direct mode); two or
   /// more go out as one frame counted as N logical messages. All records
   /// buffered for one peer must share a MsgTag (mixed-tag frames would
@@ -107,7 +125,10 @@ class ChannelSet {
   const CommPlan* plan_;
   int rank_;
   bool coalesce_ = false;
+  bool sequence_ = false;
   std::vector<PeerBuffer> buffers_;  ///< indexed like peers(rank_)
+  std::vector<std::uint64_t> send_seq_;    ///< per-peer envelope counters
+  std::vector<std::span<double>> pending_;  ///< envelopes awaiting seal
 };
 
 }  // namespace dsouth::wire

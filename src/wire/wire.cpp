@@ -1,5 +1,7 @@
 #include "wire/wire.hpp"
 
+#include <sstream>
+
 #include "util/error.hpp"
 
 namespace dsouth::wire {
@@ -7,7 +9,75 @@ namespace dsouth::wire {
 namespace {
 constexpr double kSolveDiscriminator = 0.0;
 constexpr double kResidualDiscriminator = 1.0;
+
+/// FNV-1a64 over the byte patterns of a run of doubles. Per-byte FNV
+/// steps are injective in the running hash, so flipping any single bit of
+/// the hashed fields changes the digest.
+std::uint64_t fnv1a64(std::uint64_t h, std::span<const double> values) {
+  for (double v : values) {
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= bits & 0xffULL;
+      h *= 0x100000001b3ULL;
+      bits >>= 8;
+    }
+  }
+  return h;
+}
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Safely read a double that should hold a non-negative integer <= `max`.
+/// Returns false for NaN, negative, fractional, or out-of-range values —
+/// corrupted payloads can hold any bit pattern, and casting such doubles
+/// to an integer type before validating them is undefined behaviour.
+bool integral_in_range(double v, double max, std::uint64_t& out) {
+  if (!(v >= 0.0 && v <= max)) return false;  // NaN fails both compares
+  const auto u = static_cast<std::uint64_t>(v);
+  if (static_cast<double>(u) != v) return false;
+  out = u;
+  return true;
+}
+
+/// Envelope checksum: FNV-1a64 over seq, inner_len, and the body — every
+/// field a receiver acts on, skipping the checksum slot itself
+/// (magic/version mismatches are caught by their own checks).
+std::uint64_t envelope_checksum(std::span<const double> payload) {
+  const std::uint64_t h = fnv1a64(kFnvOffsetBasis, payload.subspan(2, 2));
+  return fnv1a64(h, payload.subspan(kEnvelopeDoubles));
+}
 }  // namespace
+
+const char* decode_error_kind_name(DecodeErrorKind k) {
+  switch (k) {
+    case DecodeErrorKind::kTruncated:
+      return "truncated";
+    case DecodeErrorKind::kBadDiscriminator:
+      return "bad-discriminator";
+    case DecodeErrorKind::kBadLength:
+      return "bad-length";
+    case DecodeErrorKind::kBadVersion:
+      return "bad-version";
+    case DecodeErrorKind::kBadType:
+      return "bad-type";
+    case DecodeErrorKind::kBadCount:
+      return "bad-count";
+    case DecodeErrorKind::kTrailing:
+      return "trailing";
+    case DecodeErrorKind::kBadChecksum:
+      return "bad-checksum";
+  }
+  return "?";
+}
+
+void throw_decode_error(DecodeErrorKind kind, std::size_t offset,
+                        const std::string& detail) {
+  std::ostringstream os;
+  os << "dsouth wire decode error [" << decode_error_kind_name(kind)
+     << " at double " << offset << "]";
+  if (!detail.empty()) os << ": " << detail;
+  throw DecodeError(kind, offset, os.str());
+}
 
 const char* record_type_name(RecordType t) {
   switch (t) {
@@ -105,11 +175,27 @@ MutableRecord begin_record(RecordType t, double norm2, double gamma2,
 
 namespace detail {
 
+namespace {
+void check_discriminator(std::span<const double> body, double expected) {
+  if (body[0] != expected) {
+    std::ostringstream os;
+    os << "discriminator " << body[0] << ", expected " << expected;
+    throw_decode_error(DecodeErrorKind::kBadDiscriminator, 0, os.str());
+  }
+}
+}  // namespace
+
 Record decode_typed(RecordType t, std::span<const double> body,
                     std::size_t nb) {
-  DSOUTH_CHECK_MSG(body.size() == encoded_doubles(t, nb),
-                   record_type_name(t) << " record has " << body.size()
-                                       << " doubles, channel width " << nb);
+  if (body.size() != encoded_doubles(t, nb)) {
+    std::ostringstream os;
+    os << record_type_name(t) << " record has " << body.size()
+       << " doubles, channel width " << nb;
+    throw_decode_error(body.size() < encoded_doubles(t, nb)
+                           ? DecodeErrorKind::kTruncated
+                           : DecodeErrorKind::kBadLength,
+                       0, os.str());
+  }
   Record rec;
   rec.type = t;
   switch (t) {
@@ -117,23 +203,23 @@ Record decode_typed(RecordType t, std::span<const double> body,
       rec.dx = body;
       break;
     case RecordType::kNormUpdate:
-      DSOUTH_CHECK(body[0] == kSolveDiscriminator);
+      check_discriminator(body, kSolveDiscriminator);
       rec.norm2 = body[1];
       rec.dx = body.subspan(2, nb);
       break;
     case RecordType::kResidualNorm:
-      DSOUTH_CHECK(body[0] == kResidualDiscriminator);
+      check_discriminator(body, kResidualDiscriminator);
       rec.norm2 = body[1];
       break;
     case RecordType::kSolveUpdate:
-      DSOUTH_CHECK(body[0] == kSolveDiscriminator);
+      check_discriminator(body, kSolveDiscriminator);
       rec.norm2 = body[1];
       rec.gamma2 = body[2];
       rec.dx = body.subspan(3, nb);
       rec.rb = body.subspan(3 + nb, nb);
       break;
     case RecordType::kCorrection:
-      DSOUTH_CHECK(body[0] == kResidualDiscriminator);
+      check_discriminator(body, kResidualDiscriminator);
       rec.norm2 = body[1];
       rec.gamma2 = body[2];
       rec.rb = body.subspan(3, nb);
@@ -143,45 +229,85 @@ Record decode_typed(RecordType t, std::span<const double> body,
 }
 
 std::size_t check_frame_header(std::span<const double> payload) {
-  DSOUTH_CHECK(payload.size() >= kFrameHeaderDoubles);
-  const int version = static_cast<int>(payload[1]);
-  DSOUTH_CHECK_MSG(
-      payload[1] == static_cast<double>(version) && version >= 1 &&
-          version <= kWireVersion,
-      "frame version " << payload[1] << " not in [1, " << kWireVersion << "]");
-  const auto count = static_cast<std::size_t>(payload[2]);
-  DSOUTH_CHECK_MSG(payload[2] == static_cast<double>(count),
-                   "frame record count " << payload[2] << " not integral");
-  return count;
+  if (payload.size() < kFrameHeaderDoubles) {
+    throw_decode_error(DecodeErrorKind::kTruncated, 0,
+                       "frame header truncated");
+  }
+  std::uint64_t version = 0;
+  if (!integral_in_range(payload[1], kWireVersion, version) || version < 1) {
+    std::ostringstream os;
+    os << "frame version " << payload[1] << " not in [1, " << kWireVersion
+       << "]";
+    throw_decode_error(DecodeErrorKind::kBadVersion, 1, os.str());
+  }
+  std::uint64_t count = 0;
+  if (!integral_in_range(payload[2], 0x1.0p53, count)) {
+    std::ostringstream os;
+    os << "frame record count " << payload[2] << " not integral";
+    throw_decode_error(DecodeErrorKind::kBadCount, 2, os.str());
+  }
+  return static_cast<std::size_t>(count);
 }
 
 FrameEntry check_frame_entry(std::span<const double> payload, std::size_t off,
                              std::size_t nb) {
-  DSOUTH_CHECK_MSG(off + kFrameEntryDoubles <= payload.size(),
-                   "frame entry header truncated at " << off);
-  const int type_val = static_cast<int>(payload[off]);
-  DSOUTH_CHECK_MSG(payload[off] == static_cast<double>(type_val) &&
-                       type_val >= 0 && type_val < kNumRecordTypes,
-                   "frame entry has invalid record type " << payload[off]);
+  if (off + kFrameEntryDoubles > payload.size()) {
+    std::ostringstream os;
+    os << "frame entry header truncated at " << off;
+    throw_decode_error(DecodeErrorKind::kTruncated, off, os.str());
+  }
+  std::uint64_t type_val = 0;
+  if (!integral_in_range(payload[off], kNumRecordTypes - 1, type_val)) {
+    std::ostringstream os;
+    os << "frame entry has invalid record type " << payload[off];
+    throw_decode_error(DecodeErrorKind::kBadType, off, os.str());
+  }
   const auto t = static_cast<RecordType>(type_val);
-  const auto length = static_cast<std::size_t>(payload[off + 1]);
-  DSOUTH_CHECK_MSG(payload[off + 1] == static_cast<double>(length) &&
-                       length == encoded_doubles(t, nb),
-                   record_type_name(t)
-                       << " frame entry declares length " << payload[off + 1]
-                       << ", expected " << encoded_doubles(t, nb));
-  DSOUTH_CHECK_MSG(off + kFrameEntryDoubles + length <= payload.size(),
-                   record_type_name(t) << " frame entry body truncated");
+  std::uint64_t length_val = 0;
+  const bool length_ok =
+      integral_in_range(payload[off + 1], 0x1.0p53, length_val);
+  const auto length = static_cast<std::size_t>(length_val);
+  if (!length_ok || length != encoded_doubles(t, nb)) {
+    std::ostringstream os;
+    os << record_type_name(t) << " frame entry declares length "
+       << payload[off + 1] << ", expected " << encoded_doubles(t, nb);
+    throw_decode_error(DecodeErrorKind::kBadLength, off + 1, os.str());
+  }
+  if (off + kFrameEntryDoubles + length > payload.size()) {
+    std::ostringstream os;
+    os << record_type_name(t) << " frame entry body truncated";
+    throw_decode_error(DecodeErrorKind::kTruncated, off + kFrameEntryDoubles,
+                       os.str());
+  }
   return FrameEntry{t, length};
 }
 
 void check_frame_end(std::span<const double> payload, std::size_t off) {
-  DSOUTH_CHECK_MSG(off == payload.size(),
-                   "frame has " << payload.size() - off
-                                << " trailing doubles");
+  if (off != payload.size()) {
+    std::ostringstream os;
+    os << "frame has " << payload.size() - off << " trailing doubles";
+    throw_decode_error(DecodeErrorKind::kTrailing, off, os.str());
+  }
 }
 
 }  // namespace detail
+
+namespace {
+bool leading_discriminator(std::span<const double> payload,
+                           std::size_t min_doubles) {
+  if (payload.size() < min_doubles) {
+    throw_decode_error(DecodeErrorKind::kTruncated, 0,
+                       "record shorter than its family header");
+  }
+  const bool solve = payload[0] == kSolveDiscriminator;
+  if (!solve && payload[0] != kResidualDiscriminator) {
+    std::ostringstream os;
+    os << "discriminator " << payload[0] << " is neither 0 nor 1";
+    throw_decode_error(DecodeErrorKind::kBadDiscriminator, 0, os.str());
+  }
+  return solve;
+}
+}  // namespace
 
 Record decode_record(Family family, std::span<const double> payload,
                      std::size_t nb) {
@@ -189,17 +315,13 @@ Record decode_record(Family family, std::span<const double> payload,
     case Family::kDelta:
       return detail::decode_typed(RecordType::kGhostDelta, payload, nb);
     case Family::kNorm: {
-      DSOUTH_CHECK(payload.size() >= 2);
-      const bool solve = payload[0] == kSolveDiscriminator;
-      DSOUTH_CHECK(solve || payload[0] == kResidualDiscriminator);
+      const bool solve = leading_discriminator(payload, 2);
       return detail::decode_typed(
           solve ? RecordType::kNormUpdate : RecordType::kResidualNorm,
           payload, nb);
     }
     case Family::kEstimate: {
-      DSOUTH_CHECK(payload.size() >= 3);
-      const bool solve = payload[0] == kSolveDiscriminator;
-      DSOUTH_CHECK(solve || payload[0] == kResidualDiscriminator);
+      const bool solve = leading_discriminator(payload, 3);
       return detail::decode_typed(
           solve ? RecordType::kSolveUpdate : RecordType::kCorrection, payload,
           nb);
@@ -237,6 +359,68 @@ void encode_frame(std::span<const RecordType> types,
     body_off += lengths[i];
   }
   DSOUTH_CHECK(body_off == bodies.size());
+}
+
+std::span<double> begin_envelope(std::span<double> out, std::uint64_t seq) {
+  DSOUTH_CHECK(out.size() >= kEnvelopeDoubles);
+  // seq rides in a double; the per-channel counters a run can reach are
+  // far below 2^53, where every integer is exact.
+  DSOUTH_CHECK(seq < (1ULL << 53));
+  out[0] = envelope_magic();
+  out[1] = static_cast<double>(kWireVersionSequenced);
+  out[2] = static_cast<double>(seq);
+  out[3] = static_cast<double>(out.size() - kEnvelopeDoubles);
+  out[4] = 0.0;  // checksum slot, written by seal_envelope
+  return out.subspan(kEnvelopeDoubles);
+}
+
+void seal_envelope(std::span<double> out) {
+  DSOUTH_CHECK(out.size() >= kEnvelopeDoubles);
+  DSOUTH_CHECK(std::bit_cast<std::uint64_t>(out[0]) == kEnvelopeMagicBits);
+  out[4] = std::bit_cast<double>(envelope_checksum(out));
+}
+
+EnvelopeView decode_envelope(std::span<const double> payload) {
+  if (payload.size() < kEnvelopeDoubles) {
+    throw_decode_error(DecodeErrorKind::kTruncated, 0,
+                       "envelope header truncated");
+  }
+  if (std::bit_cast<std::uint64_t>(payload[0]) != kEnvelopeMagicBits) {
+    throw_decode_error(DecodeErrorKind::kBadDiscriminator, 0,
+                       "payload does not lead with the envelope magic");
+  }
+  std::uint64_t version = 0;
+  if (!integral_in_range(payload[1], kWireVersionSequenced, version) ||
+      version != kWireVersionSequenced) {
+    std::ostringstream os;
+    os << "envelope version " << payload[1] << ", expected "
+       << kWireVersionSequenced;
+    throw_decode_error(DecodeErrorKind::kBadVersion, 1, os.str());
+  }
+  std::uint64_t seq = 0;
+  if (!integral_in_range(payload[2], 0x1.0p53, seq)) {
+    std::ostringstream os;
+    os << "envelope seq " << payload[2] << " not integral";
+    throw_decode_error(DecodeErrorKind::kBadCount, 2, os.str());
+  }
+  std::uint64_t inner_len = 0;
+  const bool len_ok = integral_in_range(payload[3], 0x1.0p53, inner_len);
+  if (!len_ok || inner_len != payload.size() - kEnvelopeDoubles) {
+    std::ostringstream os;
+    os << "envelope declares body length " << payload[3] << ", carries "
+       << payload.size() - kEnvelopeDoubles;
+    throw_decode_error(len_ok &&
+                               inner_len > payload.size() - kEnvelopeDoubles
+                           ? DecodeErrorKind::kTruncated
+                           : DecodeErrorKind::kBadLength,
+                       3, os.str());
+  }
+  if (std::bit_cast<std::uint64_t>(payload[4]) !=
+      envelope_checksum(payload)) {
+    throw_decode_error(DecodeErrorKind::kBadChecksum, 4,
+                       "envelope checksum mismatch");
+  }
+  return EnvelopeView{seq, payload.subspan(kEnvelopeDoubles)};
 }
 
 }  // namespace dsouth::wire

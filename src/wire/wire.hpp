@@ -38,10 +38,13 @@
 /// vice versa.
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "simmpi/stats.hpp"
+#include "util/error.hpp"
 
 namespace dsouth::wire {
 
@@ -49,6 +52,50 @@ namespace dsouth::wire {
 /// explicitly; bare records are implicitly v1 (their layout is frozen —
 /// it is the byte-compatibility contract with the committed baselines).
 inline constexpr int kWireVersion = 1;
+
+/// Version advertised by sequenced envelopes (resilient mode, below).
+inline constexpr int kWireVersionSequenced = 2;
+
+// ---------------------------------------------------------------------------
+// Structured decode errors.
+
+/// Why a payload was rejected. Fault-injection tests and the
+/// `dsouth-analyze -check` gate assert on the *reason* a corrupted frame
+/// was refused, not just that it threw (docs/resilience.md).
+enum class DecodeErrorKind : int {
+  kTruncated = 0,        ///< payload shorter than the declared content
+  kBadDiscriminator,     ///< leading 0/1 (or envelope magic) mismatch
+  kBadLength,            ///< length field inconsistent with channel width
+  kBadVersion,           ///< frame/envelope version out of range
+  kBadType,              ///< frame entry names an unknown record type
+  kBadCount,             ///< non-integral count/seq field
+  kTrailing,             ///< frame walked clean but left extra doubles
+  kBadChecksum,          ///< envelope checksum mismatch (bit corruption)
+};
+
+const char* decode_error_kind_name(DecodeErrorKind k);
+
+/// Thrown by every decode-path validation in this file. Derives from
+/// util::CheckError so callers that treat malformed payloads as plain
+/// check failures keep working; resilience-aware callers catch it and
+/// read the structured reason.
+class DecodeError : public util::CheckError {
+ public:
+  DecodeError(DecodeErrorKind kind, std::size_t offset,
+              const std::string& what)
+      : util::CheckError(what), kind_(kind), offset_(offset) {}
+
+  DecodeErrorKind kind() const { return kind_; }
+  /// Offset of the offending field, in doubles from the payload start.
+  std::size_t offset() const { return offset_; }
+
+ private:
+  DecodeErrorKind kind_;
+  std::size_t offset_;
+};
+
+[[noreturn]] void throw_decode_error(DecodeErrorKind kind, std::size_t offset,
+                                     const std::string& detail);
 
 enum class RecordType : int {
   kGhostDelta = 0,    ///< boundary Δx only (BJ / MCBGS solve)
@@ -105,7 +152,7 @@ MutableRecord begin_record(RecordType t, double norm2, double gamma2,
 
 /// Decode a single bare (non-frame) record of `family` received on a
 /// channel of incoming width `nb`. Checks the discriminator and the exact
-/// payload length (DSOUTH_CHECK — malformed data throws, never misparses).
+/// payload length — malformed data throws DecodeError, never misparses.
 Record decode_record(Family family, std::span<const double> payload,
                      std::size_t nb);
 
@@ -143,6 +190,61 @@ void encode_frame(std::span<const RecordType> types,
 template <typename Fn>
 void for_each_record(Family family, std::span<const double> payload,
                      std::size_t nb, Fn&& fn);
+
+// ---------------------------------------------------------------------------
+// Sequenced envelopes (wire v2, resilient mode — docs/resilience.md).
+//
+// Under fault injection a receiver must detect duplicated, stale,
+// truncated, and bit-corrupted payloads. The envelope wraps one v1 record
+// in a fixed 5-double header:
+//
+//   [magic, version=2, seq, inner_len, checksum, body...]
+//
+// `magic` is a quiet NaN distinct from the frame magic (bit-exact
+// compare); `seq` is the per-channel send counter the receiver gates
+// duplicates/staleness on; `inner_len` pins the body length so
+// truncation is detected even when the truncated payload happens to be a
+// plausible record size; `checksum` is FNV-1a64 over the byte patterns
+// of seq, inner_len, and every body double — any single-bit flip in
+// those fields (or in the checksum itself) is detected. Envelopes are
+// opt-in per channel (ChannelSet::set_sequencing) and never appear on
+// the default path, so v1 byte layouts are untouched.
+
+/// Envelope magic: a quiet NaN one ULP away from the frame magic.
+inline constexpr std::uint64_t kEnvelopeMagicBits = 0x7ff8'd500'57e1'1ed2ULL;
+
+inline double envelope_magic() {
+  return std::bit_cast<double>(kEnvelopeMagicBits);
+}
+
+inline constexpr std::size_t kEnvelopeDoubles = 5;
+
+/// True when `payload` leads with the envelope magic.
+inline bool is_envelope(std::span<const double> payload) {
+  return payload.size() >= kEnvelopeDoubles &&
+         std::bit_cast<std::uint64_t>(payload[0]) == kEnvelopeMagicBits;
+}
+
+/// A validated envelope: the channel sequence number and the body span
+/// (aliasing the payload — valid as long as the message it came from).
+struct EnvelopeView {
+  std::uint64_t seq = 0;
+  std::span<const double> body;
+};
+
+/// Write the envelope header (magic, version, seq, inner length) into
+/// `out` and return the body span for the caller to encode the record
+/// into. The checksum slot is left unsealed: call seal_envelope(out)
+/// after the body is fully written (spans from stage() stay valid until
+/// the fence, so sealing may happen at channel flush).
+std::span<double> begin_envelope(std::span<double> out, std::uint64_t seq);
+
+/// Compute and store the checksum of a fully-written envelope.
+void seal_envelope(std::span<double> out);
+
+/// Validate magic, version, seq/length integrity, and checksum; returns
+/// the seq and body. Throws DecodeError with the rejection reason.
+EnvelopeView decode_envelope(std::span<const double> payload);
 
 // ---------------------------------------------------------------------------
 // Implementation details.

@@ -183,8 +183,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<index_t>(2, 3, 8, 27, 81, 324),
                        ::testing::Values<std::uint64_t>(1, 99)),
     [](const auto& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param));
+      // Built by append (not operator+ chains): GCC 12's -Wrestrict
+      // false-positives on const char* + std::string&& under -O3.
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_s";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
     });
 
 }  // namespace

@@ -49,6 +49,15 @@ DETERMINISTIC_FIELDS = [
 # invalidates an old baseline.
 OPTIONAL_DETERMINISTIC_FIELDS = [
     ("msgs_logical", False),
+    # Fault-injection totals (resilience_sweep; present only when a
+    # FaultSchedule was attached — fault draws are stateless hashes, so
+    # these are exactly reproducible).
+    ("msgs_dropped", False),
+    ("msgs_duplicated", False),
+    ("msgs_corrupted", False),
+    ("rejected_corrupt", False),
+    ("rejected_stale", False),
+    ("refreshes_sent", False),
 ]
 
 # Config fields that must agree for the comparison to be meaningful.

@@ -116,6 +116,30 @@ bool run_checks(const RunTrace& run, const RunAnalysis& a) {
   } else {
     check(false, "trace has simmpi.* counters (needed for comm cross-check)");
   }
+
+  // Fault-injection cross-checks: the runtime bumps one simmpi.faults_*
+  // counter per fault event it records (faults_corrupted covers both the
+  // corrupt and truncate actions; stalls have no counter), so the version-3
+  // event tallies must reproduce the metric totals exactly. Traces without
+  // the counters (fault-free runs, older captures) skip this block — the
+  // fault report is then all-zero and there is nothing to cross-check.
+  if (run.find_metric("simmpi.faults_dropped") != nullptr) {
+    using dsouth::analysis::FaultReport;
+    const auto& f = a.faults;
+    check(f.by_action[FaultReport::kDrop] ==
+              counter_total("simmpi.faults_dropped"),
+          "drop fault events == simmpi.faults_dropped");
+    check(f.by_action[FaultReport::kDuplicate] ==
+              counter_total("simmpi.faults_duplicated"),
+          "duplicate fault events == simmpi.faults_duplicated");
+    check(f.by_action[FaultReport::kReorder] ==
+              counter_total("simmpi.faults_reordered"),
+          "reorder fault events == simmpi.faults_reordered");
+    check(f.by_action[FaultReport::kCorrupt] +
+                  f.by_action[FaultReport::kTruncate] ==
+              counter_total("simmpi.faults_corrupted"),
+          "corrupt+truncate fault events == simmpi.faults_corrupted");
+  }
   return ok;
 }
 
