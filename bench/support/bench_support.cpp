@@ -103,6 +103,22 @@ void apply_backend_args(const util::ArgParser& args,
                    "-delay-prob must be in [0, 1]");
   DSOUTH_CHECK_MSG(opt.delivery.max_delay_epochs >= 1,
                    "-max-delay must be >= 1");
+  // Event-driven (asynchronous) delivery knobs: -async switches every
+  // solver to relax-on-arrival stepping with per-edge latency draws in
+  // [-min-latency, -max-latency] epochs, clamped by the -staleness bound
+  // (0 = bulk-synchronous timing). Async runs stay bit-identical across
+  // backends (stateless hash draws), but DO change the trajectory — like
+  // -delay-prob these are study knobs, not bit-identity knobs.
+  opt.async = args.has("async");
+  opt.max_staleness =
+      static_cast<std::uint64_t>(args.get_int_or("staleness", 4));
+  opt.async_min_latency = static_cast<int>(args.get_int_or("min-latency", 0));
+  opt.async_max_latency = static_cast<int>(args.get_int_or("max-latency", 3));
+  opt.async_seed = static_cast<std::uint64_t>(
+      args.get_int_or("async-seed", 0xA51CLL));
+  DSOUTH_CHECK_MSG(opt.async_min_latency >= 0 &&
+                       opt.async_min_latency <= opt.async_max_latency,
+                   "need 0 <= -min-latency <= -max-latency");
 }
 
 TraceCapture::TraceCapture(const util::ArgParser& args) {
@@ -276,6 +292,21 @@ void BenchRecorder::add_run(const std::string& label,
        << ",\"rejected_corrupt\":" << fs.rejected_corrupt
        << ",\"rejected_stale\":" << fs.rejected_stale
        << ",\"refreshes_sent\":" << fs.refreshes_sent;
+  }
+  // Async-delivery totals, present only when the run used the EventDriven
+  // policy (bulk-synchronous records stay byte-identical to the previous
+  // schema). Deterministic: latency draws are stateless hashes.
+  if (result.async_totals) {
+    const auto& at = *result.async_totals;
+    os << ",\"async_epochs\":" << at.epochs
+       << ",\"async_delivered\":" << at.delivered
+       << ",\"staleness_sum\":" << at.staleness_sum
+       << ",\"staleness_max\":" << at.staleness_max
+       << ",\"staleness_mean\":"
+       << util::json_number(at.delivered == 0
+                                ? 0.0
+                                : static_cast<double>(at.staleness_sum) /
+                                      static_cast<double>(at.delivered));
   }
   os << "},"
      << "\n   \"advisory\":{\"wall_seconds\":"

@@ -214,14 +214,28 @@ CriticalPathReport analyze_critical_path(const RunTrace& run,
   rep.model_matches = true;
 
   EpochScan scan(p);
+  std::uint64_t epoch_delivered = 0;
+  std::uint64_t epoch_staleness_max = 0;
   for (const trace::Event& e : run.events) {
     if (e.kind != trace::EventKind::kFence) {
+      // Non-fence delivery (version-4 traces): a deliver event marks data
+      // maturing this epoch whose send cost was charged when it was put —
+      // tallied per step so the attribution can point at stale arrivals.
+      if (e.kind == trace::EventKind::kDeliver) {
+        epoch_delivered += 1;
+        epoch_staleness_max =
+            std::max(epoch_staleness_max, static_cast<std::uint64_t>(e.a0));
+      }
       scan.add(e);
       continue;
     }
     CriticalPathReport::Step step;
     step.epoch = e.epoch;
     step.recorded_seconds = e.a0;
+    step.async_delivered = epoch_delivered;
+    step.async_staleness_max = epoch_staleness_max;
+    epoch_delivered = 0;
+    epoch_staleness_max = 0;
     // Reproduce the fence's accounting loop (runtime.cpp): running max in
     // rank order (so ties pick the lowest rank) and the epoch's aggregate
     // message count.
@@ -404,6 +418,46 @@ FaultReport analyze_faults(const RunTrace& run) {
   }
   if (const MetricSeries* m = run.find_metric("simmpi.faults_reordered")) {
     rep.metric_reordered = m->total();
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// (f) Asynchronous delivery
+// ---------------------------------------------------------------------------
+
+AsyncReport analyze_async(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  AsyncReport rep;
+  rep.by_dest.assign(static_cast<std::size_t>(run.num_ranks), 0);
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kDeliver) continue;
+    DSOUTH_CHECK(e.rank >= 0 &&
+                 e.rank < static_cast<std::int32_t>(run.num_ranks));
+    DSOUTH_CHECK(e.peer >= 0 &&
+                 e.peer < static_cast<std::int32_t>(run.num_ranks));
+    const auto staleness = static_cast<std::uint64_t>(e.a0);
+    if (staleness >= rep.staleness_histogram.size()) {
+      rep.staleness_histogram.resize(
+          static_cast<std::size_t>(staleness) + 1, 0);
+    }
+    rep.staleness_histogram[static_cast<std::size_t>(staleness)] += 1;
+    rep.by_dest[static_cast<std::size_t>(e.rank)] += 1;
+    rep.delivered += 1;
+    rep.staleness_sum += staleness;
+    rep.staleness_max = std::max(rep.staleness_max, staleness);
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.async_delivered")) {
+    rep.metric_delivered = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.async_staleness_sum")) {
+    rep.metric_staleness_sum = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.async_staleness_max")) {
+    // Per-rank gauge: the run-wide figure is the max slot, not the sum.
+    double mx = 0.0;
+    for (double v : m->per_rank) mx = std::max(mx, v);
+    rep.metric_staleness_max = mx;
   }
   return rep;
 }

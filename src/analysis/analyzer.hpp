@@ -138,6 +138,15 @@ struct CriticalPathReport {
     double recorded_seconds = 0.0;  ///< fence event a0
     double modeled_seconds = 0.0;   ///< recomputed from events
     CostTerm dominant = CostTerm::kSync;
+    /// Non-fence delivery (version-4 "deliver" events): messages that
+    /// matured at THIS fence after an event-driven latency draw, and the
+    /// worst staleness among them. The α/β cost of those messages was
+    /// charged in their send epoch (above), so an epoch can be network-
+    /// dominated by traffic whose data only takes effect here — these two
+    /// fields are what lets the attribution say so. Zero for
+    /// bulk-synchronous traces.
+    std::uint64_t async_delivered = 0;
+    std::uint64_t async_staleness_max = 0;
   };
 
   int num_ranks = 0;
@@ -235,5 +244,44 @@ struct FaultReport {
 };
 
 FaultReport analyze_faults(const RunTrace& run);
+
+// ---------------------------------------------------------------------------
+// (f) Asynchronous delivery (simmpi EventDriven policy)
+// ---------------------------------------------------------------------------
+
+/// Tally of the version-4 "deliver" events the runtime records when the
+/// EventDriven delivery policy is attached (trace.hpp: rank = destination,
+/// peer = source, tag = MsgTag code, a0 = staleness in epochs, a1 = payload
+/// doubles). Empty/zero for bulk-synchronous traces — the renderers emit an
+/// async section only when any() is true.
+struct AsyncReport {
+  std::uint64_t delivered = 0;      ///< total matured deliveries
+  std::uint64_t staleness_sum = 0;  ///< Σ staleness over deliveries
+  std::uint64_t staleness_max = 0;
+  /// staleness_histogram[s] = deliveries that arrived s epochs after they
+  /// were staged; size = staleness_max + 1 (empty when no deliver events).
+  /// Index 0 counts on-time (next-fence) deliveries, so the histogram's
+  /// tail is exactly the asynchrony the staleness bound permitted.
+  std::vector<std::uint64_t> staleness_histogram;
+  /// Deliveries per destination rank (who consumed stale data).
+  std::vector<std::uint64_t> by_dest;
+
+  bool any() const { return delivered > 0; }
+  double mean_staleness() const {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(staleness_sum) /
+                                static_cast<double>(delivered);
+  }
+
+  /// The runtime's simmpi.async_* metric totals, when the trace carries
+  /// them (cross-checked against the event tallies by `dsouth-analyze
+  /// -check`). metric_staleness_max is the max over the per-rank gauge
+  /// slots, not a sum.
+  std::optional<double> metric_delivered;
+  std::optional<double> metric_staleness_sum;
+  std::optional<double> metric_staleness_max;
+};
+
+AsyncReport analyze_async(const RunTrace& run);
 
 }  // namespace dsouth::analysis

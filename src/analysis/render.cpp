@@ -27,6 +27,7 @@ RunAnalysis analyze_run(const RunTrace& run, const AnalyzeOptions& opt) {
   a.critical_path = analyze_critical_path(run, opt.model);
   a.convergence = analyze_convergence(run);
   a.faults = analyze_faults(run);
+  a.async = analyze_async(run);
   return a;
 }
 
@@ -147,6 +148,21 @@ void render_ascii(std::ostream& os, const RunAnalysis& a,
     os << "\n";
   }
 
+  // --- (f) async delivery (only for traces with deliver events) ---
+  if (a.async.any()) {
+    os << "\n--- Async delivery (" << a.async.delivered
+       << " matured messages) ---\n";
+    os << "Staleness (epochs from staging to delivery): mean "
+       << format_double(a.async.mean_staleness(), 3) << ", max "
+       << a.async.staleness_max << "\n";
+    util::Table sh({"staleness", "deliveries"});
+    for (std::size_t s = 0; s < a.async.staleness_histogram.size(); ++s) {
+      sh.row().cell(s);
+      sh.cell(static_cast<std::size_t>(a.async.staleness_histogram[s]));
+    }
+    sh.print(os);
+  }
+
   // --- (c) critical path ---
   os << "\n--- Critical path (T_step = max_p(flops*c + msgs*a + bytes*b) + "
         "gamma*msgs/P + sigma) ---\n";
@@ -191,6 +207,17 @@ void render_ascii(std::ostream& os, const RunAnalysis& a,
     os << " r" << r << "=" << n;
   }
   os << "\n";
+  if (a.async.any()) {
+    // Non-fence delivery context: how much of the path ran on data that
+    // matured late (sent in an earlier epoch than it took effect).
+    std::uint64_t late_epochs = 0;
+    for (const auto& s : a.critical_path.steps) {
+      if (s.async_delivered > 0 && s.async_staleness_max > 0) ++late_epochs;
+    }
+    os << "Async arrivals: " << late_epochs << " of "
+       << a.critical_path.steps.size()
+       << " epochs consumed data staged in an earlier epoch\n";
+  }
 
   // --- (d) convergence ---
   os << "\n--- Convergence (trace-side residual estimate) ---\n";
@@ -514,6 +541,12 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
     kv(out, "recorded_seconds", s.recorded_seconds);
     kv(out, "modeled_seconds", s.modeled_seconds);
     kv_s(out, "dominant", cost_term_name(s.dominant));
+    if (a.async.any()) {
+      // Per-step non-fence delivery; keys appear only for async traces so
+      // bulk-synchronous JSON stays byte-identical.
+      kv_u(out, "async_delivered", s.async_delivered);
+      kv_u(out, "async_staleness_max", s.async_staleness_max);
+    }
     out += '}';
   }
   out += "]}";
@@ -580,6 +613,37 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
     }
     if (a.faults.metric_reordered) {
       kv(out, "metric_reordered", *a.faults.metric_reordered);
+    }
+    out += '}';
+  }
+
+  // (f) async delivery — likewise emitted only when the trace carried
+  // deliver events, so bulk-synchronous analysis JSON stays byte-identical.
+  if (a.async.any()) {
+    out += ",\"async\":{";
+    kv_u(out, "delivered", a.async.delivered, true);
+    kv_u(out, "staleness_sum", a.async.staleness_sum);
+    kv_u(out, "staleness_max", a.async.staleness_max);
+    kv(out, "mean_staleness", a.async.mean_staleness());
+    out += ",\"staleness_histogram\":[";
+    for (std::size_t s = 0; s < a.async.staleness_histogram.size(); ++s) {
+      if (s) out += ',';
+      out += std::to_string(a.async.staleness_histogram[s]);
+    }
+    out += "],\"by_dest\":[";
+    for (int r = 0; r < a.num_ranks; ++r) {
+      if (r) out += ',';
+      out += std::to_string(a.async.by_dest[static_cast<std::size_t>(r)]);
+    }
+    out += ']';
+    if (a.async.metric_delivered) {
+      kv(out, "metric_delivered", *a.async.metric_delivered);
+    }
+    if (a.async.metric_staleness_sum) {
+      kv(out, "metric_staleness_sum", *a.async.metric_staleness_sum);
+    }
+    if (a.async.metric_staleness_max) {
+      kv(out, "metric_staleness_max", *a.async.metric_staleness_max);
     }
     out += '}';
   }

@@ -28,6 +28,9 @@ struct RunAnalysis {
   /// Fault-injection tallies; all-zero (and omitted from every renderer)
   /// for fault-free traces, so fault-free output is unchanged.
   FaultReport faults;
+  /// Async-delivery tallies (staleness histogram); all-zero and omitted
+  /// for bulk-synchronous traces, keeping their output unchanged.
+  AsyncReport async;
 };
 
 struct AnalyzeOptions {

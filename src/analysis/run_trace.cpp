@@ -44,10 +44,11 @@ namespace {
 /// The JSONL versions this reader understands. Version 1 traces (pre
 /// "compute" events) still parse; the critical-path report then sees zero
 /// flops and says so (RunTrace::version lets callers warn). Version 3
-/// adds "fault" events (fault injection, src/faults) — parse_kind picks
-/// them up through the shared event-kind table.
+/// adds "fault" events (fault injection, src/faults); version 4 adds
+/// "deliver" events (asynchronous delivery, simmpi/delivery.hpp) — both
+/// picked up through the shared event-kind table in parse_kind.
 constexpr int kMinVersion = 1;
-constexpr int kMaxVersion = 3;
+constexpr int kMaxVersion = 4;
 
 trace::EventKind parse_kind(const std::string& name) {
   for (int k = 0; k < trace::kNumEventKinds; ++k) {

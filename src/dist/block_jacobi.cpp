@@ -64,8 +64,26 @@ void BlockJacobi::rank_absorb(simmpi::RankContext& ctx, int p) {
   ctx.consume();
 }
 
+void BlockJacobi::absorb_all() {
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+}
+
 DistStepStats BlockJacobi::step() {
   resil_begin_step();
+  if (async_mode()) {
+    // Relax-on-arrival: absorb whatever matured at earlier fences, relax
+    // on that (staleness-bounded) state, fence once. Messages sent here
+    // land whenever the delivery policy's virtual clock says they do.
+    for_each_rank([this](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+      rank_relax(ctx, p);
+    });
+    rt_->fence();
+    return merge_rank_stats();
+  }
+
   // Relax everywhere and write boundary updates.
   for_each_rank([this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);

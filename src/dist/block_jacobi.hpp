@@ -19,6 +19,7 @@ class BlockJacobi final : public DistStationarySolver {
 
   DistStepStats step() override;
   const char* name() const override { return "BlockJacobi"; }
+  void absorb_all() override;
 
  private:
   // Message p -> q: payload = Δx at p's boundary rows w.r.t. q, ordered by

@@ -251,8 +251,35 @@ void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
   ctx.consume();
 }
 
+void DistributedSouthwell::absorb_all() {
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+}
+
 DistStepStats DistributedSouthwell::step() {
   resil_begin_step();
+  if (async_mode()) {
+    // Relax-on-arrival: absorb what matured, relax where ‖r_p‖² is
+    // maximal among the (staleness-bounded) Γ estimates, and fold the
+    // deadlock-avoidance corrections into the SAME epoch. Ordering keeps
+    // Γ̃ correct: rank_relax sets Γ̃[q] = norm2_new for every neighbor it
+    // messaged, so rank_correct right after only fires for genuinely
+    // uncorrected overestimates. Out-of-order arrival is handled by the
+    // resilient absorb path (sequence gating + absolute-x encoding) the
+    // driver enables for asynchronous runs.
+    ++step_count_;
+    const bool heartbeat = opt_.heartbeat_period > 0 &&
+                           step_count_ % opt_.heartbeat_period == 0;
+    for_each_rank([this, heartbeat](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+      rank_relax(ctx, p);
+      if (opt_.enable_corrections) rank_correct(ctx, p, heartbeat);
+    });
+    rt_->fence();
+    return merge_rank_stats();
+  }
+
   // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
   for_each_rank([this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);

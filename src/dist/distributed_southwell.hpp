@@ -64,6 +64,7 @@ class DistributedSouthwell final : public DistStationarySolver {
 
   DistStepStats step() override;
   const char* name() const override { return "DistributedSouthwell"; }
+  void absorb_all() override;
 
   /// Rejects the combination with send_threshold: deferral accumulates
   /// unsent Δx, which contradicts the resilient absolute-x encoding

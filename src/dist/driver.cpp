@@ -5,6 +5,7 @@
 #include "dist/block_jacobi.hpp"
 #include "dist/multicolor_block_gs.hpp"
 #include "dist/parallel_southwell.hpp"
+#include "simmpi/delivery.hpp"
 #include "util/error.hpp"
 #include "util/interp.hpp"
 #include "util/stopwatch.hpp"
@@ -110,6 +111,19 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
                               std::span<const value_t> x0,
                               const DistRunOptions& opt) {
   simmpi::Runtime rt(layout.num_ranks(), opt.machine, opt.delivery);
+  // The delivery policy must be attached before the tracer (so the async
+  // metrics register) and before the solver (so async_mode() is stable
+  // from construction on).
+  std::unique_ptr<simmpi::EventDrivenPolicy> async_policy;
+  if (opt.async) {
+    simmpi::EventDrivenOptions eo;
+    eo.seed = opt.async_seed;
+    eo.min_latency_epochs = opt.async_min_latency;
+    eo.max_latency_epochs = opt.async_max_latency;
+    eo.max_staleness = opt.max_staleness;
+    async_policy = std::make_unique<simmpi::EventDrivenPolicy>(eo);
+    rt.set_delivery_policy(async_policy.get());
+  }
   // The tracer must be attached before the solver is constructed so solver
   // ctors can register their metrics.
   std::unique_ptr<trace::Tracer> tracer;
@@ -129,10 +143,15 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
   auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
   auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
   solver->set_backend(*backend);
-  DSOUTH_CHECK_MSG(!(opt.resilience.enabled && opt.coalesce_messages),
+  // Async delivery forces the resilient receive path: maturation is
+  // out-of-order by construction, and the seq-gated absolute-x encoding is
+  // what keeps ghost caches and DS's Γ̃ bookkeeping correct under it.
+  ResilienceOptions resilience = opt.resilience;
+  if (opt.async) resilience.enabled = true;
+  DSOUTH_CHECK_MSG(!(resilience.enabled && opt.coalesce_messages),
                    "resilience and message coalescing are incompatible");
   if (opt.coalesce_messages) solver->set_message_coalescing(true);
-  if (opt.resilience.enabled) solver->set_resilience(opt.resilience);
+  if (resilience.enabled) solver->set_resilience(resilience);
 
   DistRunResult result;
   result.method = method_name(method);
@@ -192,6 +211,14 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
       }
     }
   }
+  if (rt.async_delivery()) {
+    // Deliver everything still maturing and fold it into the iterate so
+    // final_x and the totals below describe a fully-drained run. (Gated on
+    // the runtime, not opt.async: a staleness-0 policy degenerates to
+    // bulk-synchronous delivery and must add nothing to the trace.)
+    rt.drain_delayed();
+    solver->absorb_all();
+  }
   result.final_x = solver->gather_x();
   const simmpi::CommStats& cs = rt.stats();
   result.comm_totals.msgs = cs.total_messages();
@@ -215,6 +242,14 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     fs.rejected_stale = rs.rejected_stale;
     fs.refreshes_sent = rs.refreshes_sent;
     result.fault_summary = fs;
+  }
+  if (rt.async_delivery()) {
+    AsyncTotals at;
+    at.delivered = cs.async_delivered();
+    at.staleness_sum = cs.async_staleness_sum();
+    at.staleness_max = cs.async_staleness_max();
+    at.epochs = rt.epochs_completed();
+    result.async_totals = at;
   }
   if (tracer) {
     tracer->flush();

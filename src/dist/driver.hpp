@@ -68,6 +68,16 @@ struct FaultSummary {
   std::uint64_t refreshes_sent = 0;
 };
 
+/// End-of-run asynchronous-delivery accounting, present iff the run used
+/// the EventDriven policy (`DistRunOptions::async`). Counts come from the
+/// runtime's CommStats; all integers, deterministic across backends.
+struct AsyncTotals {
+  std::uint64_t delivered = 0;      ///< messages matured after a latency draw
+  std::uint64_t staleness_sum = 0;  ///< Σ (deliver epoch − staged epoch)
+  std::uint64_t staleness_max = 0;  ///< worst observed staleness, in epochs
+  std::uint64_t epochs = 0;         ///< total epochs the run closed
+};
+
 struct DistRunOptions {
   index_t max_parallel_steps = 50;  ///< the paper runs 50 everywhere
   /// Stop as soon as the recorded residual reaches this value (0 = run all
@@ -80,6 +90,28 @@ struct DistRunOptions {
   /// Optional weak-delivery model (message delays) for robustness studies;
   /// defaults to faithful bulk-synchronous delivery.
   simmpi::DeliveryModel delivery{};
+  /// Event-driven (asynchronous) delivery: attach an EventDrivenPolicy to
+  /// the runtime and switch every solver to its relax-on-arrival step
+  /// (one fused epoch per parallel step). Latency draws are stateless
+  /// SplitMix64 hashes, so async runs are bit-identical across execution
+  /// backends. Resilience is auto-enabled (async arrival is out-of-order
+  /// by construction, and the seq-gated absolute-x receive path is what
+  /// keeps DS's Γ̃ bookkeeping correct); this inherits resilience's
+  /// incompatibilities (coalescing, DS send_threshold).
+  bool async = false;
+  /// Seed for the per-edge latency draws (async only).
+  std::uint64_t async_seed = 0xA51CULL;
+  /// Uniform extra-latency window, in epochs, for async message
+  /// maturation: each message draws from [min, max] (async only).
+  int async_min_latency = 0;
+  int async_max_latency = 3;
+  /// Hard bound enforced by the runtime on message staleness: a message
+  /// staged at epoch e is delivered no later than the fence closing epoch
+  /// e + max_staleness, whatever the latency draw said. 0 degenerates the
+  /// policy to BulkSynchronous outright (BSP solver stepping, no deliver
+  /// events, no async totals) — the run is then byte-identical to a
+  /// non-async run with resilience enabled. Async only.
+  std::uint64_t max_staleness = 4;
   DistributedSouthwellOptions ds{};
   /// Parallel Southwell ablation: disable explicit residual updates
   /// (the deadlock-prone Ref. [18] scheme).
@@ -160,6 +192,8 @@ struct DistRunResult {
   std::shared_ptr<const trace::TraceLog> trace_log;
   /// Fault/recovery totals iff a nonzero FaultPlan was attached.
   std::optional<FaultSummary> fault_summary;
+  /// Async-delivery totals iff the run used the EventDriven policy.
+  std::optional<AsyncTotals> async_totals;
   /// Watchdog outcome (default-constructed / not fired unless enabled).
   WatchdogReport watchdog;
 

@@ -80,11 +80,33 @@ void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
   ctx.consume();
 }
 
+void MulticolorBlockGs::absorb_all() {
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+}
+
 DistStepStats MulticolorBlockGs::step() {
   resil_begin_step();
-  const auto& ranks = color_ranks_[static_cast<std::size_t>(next_color_)];
+  const int color = next_color_;
   next_color_ = (next_color_ + 1) % num_colors();
 
+  if (async_mode()) {
+    // Relax-on-arrival: every rank absorbs what matured, the current
+    // color relaxes on that (staleness-bounded) state, one fence. The
+    // color rotation is unchanged — only delivery timing loosens.
+    for_each_rank([this, color](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+      if (static_cast<int>(coloring_.color[static_cast<std::size_t>(p)]) ==
+          color) {
+        rank_relax(ctx, p);
+      }
+    });
+    rt_->fence();
+    return merge_rank_stats();
+  }
+
+  const auto& ranks = color_ranks_[static_cast<std::size_t>(color)];
   for_ranks(ranks, [this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);
   });

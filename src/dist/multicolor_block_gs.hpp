@@ -28,6 +28,7 @@ class MulticolorBlockGs final : public DistStationarySolver {
   /// subdomains takes num_colors() steps.
   DistStepStats step() override;
   const char* name() const override { return "MulticolorBlockGs"; }
+  void absorb_all() override;
 
   int num_colors() const { return static_cast<int>(coloring_.num_colors); }
   int current_color() const { return next_color_; }

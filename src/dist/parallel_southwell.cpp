@@ -140,8 +140,29 @@ void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
   ctx.consume();
 }
 
+void ParallelSouthwell::absorb_all() {
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+}
+
 DistStepStats ParallelSouthwell::step() {
   resil_begin_step();
+  if (async_mode()) {
+    // Relax-on-arrival: absorb what matured, relax where the criterion
+    // holds on the (staleness-bounded) Γ view, and fold the explicit
+    // residual updates into the SAME epoch — after relaxing, the
+    // advertised norm is already current, so the update only fires when
+    // absorption alone changed the norm (or a resilient refresh is due).
+    for_each_rank([this](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+      rank_relax(ctx, p);
+      if (explicit_residual_updates_) rank_residual_update(ctx, p);
+    });
+    rt_->fence();
+    return merge_rank_stats();
+  }
+
   // ---- Epoch A: relax where the Parallel Southwell criterion holds.
   for_each_rank([this](simmpi::RankContext& ctx, int p) {
     rank_relax(ctx, p);

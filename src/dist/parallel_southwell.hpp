@@ -33,6 +33,7 @@ class ParallelSouthwell final : public DistStationarySolver {
 
   DistStepStats step() override;
   const char* name() const override { return "ParallelSouthwell"; }
+  void absorb_all() override;
 
  private:
   // Wire records (encodings in wire/wire.hpp):

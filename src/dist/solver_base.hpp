@@ -88,8 +88,22 @@ class DistStationarySolver {
   DistStationarySolver& operator=(const DistStationarySolver&) = delete;
 
   /// Advance one parallel step (including its fences).
+  ///
+  /// Under a BulkSynchronous delivery policy this is the paper's stepping:
+  /// one or two epochs with every message delivered at its closing fence.
+  /// Under an EventDriven policy (async_mode()) every solver switches to
+  /// single-epoch relax-on-arrival stepping: absorb whatever matured into
+  /// the window, relax on the (possibly stale, staleness-bounded) state,
+  /// fold any phase-B traffic into the same epoch, fence once.
   virtual DistStepStats step() = 0;
   virtual const char* name() const = 0;
+
+  /// Absorb every message currently sitting in the windows, without
+  /// fencing. Asynchronous runs call this after Runtime::drain_delayed()
+  /// so the final iterate and residuals reflect all in-flight traffic;
+  /// bulk-synchronous steps never leave messages behind. Default no-op
+  /// for solvers without an absorb phase.
+  virtual void absorb_all() {}
 
   const DistLayout& layout() const { return *layout_; }
   simmpi::Runtime& runtime() { return *rt_; }
@@ -131,6 +145,10 @@ class DistStationarySolver {
   std::span<const value_t> local_r(int p) const { return r_[p]; }
 
  protected:
+  /// True when the runtime's delivery policy is EventDriven — the cue for
+  /// step() implementations to take their single-epoch async path.
+  bool async_mode() const { return rt_->async_delivery(); }
+
   /// Run fn(ctx, p) for every rank p via the backend (one epoch phase).
   void for_each_rank(
       const std::function<void(simmpi::RankContext&, int)>& fn);

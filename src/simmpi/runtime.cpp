@@ -37,6 +37,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
     m_msgs_logical_ = trace::kInvalidMetric;
     m_msgs_by_tag_.fill(trace::kInvalidMetric);
     refresh_fault_metrics();
+    refresh_async_metrics();
     return;
   }
   DSOUTH_CHECK(tracer->num_ranks() == num_ranks_);
@@ -57,6 +58,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
   m_msgs_by_tag_[static_cast<std::size_t>(MsgTag::kOther)] =
       m.register_metric("simmpi.msgs_other", trace::MetricKind::kCounter);
   refresh_fault_metrics();
+  refresh_async_metrics();
 }
 
 void Runtime::set_fault_schedule(const faults::FaultSchedule* schedule) {
@@ -65,6 +67,34 @@ void Runtime::set_fault_schedule(const faults::FaultSchedule* schedule) {
   }
   faults_ = schedule;
   refresh_fault_metrics();
+}
+
+void Runtime::set_delivery_policy(const DeliveryPolicy* policy) {
+  policy_ = policy ? policy : &bulk_synchronous_policy();
+  // max_staleness == 0 means no message may outlive its staging epoch —
+  // which is exactly the bulk-synchronous contract. The policy degenerates
+  // and the runtime treats it as BSP outright (no deliver events, no async
+  // metrics), so a staleness-0 EventDriven run is byte-identical to one
+  // under BulkSynchronousPolicy.
+  async_ = policy_->kind() == DeliveryPolicyKind::kEventDriven &&
+           policy_->max_staleness() > 0;
+  refresh_async_metrics();
+}
+
+void Runtime::refresh_async_metrics() {
+  if (!tracer_ || !async_) {
+    m_async_delivered_ = trace::kInvalidMetric;
+    m_async_staleness_sum_ = trace::kInvalidMetric;
+    m_async_staleness_max_ = trace::kInvalidMetric;
+    return;
+  }
+  auto& m = tracer_->metrics();
+  m_async_delivered_ = m.register_metric("simmpi.async_delivered",
+                                         trace::MetricKind::kCounter);
+  m_async_staleness_sum_ = m.register_metric("simmpi.async_staleness_sum",
+                                             trace::MetricKind::kCounter);
+  m_async_staleness_max_ = m.register_metric("simmpi.async_staleness_max",
+                                             trace::MetricKind::kGauge);
 }
 
 void Runtime::refresh_fault_metrics() {
@@ -233,6 +263,17 @@ void Runtime::fence() {
           deliver_epoch = closed_epoch + extra;
         }
       }
+      if (async_) {
+        // EventDriven fabric latency: a stateless per-message draw, clamped
+        // together with any legacy DeliveryModel delay so the *non-fault*
+        // delivery time never exceeds the policy's staleness bound. Fault
+        // reordering/stalls below compose on top and may exceed it — a
+        // fault is allowed to be worse than the fabric model.
+        deliver_epoch += policy_->extra_latency(closed_epoch, s, m.dest,
+                                                m.seq);
+        deliver_epoch = std::min(deliver_epoch,
+                                 closed_epoch + policy_->max_staleness());
+      }
       if (fd.reorder_extra > 0) {
         deliver_epoch += static_cast<std::uint64_t>(fd.reorder_extra);
         record_fault(s, m.dest, /*action=*/2, m.seq,
@@ -283,26 +324,21 @@ void Runtime::fence() {
         stats_.record_duplicate(s);
         record_fault(s, m.dest, /*action=*/1, m.seq, 0.0);
         if (tracer_) tracer_->metrics().add(m_faults_duplicated_, s, 1.0);
-        sink.push_back(Deferred{s, m.tag, m.seq, deliver_epoch,
+        sink.push_back(Deferred{s, m.tag, m.seq, closed_epoch, deliver_epoch,
                                 arrival_counter_++, std::move(dup)});
       }
-      sink.push_back(Deferred{s, m.tag, m.seq, deliver_epoch,
+      sink.push_back(Deferred{s, m.tag, m.seq, closed_epoch, deliver_epoch,
                               arrival_counter_++, std::move(delivered)});
     }
     lane.clear();
   }
 
-  if (tracer_) {
-    // Merge the per-rank event lanes in (rank, record-order) order — the
-    // same deterministic order the staged puts merged in above — and stamp
-    // the fence event with the post-charge modeled time.
-    tracer_->end_epoch(closed_epoch, model_time_, last_epoch_seconds_,
-                       epoch_total_msgs);
-  }
-
   // Deliver matured messages (fresh plus previously-deferred ones whose
   // epoch has come), sorted by (source, send order) so every run is
-  // bit-identical regardless of the order ranks were stepped in.
+  // bit-identical regardless of the order ranks were stepped in. Runs
+  // BEFORE end_epoch() so the kDeliver events recorded into destination
+  // lanes here fold into this fence's merge; bulk-synchronous runs record
+  // nothing here, so their streams keep the pre-async ordering exactly.
   for (int r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
     auto& held = deferred_[i];
@@ -329,9 +365,40 @@ void Runtime::fence() {
               });
     auto& win = windows_[i];
     for (auto& d : ready) {
+      if (async_) {
+        // Staleness = epochs between staging and this delivering fence
+        // (which closed `closed_epoch`). 0 for same-fence delivery.
+        const std::uint64_t staleness = closed_epoch - d.staged_epoch;
+        stats_.record_async_delivery(r, staleness);
+        if (tracer_) {
+          tracer_->record(r, trace::EventKind::kDeliver, d.source,
+                          static_cast<int>(d.tag),
+                          static_cast<double>(staleness),
+                          static_cast<double>(d.payload.size()), closed_epoch,
+                          model_time_);
+          auto& met = tracer_->metrics();
+          met.add(m_async_delivered_, r, 1.0);
+          met.add(m_async_staleness_sum_, r,
+                  static_cast<double>(staleness));
+          if (m_async_staleness_max_ != trace::kInvalidMetric &&
+              static_cast<double>(staleness) >
+                  met.value(m_async_staleness_max_, r)) {
+            met.set(m_async_staleness_max_, r,
+                    static_cast<double>(staleness));
+          }
+        }
+      }
       win.push_back(Message{d.source, d.tag, std::move(d.payload)});
     }
     ready.clear();
+  }
+
+  if (tracer_) {
+    // Merge the per-rank event lanes in (rank, record-order) order — the
+    // same deterministic order the staged puts merged in above — and stamp
+    // the fence event with the post-charge modeled time.
+    tracer_->end_epoch(closed_epoch, model_time_, last_epoch_seconds_,
+                       epoch_total_msgs);
   }
 }
 

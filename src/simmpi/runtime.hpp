@@ -20,6 +20,13 @@
 /// rank opens and closes the same access epochs), so this superstep
 /// semantics is exact, and it makes every experiment bit-reproducible.
 ///
+/// *When* a staged put becomes visible is decided by a pluggable
+/// DeliveryPolicy (delivery.hpp): the default BulkSynchronousPolicy
+/// delivers at the closing fence exactly as above, while EventDrivenPolicy
+/// matures messages on a deterministic virtual clock with bounded
+/// staleness — the asynchronous regime the paper's deadlock discussion is
+/// about. Either way delivery stays bit-reproducible across backends.
+///
 /// Concurrency contract (the ExecutionBackend discipline, execution.hpp):
 /// within an epoch, at most one thread drives a given rank, and every call
 /// it makes is indexed by that rank — put(source=rank, ...) appends to the
@@ -38,6 +45,7 @@
 #include <span>
 #include <vector>
 
+#include "simmpi/delivery.hpp"
 #include "simmpi/machine_model.hpp"
 #include "simmpi/stats.hpp"
 #include "trace/trace.hpp"
@@ -193,6 +201,27 @@ class Runtime {
   /// The attached fault schedule, or nullptr.
   const faults::FaultSchedule* fault_schedule() const { return faults_; }
 
+  /// Attach a delivery policy (simmpi/delivery.hpp). Not owned; must
+  /// outlive the runtime. Defaults to the shared BulkSynchronousPolicy,
+  /// under which behaviour is byte-identical to the pre-policy runtime.
+  /// Call before the first epoch, like set_tracer: switching policies
+  /// mid-run would mix delivery semantics within one trace.
+  ///
+  /// Under an EventDriven policy each message's delivery fence is pushed
+  /// back by the policy's stateless latency draw, clamped so no message
+  /// lands more than max_staleness() epochs after it was staged; the
+  /// runtime then counts deliveries and staleness in CommStats, and — when
+  /// a tracer is also attached — registers the "simmpi.async_*" metrics
+  /// and emits kDeliver trace events into destination lanes.
+  void set_delivery_policy(const DeliveryPolicy* policy);
+
+  /// The attached policy (never null — BulkSynchronous by default).
+  const DeliveryPolicy& delivery_policy() const { return *policy_; }
+
+  /// True when the attached policy is EventDriven — the solvers' cue to
+  /// switch to single-epoch relax-on-arrival stepping.
+  bool async_delivery() const { return async_; }
+
   /// Record a solver-level event for `rank` (relax/absorb — see
   /// trace::EventKind). Inlined no-op when no tracer is attached. Safe to
   /// call from `rank`'s program mid-epoch: the epoch counter and modeled
@@ -252,6 +281,8 @@ class Runtime {
     int source;
     MsgTag tag;
     std::uint64_t seq;
+    std::uint64_t staged_epoch;   // epoch the put was staged in (staleness
+                                  // = delivering epoch - staged_epoch)
     std::uint64_t deliver_epoch;  // earliest fence that may deliver it
     /// Push-order tiebreaker for the maturation sort: duplicated messages
     /// share a (source, seq) key, and their delivery order must not depend
@@ -267,6 +298,12 @@ class Runtime {
   /// called from set_tracer and set_fault_schedule so attach order does
   /// not matter.
   void refresh_fault_metrics();
+
+  /// Same pattern for the "simmpi.async_*" metrics: registered only when
+  /// both a tracer and an EventDriven policy are attached, so
+  /// bulk-synchronous traces carry no async metrics and stay
+  /// byte-identical to pre-async builds.
+  void refresh_async_metrics();
 
   int num_ranks_;
   MachineModel model_;
@@ -291,7 +328,17 @@ class Runtime {
   trace::MetricId m_faults_duplicated_ = trace::kInvalidMetric;
   trace::MetricId m_faults_corrupted_ = trace::kInvalidMetric;
   trace::MetricId m_faults_reordered_ = trace::kInvalidMetric;
+  // Asynchronous-delivery counters, registered only when BOTH a tracer
+  // and an EventDriven policy are attached (see refresh_async_metrics).
+  trace::MetricId m_async_delivered_ = trace::kInvalidMetric;
+  trace::MetricId m_async_staleness_sum_ = trace::kInvalidMetric;
+  trace::MetricId m_async_staleness_max_ = trace::kInvalidMetric;
   const faults::FaultSchedule* faults_ = nullptr;
+  // Delivery policy (never null; BulkSynchronous by default). `async_`
+  // caches kind() == kEventDriven so the fence's hot loop branches on a
+  // bool, not a virtual call.
+  const DeliveryPolicy* policy_ = &bulk_synchronous_policy();
+  bool async_ = false;
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
   CommStats stats_;
   std::vector<std::vector<Message>> windows_;   // delivered, per rank

@@ -75,6 +75,9 @@ void CommStats::reset() {
   msgs_dropped_ = 0;
   msgs_duplicated_ = 0;
   msgs_corrupted_ = 0;
+  msgs_async_delivered_ = 0;
+  async_staleness_sum_ = 0;
+  async_staleness_max_ = 0;
   for (auto& m : msgs_per_rank_) m = 0;
 }
 

@@ -55,6 +55,21 @@ class CommStats {
   std::uint64_t duplicated_messages() const { return msgs_duplicated_; }
   std::uint64_t corrupted_messages() const { return msgs_corrupted_; }
 
+  /// Asynchronous-delivery accounting (simmpi/delivery.hpp), written by
+  /// the runtime at the delivering fence when an EventDriven policy is
+  /// attached. `staleness` is the number of epochs between staging and
+  /// delivery; under BulkSynchronous these counters are never touched and
+  /// stay 0, like the fault counters above.
+  void record_async_delivery(int dest, std::uint64_t staleness) {
+    bump_fault(dest, msgs_async_delivered_);
+    async_staleness_sum_ += staleness;
+    if (staleness > async_staleness_max_) async_staleness_max_ = staleness;
+  }
+
+  std::uint64_t async_delivered() const { return msgs_async_delivered_; }
+  std::uint64_t async_staleness_sum() const { return async_staleness_sum_; }
+  std::uint64_t async_staleness_max() const { return async_staleness_max_; }
+
   std::uint64_t total_messages() const;
   std::uint64_t total_messages(MsgTag tag) const;
   /// Wire records carried by the messages counted above. Equal to the
@@ -83,6 +98,9 @@ class CommStats {
   std::uint64_t msgs_dropped_ = 0;
   std::uint64_t msgs_duplicated_ = 0;
   std::uint64_t msgs_corrupted_ = 0;
+  std::uint64_t msgs_async_delivered_ = 0;
+  std::uint64_t async_staleness_sum_ = 0;
+  std::uint64_t async_staleness_max_ = 0;
   std::vector<std::uint64_t> msgs_per_rank_;
 };
 

@@ -51,18 +51,20 @@ void write_jsonl(std::ostream& out, const TraceLog& log,
   // Version history: 1 = PR-2 schema (put/fence/relax/absorb);
   // 2 = adds "compute" events (flops charged via Runtime::add_flops) and
   // the "simmpi.flops" counter, consumed by the analysis layer;
-  // 3 = adds "fault" events (fault injection, src/faults). The header
-  // advertises 3 only when fault events are actually present, so traces
-  // of fault-free runs stay byte-identical to the version-2 schema.
+  // 3 = adds "fault" events (fault injection, src/faults);
+  // 4 = adds "deliver" events (asynchronous delivery, simmpi/delivery.hpp).
+  // The header advertises the lowest version whose features the capture
+  // actually uses, so traces of fault-free bulk-synchronous runs stay
+  // byte-identical to the version-2 schema.
   bool has_fault_events = false;
+  bool has_deliver_events = false;
   for (const Event& e : log.events) {
-    if (e.kind == EventKind::kFault) {
-      has_fault_events = true;
-      break;
-    }
+    if (e.kind == EventKind::kFault) has_fault_events = true;
+    if (e.kind == EventKind::kDeliver) has_deliver_events = true;
   }
-  line = has_fault_events ? "{\"type\":\"header\",\"version\":3,"
-                          : "{\"type\":\"header\",\"version\":2,";
+  line = has_deliver_events ? "{\"type\":\"header\",\"version\":4,"
+         : has_fault_events ? "{\"type\":\"header\",\"version\":3,"
+                            : "{\"type\":\"header\",\"version\":2,";
   append_kv(line, "num_ranks", log.num_ranks);
   line += ",";
   append_kv(line, "events", static_cast<std::uint64_t>(log.events.size()));
@@ -230,6 +232,16 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
         append_kv(line, "msg_seq", e.a0);
         line += ",";
         append_kv(line, "detail", e.a1);
+        break;
+      case EventKind::kDeliver:
+        line += ",";
+        append_kv(line, "src", static_cast<int>(e.peer));
+        line += ",";
+        append_kv(line, "tag", static_cast<int>(e.tag));
+        line += ",";
+        append_kv(line, "staleness", e.a0);
+        line += ",";
+        append_kv(line, "payload_doubles", e.a1);
         break;
     }
     if (opt.include_wall_clock) {

@@ -20,6 +20,8 @@ const char* event_kind_name(EventKind kind) {
       return "compute";
     case EventKind::kFault:
       return "fault";
+    case EventKind::kDeliver:
+      return "deliver";
   }
   return "?";
 }

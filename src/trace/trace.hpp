@@ -48,10 +48,18 @@ enum class EventKind : std::uint8_t {
   /// epochs for reorder/stall, flipped-bit index for corrupt, delivered
   /// length for truncate, 0 otherwise).
   kFault = 5,
+  /// A message matured into a destination window under an asynchronous
+  /// delivery policy (simmpi/delivery.hpp), recorded by the Runtime into
+  /// the *destination* rank's lane at the delivering fence. `peer` =
+  /// source rank, `tag` = the message's simmpi::MsgTag as int, a0 =
+  /// staleness (epochs between staging and delivery), a1 = payload
+  /// doubles. Bulk-synchronous runs record none of these, keeping their
+  /// traces byte-identical to pre-async builds.
+  kDeliver = 6,
 };
-inline constexpr int kNumEventKinds = 6;
+inline constexpr int kNumEventKinds = 7;
 
-/// Returns "put"/"fence"/"relax"/"absorb"/"compute"/"fault".
+/// Returns "put"/"fence"/"relax"/"absorb"/"compute"/"fault"/"deliver".
 const char* event_kind_name(EventKind kind);
 
 /// One trace record. All fields except `t_wall` are deterministic.

@@ -58,6 +58,14 @@ OPTIONAL_DETERMINISTIC_FIELDS = [
     ("rejected_corrupt", False),
     ("rejected_stale", False),
     ("refreshes_sent", False),
+    # Async-delivery totals (async_sweep; present only when the run used
+    # the EventDriven policy — latency draws are stateless hashes, so
+    # these are exactly reproducible too).
+    ("async_epochs", False),
+    ("async_delivered", False),
+    ("staleness_sum", False),
+    ("staleness_max", False),
+    ("staleness_mean", True),
 ]
 
 # Config fields that must agree for the comparison to be meaningful.

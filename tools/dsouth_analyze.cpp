@@ -22,6 +22,7 @@
 /// all use the MachineModel defaults); `-check` is how you find out when
 /// they do not.
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -139,6 +140,29 @@ bool run_checks(const RunTrace& run, const RunAnalysis& a) {
                   f.by_action[FaultReport::kTruncate] ==
               counter_total("simmpi.faults_corrupted"),
           "corrupt+truncate fault events == simmpi.faults_corrupted");
+  }
+
+  // Async-delivery cross-checks: under the EventDriven policy the runtime
+  // records one version-4 deliver event per matured message and bumps the
+  // simmpi.async_* metrics in the same place, so event tallies and metric
+  // totals must agree exactly. Bulk-synchronous traces lack the counters
+  // and skip the block (the async report is then all-zero).
+  if (run.find_metric("simmpi.async_delivered") != nullptr) {
+    check(a.async.delivered == counter_total("simmpi.async_delivered"),
+          "deliver events == simmpi.async_delivered");
+    check(a.async.staleness_sum ==
+              counter_total("simmpi.async_staleness_sum"),
+          "deliver-event staleness sum == simmpi.async_staleness_sum");
+    // async_staleness_max is a per-rank gauge: compare against the max
+    // slot, not the sum.
+    std::uint64_t metric_max = 0;
+    if (const auto* m = run.find_metric("simmpi.async_staleness_max")) {
+      for (double v : m->per_rank) {
+        metric_max = std::max(metric_max, static_cast<std::uint64_t>(v));
+      }
+    }
+    check(a.async.staleness_max == metric_max,
+          "deliver-event staleness max == simmpi.async_staleness_max");
   }
   return ok;
 }
