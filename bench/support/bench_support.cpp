@@ -119,6 +119,18 @@ void apply_backend_args(const util::ArgParser& args,
   DSOUTH_CHECK_MSG(opt.async_min_latency >= 0 &&
                        opt.async_min_latency <= opt.async_max_latency,
                    "need 0 <= -min-latency <= -max-latency");
+  // Node-aware topology knobs (DESIGN.md §13, docs/communication.md):
+  // -ranks-per-node R groups ranks into consecutive blocks of R,
+  // -nodes N asks the driver for N equal blocks instead (ranks-per-node
+  // wins when both are given), and -no-node-route keeps the topology as a
+  // tier classifier only (the "direct" baseline). The topology never
+  // changes solver trajectories — only the modeled wire costs.
+  opt.ranks_per_node =
+      static_cast<int>(args.get_int_or("ranks-per-node", 0));
+  opt.num_nodes = static_cast<int>(args.get_int_or("nodes", 0));
+  DSOUTH_CHECK_MSG(opt.ranks_per_node >= 0, "-ranks-per-node must be >= 0");
+  DSOUTH_CHECK_MSG(opt.num_nodes >= 0, "-nodes must be >= 0");
+  opt.node_route = !args.has("no-node-route");
 }
 
 TraceCapture::TraceCapture(const util::ArgParser& args) {
@@ -307,6 +319,19 @@ void BenchRecorder::add_run(const std::string& label,
                                 ? 0.0
                                 : static_cast<double>(at.staleness_sum) /
                                       static_cast<double>(at.delivered));
+  }
+  // Node-aware tier totals, present only when the run carried a two-level
+  // topology (single-level records stay byte-identical to the previous
+  // schema). Deterministic: hop accounting is a pure function of the
+  // staged traffic and the rank -> node map.
+  if (result.node_totals) {
+    const auto& nt = *result.node_totals;
+    os << ",\"node_msgs_intra\":" << nt.msgs_intra
+       << ",\"node_bytes_intra\":" << nt.bytes_intra
+       << ",\"node_msgs_inter\":" << nt.msgs_inter
+       << ",\"node_bytes_inter\":" << nt.bytes_inter
+       << ",\"node_forward_frames\":" << nt.forward_frames
+       << ",\"node_forwarded_records\":" << nt.forwarded_records;
   }
   os << "},"
      << "\n   \"advisory\":{\"wall_seconds\":"

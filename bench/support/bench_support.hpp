@@ -84,6 +84,13 @@ dist::DistRunOptions default_run_options();
 /// are for robustness/asynchrony studies, not for the bit-identity
 /// comparisons above (though each async configuration is itself
 /// bit-identical across backends).
+///
+/// Node-aware topology knobs: `-ranks-per-node R` (consecutive blocks of R
+/// ranks per node), `-nodes N` (N equal blocks; ranks-per-node wins when
+/// both appear) and `-no-node-route` (tier classification only — the
+/// "direct" baseline the node-aware bench compares leader routing
+/// against). Like `-coalesce`, these never change solver trajectories:
+/// the topology only re-prices the simulated wire (DESIGN.md §13).
 void apply_backend_args(const util::ArgParser& args, dist::DistRunOptions& opt);
 
 /// Shared `-trace <path>` / `-metrics <path>` flags: captures the trace log

@@ -19,12 +19,31 @@ struct EpochScan {
     double flops = 0.0;
     std::uint64_t msgs = 0;
     std::uint64_t bytes = 0;
+    // Physical-hop tier accumulators (version-5 node-aware traces; see
+    // tiered below). Filled from "hop" events; zero otherwise.
+    std::uint64_t msgs_intra = 0;
+    std::uint64_t bytes_intra = 0;
+    std::uint64_t msgs_inter = 0;
+    std::uint64_t bytes_inter = 0;
   };
 
   std::vector<RankSlot> slots;
+  /// True when the trace carries hop events: the runtime then charged the
+  /// machine model per physical hop (rank_cost_tiered), with puts only
+  /// contributing the logical view, so cost rebuilds must read the hop
+  /// accumulators instead of the put ones. A whole-trace property — the
+  /// topology is attached for the full run.
+  bool tiered = false;
 
-  explicit EpochScan(int num_ranks)
-      : slots(static_cast<std::size_t>(num_ranks)) {}
+  explicit EpochScan(const RunTrace& run)
+      : slots(static_cast<std::size_t>(run.num_ranks)) {
+    for (const trace::Event& e : run.events) {
+      if (e.kind == trace::EventKind::kHop) {
+        tiered = true;
+        break;
+      }
+    }
+  }
 
   void add(const trace::Event& e) {
     DSOUTH_CHECK(e.rank >= 0 &&
@@ -38,9 +57,37 @@ struct EpochScan {
         s.msgs += 1;
         s.bytes += static_cast<std::uint64_t>(e.a1);
         break;
+      case trace::EventKind::kHop:
+        if (trace::hop_is_inter(e.tag)) {
+          s.msgs_inter += 1;
+          s.bytes_inter += static_cast<std::uint64_t>(e.a0);
+        } else {
+          s.msgs_intra += 1;
+          s.bytes_intra += static_cast<std::uint64_t>(e.a0);
+        }
+        break;
       default:
         break;
     }
+  }
+
+  /// The rank's modeled busy cost, matching the runtime's charging path
+  /// for this trace (rank_cost_tiered under a topology, rank_cost
+  /// otherwise). Integer hop tallies make the tiered rebuild
+  /// order-independent, so both paths land on the fence's doubles
+  /// bit-exactly.
+  double rank_cost(const simmpi::MachineModel& model,
+                   const RankSlot& s) const {
+    if (tiered) {
+      return model.rank_cost_tiered(s.flops, s.msgs_intra, s.bytes_intra,
+                                    s.msgs_inter, s.bytes_inter);
+    }
+    return model.rank_cost(s.flops, s.msgs, s.bytes);
+  }
+
+  /// The rank's physical messages this epoch (the fence's γ-term count).
+  std::uint64_t physical_msgs(const RankSlot& s) const {
+    return tiered ? s.msgs_intra + s.msgs_inter : s.msgs;
   }
 
   void reset() {
@@ -62,7 +109,7 @@ TimelineReport analyze_timeline(const RunTrace& run,
   rep.num_ranks = p;
   rep.ranks.resize(static_cast<std::size_t>(p));
 
-  EpochScan scan(p);
+  EpochScan scan(run);
   for (const trace::Event& e : run.events) {
     if (e.kind == trace::EventKind::kFence) {
       // Close the epoch: charge each rank its busy split and the shared
@@ -73,7 +120,7 @@ TimelineReport analyze_timeline(const RunTrace& run,
       double sum_cost = 0.0;
       for (int r = 0; r < p; ++r) {
         const auto& s = scan.slots[static_cast<std::size_t>(r)];
-        const double cost = model.rank_cost(s.flops, s.msgs, s.bytes);
+        const double cost = scan.rank_cost(model, s);
         sum_cost += cost;
         if (cost > step.max_cost) {
           step.max_cost = cost;
@@ -81,8 +128,18 @@ TimelineReport analyze_timeline(const RunTrace& run,
         }
         auto& acc = rep.ranks[static_cast<std::size_t>(r)];
         acc.compute_seconds += s.flops * model.flop_time;
-        acc.send_seconds += static_cast<double>(s.msgs) * model.alpha +
-                            static_cast<double>(s.bytes) * model.beta;
+        if (scan.tiered) {
+          // Tiered traces pay per physical hop: inter-node hops at the
+          // headline α/β, intra-node hops at the intra tier.
+          acc.send_seconds +=
+              static_cast<double>(s.msgs_inter) * model.alpha +
+              static_cast<double>(s.bytes_inter) * model.beta +
+              static_cast<double>(s.msgs_intra) * model.alpha_intra +
+              static_cast<double>(s.bytes_intra) * model.beta_intra;
+        } else {
+          acc.send_seconds += static_cast<double>(s.msgs) * model.alpha +
+                              static_cast<double>(s.bytes) * model.beta;
+        }
         acc.wait_seconds += step.epoch_seconds - cost;
       }
       step.mean_cost = sum_cost / static_cast<double>(p);
@@ -200,6 +257,10 @@ const char* cost_term_name(CostTerm term) {
       return "network";
     case CostTerm::kSync:
       return "sync";
+    case CostTerm::kLatencyIntra:
+      return "latency_intra";
+    case CostTerm::kBandwidthIntra:
+      return "bandwidth_intra";
   }
   return "?";
 }
@@ -213,7 +274,8 @@ CriticalPathReport analyze_critical_path(const RunTrace& run,
   rep.straggler_epochs.assign(static_cast<std::size_t>(p), 0);
   rep.model_matches = true;
 
-  EpochScan scan(p);
+  EpochScan scan(run);
+  rep.tiered = scan.tiered;
   std::uint64_t epoch_delivered = 0;
   std::uint64_t epoch_staleness_max = 0;
   for (const trace::Event& e : run.events) {
@@ -244,12 +306,12 @@ CriticalPathReport analyze_critical_path(const RunTrace& run,
     int straggler = -1;
     for (int r = 0; r < p; ++r) {
       const auto& s = scan.slots[static_cast<std::size_t>(r)];
-      const double cost = model.rank_cost(s.flops, s.msgs, s.bytes);
+      const double cost = scan.rank_cost(model, s);
       if (cost > max_cost) {
         max_cost = cost;
         straggler = r;
       }
-      epoch_msgs += s.msgs;
+      epoch_msgs += scan.physical_msgs(s);
     }
     step.modeled_seconds = model.epoch_seconds(max_cost, epoch_msgs, p);
     step.straggler = straggler;
@@ -257,10 +319,23 @@ CriticalPathReport analyze_critical_path(const RunTrace& run,
       const auto& s = scan.slots[static_cast<std::size_t>(straggler)];
       step.terms[static_cast<std::size_t>(CostTerm::kCompute)] =
           s.flops * model.flop_time;
-      step.terms[static_cast<std::size_t>(CostTerm::kLatency)] =
-          static_cast<double>(s.msgs) * model.alpha;
-      step.terms[static_cast<std::size_t>(CostTerm::kBandwidth)] =
-          static_cast<double>(s.bytes) * model.beta;
+      if (scan.tiered) {
+        // Tiered attribution: α/β cover the straggler's inter-node hops,
+        // the intra terms its intra-node hops.
+        step.terms[static_cast<std::size_t>(CostTerm::kLatency)] =
+            static_cast<double>(s.msgs_inter) * model.alpha;
+        step.terms[static_cast<std::size_t>(CostTerm::kBandwidth)] =
+            static_cast<double>(s.bytes_inter) * model.beta;
+        step.terms[static_cast<std::size_t>(CostTerm::kLatencyIntra)] =
+            static_cast<double>(s.msgs_intra) * model.alpha_intra;
+        step.terms[static_cast<std::size_t>(CostTerm::kBandwidthIntra)] =
+            static_cast<double>(s.bytes_intra) * model.beta_intra;
+      } else {
+        step.terms[static_cast<std::size_t>(CostTerm::kLatency)] =
+            static_cast<double>(s.msgs) * model.alpha;
+        step.terms[static_cast<std::size_t>(CostTerm::kBandwidth)] =
+            static_cast<double>(s.bytes) * model.beta;
+      }
       rep.straggler_epochs[static_cast<std::size_t>(straggler)] += 1;
     }
     step.terms[static_cast<std::size_t>(CostTerm::kNetwork)] =
@@ -458,6 +533,97 @@ AsyncReport analyze_async(const RunTrace& run) {
     double mx = 0.0;
     for (double v : m->per_rank) mx = std::max(mx, v);
     rep.metric_staleness_max = mx;
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// (g) Node-aware routing
+// ---------------------------------------------------------------------------
+
+const char* NodeReport::hop_name(int kind) {
+  switch (kind) {
+    case trace::kHopIntraDirect:
+      return "intra_direct";
+    case trace::kHopRelayUp:
+      return "relay_up";
+    case trace::kHopInterLeader:
+      return "inter_leader";
+    case trace::kHopRelayDown:
+      return "relay_down";
+    case trace::kHopInterDirect:
+      return "inter_direct";
+    default:
+      return "?";
+  }
+}
+
+NodeReport analyze_node_routing(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  NodeReport rep;
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kHop) continue;
+    DSOUTH_CHECK(e.rank >= 0 &&
+                 e.rank < static_cast<std::int32_t>(run.num_ranks));
+    DSOUTH_CHECK_MSG(e.tag >= 0 && e.tag < NodeReport::kNumHopKinds,
+                     "hop event with unknown kind " << e.tag);
+    const auto bytes = static_cast<std::uint64_t>(e.a0);
+    rep.hops_by_kind[static_cast<std::size_t>(e.tag)] += 1;
+    rep.bytes_by_kind[static_cast<std::size_t>(e.tag)] += bytes;
+    if (trace::hop_is_inter(e.tag)) {
+      rep.msgs_inter += 1;
+      rep.bytes_inter += bytes;
+    } else {
+      rep.msgs_intra += 1;
+      rep.bytes_intra += bytes;
+    }
+    if (e.tag == trace::kHopInterLeader) {
+      const auto records = static_cast<std::uint64_t>(e.a1);
+      rep.forwarded_records += records;
+      // Leader pairs are few (≤ nodes²): linear scan, then rank below.
+      NodeReport::LeaderPair* pair = nullptr;
+      for (auto& lp : rep.leader_pairs) {
+        if (lp.src == e.rank && lp.dst == e.peer) {
+          pair = &lp;
+          break;
+        }
+      }
+      if (!pair) {
+        rep.leader_pairs.push_back(NodeReport::LeaderPair{
+            static_cast<int>(e.rank), static_cast<int>(e.peer), 0, 0, 0});
+        pair = &rep.leader_pairs.back();
+      }
+      pair->frames += 1;
+      pair->records += records;
+      pair->bytes += bytes;
+    }
+  }
+  std::sort(rep.leader_pairs.begin(), rep.leader_pairs.end(),
+            [](const NodeReport::LeaderPair& a,
+               const NodeReport::LeaderPair& b) {
+              if (a.frames != b.frames) return a.frames > b.frames;
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  if (const MetricSeries* m = run.find_metric("simmpi.node_msgs_intra")) {
+    rep.metric_msgs_intra = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.node_bytes_intra")) {
+    rep.metric_bytes_intra = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.node_msgs_inter")) {
+    rep.metric_msgs_inter = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.node_bytes_inter")) {
+    rep.metric_bytes_inter = m->total();
+  }
+  if (const MetricSeries* m = run.find_metric("simmpi.node_forward_frames")) {
+    rep.metric_forward_frames = m->total();
+  }
+  if (const MetricSeries* m =
+          run.find_metric("simmpi.node_forwarded_records")) {
+    rep.metric_forwarded_records = m->total();
   }
   return rep;
 }

@@ -115,18 +115,30 @@ CommMatrixReport analyze_comm_matrix(const RunTrace& run);
 // (c) Critical-path attribution under the α–β–γ model
 // ---------------------------------------------------------------------------
 
-/// The five places an epoch's modeled seconds can go:
+/// The places an epoch's modeled seconds can go:
 /// T_epoch = max_p(flops_p·c + msgs_p·α + bytes_p·β) + γ·msgs/P + σ.
+/// Node-aware (version-5) traces charge per physical hop on a two-tier
+/// network instead (MachineModel::rank_cost_tiered): the latency/bandwidth
+/// terms then cover the straggler's *inter-node* hops and the two intra
+/// terms its intra-node hops (zero for single-level traces, so the first
+/// five terms keep their meaning everywhere).
 enum class CostTerm : int {
-  kCompute = 0,    ///< straggler's flops·c_flop
-  kLatency = 1,    ///< straggler's msgs·α
-  kBandwidth = 2,  ///< straggler's bytes·β
-  kNetwork = 3,    ///< γ·(epoch msgs)/P
-  kSync = 4,       ///< σ
+  kCompute = 0,        ///< straggler's flops·c_flop
+  kLatency = 1,        ///< straggler's (inter) msgs·α
+  kBandwidth = 2,      ///< straggler's (inter) bytes·β
+  kNetwork = 3,        ///< γ·(epoch msgs)/P
+  kSync = 4,           ///< σ
+  kLatencyIntra = 5,   ///< straggler's intra-node msgs·α_intra (tiered only)
+  kBandwidthIntra = 6, ///< straggler's intra-node bytes·β_intra (tiered only)
 };
-inline constexpr int kNumCostTerms = 5;
+inline constexpr int kNumCostTerms = 7;
+/// Terms live in a single-level (non-tiered) trace — the first five. The
+/// renderers emit only these for such traces, keeping their CSV/JSON
+/// byte-identical to pre-node-aware builds.
+inline constexpr int kNumFlatCostTerms = 5;
 
-/// "compute"/"latency"/"bandwidth"/"network"/"sync".
+/// "compute"/"latency"/"bandwidth"/"network"/"sync"/"latency_intra"/
+/// "bandwidth_intra".
 const char* cost_term_name(CostTerm term);
 
 struct CriticalPathReport {
@@ -158,8 +170,15 @@ struct CriticalPathReport {
   double total_modeled_seconds = 0.0;
   /// True when every epoch's recomputed seconds equal the fence record
   /// bit-for-bit — the analyzer's proof that it reconstructed the machine
-  /// model's accounting exactly. Drop-free version-2 traces must match.
+  /// model's accounting exactly. Drop-free version-2 traces must match,
+  /// and so must node-aware version-5 traces: hop tallies are integers,
+  /// so the tiered rebuild is order-independent and lands on the
+  /// runtime's doubles addend for addend.
   bool model_matches = false;
+  /// True when the trace carries hop events: the rebuild charged
+  /// rank_cost_tiered from physical hops rather than rank_cost from puts,
+  /// and the two intra CostTerms are live.
+  bool tiered = false;
 };
 
 CriticalPathReport analyze_critical_path(const RunTrace& run,
@@ -283,5 +302,59 @@ struct AsyncReport {
 };
 
 AsyncReport analyze_async(const RunTrace& run);
+
+// ---------------------------------------------------------------------------
+// (g) Node-aware routing (simmpi/node_topology.hpp)
+// ---------------------------------------------------------------------------
+
+/// Tally of the version-5 "hop" events the runtime records when a
+/// non-flat node topology is attached (trace.hpp: rank = paying rank,
+/// peer = physical destination, tag = hop kind, a0 = modeled bytes, a1 =
+/// logical records). The report needs no node map: hop kinds alone carry
+/// the tier split, and the leader-pair matrix falls out of the
+/// inter_leader events' (rank, peer) endpoints. Empty/zero for
+/// single-level traces — the renderers emit a node section only when
+/// any() is true.
+struct NodeReport {
+  /// Hop kinds, exactly as the runtime emits them (trace.hpp constants).
+  static constexpr int kNumHopKinds = 5;
+  static const char* hop_name(int kind);
+
+  std::array<std::uint64_t, kNumHopKinds> hops_by_kind{};
+  std::array<std::uint64_t, kNumHopKinds> bytes_by_kind{};
+  /// Tier totals (hops_by_kind folded through trace::hop_is_inter).
+  std::uint64_t msgs_intra = 0;
+  std::uint64_t bytes_intra = 0;
+  std::uint64_t msgs_inter = 0;
+  std::uint64_t bytes_inter = 0;
+  /// Leader->leader aggregates (routing on only): Σ records over
+  /// inter_leader hops; frames == hops_by_kind[kHopInterLeader].
+  std::uint64_t forwarded_records = 0;
+
+  /// Leader pairs ranked by frame count (ties: bytes, then (src, dst)),
+  /// descending — the node-level hot-pair view of the comm matrix.
+  struct LeaderPair {
+    int src = -1;  ///< source-node leader rank
+    int dst = -1;  ///< destination-node leader rank
+    std::uint64_t frames = 0;
+    std::uint64_t records = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<LeaderPair> leader_pairs;
+
+  bool any() const { return msgs_intra + msgs_inter > 0; }
+
+  /// The runtime's simmpi.node_* metric totals, when the trace carries
+  /// them (cross-checked against the event tallies by `dsouth-analyze
+  /// -check`).
+  std::optional<double> metric_msgs_intra;
+  std::optional<double> metric_bytes_intra;
+  std::optional<double> metric_msgs_inter;
+  std::optional<double> metric_bytes_inter;
+  std::optional<double> metric_forward_frames;
+  std::optional<double> metric_forwarded_records;
+};
+
+NodeReport analyze_node_routing(const RunTrace& run);
 
 }  // namespace dsouth::analysis

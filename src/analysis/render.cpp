@@ -28,6 +28,7 @@ RunAnalysis analyze_run(const RunTrace& run, const AnalyzeOptions& opt) {
   a.convergence = analyze_convergence(run);
   a.faults = analyze_faults(run);
   a.async = analyze_async(run);
+  a.node = analyze_node_routing(run);
   return a;
 }
 
@@ -163,12 +164,56 @@ void render_ascii(std::ostream& os, const RunAnalysis& a,
     sh.print(os);
   }
 
+  // --- (g) node-aware routing (only for traces with hop events) ---
+  if (a.node.any()) {
+    os << "\n--- Node-aware routing (" << a.node.msgs_intra
+       << " intra-node hops, " << a.node.msgs_inter
+       << " inter-node hops) ---\n";
+    os << "Tier bytes: intra " << a.node.bytes_intra << ", inter "
+       << a.node.bytes_inter << "\n";
+    util::Table nh({"hop", "count", "bytes"});
+    for (int k = 0; k < NodeReport::kNumHopKinds; ++k) {
+      const auto n = a.node.hops_by_kind[static_cast<std::size_t>(k)];
+      if (n == 0) continue;
+      nh.row().cell(NodeReport::hop_name(k));
+      nh.cell(static_cast<std::size_t>(n));
+      nh.cell(static_cast<std::size_t>(
+          a.node.bytes_by_kind[static_cast<std::size_t>(k)]));
+    }
+    nh.print(os);
+    const auto frames =
+        a.node.hops_by_kind[static_cast<std::size_t>(trace::kHopInterLeader)];
+    if (frames > 0) {
+      os << "Leader forwarding: " << frames << " leader->leader messages "
+         << "carried " << a.node.forwarded_records << " records\n";
+      const auto ntop = static_cast<std::size_t>(std::max(0, opt.top_pairs));
+      util::Table lp({"src leader", "dst leader", "frames", "records",
+                      "bytes"});
+      for (std::size_t i = 0;
+           i < a.node.leader_pairs.size() && i < ntop; ++i) {
+        const auto& pr = a.node.leader_pairs[i];
+        lp.row().cell(static_cast<std::size_t>(pr.src));
+        lp.cell(static_cast<std::size_t>(pr.dst));
+        lp.cell(static_cast<std::size_t>(pr.frames));
+        lp.cell(static_cast<std::size_t>(pr.records));
+        lp.cell(static_cast<std::size_t>(pr.bytes));
+      }
+      lp.print(os);
+    }
+  }
+
   // --- (c) critical path ---
   os << "\n--- Critical path (T_step = max_p(flops*c + msgs*a + bytes*b) + "
-        "gamma*msgs/P + sigma) ---\n";
+        "gamma*msgs/P + sigma"
+     << (a.critical_path.tiered
+             ? "; two-tier: inter hops at a/b, intra hops at a_intra/b_intra"
+             : "")
+     << ") ---\n";
   util::Table cp({"term", "seconds", "share", "epochs dominated"});
   const double tot = a.critical_path.total_recorded_seconds;
-  for (int t = 0; t < kNumCostTerms; ++t) {
+  const int num_terms =
+      a.critical_path.tiered ? kNumCostTerms : kNumFlatCostTerms;
+  for (int t = 0; t < num_terms; ++t) {
     const auto i = static_cast<std::size_t>(t);
     cp.row().cell(cost_term_name(static_cast<CostTerm>(t)));
     cp.cell(format_double(a.critical_path.total_seconds_by_term[i] * 1e3, 4) +
@@ -354,14 +399,21 @@ std::string comm_matrix_csv(const RunAnalysis& a) {
 }
 
 std::string critical_path_csv(const RunAnalysis& a) {
+  // The two intra-tier columns appear only for node-aware (tiered) traces,
+  // keeping single-level CSV byte-identical to the pre-tier schema.
+  const bool tiered = a.critical_path.tiered;
+  const int num_terms = tiered ? kNumCostTerms : kNumFlatCostTerms;
   std::string out =
-      "epoch,straggler,compute,latency,bandwidth,network,sync,"
-      "recorded_seconds,modeled_seconds,dominant\n";
+      tiered ? "epoch,straggler,compute,latency,bandwidth,network,sync,"
+               "latency_intra,bandwidth_intra,"
+               "recorded_seconds,modeled_seconds,dominant\n"
+             : "epoch,straggler,compute,latency,bandwidth,network,sync,"
+               "recorded_seconds,modeled_seconds,dominant\n";
   for (const auto& s : a.critical_path.steps) {
     out += std::to_string(s.epoch);
     out += ',';
     out += std::to_string(s.straggler);
-    for (int t = 0; t < kNumCostTerms; ++t) {
+    for (int t = 0; t < num_terms; ++t) {
       out += ',';
       csv_num(out, s.terms[static_cast<std::size_t>(t)]);
     }
@@ -446,13 +498,18 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
   kv_i(out, "trace_version", a.trace_version);
   kv_u(out, "dropped_events", a.dropped_events);
 
-  // model parameters the attribution used
+  // model parameters the attribution used; the intra-tier pair appears
+  // only for node-aware (tiered) traces so single-level JSON is unchanged
   out += ",\"machine_model\":{";
   kv(out, "alpha", opt.model.alpha, true);
   kv(out, "beta", opt.model.beta);
   kv(out, "flop_time", opt.model.flop_time);
   kv(out, "gamma", opt.model.gamma);
   kv(out, "sigma", opt.model.sigma);
+  if (a.critical_path.tiered) {
+    kv(out, "alpha_intra", opt.model.alpha_intra);
+    kv(out, "beta_intra", opt.model.beta_intra);
+  }
   out += "}";
 
   // (a) timeline
@@ -511,8 +568,12 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
   kv(out, "total_modeled_seconds", a.critical_path.total_modeled_seconds);
   out += ",\"model_matches\":";
   out += a.critical_path.model_matches ? "true" : "false";
+  // Intra-tier terms appear only for tiered traces (byte-identity for
+  // single-level analysis JSON).
+  const int num_terms =
+      a.critical_path.tiered ? kNumCostTerms : kNumFlatCostTerms;
   out += ",\"terms\":{";
-  for (int t = 0; t < kNumCostTerms; ++t) {
+  for (int t = 0; t < num_terms; ++t) {
     const auto i = static_cast<std::size_t>(t);
     if (t) out += ',';
     out += json_quote(cost_term_name(static_cast<CostTerm>(t)));
@@ -534,7 +595,7 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
     out += '{';
     kv_u(out, "epoch", s.epoch, true);
     kv_i(out, "straggler", s.straggler);
-    for (int t = 0; t < kNumCostTerms; ++t) {
+    for (int t = 0; t < num_terms; ++t) {
       kv(out, cost_term_name(static_cast<CostTerm>(t)),
          s.terms[static_cast<std::size_t>(t)]);
     }
@@ -644,6 +705,61 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
     }
     if (a.async.metric_staleness_max) {
       kv(out, "metric_staleness_max", *a.async.metric_staleness_max);
+    }
+    out += '}';
+  }
+
+  // (g) node-aware routing — likewise emitted only when the trace carried
+  // hop events, so single-level analysis JSON stays byte-identical.
+  if (a.node.any()) {
+    out += ",\"node\":{";
+    kv_u(out, "msgs_intra", a.node.msgs_intra, true);
+    kv_u(out, "bytes_intra", a.node.bytes_intra);
+    kv_u(out, "msgs_inter", a.node.msgs_inter);
+    kv_u(out, "bytes_inter", a.node.bytes_inter);
+    kv_u(out, "forwarded_records", a.node.forwarded_records);
+    out += ",\"hops\":{";
+    for (int k = 0; k < NodeReport::kNumHopKinds; ++k) {
+      const auto i = static_cast<std::size_t>(k);
+      if (k) out += ',';
+      out += json_quote(NodeReport::hop_name(k));
+      out += ":{";
+      kv_u(out, "count", a.node.hops_by_kind[i], true);
+      kv_u(out, "bytes", a.node.bytes_by_kind[i]);
+      out += '}';
+    }
+    out += "},\"leader_pairs\":[";
+    const auto ntop = static_cast<std::size_t>(std::max(0, opt.top_pairs));
+    for (std::size_t i = 0;
+         i < a.node.leader_pairs.size() && i < ntop; ++i) {
+      const auto& pr = a.node.leader_pairs[i];
+      if (i) out += ',';
+      out += '{';
+      kv_i(out, "src", pr.src, true);
+      kv_i(out, "dst", pr.dst);
+      kv_u(out, "frames", pr.frames);
+      kv_u(out, "records", pr.records);
+      kv_u(out, "bytes", pr.bytes);
+      out += '}';
+    }
+    out += ']';
+    if (a.node.metric_msgs_intra) {
+      kv(out, "metric_msgs_intra", *a.node.metric_msgs_intra);
+    }
+    if (a.node.metric_bytes_intra) {
+      kv(out, "metric_bytes_intra", *a.node.metric_bytes_intra);
+    }
+    if (a.node.metric_msgs_inter) {
+      kv(out, "metric_msgs_inter", *a.node.metric_msgs_inter);
+    }
+    if (a.node.metric_bytes_inter) {
+      kv(out, "metric_bytes_inter", *a.node.metric_bytes_inter);
+    }
+    if (a.node.metric_forward_frames) {
+      kv(out, "metric_forward_frames", *a.node.metric_forward_frames);
+    }
+    if (a.node.metric_forwarded_records) {
+      kv(out, "metric_forwarded_records", *a.node.metric_forwarded_records);
     }
     out += '}';
   }

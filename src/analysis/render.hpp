@@ -31,6 +31,9 @@ struct RunAnalysis {
   /// Async-delivery tallies (staleness histogram); all-zero and omitted
   /// for bulk-synchronous traces, keeping their output unchanged.
   AsyncReport async;
+  /// Node-aware hop tallies (tier totals, leader pairs); all-zero and
+  /// omitted for single-level traces, keeping their output unchanged.
+  NodeReport node;
 };
 
 struct AnalyzeOptions {

@@ -45,10 +45,11 @@ namespace {
 /// "compute" events) still parse; the critical-path report then sees zero
 /// flops and says so (RunTrace::version lets callers warn). Version 3
 /// adds "fault" events (fault injection, src/faults); version 4 adds
-/// "deliver" events (asynchronous delivery, simmpi/delivery.hpp) — both
-/// picked up through the shared event-kind table in parse_kind.
+/// "deliver" events (asynchronous delivery, simmpi/delivery.hpp); version
+/// 5 adds "hop" events (node-aware routing, simmpi/node_topology.hpp) —
+/// all picked up through the shared event-kind table in parse_kind.
 constexpr int kMinVersion = 1;
-constexpr int kMaxVersion = 4;
+constexpr int kMaxVersion = 5;
 
 trace::EventKind parse_kind(const std::string& name) {
   for (int k = 0; k < trace::kNumEventKinds; ++k) {

@@ -124,6 +124,38 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     async_policy = std::make_unique<simmpi::EventDrivenPolicy>(eo);
     rt.set_delivery_policy(async_policy.get());
   }
+  // Node-aware topology. Run options take precedence over a topology
+  // already attached to the layout; a locally-built topology must outlive
+  // the runtime, hence the function-scope optional. Flat topologies
+  // degenerate to "detached" inside the runtime, so attaching one here is
+  // harmless (and byte-identical to not attaching).
+  std::optional<simmpi::NodeTopology> run_topo;
+  const simmpi::NodeTopology* topo = layout.node_topology();
+  if (!opt.node_map.empty()) {
+    run_topo.emplace(simmpi::NodeTopology::explicit_map(opt.node_map));
+    topo = &*run_topo;
+  } else if (opt.ranks_per_node > 0) {
+    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
+        layout.num_ranks(), opt.ranks_per_node));
+    topo = &*run_topo;
+  } else if (opt.num_nodes > 0) {
+    const int p = layout.num_ranks();
+    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
+        p, (p + opt.num_nodes - 1) / opt.num_nodes));
+    topo = &*run_topo;
+  }
+  if (topo) {
+    simmpi::NodeRoutingOptions nro;
+    nro.route_via_leaders = opt.node_route;
+    if (opt.node_route) {
+      // The runtime only needs the dense channel-count matrix (to size
+      // forward-frame bitmaps); the full NodeCommPlan stays a wire-layer
+      // object.
+      nro.pair_channel_counts =
+          wire::NodeCommPlan(layout.comm_plan(), *topo).pair_channel_counts();
+    }
+    rt.set_node_topology(topo, std::move(nro));
+  }
   // The tracer must be attached before the solver is constructed so solver
   // ctors can register their metrics.
   std::unique_ptr<trace::Tracer> tracer;
@@ -250,6 +282,16 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     at.staleness_max = cs.async_staleness_max();
     at.epochs = rt.epochs_completed();
     result.async_totals = at;
+  }
+  if (rt.node_topology()) {
+    NodeTotals nt;
+    nt.msgs_intra = cs.intra_messages();
+    nt.bytes_intra = cs.intra_bytes();
+    nt.msgs_inter = cs.inter_messages();
+    nt.bytes_inter = cs.inter_bytes();
+    nt.forward_frames = cs.forward_frames();
+    nt.forwarded_records = cs.forwarded_records();
+    result.node_totals = nt;
   }
   if (tracer) {
     tracer->flush();

@@ -68,6 +68,21 @@ struct FaultSummary {
   std::uint64_t refreshes_sent = 0;
 };
 
+/// End-of-run physical-hop accounting on the two-level network, present
+/// iff a non-flat node topology was attached (DistRunOptions::
+/// ranks_per_node / node_map). Counts come from the runtime's CommStats;
+/// all integers, deterministic across backends.
+struct NodeTotals {
+  std::uint64_t msgs_intra = 0;   ///< intra-node physical hops
+  std::uint64_t bytes_intra = 0;  ///< modeled bytes on the intra tier
+  std::uint64_t msgs_inter = 0;   ///< inter-node physical hops
+  std::uint64_t bytes_inter = 0;  ///< modeled bytes on the inter tier
+  /// Leader->leader physical messages (bare or framed; routing on only).
+  std::uint64_t forward_frames = 0;
+  /// Logical wire records those messages carried.
+  std::uint64_t forwarded_records = 0;
+};
+
 /// End-of-run asynchronous-delivery accounting, present iff the run used
 /// the EventDriven policy (`DistRunOptions::async`). Counts come from the
 /// runtime's CommStats; all integers, deterministic across backends.
@@ -122,6 +137,31 @@ struct DistRunOptions {
   simmpi::BackendKind backend = simmpi::BackendKind::kSequential;
   /// Thread count for the thread-pool backend (0 = hardware concurrency).
   int num_threads = 0;
+  /// Node-aware two-level topology (simmpi/node_topology.hpp, DESIGN.md
+  /// §13, docs/communication.md). `ranks_per_node > 0` groups ranks into
+  /// consecutive blocks of that size (rank r lives on node r /
+  /// ranks_per_node); a non-empty `node_map` is an explicit rank -> node
+  /// assignment and takes precedence. Either attaches the topology to the
+  /// runtime for the whole run; both zero/empty (the default) — or a flat
+  /// topology, one rank per node — leaves the runtime single-level and
+  /// byte-identical to pre-node-aware builds. The topology only changes
+  /// what the simulated wire *costs* (tiered machine-model charges, kHop
+  /// trace events, NodeTotals), never what it delivers: solver iterates
+  /// and residual histories are bit-identical with the feature on or off.
+  int ranks_per_node = 0;
+  std::vector<int> node_map;
+  /// Convenience spelling of the same topology: split the P ranks into
+  /// `num_nodes` consecutive blocks of ceil(P / num_nodes) ranks (the
+  /// driver computes ranks_per_node from the layout's rank count, so
+  /// callers that think in "number of machines" need not know P).
+  /// Precedence: node_map, then ranks_per_node, then num_nodes.
+  int num_nodes = 0;
+  /// Route inter-node records through one leader rank per node (fan-in /
+  /// fan-out aggregation — Runtime::set_node_topology). When false the
+  /// topology only classifies traffic into tiers: the "direct" baseline
+  /// the node-aware bench compares routing against. Ignored without a
+  /// topology.
+  bool node_route = true;
   /// Per-neighbor message coalescing (wire/comm_plan.hpp): each put phase
   /// ships all records a rank staged to one neighbor as a single physical
   /// message. Solver trajectories and residuals are bit-identical either
@@ -194,6 +234,8 @@ struct DistRunResult {
   std::optional<FaultSummary> fault_summary;
   /// Async-delivery totals iff the run used the EventDriven policy.
   std::optional<AsyncTotals> async_totals;
+  /// Two-tier hop totals iff a non-flat node topology was attached.
+  std::optional<NodeTotals> node_totals;
   /// Watchdog outcome (default-constructed / not fired unless enabled).
   WatchdogReport watchdog;
 

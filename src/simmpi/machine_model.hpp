@@ -29,12 +29,31 @@ struct MachineModel {
   double flop_time = 5.0e-10;  ///< per-flop cost (s)
   double gamma = 2.0e-5;       ///< network-load cost per (message / rank) (s)
   double sigma = 1.0e-6;       ///< per-epoch synchronization overhead (s)
+  /// Intra-node α/β (docs/communication.md): shared-memory transfers on
+  /// the same node are roughly an order of magnitude cheaper per message
+  /// and per byte than the network. Only consulted when a NodeTopology is
+  /// attached to the runtime; the flat model above then keeps its meaning
+  /// as the *inter-node* tier, so topology-free runs are untouched.
+  double alpha_intra = 2.0e-7;  ///< per intra-node message latency (s)
+  double beta_intra = 5.0e-11;  ///< per intra-node byte cost (s)
 
   /// Per-rank "busy" cost (the quantity maximized over ranks).
   double rank_cost(double flops, std::uint64_t msgs,
                    std::uint64_t bytes) const {
     return flops * flop_time + static_cast<double>(msgs) * alpha +
            static_cast<double>(bytes) * beta;
+  }
+
+  /// Two-tier per-rank cost under a node topology: inter-node traffic
+  /// pays the flat α/β (same addends in the same order as rank_cost, so
+  /// an all-inter epoch costs bit-identically to the flat model), plus
+  /// the cheap intra-node terms.
+  double rank_cost_tiered(double flops, std::uint64_t msgs_intra,
+                          std::uint64_t bytes_intra, std::uint64_t msgs_inter,
+                          std::uint64_t bytes_inter) const {
+    return rank_cost(flops, msgs_inter, bytes_inter) +
+           static_cast<double>(msgs_intra) * alpha_intra +
+           static_cast<double>(bytes_intra) * beta_intra;
   }
 
   /// Cost of one epoch given the critical-path (max) rank cost and the

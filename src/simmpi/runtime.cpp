@@ -23,7 +23,11 @@ Runtime::Runtime(int num_ranks, MachineModel model, DeliveryModel delivery)
       fence_matured_(static_cast<std::size_t>(num_ranks)),
       epoch_flops_(static_cast<std::size_t>(num_ranks), 0.0),
       epoch_msgs_(static_cast<std::size_t>(num_ranks), 0),
-      epoch_bytes_(static_cast<std::size_t>(num_ranks), 0) {
+      epoch_bytes_(static_cast<std::size_t>(num_ranks), 0),
+      epoch_msgs_intra_(static_cast<std::size_t>(num_ranks), 0),
+      epoch_bytes_intra_(static_cast<std::size_t>(num_ranks), 0),
+      epoch_msgs_inter_(static_cast<std::size_t>(num_ranks), 0),
+      epoch_bytes_inter_(static_cast<std::size_t>(num_ranks), 0) {
   DSOUTH_CHECK(num_ranks > 0);
 }
 
@@ -38,6 +42,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
     m_msgs_by_tag_.fill(trace::kInvalidMetric);
     refresh_fault_metrics();
     refresh_async_metrics();
+    refresh_node_metrics();
     return;
   }
   DSOUTH_CHECK(tracer->num_ranks() == num_ranks_);
@@ -59,6 +64,7 @@ void Runtime::set_tracer(trace::Tracer* tracer) {
       m.register_metric("simmpi.msgs_other", trace::MetricKind::kCounter);
   refresh_fault_metrics();
   refresh_async_metrics();
+  refresh_node_metrics();
 }
 
 void Runtime::set_fault_schedule(const faults::FaultSchedule* schedule) {
@@ -79,6 +85,68 @@ void Runtime::set_delivery_policy(const DeliveryPolicy* policy) {
   async_ = policy_->kind() == DeliveryPolicyKind::kEventDriven &&
            policy_->max_staleness() > 0;
   refresh_async_metrics();
+}
+
+void Runtime::set_node_topology(const NodeTopology* topo,
+                                NodeRoutingOptions opts) {
+  // A flat topology (one rank per node) has no intra-node tier to model:
+  // treat it exactly like no topology at all, so flat runs stay
+  // byte-identical to topology-free runs (the header's degeneracy
+  // contract).
+  if (topo && topo->is_flat()) topo = nullptr;
+  if (topo) {
+    DSOUTH_CHECK(topo->num_ranks() == num_ranks_);
+    const auto nn = static_cast<std::size_t>(topo->num_nodes());
+    node_route_ = opts.route_via_leaders;
+    if (node_route_) {
+      DSOUTH_CHECK_MSG(
+          opts.pair_channel_counts.size() == nn * nn,
+          "routing needs the dense num_nodes^2 channel-count matrix "
+          "(wire::NodeCommPlan::pair_channel_counts)");
+      node_pair_channels_ = std::move(opts.pair_channel_counts);
+    } else {
+      node_pair_channels_.clear();
+    }
+    group_puts_.assign(nn * nn * kNumTags, 0);
+    group_records_.assign(nn * nn * kNumTags, 0);
+    group_doubles_.assign(nn * nn * kNumTags, 0);
+    group_touched_.clear();
+    group_touched_.reserve(nn * nn * kNumTags);
+  } else {
+    node_route_ = false;
+    node_pair_channels_.clear();
+    group_puts_.clear();
+    group_records_.clear();
+    group_doubles_.clear();
+    group_touched_.clear();
+  }
+  topo_ = topo;
+  refresh_node_metrics();
+}
+
+void Runtime::refresh_node_metrics() {
+  if (!tracer_ || !topo_) {
+    m_node_msgs_intra_ = trace::kInvalidMetric;
+    m_node_bytes_intra_ = trace::kInvalidMetric;
+    m_node_msgs_inter_ = trace::kInvalidMetric;
+    m_node_bytes_inter_ = trace::kInvalidMetric;
+    m_node_forward_frames_ = trace::kInvalidMetric;
+    m_node_forwarded_records_ = trace::kInvalidMetric;
+    return;
+  }
+  auto& m = tracer_->metrics();
+  m_node_msgs_intra_ = m.register_metric("simmpi.node_msgs_intra",
+                                         trace::MetricKind::kCounter);
+  m_node_bytes_intra_ = m.register_metric("simmpi.node_bytes_intra",
+                                          trace::MetricKind::kCounter);
+  m_node_msgs_inter_ = m.register_metric("simmpi.node_msgs_inter",
+                                         trace::MetricKind::kCounter);
+  m_node_bytes_inter_ = m.register_metric("simmpi.node_bytes_inter",
+                                          trace::MetricKind::kCounter);
+  m_node_forward_frames_ = m.register_metric("simmpi.node_forward_frames",
+                                             trace::MetricKind::kCounter);
+  m_node_forwarded_records_ = m.register_metric(
+      "simmpi.node_forwarded_records", trace::MetricKind::kCounter);
 }
 
 void Runtime::refresh_async_metrics() {
@@ -176,19 +244,166 @@ void Runtime::add_flops(int rank, double flops) {
   }
 }
 
+void Runtime::node_prepass() {
+  const std::uint64_t closed_epoch = epochs_;
+  const NodeTopology& topo = *topo_;
+  const auto nn = static_cast<std::size_t>(topo.num_nodes());
+
+  // Charge one physical hop to `payer`: tier accumulators (the machine
+  // model's inputs), CommStats, the kHop trace event (into the payer's
+  // lane, folded into this fence's merge by end_epoch — the kFault
+  // pattern), and the per-rank node metrics. Hop events carry the same
+  // (epoch, t_model) stamp as the puts they settle: the pre-pass runs
+  // before the epoch is charged.
+  const auto charge_hop = [&](int payer, int phys_dest, int hop_kind,
+                              std::uint64_t bytes, std::uint64_t records) {
+    const bool inter = trace::hop_is_inter(hop_kind);
+    const auto up = static_cast<std::size_t>(payer);
+    if (inter) {
+      ++epoch_msgs_inter_[up];
+      epoch_bytes_inter_[up] += bytes;
+    } else {
+      ++epoch_msgs_intra_[up];
+      epoch_bytes_intra_[up] += bytes;
+    }
+    stats_.record_hop(inter, bytes);
+    if (tracer_) {
+      tracer_->record(payer, trace::EventKind::kHop, phys_dest, hop_kind,
+                      static_cast<double>(bytes),
+                      static_cast<double>(records), closed_epoch,
+                      model_time_);
+      auto& met = tracer_->metrics();
+      met.add(inter ? m_node_msgs_inter_ : m_node_msgs_intra_, payer, 1.0);
+      met.add(inter ? m_node_bytes_inter_ : m_node_bytes_intra_, payer,
+              static_cast<double>(bytes));
+    }
+  };
+
+  for (int s = 0; s < num_ranks_; ++s) {
+    for (const Staged& m : lanes_[static_cast<std::size_t>(s)]) {
+      const std::uint64_t bytes = message_bytes(m.payload.size());
+      const bool same = topo.same_node(s, m.dest);
+      bool dropped = false;
+      if (faults_) {
+        // decide() is a stateless hash of (epoch, src, dst, seq), so this
+        // pre-pass draw is identical to the one the delivery merge makes
+        // later and consumes no RNG stream.
+        dropped = faults_->decide(closed_epoch, s, m.dest, m.seq,
+                                  m.payload.size())
+                      .drop;
+      }
+      if (same || dropped || !node_route_) {
+        // Intra-node traffic and un-routed inter-node traffic go direct.
+        // A dropped message died at its source: the sender still paid the
+        // single-hop wire charge, and no relay ever saw it.
+        charge_hop(s, m.dest,
+                   same ? trace::kHopIntraDirect : trace::kHopInterDirect,
+                   bytes, m.records);
+        continue;
+      }
+      const int sn = topo.node_of(s);
+      const int dn = topo.node_of(m.dest);
+      const int src_leader = topo.leader_of(sn);
+      if (s != src_leader) {
+        charge_hop(s, src_leader, trace::kHopRelayUp, bytes, m.records);
+      }
+      const std::size_t g =
+          (static_cast<std::size_t>(sn) * nn + static_cast<std::size_t>(dn)) *
+              kNumTags +
+          static_cast<std::size_t>(m.tag);
+      if (group_puts_[g] == 0) group_touched_.push_back(g);
+      ++group_puts_[g];
+      group_records_[g] += m.records;
+      group_doubles_[g] += m.payload.size();
+      const int dst_leader = topo.leader_of(dn);
+      if (m.dest != dst_leader) {
+        charge_hop(dst_leader, m.dest, trace::kHopRelayDown, bytes,
+                   m.records);
+      }
+    }
+  }
+
+  // One leader->leader physical message per touched (src node, dst node,
+  // tag) group, emitted in ascending group index — deterministic whatever
+  // order the puts were staged in (in-place sort on a persistent vector:
+  // no allocation). A group of one ships bare, byte-identical to a direct
+  // charge; larger groups are charged at the forward-frame size — magic
+  // word plus a presence bitmap over the pair's static channel list
+  // (wire::forward_frame_doubles, mirrored here so simmpi stays below the
+  // wire layer in the dependency order).
+  std::sort(group_touched_.begin(), group_touched_.end());
+  for (const std::size_t g : group_touched_) {
+    const std::size_t pair = g / kNumTags;
+    const auto sn = static_cast<int>(pair / nn);
+    const auto dn = static_cast<int>(pair % nn);
+    const std::uint32_t puts = group_puts_[g];
+    const std::uint64_t records = group_records_[g];
+    const std::uint64_t doubles = group_doubles_[g];
+    group_puts_[g] = 0;
+    group_records_[g] = 0;
+    group_doubles_[g] = 0;
+    const std::uint32_t channels = node_pair_channels_[pair];
+    DSOUTH_CHECK_MSG(puts <= channels,
+                     "node pair (" << sn << " -> " << dn << ") forwarded "
+                                   << puts << " puts but the plan has only "
+                                   << channels << " channels");
+    std::uint64_t bytes;
+    if (puts == 1) {
+      bytes = message_bytes(static_cast<std::size_t>(doubles));
+    } else {
+      const std::uint64_t bitmap_words =
+          (static_cast<std::uint64_t>(channels) + 63) / 64;
+      bytes = message_bytes(
+          static_cast<std::size_t>(1 + bitmap_words + doubles));
+    }
+    const int src_leader = topo.leader_of(sn);
+    const int dst_leader = topo.leader_of(dn);
+    charge_hop(src_leader, dst_leader, trace::kHopInterLeader, bytes,
+               records);
+    stats_.record_forward(records);
+    if (tracer_) {
+      auto& met = tracer_->metrics();
+      met.add(m_node_forward_frames_, src_leader, 1.0);
+      met.add(m_node_forwarded_records_, src_leader,
+              static_cast<double>(records));
+    }
+  }
+  group_touched_.clear();
+}
+
 void Runtime::fence() {
+  // Node-aware accounting first (no-op without a topology): it must see
+  // the staging lanes intact, and it fills the tier accumulators the
+  // charging loop below reads.
+  if (topo_) node_prepass();
+
   // Charge the machine model for this epoch. A straggler rank's cost is
   // multiplied by its slowdown before the max: the bulk-synchronous fence
-  // then runs at the straggler's pace.
+  // then runs at the straggler's pace. With a topology attached the
+  // charge is per physical hop on the two-tier network (rank_cost_tiered,
+  // fed by the prepass) and the fence's message total is the physical hop
+  // count; without one it is the legacy per-put accounting, bit for bit.
   double max_rank_cost = 0.0;
   std::uint64_t epoch_total_msgs = 0;
   for (int r = 0; r < num_ranks_; ++r) {
     const auto i = static_cast<std::size_t>(r);
-    double rank_cost = model_.rank_cost(epoch_flops_[i], epoch_msgs_[i],
-                                        epoch_bytes_[i]);
+    double rank_cost;
+    if (topo_) {
+      rank_cost = model_.rank_cost_tiered(
+          epoch_flops_[i], epoch_msgs_intra_[i], epoch_bytes_intra_[i],
+          epoch_msgs_inter_[i], epoch_bytes_inter_[i]);
+      epoch_total_msgs += epoch_msgs_intra_[i] + epoch_msgs_inter_[i];
+      epoch_msgs_intra_[i] = 0;
+      epoch_bytes_intra_[i] = 0;
+      epoch_msgs_inter_[i] = 0;
+      epoch_bytes_inter_[i] = 0;
+    } else {
+      rank_cost = model_.rank_cost(epoch_flops_[i], epoch_msgs_[i],
+                                   epoch_bytes_[i]);
+      epoch_total_msgs += epoch_msgs_[i];
+    }
     if (faults_) rank_cost *= faults_->slowdown(r);
     max_rank_cost = std::max(max_rank_cost, rank_cost);
-    epoch_total_msgs += epoch_msgs_[i];
     epoch_flops_[i] = 0.0;
     epoch_msgs_[i] = 0;
     epoch_bytes_[i] = 0;

@@ -47,6 +47,7 @@
 
 #include "simmpi/delivery.hpp"
 #include "simmpi/machine_model.hpp"
+#include "simmpi/node_topology.hpp"
 #include "simmpi/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -73,6 +74,24 @@ struct DeliveryModel {
   double delay_probability = 0.0;
   int max_delay_epochs = 2;
   std::uint64_t seed = 0xDE1A7ULL;
+};
+
+/// Options accompanying a NodeTopology attachment (set_node_topology).
+struct NodeRoutingOptions {
+  /// Route inter-node records through one leader rank per node: relay up
+  /// to the source-node leader, one aggregated leader->leader message per
+  /// (source node, destination node, tag) group, relay down to the final
+  /// destination. When false the topology only *classifies* traffic into
+  /// intra-/inter-node tiers (every message a direct hop) — the
+  /// apples-to-apples baseline the node-aware bench compares against.
+  bool route_via_leaders = true;
+  /// Dense num_nodes × num_nodes (row-major) count of static plan channels
+  /// crossing each ordered node pair — exactly
+  /// wire::NodeCommPlan::pair_channel_counts(). The runtime needs only the
+  /// counts (to size forward-frame presence bitmaps), which is what keeps
+  /// simmpi below the wire layer in the dependency order. Required (and
+  /// checked) when route_via_leaders is true; ignored otherwise.
+  std::vector<std::uint32_t> pair_channel_counts;
 };
 
 class Runtime {
@@ -222,6 +241,52 @@ class Runtime {
   /// switch to single-epoch relax-on-arrival stepping.
   bool async_delivery() const { return async_; }
 
+  /// Attach a two-level node topology (node_topology.hpp,
+  /// docs/communication.md). Not owned; must outlive the runtime (or be
+  /// detached with nullptr). Call before the first epoch, like set_tracer.
+  ///
+  /// With a (non-flat) topology attached the fence charges the machine
+  /// model per *physical hop* on the two-tier network instead of per
+  /// staged put: intra-node hops at (alpha_intra, beta_intra), inter-node
+  /// hops at (alpha, beta) — see MachineModel::rank_cost_tiered. Delivery
+  /// itself is untouched: windows receive exactly the same payloads in
+  /// exactly the same order as without a topology, so solver iterates are
+  /// bit-identical with the feature on or off, under either execution
+  /// backend, and composed with faults, async delivery, or coalescing.
+  /// The topology changes what the simulated wire *costs*, never what it
+  /// *delivers* — the invariant DESIGN.md §13 pins down.
+  ///
+  /// Hop accounting (trace::EventKind::kHop, recorded into the paying
+  /// rank's lane; CommStats tier counters; "simmpi.node_*" metrics when a
+  /// tracer is attached):
+  ///   - same-node put            -> one intra direct hop charged to src;
+  ///   - inter-node, routing off  -> one inter direct hop charged to src;
+  ///   - inter-node, routing on   -> relay-up (src -> src leader, intra,
+  ///     skipped when src is its leader), one aggregated leader->leader
+  ///     inter hop per (src node, dst node, tag) group charged to the src
+  ///     leader, relay-down (dst leader -> dst, intra, skipped when dst is
+  ///     its leader). A group of one ships bare (byte-identical to the
+  ///     direct charge); groups of two or more are charged at the
+  ///     forward-frame size (wire::forward_frame_doubles).
+  ///   - a message the fault schedule drops died at its source: it is
+  ///     charged as a single direct hop and no relay ever saw it.
+  ///
+  /// Attaching a *flat* topology (every node holds exactly one rank) is
+  /// equivalent to detaching: there is no intra-node tier to model, the
+  /// runtime takes the legacy path outright, and results stay
+  /// byte-identical to a build that never heard of topologies — the same
+  /// degeneracy contract the staleness-0 EventDriven policy follows.
+  void set_node_topology(const NodeTopology* topo,
+                         NodeRoutingOptions opts = {});
+
+  /// The effective topology, or nullptr (never a flat topology — those
+  /// degenerate to detached at attach time).
+  const NodeTopology* node_topology() const { return topo_; }
+
+  /// True when inter-node records route through node leaders (only
+  /// meaningful while node_topology() is attached).
+  bool node_routing() const { return node_route_; }
+
   /// Record a solver-level event for `rank` (relax/absorb — see
   /// trace::EventKind). Inlined no-op when no tracer is attached. Safe to
   /// call from `rank`'s program mid-epoch: the epoch counter and modeled
@@ -305,6 +370,21 @@ class Runtime {
   /// byte-identical to pre-async builds.
   void refresh_async_metrics();
 
+  /// Same pattern for the "simmpi.node_*" metrics: registered only when
+  /// both a tracer and a (non-flat) topology are attached, so
+  /// topology-free traces carry no node metrics and stay byte-identical
+  /// to pre-node-aware builds.
+  void refresh_node_metrics();
+
+  /// The fence's node-aware accounting pre-pass (topology attached only):
+  /// walks the staging lanes in (source, send-order) order — the same
+  /// deterministic order the delivery merge uses — classifying every put
+  /// into physical hops, filling the per-rank tier accumulators, and
+  /// recording kHop events / CommStats / metrics. Runs before the model
+  /// is charged and consumes nothing: lanes, payloads, and RNG streams
+  /// are left exactly as the delivery merge expects them.
+  void node_prepass();
+
   int num_ranks_;
   MachineModel model_;
   DeliveryModel delivery_;
@@ -333,6 +413,14 @@ class Runtime {
   trace::MetricId m_async_delivered_ = trace::kInvalidMetric;
   trace::MetricId m_async_staleness_sum_ = trace::kInvalidMetric;
   trace::MetricId m_async_staleness_max_ = trace::kInvalidMetric;
+  // Node-aware tier counters, registered only when BOTH a tracer and a
+  // non-flat topology are attached (see refresh_node_metrics).
+  trace::MetricId m_node_msgs_intra_ = trace::kInvalidMetric;
+  trace::MetricId m_node_bytes_intra_ = trace::kInvalidMetric;
+  trace::MetricId m_node_msgs_inter_ = trace::kInvalidMetric;
+  trace::MetricId m_node_bytes_inter_ = trace::kInvalidMetric;
+  trace::MetricId m_node_forward_frames_ = trace::kInvalidMetric;
+  trace::MetricId m_node_forwarded_records_ = trace::kInvalidMetric;
   const faults::FaultSchedule* faults_ = nullptr;
   // Delivery policy (never null; BulkSynchronous by default). `async_`
   // caches kind() == kEventDriven so the fence's hot loop branches on a
@@ -357,6 +445,22 @@ class Runtime {
   // Per-epoch accounting for the machine model.
   std::vector<double> epoch_flops_;
   std::vector<std::uint64_t> epoch_msgs_, epoch_bytes_;
+  // Node-aware state. topo_ is the *effective* topology (flat attachments
+  // degenerate to nullptr); node_pair_channels_ is the dense node-pair
+  // channel-count matrix from NodeRoutingOptions. The group_* vectors are
+  // the prepass's dense (src node, dst node, tag) scratch — touched slots
+  // are listed in group_touched_ and re-zeroed as the leader->leader
+  // charges are emitted, so steady-state fences stay allocation-free. The
+  // epoch_*_intra_/inter_ vectors are the per-rank physical-hop tier
+  // accumulators rank_cost_tiered charges from.
+  const NodeTopology* topo_ = nullptr;
+  bool node_route_ = false;
+  std::vector<std::uint32_t> node_pair_channels_;
+  std::vector<std::uint32_t> group_puts_;
+  std::vector<std::uint64_t> group_records_, group_doubles_;
+  std::vector<std::size_t> group_touched_;
+  std::vector<std::uint64_t> epoch_msgs_intra_, epoch_bytes_intra_;
+  std::vector<std::uint64_t> epoch_msgs_inter_, epoch_bytes_inter_;
   std::uint64_t epochs_ = 0;
   double model_time_ = 0.0;
   double last_epoch_seconds_ = 0.0;

@@ -78,6 +78,12 @@ void CommStats::reset() {
   msgs_async_delivered_ = 0;
   async_staleness_sum_ = 0;
   async_staleness_max_ = 0;
+  msgs_intra_ = 0;
+  bytes_intra_ = 0;
+  msgs_inter_ = 0;
+  bytes_inter_ = 0;
+  forward_frames_ = 0;
+  forwarded_records_ = 0;
   for (auto& m : msgs_per_rank_) m = 0;
 }
 

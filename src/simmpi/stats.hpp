@@ -70,6 +70,40 @@ class CommStats {
   std::uint64_t async_staleness_sum() const { return async_staleness_sum_; }
   std::uint64_t async_staleness_max() const { return async_staleness_max_; }
 
+  /// Two-tier physical accounting (simmpi/node_topology.hpp, DESIGN.md
+  /// §13), written by the runtime at the fence only when a (non-flat)
+  /// NodeTopology is attached — all zero otherwise, like the fault and
+  /// async counters. A *hop* is one physical transfer: the message itself
+  /// when routed direct, or each leg (source → leader, leader → leader,
+  /// leader → destination) when routed through node leaders. These count
+  /// physical fabric traffic and are disjoint from the logical per-tag
+  /// counters above, which keep their exact legacy meaning.
+  void record_hop(bool inter_node, std::uint64_t bytes) {
+    if (inter_node) {
+      ++msgs_inter_;
+      bytes_inter_ += bytes;
+    } else {
+      ++msgs_intra_;
+      bytes_intra_ += bytes;
+    }
+  }
+
+  /// One leader → leader physical message (an aggregated forward frame,
+  /// or a bare record when it carried a single one) holding `records`
+  /// logical wire records. Its bytes/msg hop is recorded separately via
+  /// record_hop(true, ...).
+  void record_forward(std::uint64_t records) {
+    ++forward_frames_;
+    forwarded_records_ += records;
+  }
+
+  std::uint64_t intra_messages() const { return msgs_intra_; }
+  std::uint64_t intra_bytes() const { return bytes_intra_; }
+  std::uint64_t inter_messages() const { return msgs_inter_; }
+  std::uint64_t inter_bytes() const { return bytes_inter_; }
+  std::uint64_t forward_frames() const { return forward_frames_; }
+  std::uint64_t forwarded_records() const { return forwarded_records_; }
+
   std::uint64_t total_messages() const;
   std::uint64_t total_messages(MsgTag tag) const;
   /// Wire records carried by the messages counted above. Equal to the
@@ -101,6 +135,13 @@ class CommStats {
   std::uint64_t msgs_async_delivered_ = 0;
   std::uint64_t async_staleness_sum_ = 0;
   std::uint64_t async_staleness_max_ = 0;
+  // Per-tier physical hop counters (node-aware runs only).
+  std::uint64_t msgs_intra_ = 0;
+  std::uint64_t bytes_intra_ = 0;
+  std::uint64_t msgs_inter_ = 0;
+  std::uint64_t bytes_inter_ = 0;
+  std::uint64_t forward_frames_ = 0;
+  std::uint64_t forwarded_records_ = 0;
   std::vector<std::uint64_t> msgs_per_rank_;
 };
 

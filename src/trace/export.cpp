@@ -52,19 +52,23 @@ void write_jsonl(std::ostream& out, const TraceLog& log,
   // 2 = adds "compute" events (flops charged via Runtime::add_flops) and
   // the "simmpi.flops" counter, consumed by the analysis layer;
   // 3 = adds "fault" events (fault injection, src/faults);
-  // 4 = adds "deliver" events (asynchronous delivery, simmpi/delivery.hpp).
+  // 4 = adds "deliver" events (asynchronous delivery, simmpi/delivery.hpp);
+  // 5 = adds "hop" events (node-aware routing, simmpi/node_topology.hpp).
   // The header advertises the lowest version whose features the capture
   // actually uses, so traces of fault-free bulk-synchronous runs stay
   // byte-identical to the version-2 schema.
   bool has_fault_events = false;
   bool has_deliver_events = false;
+  bool has_hop_events = false;
   for (const Event& e : log.events) {
     if (e.kind == EventKind::kFault) has_fault_events = true;
     if (e.kind == EventKind::kDeliver) has_deliver_events = true;
+    if (e.kind == EventKind::kHop) has_hop_events = true;
   }
-  line = has_deliver_events ? "{\"type\":\"header\",\"version\":4,"
-         : has_fault_events ? "{\"type\":\"header\",\"version\":3,"
-                            : "{\"type\":\"header\",\"version\":2,";
+  line = has_hop_events       ? "{\"type\":\"header\",\"version\":5,"
+         : has_deliver_events ? "{\"type\":\"header\",\"version\":4,"
+         : has_fault_events   ? "{\"type\":\"header\",\"version\":3,"
+                              : "{\"type\":\"header\",\"version\":2,";
   append_kv(line, "num_ranks", log.num_ranks);
   line += ",";
   append_kv(line, "events", static_cast<std::uint64_t>(log.events.size()));
@@ -242,6 +246,16 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
         append_kv(line, "staleness", e.a0);
         line += ",";
         append_kv(line, "payload_doubles", e.a1);
+        break;
+      case EventKind::kHop:
+        line += ",";
+        append_kv(line, "dest", static_cast<int>(e.peer));
+        line += ",";
+        append_kv(line, "hop", static_cast<int>(e.tag));
+        line += ",";
+        append_kv(line, "bytes", e.a0);
+        line += ",";
+        append_kv(line, "records", e.a1);
         break;
     }
     if (opt.include_wall_clock) {

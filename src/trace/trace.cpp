@@ -22,6 +22,8 @@ const char* event_kind_name(EventKind kind) {
       return "fault";
     case EventKind::kDeliver:
       return "deliver";
+    case EventKind::kHop:
+      return "hop";
   }
   return "?";
 }

@@ -56,10 +56,32 @@ enum class EventKind : std::uint8_t {
   /// doubles. Bulk-synchronous runs record none of these, keeping their
   /// traces byte-identical to pre-async builds.
   kDeliver = 6,
+  /// One physical transfer under a node topology (simmpi/node_topology.hpp,
+  /// DESIGN.md §13), recorded by the Runtime at the fence into the *paying*
+  /// rank's lane. `peer` = physical destination rank, `tag` = hop kind
+  /// (0 intra-node direct, 1 source → leader relay, 2 leader → leader
+  /// inter-node, 3 leader → destination relay, 4 inter-node direct),
+  /// a0 = modeled bytes of the hop, a1 = logical wire records it carries.
+  /// Tier: tags 2 and 4 are inter-node, the rest intra-node. Topology-free
+  /// runs record none of these, keeping their traces byte-identical to
+  /// pre-node-aware builds.
+  kHop = 7,
 };
-inline constexpr int kNumEventKinds = 7;
+inline constexpr int kNumEventKinds = 8;
 
-/// Returns "put"/"fence"/"relax"/"absorb"/"compute"/"fault"/"deliver".
+/// Hop kinds carried in a kHop event's tag field.
+inline constexpr int kHopIntraDirect = 0;  ///< same-node message
+inline constexpr int kHopRelayUp = 1;      ///< source -> its node leader
+inline constexpr int kHopInterLeader = 2;  ///< leader -> leader (aggregated)
+inline constexpr int kHopRelayDown = 3;    ///< leader -> destination rank
+inline constexpr int kHopInterDirect = 4;  ///< cross-node, routing off
+
+/// True when a hop kind crosses the node boundary (pays inter-node α/β).
+inline bool hop_is_inter(int hop_tag) {
+  return hop_tag == kHopInterLeader || hop_tag == kHopInterDirect;
+}
+
+/// Returns "put"/"fence"/"relax"/"absorb"/"compute"/"fault"/"deliver"/"hop".
 const char* event_kind_name(EventKind kind);
 
 /// One trace record. All fields except `t_wall` are deterministic.

@@ -66,6 +66,16 @@ OPTIONAL_DETERMINISTIC_FIELDS = [
     ("staleness_sum", False),
     ("staleness_max", False),
     ("staleness_mean", True),
+    # Node-aware tier totals (node_aware bench; present only when the run
+    # carried a two-level topology — hop accounting is a pure function of
+    # the staged traffic and the rank -> node map, so exactly
+    # reproducible).
+    ("node_msgs_intra", False),
+    ("node_bytes_intra", False),
+    ("node_msgs_inter", False),
+    ("node_bytes_inter", False),
+    ("node_forward_frames", False),
+    ("node_forwarded_records", False),
 ]
 
 # Config fields that must agree for the comparison to be meaningful.

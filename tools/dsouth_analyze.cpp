@@ -34,6 +34,7 @@
 #include "analysis/run_trace.hpp"
 #include "simmpi/machine_model.hpp"
 #include "simmpi/stats.hpp"
+#include "trace/trace.hpp"
 #include "util/error.hpp"
 #include "util/cli.hpp"
 
@@ -163,6 +164,31 @@ bool run_checks(const RunTrace& run, const RunAnalysis& a) {
     }
     check(a.async.staleness_max == metric_max,
           "deliver-event staleness max == simmpi.async_staleness_max");
+  }
+
+  // Node-aware routing cross-checks: the fence pre-pass records one
+  // version-5 hop event per physical message and bumps the simmpi.node_*
+  // counters in the same place, so the event tier sums must reproduce the
+  // metric totals exactly, and the leader->leader hop count must equal the
+  // forward-frame counter. Single-level traces lack the counters and skip
+  // the block (the node report is then all-zero).
+  if (run.find_metric("simmpi.node_msgs_intra") != nullptr) {
+    using dsouth::analysis::NodeReport;
+    const auto& n = a.node;
+    check(n.msgs_intra == counter_total("simmpi.node_msgs_intra"),
+          "intra-tier hop events == simmpi.node_msgs_intra");
+    check(n.bytes_intra == counter_total("simmpi.node_bytes_intra"),
+          "intra-tier hop bytes == simmpi.node_bytes_intra");
+    check(n.msgs_inter == counter_total("simmpi.node_msgs_inter"),
+          "inter-tier hop events == simmpi.node_msgs_inter");
+    check(n.bytes_inter == counter_total("simmpi.node_bytes_inter"),
+          "inter-tier hop bytes == simmpi.node_bytes_inter");
+    check(n.hops_by_kind[dsouth::trace::kHopInterLeader] ==
+              counter_total("simmpi.node_forward_frames"),
+          "leader->leader hop events == simmpi.node_forward_frames");
+    check(n.forwarded_records ==
+              counter_total("simmpi.node_forwarded_records"),
+          "forwarded-record tally == simmpi.node_forwarded_records");
   }
   return ok;
 }
