@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -194,42 +195,100 @@ double CommMatrixReport::comm_cost(simmpi::MsgTag tag) const {
          static_cast<double>(num_ranks);
 }
 
+const CommMatrixReport::Pair* CommMatrixReport::find(int src, int dst) const {
+  // `pairs` is sorted (src, dst) ascending.
+  const auto it = std::lower_bound(
+      pairs.begin(), pairs.end(), std::pair<int, int>(src, dst),
+      [](const Pair& a, const std::pair<int, int>& key) {
+        if (a.src != key.first) return a.src < key.first;
+        return a.dst < key.second;
+      });
+  if (it == pairs.end() || it->src != src || it->dst != dst) return nullptr;
+  return &*it;
+}
+
 CommMatrixReport analyze_comm_matrix(const RunTrace& run) {
   DSOUTH_CHECK(run.num_ranks > 0);
   const int p = run.num_ranks;
-  const auto pp = static_cast<std::size_t>(p) * static_cast<std::size_t>(p);
   CommMatrixReport rep;
   rep.num_ranks = p;
-  rep.msgs.assign(pp, 0);
-  rep.bytes.assign(pp, 0);
-  for (auto& m : rep.msgs_by_tag) m.assign(pp, 0);
+
+  // Output-sensitive build: index touched (src, dst) cells in a flat
+  // linear-probe table during the one event scan instead of materialising
+  // the dense P×P matrix. DS only talks to graph neighbors, so this is
+  // O(events + pairs), where the dense build's P² allocation and scan made
+  // analysis bytes scale ~P² (bench/scaling). A flat table rather than
+  // std::unordered_map because the map's one node allocation per pair
+  // would put the analysis alloc *count* on an O(pairs)-growth curve of
+  // its own; probing keeps it at a handful of geometric regrowths.
+  constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};  // src has no
+                                                           // sign bit
+  const auto hash_key = [](std::uint64_t k) {
+    k ^= k >> 33U;
+    k *= 0xff51afd7ed558ccdULL;  // SplitMix64-style finalizer
+    k ^= k >> 33U;
+    return k;
+  };
+  std::vector<std::uint64_t> slot_key(64, kEmptySlot);
+  std::vector<std::uint32_t> slot_idx(64);
+  const auto find_slot = [&hash_key](const std::vector<std::uint64_t>& keys,
+                                     std::uint64_t key) {
+    const std::uint64_t mask = keys.size() - 1;  // size is a power of two
+    std::size_t i = static_cast<std::size_t>(hash_key(key) & mask);
+    while (keys[i] != kEmptySlot && keys[i] != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  };
 
   for (const trace::Event& e : run.events) {
     if (e.kind != trace::EventKind::kPut) continue;
     DSOUTH_CHECK(e.rank >= 0 && e.rank < p && e.peer >= 0 && e.peer < p);
     DSOUTH_CHECK(e.tag >= 0 && e.tag < simmpi::kNumTags);
-    const std::size_t idx =
-        static_cast<std::size_t>(e.rank) * static_cast<std::size_t>(p) +
-        static_cast<std::size_t>(e.peer);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.rank) << 32U) |
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.peer));
+    if (2 * (rep.pairs.size() + 1) > slot_key.size()) {
+      // Keep load factor ≤ 1/2: double and rehash.
+      std::vector<std::uint64_t> grown_key(slot_key.size() * 2, kEmptySlot);
+      std::vector<std::uint32_t> grown_idx(grown_key.size());
+      for (std::size_t i = 0; i < slot_key.size(); ++i) {
+        if (slot_key[i] == kEmptySlot) continue;
+        const std::size_t j = find_slot(grown_key, slot_key[i]);
+        grown_key[j] = slot_key[i];
+        grown_idx[j] = slot_idx[i];
+      }
+      slot_key.swap(grown_key);
+      slot_idx.swap(grown_idx);
+    }
+    const std::size_t slot = find_slot(slot_key, key);
+    if (slot_key[slot] == kEmptySlot) {
+      slot_key[slot] = key;
+      slot_idx[slot] = static_cast<std::uint32_t>(rep.pairs.size());
+      CommMatrixReport::Pair cell;
+      cell.src = e.rank;
+      cell.dst = e.peer;
+      rep.pairs.push_back(cell);
+    }
+    auto& cell = rep.pairs[slot_idx[slot]];
     const auto bytes = static_cast<std::uint64_t>(e.a1);
-    rep.msgs[idx] += 1;
-    rep.bytes[idx] += bytes;
-    rep.msgs_by_tag[static_cast<std::size_t>(e.tag)][idx] += 1;
+    cell.msgs += 1;
+    cell.bytes += bytes;
+    cell.msgs_by_tag[static_cast<std::size_t>(e.tag)] += 1;
     rep.total_msgs += 1;
     rep.total_bytes += bytes;
     rep.total_by_tag[static_cast<std::size_t>(e.tag)] += 1;
   }
 
-  for (int src = 0; src < p; ++src) {
-    for (int dst = 0; dst < p; ++dst) {
-      const std::size_t idx =
-          static_cast<std::size_t>(src) * static_cast<std::size_t>(p) +
-          static_cast<std::size_t>(dst);
-      if (rep.msgs[idx] == 0) continue;
-      rep.hot_pairs.push_back(
-          CommMatrixReport::Pair{src, dst, rep.msgs[idx], rep.bytes[idx]});
-    }
-  }
+  // (src, dst) ascending — exactly the order the old dense row-major scan
+  // emitted nonzero cells in, so comm_matrix_csv stays byte-identical.
+  std::sort(rep.pairs.begin(), rep.pairs.end(),
+            [](const CommMatrixReport::Pair& a,
+               const CommMatrixReport::Pair& b) {
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  rep.hot_pairs = rep.pairs;
   std::sort(rep.hot_pairs.begin(), rep.hot_pairs.end(),
             [](const CommMatrixReport::Pair& a,
                const CommMatrixReport::Pair& b) {

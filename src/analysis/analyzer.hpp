@@ -82,25 +82,35 @@ TimelineReport analyze_timeline(const RunTrace& run,
 
 struct CommMatrixReport {
   int num_ranks = 0;
-  /// Row-major P×P: entry [src * P + dst].
-  std::vector<std::uint64_t> msgs;
-  std::vector<std::uint64_t> bytes;
-  /// Per-tag message matrices (solve / residual / other — Table 3's split).
-  std::array<std::vector<std::uint64_t>, simmpi::kNumTags> msgs_by_tag;
 
-  std::uint64_t total_msgs = 0;
-  std::uint64_t total_bytes = 0;
-  std::array<std::uint64_t, simmpi::kNumTags> total_by_tag{};
-
-  /// Communicating pairs ranked by message count (ties: bytes, then
-  /// (src, dst)), descending.
+  /// One cell of the conceptual P×P matrix. The report stores only the
+  /// *touched* cells: DS exchanges with graph neighbors, so the matrix has
+  /// O(P) nonzeros while the dense form costs P² to allocate and scan —
+  /// superlinear in P for the host (bench/scaling measured ~×33 analysis
+  /// time and ~P² bytes going P 16→256 with the dense build).
   struct Pair {
     int src = -1;
     int dst = -1;
     std::uint64_t msgs = 0;
     std::uint64_t bytes = 0;
+    /// Per-tag message counts (solve / residual / other — Table 3's
+    /// split); they partition `msgs`.
+    std::array<std::uint64_t, simmpi::kNumTags> msgs_by_tag{};
   };
+  /// Every communicating pair, sorted (src, dst) ascending — the same
+  /// order a row-major dense scan that skips zeros would visit.
+  std::vector<Pair> pairs;
+
+  std::uint64_t total_msgs = 0;
+  std::uint64_t total_bytes = 0;
+  std::array<std::uint64_t, simmpi::kNumTags> total_by_tag{};
+
+  /// The same pairs ranked by message count (ties: bytes, then
+  /// (src, dst)), descending.
   std::vector<Pair> hot_pairs;
+
+  /// Cell (src, dst), or null when the pair never communicated.
+  const Pair* find(int src, int dst) const;
 
   /// The paper's §4.3 metric, total msgs / P — equals CommStats::comm_cost
   /// exactly when the trace is drop-free.

@@ -375,25 +375,21 @@ std::string steps_csv(const RunAnalysis& a) {
 
 std::string comm_matrix_csv(const RunAnalysis& a) {
   std::string out = "src,dst,msgs,bytes,msgs_solve,msgs_residual,msgs_other\n";
-  const auto p = static_cast<std::size_t>(a.num_ranks);
-  for (std::size_t src = 0; src < p; ++src) {
-    for (std::size_t dst = 0; dst < p; ++dst) {
-      const std::size_t idx = src * p + dst;
-      if (a.comm.msgs[idx] == 0) continue;
-      out += std::to_string(src);
+  // `pairs` is (src, dst) ascending — the same order the dense row-major
+  // scan used to emit nonzero cells in, so the CSV is byte-identical.
+  for (const auto& cell : a.comm.pairs) {
+    out += std::to_string(cell.src);
+    out += ',';
+    out += std::to_string(cell.dst);
+    out += ',';
+    out += std::to_string(cell.msgs);
+    out += ',';
+    out += std::to_string(cell.bytes);
+    for (int t = 0; t < simmpi::kNumTags; ++t) {
       out += ',';
-      out += std::to_string(dst);
-      out += ',';
-      out += std::to_string(a.comm.msgs[idx]);
-      out += ',';
-      out += std::to_string(a.comm.bytes[idx]);
-      for (int t = 0; t < simmpi::kNumTags; ++t) {
-        out += ',';
-        out += std::to_string(
-            a.comm.msgs_by_tag[static_cast<std::size_t>(t)][idx]);
-      }
-      out += '\n';
+      out += std::to_string(cell.msgs_by_tag[static_cast<std::size_t>(t)]);
     }
+    out += '\n';
   }
   return out;
 }

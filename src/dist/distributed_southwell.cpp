@@ -83,6 +83,7 @@ std::uint64_t DistributedSouthwell::deferred_sends() const {
 }
 
 void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
+  const auto prof_relax = prof_phase(p, prof::PhaseId::kRelax);
   const RankData& rd = layout_->rank(p);
   if (rd.num_rows() == 0) return;
   const auto up = static_cast<std::size_t>(p);
@@ -109,6 +110,7 @@ void DistributedSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
     snap[li] = xp[li] - snap[li];
   }
   const auto dx_full = std::span<const value_t>(snap.data(), xp.size());
+  const auto prof_encode = prof_phase(p, prof::PhaseId::kEncode);
   auto& dz = dz_scratch_[up];
   auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
@@ -176,6 +178,7 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
   const auto up = static_cast<std::size_t>(p);
   const value_t norm2 = local_norm_sq(r_[up]);
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
+  const auto prof_encode = prof_phase(p, prof::PhaseId::kEncode);
   const auto& rp = r_[up];
   const auto& xp = x_[up];
   auto& ch = channels_[up];
@@ -212,6 +215,7 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
 }
 
 void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
   const RankData& rd = layout_->rank(p);
   const auto up = static_cast<std::size_t>(p);
   for (const auto& msg : ctx.window()) {

@@ -163,6 +163,10 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     tracer = std::make_unique<trace::Tracer>(layout.num_ranks(), opt.trace);
     rt.set_tracer(tracer.get());
   }
+  // Host profiling is attach-by-pointer like the tracer, but inverted:
+  // the tracer records what the simulation *modeled*, the profiler records
+  // what the host *spent*, and nothing it measures feeds back in.
+  if (opt.profiler) rt.set_profiler(opt.profiler);
   // A fault schedule is attached only for a nonzero plan, so the default
   // path stays byte-identical to a fault-free build (no extra RNG draws,
   // no extra metrics).
@@ -208,11 +212,16 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
   const double r0 = result.residual_norm.front();
   double best_rn = r0;
   index_t steps_since_best = 0;
+  if (opt.profiler) opt.profiler->begin_alloc_window();
   for (index_t k = 0; k < opt.max_parallel_steps; ++k) {
     // Time the parallel steps only — the observer-side recording below is
     // backend-independent bookkeeping.
     util::Stopwatch wall;
-    const DistStepStats stats = solver->step();
+    const DistStepStats stats = [&] {
+      const prof::ScopedPhase prof_step(opt.profiler, layout.num_ranks(),
+                                        prof::PhaseId::kStep);
+      return solver->step();
+    }();
     result.wall_seconds += wall.seconds();
     total_relax += stats.relaxations;
     result.active_ranks.push_back(stats.active_ranks);
@@ -251,6 +260,7 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     rt.drain_delayed();
     solver->absorb_all();
   }
+  if (opt.profiler) opt.profiler->end_alloc_window();
   result.final_x = solver->gather_x();
   const simmpi::CommStats& cs = rt.stats();
   result.comm_totals.msgs = cs.total_messages();
@@ -293,6 +303,27 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     nt.forwarded_records = cs.forwarded_records();
     result.node_totals = nt;
   }
+  if (opt.profiler && tracer) {
+    // Advisory prof.* gauges, rank-0 slot. Registered only when a profiler
+    // rides along, so prof-off traces stay byte-identical to pre-profiling
+    // builds. The values are the profiler's own alloc-window deltas — the
+    // same numbers the prof record exports, which is exactly what
+    // `dsouth-analyze -check -prof-record` cross-checks.
+    auto& m = tracer->metrics();
+    const auto id_track =
+        m.register_metric("prof.alloc_tracking", trace::MetricKind::kGauge);
+    const auto id_allocs =
+        m.register_metric("prof.allocs_total", trace::MetricKind::kGauge);
+    const auto id_bytes =
+        m.register_metric("prof.allocs_bytes", trace::MetricKind::kGauge);
+    const auto id_frees =
+        m.register_metric("prof.frees_total", trace::MetricKind::kGauge);
+    m.set(id_track, 0, opt.profiler->alloc_tracking() ? 1.0 : 0.0);
+    m.set(id_allocs, 0, static_cast<double>(opt.profiler->allocs_total()));
+    m.set(id_bytes, 0, static_cast<double>(opt.profiler->allocs_bytes()));
+    m.set(id_frees, 0, static_cast<double>(opt.profiler->frees_total()));
+  }
+  if (opt.profiler) rt.set_profiler(nullptr);
   if (tracer) {
     tracer->flush();
     result.trace_log =

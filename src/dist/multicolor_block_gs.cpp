@@ -29,6 +29,7 @@ MulticolorBlockGs::MulticolorBlockGs(const DistLayout& layout,
 }
 
 void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
+  const auto prof_relax = prof_phase(p, prof::PhaseId::kRelax);
   const RankData& rd = layout_->rank(p);
   if (rd.num_rows() == 0) return;
   const auto up = static_cast<std::size_t>(p);
@@ -41,6 +42,7 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
   ++rank_stats_[up].active_ranks;
   rank_stats_[up].relaxations += rd.num_rows();
   trace_relax(ctx, rd.num_rows());
+  const auto prof_encode = prof_phase(p, prof::PhaseId::kEncode);
   auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
     const auto& nb = rd.neighbors[k];
@@ -56,6 +58,7 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
 }
 
 void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
   const RankData& rd = layout_->rank(p);
   for (const auto& msg : ctx.window()) {
     const int nbi = rd.neighbor_index(msg.source);

@@ -31,6 +31,7 @@ ParallelSouthwell::ParallelSouthwell(const DistLayout& layout,
 }
 
 void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
+  const auto prof_relax = prof_phase(p, prof::PhaseId::kRelax);
   const RankData& rd = layout_->rank(p);
   if (rd.num_rows() == 0) return;
   const auto up = static_cast<std::size_t>(p);
@@ -52,6 +53,7 @@ void ParallelSouthwell::rank_relax(simmpi::RankContext& ctx, int p) {
   trace_relax(ctx, rd.num_rows());
   const value_t norm2_new = local_norm_sq(rp);
   advertised2_[up] = norm2_new;
+  const auto prof_encode = prof_phase(p, prof::PhaseId::kEncode);
   auto& ch = channels_[up];
   for (std::size_t k = 0; k < rd.neighbors.size(); ++k) {
     const auto& nb = rd.neighbors[k];
@@ -75,6 +77,7 @@ void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
   const value_t norm2 = local_norm_sq(r_[up]);
   ctx.add_flops(2.0 * static_cast<double>(rd.num_rows()));
   const bool norm_changed = norm2 != advertised2_[up];
+  const auto prof_encode = prof_phase(p, prof::PhaseId::kEncode);
   auto& ch = channels_[up];
   if (!resilient()) {
     if (!norm_changed) return;
@@ -107,6 +110,7 @@ void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
 }
 
 void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
   const RankData& rd = layout_->rank(p);
   const auto up = static_cast<std::size_t>(p);
   for (const auto& msg : ctx.window()) {

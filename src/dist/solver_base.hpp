@@ -177,6 +177,15 @@ class DistStationarySolver {
   /// "solver.absorbed_msgs".
   void trace_absorb(simmpi::RankContext& ctx);
 
+  /// Host-profiling span for one of rank p's solver phases (prof/prof.hpp;
+  /// the trace_relax idiom: an inlined null test with no profiler
+  /// attached, and never a feedback path into the simulation). Returned by
+  /// value through guaranteed elision — bind it to a local:
+  ///   const auto span = prof_phase(p, prof::PhaseId::kRelax);
+  prof::ScopedPhase prof_phase(int p, prof::PhaseId phase) const {
+    return prof::ScopedPhase(rt_->profiler(), p, phase);
+  }
+
   /// r_p -= a_pq · Δx_q and charge the flops; dx is ordered by the
   /// neighbor's ghost_rows channel convention.
   void apply_incoming_delta(simmpi::RankContext& ctx, const NeighborBlock& nb,

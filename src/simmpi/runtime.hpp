@@ -40,11 +40,13 @@
 /// draws, CommStats, and modeled time are bit-identical whichever backend
 /// staged the puts.
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "prof/prof.hpp"
 #include "simmpi/delivery.hpp"
 #include "simmpi/machine_model.hpp"
 #include "simmpi/node_topology.hpp"
@@ -287,6 +289,23 @@ class Runtime {
   /// meaningful while node_topology() is attached).
   bool node_routing() const { return node_route_; }
 
+  /// Attach a host-side wall-clock profiler (prof/prof.hpp). Not owned;
+  /// must outlive the runtime (or be detached with nullptr). Call before
+  /// the first epoch, like set_tracer. The profiler must have a lane per
+  /// rank plus the runtime lane (Profiler(num_ranks())).
+  ///
+  /// Unlike every other attachment, the profiler observes *host* time —
+  /// nondeterministic by nature — so the contract is inverted: profiling
+  /// must never feed back into the simulation. The runtime only ever
+  /// writes ScopedPhase spans around its own work (stage, fence, the
+  /// delivery-draw and node-prepass sections); with no profiler attached
+  /// each hook is an inlined null test and behaviour is byte-identical to
+  /// a build that never heard of profiling (tests/test_prof.cpp).
+  void set_profiler(prof::Profiler* profiler);
+
+  /// The attached profiler, or nullptr.
+  prof::Profiler* profiler() const { return prof_; }
+
   /// Record a solver-level event for `rank` (relax/absorb — see
   /// trace::EventKind). Inlined no-op when no tracer is attached. Safe to
   /// call from `rank`'s program mid-epoch: the epoch counter and modeled
@@ -318,6 +337,16 @@ class Runtime {
       if (free_.empty()) return std::vector<double>(doubles);
       std::vector<double> v = std::move(free_.back());
       free_.pop_back();
+      if (v.capacity() < doubles) {
+        // Grow geometrically, not to the exact request: DS stages
+        // variable-size records, and the LIFO rotation keeps pairing
+        // requests with buffers a few doubles too small — exact resizing
+        // then reallocates on nearly every such pairing, forever
+        // (bench/scaling's allocs-per-step curve). Doubling converges
+        // every circulating buffer to its rank's peak payload in O(log)
+        // reallocations instead.
+        v.reserve(std::max(doubles, 2 * v.capacity()));
+      }
       v.resize(doubles);
       return v;
     }
@@ -389,6 +418,7 @@ class Runtime {
   MachineModel model_;
   DeliveryModel delivery_;
   trace::Tracer* tracer_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
   // Runtime-owned metric ids (kInvalidMetric while untraced).
   trace::MetricId m_msgs_sent_ = trace::kInvalidMetric;
   trace::MetricId m_bytes_sent_ = trace::kInvalidMetric;

@@ -1,0 +1,313 @@
+/// Tests for the host-side profiling subsystem (src/prof): aggregation
+/// and histogram bookkeeping, the ScopedPhase null-test contract, the
+/// allocation hook (this binary links it via
+/// dsouth_enable_alloc_tracking), and the deterministic-safety acceptance
+/// criteria — attaching a profiler never changes solver iterates or the
+/// deterministic trace content, and with no profiler the exported trace
+/// is byte-identical across execution backends. Plus the observability
+/// satellites: MetricsRegistry under concurrent rank writers and
+/// ChromeTraceWriter JSON string escaping.
+
+#include "prof/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/driver.hpp"
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "sparse/scaling.hpp"
+#include "sparse/stencils.hpp"
+#include "trace/export.hpp"
+#include "trace/metrics.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace dsouth::prof {
+namespace {
+
+using dist::DistMethod;
+using dist::DistRunOptions;
+using dist::DistRunResult;
+using sparse::index_t;
+using sparse::value_t;
+
+// ---------------------------------------------------------------------------
+// (a) Profiler aggregation.
+// ---------------------------------------------------------------------------
+
+TEST(Profiler, AggregatesSpansPerLaneAndPhase) {
+  Profiler prof(2);
+  EXPECT_EQ(prof.num_lanes(), 3);
+  EXPECT_EQ(prof.runtime_lane(), 2);
+
+  prof.record(0, PhaseId::kRelax, 0, 5);   // bit_width(5) = 3
+  prof.record(0, PhaseId::kRelax, 10, 9);  // bit_width(9) = 4
+  prof.record(1, PhaseId::kRelax, 0, 100);
+  prof.record(2, PhaseId::kFence, 0, 0);  // bucket 0 holds 0-ns spans
+
+  const PhaseStats& r0 = prof.stats(0, PhaseId::kRelax);
+  EXPECT_EQ(r0.count, 2u);
+  EXPECT_EQ(r0.total_ns, 14u);
+  EXPECT_EQ(r0.max_ns, 9u);
+  EXPECT_EQ(r0.hist[3], 1u);
+  EXPECT_EQ(r0.hist[4], 1u);
+
+  EXPECT_EQ(prof.stats(2, PhaseId::kFence).hist[0], 1u);
+  EXPECT_EQ(prof.stats(1, PhaseId::kAbsorb).count, 0u);
+
+  const PhaseStats all = prof.lane_sum(PhaseId::kRelax);
+  EXPECT_EQ(all.count, 3u);
+  EXPECT_EQ(all.total_ns, 114u);
+  EXPECT_EQ(all.max_ns, 100u);
+}
+
+TEST(Profiler, SpanLogIsBoundedAndDropsAreCounted) {
+  Profiler prof(1, /*span_capacity=*/2);
+  prof.record(0, PhaseId::kStage, 0, 1);
+  prof.record(0, PhaseId::kStage, 2, 1);
+  prof.record(0, PhaseId::kStage, 4, 1);  // past capacity: dropped
+  EXPECT_EQ(prof.spans(0).size(), 2u);
+  EXPECT_EQ(prof.dropped_spans(), 1u);
+  // Aggregates still see every span.
+  EXPECT_EQ(prof.stats(0, PhaseId::kStage).count, 3u);
+}
+
+TEST(ScopedPhase, NullProfilerIsANoOp) {
+  // The zero-cost-when-off contract: both ctor and dtor must tolerate a
+  // null profiler (that is the permanent state of un-profiled runs).
+  const ScopedPhase scope(nullptr, 0, PhaseId::kRelax);
+}
+
+TEST(ScopedPhase, RecordsOneSpanOnItsLane) {
+  Profiler prof(2);
+  {
+    const ScopedPhase scope(&prof, 1, PhaseId::kAbsorb);
+  }
+  EXPECT_EQ(prof.stats(1, PhaseId::kAbsorb).count, 1u);
+  EXPECT_EQ(prof.stats(0, PhaseId::kAbsorb).count, 0u);
+  EXPECT_EQ(prof.lane_sum(PhaseId::kAbsorb).count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Allocation hook (linked into this binary — see tests/CMakeLists.txt).
+// ---------------------------------------------------------------------------
+
+TEST(AllocHook, CountsOperatorNewTraffic) {
+  ASSERT_TRUE(alloc_hook::available());
+  const std::uint64_t allocs0 = alloc_hook::allocations();
+  const std::uint64_t bytes0 = alloc_hook::bytes();
+  {
+    std::vector<double> v(1000);
+    EXPECT_GT(v.size(), 0u);  // keep the allocation live
+  }
+  EXPECT_GE(alloc_hook::allocations(), allocs0 + 1);
+  EXPECT_GE(alloc_hook::bytes(), bytes0 + 1000 * sizeof(double));
+  EXPECT_GE(alloc_hook::frees(), 1u);
+}
+
+TEST(AllocHook, ProfilerWindowCapturesDeltas) {
+  Profiler prof(1);
+  prof.begin_alloc_window();
+  { std::vector<char> v(1 << 12); EXPECT_EQ(v[0], 0); }
+  prof.end_alloc_window();
+  EXPECT_TRUE(prof.alloc_tracking());
+  EXPECT_GE(prof.allocs_total(), 1u);
+  EXPECT_GE(prof.allocs_bytes(), std::uint64_t{1} << 12);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Deterministic safety through the driver (the PR's acceptance bar).
+// ---------------------------------------------------------------------------
+
+struct Problem {
+  sparse::CsrMatrix a;
+  std::vector<value_t> b;
+  std::vector<value_t> x0;
+  graph::Partition part;
+};
+
+Problem make_problem() {
+  Problem p;
+  p.a = sparse::symmetric_unit_diagonal_scale(sparse::poisson2d_5pt(12, 12)).a;
+  p.b.assign(static_cast<std::size_t>(p.a.rows()), 0.0);
+  p.x0.resize(p.b.size());
+  util::Rng rng(77);
+  rng.fill_uniform(p.x0, -1.0, 1.0);
+  sparse::normalize_initial_residual(p.a, p.b, p.x0);
+  auto g = graph::Graph::from_matrix_structure(p.a);
+  p.part = graph::partition_recursive_bisection(g, 4);
+  return p;
+}
+
+DistRunResult run_once(Profiler* prof, simmpi::BackendKind backend) {
+  auto p = make_problem();
+  DistRunOptions opt;
+  opt.max_parallel_steps = 12;
+  opt.trace.enabled = true;
+  opt.backend = backend;
+  if (backend == simmpi::BackendKind::kThreadPool) opt.num_threads = 3;
+  opt.profiler = prof;
+  return dist::run_distributed(DistMethod::kDistributedSouthwell, p.a, p.part,
+                               p.b, p.x0, opt);
+}
+
+std::string jsonl_of(const DistRunResult& r) {
+  std::ostringstream os;
+  trace::write_jsonl(os, *r.trace_log, {});
+  return os.str();
+}
+
+/// The exported trace minus lines mentioning prof.* metrics — what must
+/// be identical between prof-on and prof-off captures of the same run.
+std::string strip_prof_lines(const std::string& jsonl) {
+  std::istringstream is(jsonl);
+  std::string out, line;
+  while (std::getline(is, line)) {
+    if (line.find("\"prof.") == std::string::npos) out += line + "\n";
+  }
+  return out;
+}
+
+TEST(ProfDriver, AttachingAProfilerNeverChangesIterates) {
+  const auto plain = run_once(nullptr, simmpi::BackendKind::kSequential);
+  Profiler prof(4);
+  const auto profiled = run_once(&prof, simmpi::BackendKind::kSequential);
+
+  ASSERT_EQ(plain.final_x.size(), profiled.final_x.size());
+  for (std::size_t i = 0; i < plain.final_x.size(); ++i) {
+    EXPECT_EQ(plain.final_x[i], profiled.final_x[i]) << "at " << i;
+  }
+  EXPECT_EQ(plain.comm_totals.msgs, profiled.comm_totals.msgs);
+  EXPECT_EQ(plain.comm_totals.bytes, profiled.comm_totals.bytes);
+  EXPECT_EQ(plain.residual_norm, profiled.residual_norm);
+
+  // The traces agree everywhere except the advisory prof.* gauges the
+  // driver registers only when a profiler rides along.
+  const std::string with = jsonl_of(profiled);
+  EXPECT_NE(with.find("prof.allocs_total"), std::string::npos);
+  EXPECT_EQ(jsonl_of(plain), strip_prof_lines(with));
+}
+
+TEST(ProfDriver, ProfOffTraceIsByteIdenticalAcrossBackends) {
+  const auto seq = run_once(nullptr, simmpi::BackendKind::kSequential);
+  const auto thr = run_once(nullptr, simmpi::BackendKind::kThreadPool);
+  EXPECT_EQ(jsonl_of(seq), jsonl_of(thr));
+}
+
+TEST(ProfDriver, ProfiledThreadedRunStaysBitIdentical) {
+  const auto plain = run_once(nullptr, simmpi::BackendKind::kSequential);
+  Profiler prof(4);
+  const auto profiled = run_once(&prof, simmpi::BackendKind::kThreadPool);
+  ASSERT_EQ(plain.final_x.size(), profiled.final_x.size());
+  for (std::size_t i = 0; i < plain.final_x.size(); ++i) {
+    EXPECT_EQ(plain.final_x[i], profiled.final_x[i]) << "at " << i;
+  }
+  // Deterministic trace content matches too (prof.* values are advisory
+  // and excluded; they legitimately differ run to run).
+  EXPECT_EQ(jsonl_of(plain), strip_prof_lines(jsonl_of(profiled)));
+}
+
+TEST(ProfDriver, PhaseAggregatesFollowTheLaneDiscipline) {
+  Profiler prof(4);
+  const auto res = run_once(&prof, simmpi::BackendKind::kSequential);
+
+  // One kStep span per parallel step, on the runtime lane only.
+  const auto& step = prof.stats(prof.runtime_lane(), PhaseId::kStep);
+  EXPECT_EQ(step.count, res.steps_taken());
+  EXPECT_EQ(prof.lane_sum(PhaseId::kStep).count, step.count);
+
+  // Solver phases land on rank lanes; fence work on the runtime lane.
+  EXPECT_GT(prof.lane_sum(PhaseId::kRelax).count, 0u);
+  EXPECT_GT(prof.lane_sum(PhaseId::kAbsorb).count, 0u);
+  EXPECT_EQ(prof.stats(prof.runtime_lane(), PhaseId::kRelax).count, 0u);
+  const auto& fence = prof.stats(prof.runtime_lane(), PhaseId::kFence);
+  EXPECT_GE(fence.count, step.count);
+
+  // Nesting invariants (the same rules dsouth-analyze -check gates on).
+  const auto nested =
+      prof.stats(prof.runtime_lane(), PhaseId::kDeliveryPolicy).total_ns +
+      prof.stats(prof.runtime_lane(), PhaseId::kNodePrepass).total_ns;
+  EXPECT_LE(nested, fence.total_ns);
+  for (int lane = 0; lane < prof.num_ranks(); ++lane) {
+    const auto disjoint = prof.stats(lane, PhaseId::kAbsorb).total_ns +
+                          prof.stats(lane, PhaseId::kRelax).total_ns +
+                          prof.stats(lane, PhaseId::kStage).total_ns;
+    EXPECT_LE(disjoint, step.total_ns) << "lane " << lane;
+  }
+
+  // The driver brackets the run with the allocation window.
+  EXPECT_TRUE(prof.alloc_tracking());
+  EXPECT_GT(prof.allocs_total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// (d) Satellite: MetricsRegistry under concurrent rank writers.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentPerRankWritersAreExact) {
+  // The registry's thread contract (one writer per rank slot, no atomics)
+  // is what the threaded backend relies on; hammer it from real threads.
+  constexpr int kRanks = 8;
+  constexpr int kAdds = 20000;
+  trace::MetricsRegistry m(kRanks);
+  const auto id = m.register_metric("test.hits", trace::MetricKind::kCounter);
+  std::vector<std::thread> threads;
+  threads.reserve(kRanks);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    threads.emplace_back([&m, id, rank] {
+      for (int i = 0; i < kAdds; ++i) m.add(id, rank, 1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(m.find("test.hits"), id);
+  EXPECT_EQ(m.total(id), static_cast<double>(kRanks) * kAdds);
+  for (int rank = 0; rank < kRanks; ++rank) {
+    EXPECT_EQ(m.value(id, rank), kAdds);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (e) Satellite: ChromeTraceWriter string escaping.
+// ---------------------------------------------------------------------------
+
+TEST(ChromeTraceWriter, EscapesSpanAndThreadNames) {
+  const auto res = run_once(nullptr, simmpi::BackendKind::kSequential);
+  std::ostringstream os;
+  trace::ChromeTraceWriter writer(os);
+  writer.add_run(*res.trace_log);
+  const int pid = writer.last_pid();
+  ASSERT_GE(pid, 0);
+  const std::string hostile = "ph\"ase\\ with\nnewline\tand\x01" "ctl";
+  writer.add_thread_name(pid, 99, hostile);
+  writer.add_span(pid, 99, hostile, 1.5, 2.5);
+  writer.finish();
+
+  const std::string out = os.str();
+  EXPECT_NE(out.find("ph\\\"ase\\\\ with\\nnewline\\tand\\u0001ctl"),
+            std::string::npos);
+  // The document survives a round-trip through a strict JSON parser, and
+  // the hostile name comes back exactly.
+  const auto doc = util::parse_json(out);
+  int span_hits = 0, meta_hits = 0;
+  for (const auto& ev : doc.at("traceEvents").as_array()) {
+    if (const auto* name = ev.find("name")) {
+      if (name->as_string() == hostile) ++span_hits;
+    }
+    if (const auto* args = ev.find("args")) {
+      if (const auto* name = args->find("name")) {
+        if (name->as_string() == hostile) ++meta_hits;
+      }
+    }
+  }
+  EXPECT_EQ(span_hits, 1);  // the X span carries the name directly
+  EXPECT_EQ(meta_hits, 1);  // the thread_name metadata carries it in args
+}
+
+}  // namespace
+}  // namespace dsouth::prof

@@ -5,10 +5,14 @@ The benches' `-json` flag writes a versioned record (schema
 "dsouth.bench_record", see docs/observability.md) whose `deterministic`
 block holds only quantities that are bit-identical across execution
 backends and thread counts: parallel steps, modeled time, CommStats
-message/byte totals, and the final residual. Those are compared exactly
-by default — any drift is a real behavior change, not noise. The
-`advisory` block (wall-clock seconds) and the backend/threads config are
-reported but never gate.
+message/byte totals, the final residual, plus any bench-specific extras
+(e.g. bench/scaling's allocs_per_step). Every deterministic field the
+baseline lists is compared — exactly by default — so any drift is a real
+behavior change, not noise; a field the fresh record *lacks* is a hard
+failure (stale binary or dropped instrumentation), while fields only the
+fresh record has are noted for the next baseline refresh. The `advisory`
+block (wall-clock seconds) and the backend/threads config never gate;
+advisory drift is printed as a labeled warning table instead.
 
 Usage:
   bench_compare.py BASELINE.json FRESH.json [options]
@@ -31,51 +35,27 @@ import sys
 SCHEMA = "dsouth.bench_record"
 SCHEMA_VERSION = 1
 
-# (field, is_float): comparison of record["deterministic"].
-DETERMINISTIC_FIELDS = [
-    ("steps", False),
-    ("msgs_total", False),
-    ("msgs_solve", False),
-    ("msgs_residual", False),
-    ("msgs_other", False),
-    ("bytes_total", False),
-    ("modeled_time", True),
-    ("comm_cost", True),
-    ("final_residual", True),
-]
+# Every deterministic field the BASELINE lists is compared (fields are
+# baseline-driven so bench-specific extras like allocs_per_step gate too);
+# these are the fields compared with --float-rel-tol instead of exactly.
+FLOAT_DETERMINISTIC_FIELDS = {
+    "modeled_time",
+    "comm_cost",
+    "final_residual",
+    "staleness_mean",
+}
 
-# Deterministic fields added after some baselines were committed; compared
-# exactly, but only when BOTH records carry them, so a new field never
-# invalidates an old baseline.
-OPTIONAL_DETERMINISTIC_FIELDS = [
-    ("msgs_logical", False),
-    # Fault-injection totals (resilience_sweep; present only when a
-    # FaultSchedule was attached — fault draws are stateless hashes, so
-    # these are exactly reproducible).
-    ("msgs_dropped", False),
-    ("msgs_duplicated", False),
-    ("msgs_corrupted", False),
-    ("rejected_corrupt", False),
-    ("rejected_stale", False),
-    ("refreshes_sent", False),
-    # Async-delivery totals (async_sweep; present only when the run used
-    # the EventDriven policy — latency draws are stateless hashes, so
-    # these are exactly reproducible too).
-    ("async_epochs", False),
-    ("async_delivered", False),
-    ("staleness_sum", False),
-    ("staleness_max", False),
-    ("staleness_mean", True),
-    # Node-aware tier totals (node_aware bench; present only when the run
-    # carried a two-level topology — hop accounting is a pure function of
-    # the staged traffic and the rank -> node map, so exactly
-    # reproducible).
-    ("node_msgs_intra", False),
-    ("node_bytes_intra", False),
-    ("node_msgs_inter", False),
-    ("node_bytes_inter", False),
-    ("node_forward_frames", False),
-    ("node_forwarded_records", False),
+# The core fields every record carries; a baseline missing one is corrupt.
+CORE_DETERMINISTIC_FIELDS = [
+    "steps",
+    "msgs_total",
+    "msgs_solve",
+    "msgs_residual",
+    "msgs_other",
+    "bytes_total",
+    "modeled_time",
+    "comm_cost",
+    "final_residual",
 ]
 
 # Config fields that must agree for the comparison to be meaningful.
@@ -138,6 +118,7 @@ def main():
 
     failures = 0
     compared = 0
+    advisory_drift = []  # (label, field, baseline, fresh)
 
     missing = sorted(set(base_runs) - set(fresh_runs))
     extra = sorted(set(fresh_runs) - set(base_runs))
@@ -162,16 +143,34 @@ def main():
                 failures += 1
                 print(f"FAIL [{label}] config.{key}: baseline {bv!r} != fresh {fv!r}")
 
-        optional_present = [
-            (key, is_float)
-            for key, is_float in OPTIONAL_DETERMINISTIC_FIELDS
-            if key in b["deterministic"] and key in f["deterministic"]
-        ]
-        for key, is_float in DETERMINISTIC_FIELDS + optional_present:
-            bv, fv = b["deterministic"].get(key), f["deterministic"].get(key)
+        for key in CORE_DETERMINISTIC_FIELDS:
+            if key not in b["deterministic"]:
+                failures += 1
+                print(
+                    f"FAIL [{label}] {key}: baseline record lacks this core "
+                    f"deterministic field — the baseline is corrupt, "
+                    f"regenerate it"
+                )
+
+        # Baseline-driven: every deterministic field the baseline gates on
+        # must exist in the fresh record and match. Fields only the fresh
+        # record carries are new instrumentation; they gate from the next
+        # baseline refresh on.
+        for key in sorted(b["deterministic"]):
+            if key not in f["deterministic"]:
+                failures += 1
+                print(
+                    f"FAIL [{label}] {key}: baseline lists this "
+                    f"deterministic field but the fresh record lacks it — "
+                    f"stale bench binary or dropped instrumentation; rebuild, "
+                    f"or regenerate the baseline if the field was removed "
+                    f"deliberately"
+                )
+                continue
+            bv, fv = b["deterministic"][key], f["deterministic"][key]
             if bv == fv:
                 continue
-            if is_float and bv is not None and fv is not None:
+            if key in FLOAT_DETERMINISTIC_FIELDS and bv is not None and fv is not None:
                 d = rel_diff(float(bv), float(fv))
                 if d <= args.float_rel_tol:
                     continue
@@ -183,9 +182,34 @@ def main():
             else:
                 failures += 1
                 print(f"FAIL [{label}] {key}: baseline {bv} != fresh {fv}")
+        for key in sorted(set(f["deterministic"]) - set(b["deterministic"])):
+            print(
+                f"note: [{label}] fresh deterministic field '{key}' has no "
+                f"baseline value (gates after the next baseline refresh)"
+            )
+
+        for key in sorted(set(b.get("advisory", {})) | set(f.get("advisory", {}))):
+            bv = b.get("advisory", {}).get(key)
+            fv = f.get("advisory", {}).get(key)
+            if bv != fv:
+                advisory_drift.append((label, key, bv, fv))
 
         wall_base += float(b.get("advisory", {}).get("wall_seconds", 0.0))
         wall_fresh += float(f.get("advisory", {}).get("wall_seconds", 0.0))
+
+    if advisory_drift:
+        # Labeled warning table — advisory fields (wall clock etc.) are
+        # nondeterministic by definition, so drift warns and never gates.
+        print(f"ADVISORY drift ({len(advisory_drift)} field(s); never gates):")
+        print(f"  {'run':<40} {'field':<16} {'baseline':>14} {'fresh':>14} {'drift':>9}")
+        for label, key, bv, fv in advisory_drift:
+            try:
+                pct = f"{100.0 * (float(fv) - float(bv)) / float(bv):+8.1f}%"
+            except (TypeError, ValueError, ZeroDivisionError):
+                pct = "      n/a"
+            bs = "absent" if bv is None else f"{bv:.6g}" if isinstance(bv, float) else str(bv)
+            fs = "absent" if fv is None else f"{fv:.6g}" if isinstance(fv, float) else str(fv)
+            print(f"  {label:<40} {key:<16} {bs:>14} {fs:>14} {pct}")
 
     if compared and wall_base > 0:
         change = 100.0 * (wall_fresh - wall_base) / wall_base
