@@ -1,5 +1,6 @@
 #include "prof/prof.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 
@@ -73,15 +74,18 @@ void Profiler::record(int lane, PhaseId phase, std::uint64_t start_ns,
   ++st.count;
   st.total_ns += dur_ns;
   if (dur_ns > st.max_ns) st.max_ns = dur_ns;
-  ++st.hist[static_cast<std::size_t>(std::bit_width(dur_ns))];
+  // bit_width can reach 64; the last bucket is a catch-all for spans too
+  // long to have their own bucket (>= 2^40 ns).
+  ++st.hist[std::min<std::size_t>(std::bit_width(dur_ns), kNumHistBuckets - 1)];
   if (span_capacity_ == 0) return;
   auto& log = spans_[static_cast<std::size_t>(lane)];
   if (log.size() < span_capacity_) {
     log.push_back(Span{phase, start_ns, dur_ns});
   } else {
-    // Benign cross-lane race on the drop tally under the threaded
-    // backend; the count is advisory (exporters only report it).
-    ++dropped_spans_;
+    // The drop tally is the one slot shared across lanes, so it must be
+    // atomic under the threaded backend; relaxed is enough (advisory,
+    // exporters only report it).
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

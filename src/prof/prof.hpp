@@ -30,6 +30,7 @@
 ///   adds no synchronization to the threaded backend.
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -134,7 +135,9 @@ class Profiler {
   PhaseStats lane_sum(PhaseId phase) const;
 
   const std::vector<Span>& spans(int lane) const;
-  std::uint64_t dropped_spans() const { return dropped_spans_; }
+  std::uint64_t dropped_spans() const {
+    return dropped_spans_.load(std::memory_order_relaxed);
+  }
 
   /// Allocation window: `begin_alloc_window` snapshots the process-wide
   /// counters, `end_alloc_window` stores the deltas (0/0/0 when the hook
@@ -152,7 +155,7 @@ class Profiler {
   std::chrono::steady_clock::time_point origin_;
   std::vector<PhaseStats> slots_;        ///< lane-major, kNumPhases per lane
   std::vector<std::vector<Span>> spans_; ///< per lane, bounded
-  std::uint64_t dropped_spans_ = 0;
+  std::atomic<std::uint64_t> dropped_spans_{0};  ///< shared across lanes
   bool alloc_tracking_ = false;
   std::uint64_t alloc_base_allocs_ = 0, alloc_base_bytes_ = 0,
                 alloc_base_frees_ = 0;

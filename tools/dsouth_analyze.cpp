@@ -35,6 +35,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -178,8 +179,13 @@ bool check_prof_record_run(const ProfRecordRun& pr) {
         (s.lane == pr.num_ranks ? !runtime_phase : !solver_phase)) {
       lanes_ok = false;
     }
+    // count * max_ns can exceed uint64; when it would overflow the
+    // product is > UINT64_MAX >= total_ns, so the bound trivially holds.
+    const bool prod_overflows =
+        s.max_ns != 0 &&
+        s.count > std::numeric_limits<std::uint64_t>::max() / s.max_ns;
     if (s.count == 0 || s.max_ns > s.total_ns ||
-        s.total_ns > s.count * s.max_ns) {
+        (!prod_overflows && s.total_ns > s.count * s.max_ns)) {
       slots_ok = false;
     }
     if (s.hist_sum != s.count) hists_ok = false;
