@@ -256,6 +256,12 @@ void TraceCapture::add_run(const std::string& label,
   runs_.push_back({label, result.trace_log});
 }
 
+void TraceCapture::add_log(const std::string& label,
+                           std::shared_ptr<const trace::TraceLog> log) {
+  if (!enabled() || !log) return;
+  runs_.push_back({label, std::move(log)});
+}
+
 void TraceCapture::write() {
   if (!enabled() || written_) return;
   written_ = true;
@@ -477,6 +483,59 @@ void BenchRecorder::add_run(
        << ",\"node_bytes_inter\":" << nt.bytes_inter
        << ",\"node_forward_frames\":" << nt.forward_frames
        << ",\"node_forwarded_records\":" << nt.forwarded_records;
+  }
+  for (const auto& [key, value] : extra_deterministic) {
+    os << ",\"" << key << "\":" << value;
+  }
+  os << "},"
+     << "\n   \"advisory\":{\"wall_seconds\":"
+     << util::json_number(result.wall_seconds) << "}}";
+  records_.push_back(os.str());
+}
+
+void BenchRecorder::add_batch_run(
+    const std::string& label, const std::string& matrix,
+    const dist::BatchRunResult& result,
+    const std::vector<std::pair<std::string, std::uint64_t>>&
+        extra_deterministic) {
+  if (!enabled()) return;
+  const auto& ct = result.comm_totals;
+  // The scalar convergence figure for a batch is its slowest tenant.
+  double worst_residual = 0.0;
+  for (const auto& t : result.tenants) {
+    if (t.final_residual > worst_residual) worst_residual = t.final_residual;
+  }
+  std::ostringstream os;
+  os << "{\"label\":" << util::json_quote(label)
+     << ",\n   \"config\":{\"matrix\":" << util::json_quote(matrix)
+     << ",\"method\":" << util::json_quote(result.method)
+     << ",\"procs\":" << result.num_ranks << ",\"n\":" << result.n
+     << ",\"batch\":" << result.batch
+     << ",\"backend\":" << util::json_quote(result.backend)
+     << ",\"threads\":" << result.num_threads << "},"
+     << "\n   \"deterministic\":{\"steps\":" << result.steps_taken
+     << ",\"modeled_time\":" << util::json_number(result.model_time)
+     << ",\"msgs_total\":" << ct.msgs << ",\"msgs_solve\":" << ct.msgs_solve
+     << ",\"msgs_residual\":" << ct.msgs_residual
+     << ",\"msgs_other\":" << ct.msgs_other
+     << ",\"msgs_logical\":" << ct.msgs_logical
+     << ",\"bytes_total\":" << ct.bytes
+     << ",\"comm_cost\":"
+     << util::json_number(result.num_ranks == 0
+                              ? 0.0
+                              : static_cast<double>(ct.msgs) /
+                                    static_cast<double>(result.num_ranks))
+     << ",\"epochs\":" << result.epochs
+     << ",\"frames_rejected\":" << result.frames_rejected
+     << ",\"final_residual\":" << util::json_number(worst_residual);
+  // Per-tenant logical shares of the shared wire. All deterministic: the
+  // tallies are folded from staged traffic at each fence. bench_compare.py
+  // treats tenant_* as one grouped family when reporting.
+  for (std::size_t t = 0; t < result.tenants.size(); ++t) {
+    const auto& tr = result.tenants[t];
+    os << ",\"tenant_records_" << t << "\":" << tr.wire_records
+       << ",\"tenant_doubles_" << t << "\":" << tr.wire_doubles
+       << ",\"tenant_steps_" << t << "\":" << tr.steps;
   }
   for (const auto& [key, value] : extra_deterministic) {
     os << ",\"" << key << "\":" << value;

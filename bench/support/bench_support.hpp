@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "dist/batch.hpp"
 #include "dist/driver.hpp"
 #include "graph/partition.hpp"
 #include "prof/prof.hpp"
@@ -169,6 +170,11 @@ class TraceCapture {
   /// Capture one finished run under `label` (e.g. "fig8 ldoorp P=64 DS").
   /// Runs without a trace log (tracing off) are ignored.
   void add_run(const std::string& label, const dist::DistRunResult& result);
+  /// Capture a merged trace log directly — the batched-run path
+  /// (bench/throughput), where there is no DistRunResult to hand over.
+  /// Null logs (tracing off) are ignored.
+  void add_log(const std::string& label,
+               std::shared_ptr<const trace::TraceLog> log);
   /// Interleave host-profiler spans from `profs` into the Chrome export
   /// (extra "host:" threads per run) and append a "prof" section to the
   /// metrics document. Runs are matched by label; `profs` must outlive
@@ -214,6 +220,18 @@ class BenchRecorder {
                const dist::DistRunResult& result,
                const std::vector<std::pair<std::string, std::uint64_t>>&
                    extra_deterministic = {});
+  /// Record one finished batched multi-tenant run (dist/batch.hpp). The
+  /// deterministic block mirrors add_run's — steps, modeled time, shared-
+  /// wire CommStats totals, worst tenant final residual — plus the batch
+  /// size, runtime epochs, rejected-frame count, and per-tenant
+  /// `tenant_{records,doubles,steps}_<t>` fields (the tenant's logical
+  /// share of the shared frames; bit-identical across backends).
+  /// tools/bench_compare.py groups the tenant_* family into one summary
+  /// row so B = 64 records stay readable.
+  void add_batch_run(const std::string& label, const std::string& matrix,
+                     const dist::BatchRunResult& result,
+                     const std::vector<std::pair<std::string, std::uint64_t>>&
+                         extra_deterministic = {});
   /// Write the record file now (idempotent; the destructor calls it).
   void write();
 

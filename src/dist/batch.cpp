@@ -1,0 +1,422 @@
+#include "dist/batch.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "kernels/kernels.hpp"
+#include "simmpi/delivery.hpp"
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+#include "wire/wire.hpp"
+
+namespace dsouth::dist {
+
+namespace {
+
+/// Tenant layouts must agree on everything the shared schedule and the
+/// shared wire depend on: rank count, row distribution, and the exact
+/// communication structure (peer lists and directed channel widths). The
+/// proxy-suite tenant sweeps perturb only numerical values, never the
+/// sparsity, so layouts built from one partition always pass.
+void check_layout_compatible(const DistLayout& a, const DistLayout& b) {
+  DSOUTH_CHECK_MSG(a.num_ranks() == b.num_ranks(),
+                   "tenant layouts disagree on rank count");
+  DSOUTH_CHECK_MSG(a.global_rows() == b.global_rows(),
+                   "tenant layouts disagree on system size");
+  for (int p = 0; p < a.num_ranks(); ++p) {
+    const auto pa = a.comm_plan().peers(p);
+    const auto pb = b.comm_plan().peers(p);
+    DSOUTH_CHECK_MSG(pa.size() == pb.size(),
+                     "tenant layouts disagree on neighbor count of rank "
+                         << p);
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      DSOUTH_CHECK_MSG(pa[k].rank == pb[k].rank &&
+                           pa[k].send_width == pb[k].send_width &&
+                           pa[k].recv_width == pb[k].recv_width,
+                       "tenant layouts disagree on channel " << k
+                                                             << " of rank "
+                                                             << p);
+    }
+  }
+}
+
+/// B == 1 degenerates to the unbatched driver: delegate wholesale, so a
+/// single-tenant batched run is byte-identical to run_distributed —
+/// iterates, traces, stats — by construction.
+BatchRunResult run_single(DistMethod method, const DistLayout& layout,
+                          const TenantSpec& spec, const DistRunOptions& opt) {
+  DistRunOptions sopt = opt;
+  if (spec.stop_at_residual > 0.0) {
+    sopt.stop_at_residual = spec.stop_at_residual;
+  }
+  DistRunResult solo = run_distributed(method, layout, spec.b, spec.x0, sopt);
+
+  BatchRunResult out;
+  out.method = solo.method;
+  out.num_ranks = solo.num_ranks;
+  out.n = solo.n;
+  out.batch = 1;
+  out.backend = solo.backend;
+  out.num_threads = solo.num_threads;
+  out.wall_seconds = solo.wall_seconds;
+  out.comm_totals = solo.comm_totals;
+  out.model_time = solo.model_time.empty() ? 0.0 : solo.model_time.back();
+  out.steps_taken = static_cast<index_t>(solo.steps_taken());
+  if (solo.async_totals) out.epochs = solo.async_totals->epochs;
+  out.trace_log = solo.trace_log;
+
+  TenantResult t;
+  t.residual_norm = solo.residual_norm;
+  t.steps = static_cast<index_t>(solo.steps_taken());
+  t.final_residual =
+      solo.residual_norm.empty() ? 0.0 : solo.residual_norm.back();
+  t.converged = sopt.stop_at_residual > 0.0 &&
+                t.final_residual <= sopt.stop_at_residual;
+  t.final_x = solo.final_x;
+  t.relaxations = solo.relaxations.empty()
+                      ? 0
+                      : static_cast<std::uint64_t>(solo.relaxations.back());
+  t.wire_records = solo.comm_totals.msgs_logical;
+  // Recover payload doubles from the modeled byte total (every message is
+  // charged header + 8 bytes per double — simmpi::message_bytes).
+  t.wire_doubles = (solo.comm_totals.bytes -
+                    simmpi::kMessageHeaderBytes * solo.comm_totals.msgs) /
+                   8;
+  out.tenants.push_back(std::move(t));
+  out.solo = std::move(solo);
+  return out;
+}
+
+}  // namespace
+
+BatchRunResult run_distributed_batch(DistMethod method,
+                                     std::span<const DistLayout* const> layouts,
+                                     std::span<const TenantSpec> specs,
+                                     const DistRunOptions& opt) {
+  DSOUTH_CHECK_MSG(!specs.empty(), "batched run needs at least one tenant");
+  DSOUTH_CHECK_MSG(layouts.size() == 1 || layouts.size() == specs.size(),
+                   "pass one shared layout or one per tenant");
+  for (const DistLayout* l : layouts) DSOUTH_CHECK(l != nullptr);
+  for (std::size_t i = 1; i < layouts.size(); ++i) {
+    check_layout_compatible(*layouts[0], *layouts[i]);
+  }
+  if (specs.size() == 1) return run_single(method, *layouts[0], specs[0], opt);
+
+  const std::size_t batch = specs.size();
+  const auto layout_of = [&](std::size_t t) -> const DistLayout& {
+    return layouts.size() == 1 ? *layouts[0] : *layouts[t];
+  };
+  const DistLayout& layout = *layouts[0];
+  const int num_ranks = layout.num_ranks();
+  // Observer policies defined on a single trajectory do not lift to a
+  // batch; reject rather than silently half-apply them.
+  DSOUTH_CHECK_MSG(!opt.watchdog.enabled,
+                   "the divergence watchdog is not supported for batched "
+                   "runs (per-tenant stop_at_residual is)");
+  DSOUTH_CHECK_MSG(opt.divergence_abort == 0.0,
+                   "divergence_abort is not supported for batched runs");
+
+  // --- Runtime and attachments: mirrors run_distributed exactly so every
+  // feature (async delivery, node topology, tracing, profiling, faults)
+  // composes with batching the way it composes with a solo run.
+  simmpi::Runtime rt(num_ranks, opt.machine, opt.delivery);
+  std::unique_ptr<simmpi::EventDrivenPolicy> async_policy;
+  if (opt.async) {
+    simmpi::EventDrivenOptions eo;
+    eo.seed = opt.async_seed;
+    eo.min_latency_epochs = opt.async_min_latency;
+    eo.max_latency_epochs = opt.async_max_latency;
+    eo.max_staleness = opt.max_staleness;
+    async_policy = std::make_unique<simmpi::EventDrivenPolicy>(eo);
+    rt.set_delivery_policy(async_policy.get());
+  }
+  std::optional<simmpi::NodeTopology> run_topo;
+  const simmpi::NodeTopology* topo = layout.node_topology();
+  if (!opt.node_map.empty()) {
+    run_topo.emplace(simmpi::NodeTopology::explicit_map(opt.node_map));
+    topo = &*run_topo;
+  } else if (opt.ranks_per_node > 0) {
+    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
+        num_ranks, opt.ranks_per_node));
+    topo = &*run_topo;
+  } else if (opt.num_nodes > 0) {
+    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
+        num_ranks, (num_ranks + opt.num_nodes - 1) / opt.num_nodes));
+    topo = &*run_topo;
+  }
+  if (topo) {
+    simmpi::NodeRoutingOptions nro;
+    nro.route_via_leaders = opt.node_route;
+    if (opt.node_route) {
+      nro.pair_channel_counts =
+          wire::NodeCommPlan(layout.comm_plan(), *topo).pair_channel_counts();
+    }
+    rt.set_node_topology(topo, std::move(nro));
+  }
+  std::unique_ptr<trace::Tracer> tracer;
+  if (opt.trace.enabled) {
+    tracer = std::make_unique<trace::Tracer>(num_ranks, opt.trace);
+    rt.set_tracer(tracer.get());
+  }
+  if (opt.profiler) rt.set_profiler(opt.profiler);
+  std::unique_ptr<faults::FaultSchedule> fault_schedule;
+  if (opt.faults.any()) {
+    fault_schedule =
+        std::make_unique<faults::FaultSchedule>(opt.faults, num_ranks);
+    rt.set_fault_schedule(fault_schedule.get());
+  }
+  rt.set_num_tenants(batch);
+
+  auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
+  // MetricsRegistry registration is idempotent by name, so B solver
+  // constructors share one set of metric slots.
+  std::vector<std::unique_ptr<DistStationarySolver>> solvers;
+  solvers.reserve(batch);
+  for (std::size_t t = 0; t < batch; ++t) {
+    solvers.push_back(make_dist_solver(method, layout_of(t), rt, specs[t].b,
+                                       specs[t].x0, opt));
+    solvers.back()->set_backend(*backend);
+    // Batch staging subsumes opt.coalesce_messages: ship_batch IS the
+    // per-peer merge (one tenant frame per (peer, tag)), so the
+    // coalescing flag is intentionally not forwarded.
+    solvers.back()->set_batch_staging(true);
+  }
+  ResilienceOptions resilience = opt.resilience;
+  if (opt.async) resilience.enabled = true;
+  if (resilience.enabled) {
+    for (auto& s : solvers) s->set_resilience(resilience);
+  }
+
+  BatchRunResult result;
+  result.method = method_name(method);
+  result.num_ranks = num_ranks;
+  result.n = layout.global_rows();
+  result.batch = batch;
+  result.backend = backend->name();
+  result.num_threads = backend->num_threads();
+  result.tenants.resize(batch);
+
+  // --- Shared-epoch scheduling state. All per-rank phase scratch is
+  // per-slot (the SPMD discipline): a rank phase touches only
+  // rank_sets[p] and rejected_per_rank[p].
+  std::vector<char> active(batch, 1);
+  std::vector<int> active_ids;
+  std::vector<std::vector<wire::ChannelSet*>> rank_sets(
+      static_cast<std::size_t>(num_ranks));
+  std::vector<std::uint64_t> rejected_per_rank(
+      static_cast<std::size_t>(num_ranks), 0);
+
+  const auto run_rank_phase =
+      [&](const std::function<void(simmpi::RankContext&, int)>& fn) {
+        struct Call {
+          simmpi::Runtime* rt;
+          const std::function<void(simmpi::RankContext&, int)>* fn;
+        } call{&rt, &fn};
+        backend->run_epoch(num_ranks, [&call](int p) {
+          simmpi::RankContext ctx(*call.rt, p);
+          (*call.fn)(ctx, p);
+        });
+      };
+
+  // Demultiplexing absorb: every window payload is a tenant frame; walk
+  // it and hand each entry to its tenant's ordinary absorb path — the
+  // per-tenant record streams (and so the per-tenant floating-point
+  // schedules) are exactly the solo ones. A frame that fails structural
+  // validation under fault injection is dropped whole; entries already
+  // dispatched stay applied (each rides its own sequenced envelope, so
+  // per-tenant idempotence covers the partial application).
+  const auto demux_absorb = [&](simmpi::RankContext& ctx, int p) {
+    const RankData& rd = layout.rank(p);
+    for (const auto& msg : ctx.window()) {
+      const int nbi = rd.neighbor_index(msg.source);
+      DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+      if (fault_schedule) {
+        try {
+          wire::for_each_tenant(
+              msg.payload, [&](const wire::TenantEntry& e) {
+                DSOUTH_CHECK(e.tenant >= 0 &&
+                             static_cast<std::size_t>(e.tenant) < batch);
+                solvers[static_cast<std::size_t>(e.tenant)]->absorb_payload(
+                    ctx, p, static_cast<std::size_t>(nbi), e.body);
+              });
+        } catch (const wire::DecodeError&) {
+          ++rejected_per_rank[static_cast<std::size_t>(p)];
+        }
+      } else {
+        wire::for_each_tenant(msg.payload, [&](const wire::TenantEntry& e) {
+          DSOUTH_CHECK(e.tenant >= 0 &&
+                       static_cast<std::size_t>(e.tenant) < batch);
+          solvers[static_cast<std::size_t>(e.tenant)]->absorb_payload(
+              ctx, p, static_cast<std::size_t>(nbi), e.body);
+        });
+      }
+    }
+    // One absorb event per rank for the shared window — frames are shared
+    // wire, not any single tenant's traffic.
+    solvers.front()->trace_absorb(ctx);
+    ctx.consume();
+  };
+
+  // Per-tenant exact residual norms via the batched SoA kernel, with
+  // per-rank partial sums so each lane reproduces its solver's
+  // global_residual_norm() bit-for-bit (same addends, same order).
+  std::vector<value_t> norm_acc(batch), rank_acc(batch), soa;
+  std::vector<double> rn(batch);
+  const auto compute_norms = [&] {
+    std::fill(norm_acc.begin(), norm_acc.end(), value_t{0});
+    for (int p = 0; p < num_ranks; ++p) {
+      const auto rows =
+          static_cast<std::size_t>(layout.rank(p).num_rows());
+      if (rows == 0) continue;
+      soa.resize(rows * batch);
+      for (std::size_t t = 0; t < batch; ++t) {
+        const auto rp = solvers[t]->local_r(p);
+        for (std::size_t i = 0; i < rows; ++i) soa[i * batch + t] = rp[i];
+      }
+      std::fill(rank_acc.begin(), rank_acc.end(), value_t{0});
+      kernels::norm_sq_batch(soa, batch, rank_acc);
+      for (std::size_t t = 0; t < batch; ++t) norm_acc[t] += rank_acc[t];
+    }
+    for (std::size_t t = 0; t < batch; ++t) rn[t] = std::sqrt(norm_acc[t]);
+  };
+  const auto target_of = [&](std::size_t t) {
+    return specs[t].stop_at_residual > 0.0 ? specs[t].stop_at_residual
+                                           : opt.stop_at_residual;
+  };
+
+  compute_norms();
+  for (std::size_t t = 0; t < batch; ++t) {
+    result.tenants[t].residual_norm.push_back(rn[t]);
+    if (target_of(t) > 0.0 && rn[t] <= target_of(t)) {
+      active[t] = 0;
+      result.tenants[t].converged = true;
+    }
+  }
+
+  if (opt.profiler) opt.profiler->begin_alloc_window();
+  for (index_t k = 0; k < opt.max_parallel_steps; ++k) {
+    active_ids.clear();
+    for (std::size_t t = 0; t < batch; ++t) {
+      if (active[t]) active_ids.push_back(static_cast<int>(t));
+    }
+    if (active_ids.empty()) break;
+    for (auto& sets : rank_sets) sets.clear();
+    for (int t : active_ids) {
+      for (int p = 0; p < num_ranks; ++p) {
+        rank_sets[static_cast<std::size_t>(p)].push_back(
+            &solvers[static_cast<std::size_t>(t)]->channel(p));
+      }
+    }
+
+    util::Stopwatch wall;
+    {
+      const prof::ScopedPhase prof_step(opt.profiler, num_ranks,
+                                        prof::PhaseId::kStep);
+      for (int t : active_ids) {
+        solvers[static_cast<std::size_t>(t)]->begin_step();
+      }
+      if (rt.async_delivery()) {
+        // Event-driven: one fused shared epoch — demux whatever matured,
+        // every scheduled tenant's relax-on-arrival send, ship, fence.
+        run_rank_phase([&](simmpi::RankContext& ctx, int p) {
+          demux_absorb(ctx, p);
+          for (int t : active_ids) {
+            solvers[static_cast<std::size_t>(t)]->rank_async_send(ctx, p);
+          }
+          wire::ChannelSet::ship_batch(
+              ctx, rank_sets[static_cast<std::size_t>(p)], active_ids);
+        });
+        rt.fence();
+      } else {
+        const int epochs =
+            solvers[static_cast<std::size_t>(active_ids.front())]
+                ->step_epochs();
+        for (int e = 0; e < epochs; ++e) {
+          run_rank_phase([&](simmpi::RankContext& ctx, int p) {
+            for (int t : active_ids) {
+              solvers[static_cast<std::size_t>(t)]->rank_send(e, ctx, p);
+            }
+            wire::ChannelSet::ship_batch(
+                ctx, rank_sets[static_cast<std::size_t>(p)], active_ids);
+          });
+          rt.fence();
+          run_rank_phase(
+              [&](simmpi::RankContext& ctx, int p) { demux_absorb(ctx, p); });
+        }
+      }
+    }
+    result.wall_seconds += wall.seconds();
+    ++result.steps_taken;
+
+    compute_norms();
+    for (int t : active_ids) {
+      const auto ut = static_cast<std::size_t>(t);
+      const DistStepStats st = solvers[ut]->merge_rank_stats();
+      result.tenants[ut].relaxations +=
+          static_cast<std::uint64_t>(st.relaxations);
+      result.tenants[ut].residual_norm.push_back(rn[ut]);
+      ++result.tenants[ut].steps;
+      if (target_of(ut) > 0.0 && rn[ut] <= target_of(ut)) {
+        // Drop out: stop scheduling this tenant (it leaves the shared
+        // frames) but keep absorbing anything still in flight to it.
+        active[ut] = 0;
+        result.tenants[ut].converged = true;
+      }
+    }
+  }
+  if (rt.async_delivery()) {
+    rt.drain_delayed();
+    run_rank_phase(
+        [&](simmpi::RankContext& ctx, int p) { demux_absorb(ctx, p); });
+    compute_norms();
+  }
+  if (opt.profiler) opt.profiler->end_alloc_window();
+
+  for (std::size_t t = 0; t < batch; ++t) {
+    result.tenants[t].final_residual = rn[t];
+    result.tenants[t].final_x = solvers[t]->gather_x();
+    result.tenants[t].wire_records = rt.stats().tenant_records(t);
+    result.tenants[t].wire_doubles = rt.stats().tenant_doubles(t);
+  }
+  for (std::uint64_t r : rejected_per_rank) result.frames_rejected += r;
+  result.model_time = rt.model_time_seconds();
+  result.epochs = rt.epochs_completed();
+  const simmpi::CommStats& cs = rt.stats();
+  result.comm_totals.msgs = cs.total_messages();
+  result.comm_totals.bytes = cs.total_bytes();
+  result.comm_totals.msgs_solve = cs.total_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_residual =
+      cs.total_messages(simmpi::MsgTag::kResidual);
+  result.comm_totals.msgs_other = cs.total_messages(simmpi::MsgTag::kOther);
+  result.comm_totals.msgs_logical = cs.logical_messages();
+  result.comm_totals.msgs_logical_solve =
+      cs.logical_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_logical_residual =
+      cs.logical_messages(simmpi::MsgTag::kResidual);
+
+  if (opt.profiler && tracer) {
+    auto& m = tracer->metrics();
+    const auto id_track =
+        m.register_metric("prof.alloc_tracking", trace::MetricKind::kGauge);
+    const auto id_allocs =
+        m.register_metric("prof.allocs_total", trace::MetricKind::kGauge);
+    const auto id_bytes =
+        m.register_metric("prof.allocs_bytes", trace::MetricKind::kGauge);
+    const auto id_frees =
+        m.register_metric("prof.frees_total", trace::MetricKind::kGauge);
+    m.set(id_track, 0, opt.profiler->alloc_tracking() ? 1.0 : 0.0);
+    m.set(id_allocs, 0, static_cast<double>(opt.profiler->allocs_total()));
+    m.set(id_bytes, 0, static_cast<double>(opt.profiler->allocs_bytes()));
+    m.set(id_frees, 0, static_cast<double>(opt.profiler->frees_total()));
+  }
+  if (opt.profiler) rt.set_profiler(nullptr);
+  if (tracer) {
+    tracer->flush();
+    result.trace_log =
+        std::make_shared<const trace::TraceLog>(tracer->take_log());
+    rt.set_tracer(nullptr);
+  }
+  return result;
+}
+
+}  // namespace dsouth::dist

@@ -41,63 +41,30 @@ void BlockJacobi::rank_relax(simmpi::RankContext& ctx, int p) {
   ch.flush(ctx);
 }
 
-void BlockJacobi::rank_absorb(simmpi::RankContext& ctx, int p) {
-  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
-  const RankData& rd = layout_->rank(p);
-  for (const auto& msg : ctx.window()) {
-    const int nbi = rd.neighbor_index(msg.source);
-    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    const auto unbi = static_cast<std::size_t>(nbi);
-    const auto& nb = rd.neighbors[unbi];
-    if (resilient()) {
-      const auto body = resil_accept(ctx, p, unbi, msg.payload);
-      if (body.empty()) continue;
-      const auto rec =
-          wire::decode_record(wire::Family::kDelta, body, nb.ghost_rows.size());
-      resil_apply_boundary_x(ctx, p, unbi, rec.dx);
-      continue;
-    }
-    wire::for_each_record(wire::Family::kDelta, msg.payload,
-                          nb.ghost_rows.size(),
-                          [&](const wire::Record& rec) {
-                            apply_incoming_delta(ctx, nb, rec.dx);
-                          });
+void BlockJacobi::absorb_payload(simmpi::RankContext& ctx, int p,
+                                 std::size_t nbi,
+                                 std::span<const double> payload) {
+  const auto& nb = layout_->rank(p).neighbors[nbi];
+  if (resilient()) {
+    const auto body = resil_accept(ctx, p, nbi, payload);
+    if (body.empty()) return;
+    const auto rec =
+        wire::decode_record(wire::Family::kDelta, body, nb.ghost_rows.size());
+    resil_apply_boundary_x(ctx, p, nbi, rec.dx);
+    return;
   }
-  trace_absorb(ctx);
-  ctx.consume();
+  wire::for_each_record(wire::Family::kDelta, payload, nb.ghost_rows.size(),
+                        [&](const wire::Record& rec) {
+                          apply_incoming_delta(ctx, nb, rec.dx);
+                        });
 }
 
-void BlockJacobi::absorb_all() {
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
+void BlockJacobi::rank_send(int /*e*/, simmpi::RankContext& ctx, int p) {
+  rank_relax(ctx, p);
 }
 
-DistStepStats BlockJacobi::step() {
-  resil_begin_step();
-  if (async_mode()) {
-    // Relax-on-arrival: absorb whatever matured at earlier fences, relax
-    // on that (staleness-bounded) state, fence once. Messages sent here
-    // land whenever the delivery policy's virtual clock says they do.
-    for_each_rank([this](simmpi::RankContext& ctx, int p) {
-      rank_absorb(ctx, p);
-      rank_relax(ctx, p);
-    });
-    rt_->fence();
-    return merge_rank_stats();
-  }
-
-  // Relax everywhere and write boundary updates.
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_relax(ctx, p);
-  });
-  rt_->fence();
-
-  // Absorb neighbor updates.
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-  return merge_rank_stats();
+void BlockJacobi::rank_async_send(simmpi::RankContext& ctx, int p) {
+  rank_relax(ctx, p);
 }
 
 }  // namespace dsouth::dist

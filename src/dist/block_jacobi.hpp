@@ -17,15 +17,18 @@ class BlockJacobi final : public DistStationarySolver {
   BlockJacobi(const DistLayout& layout, simmpi::Runtime& rt,
               std::span<const value_t> b, std::span<const value_t> x0);
 
-  DistStepStats step() override;
   const char* name() const override { return "BlockJacobi"; }
-  void absorb_all() override;
+
+  // Stepping hooks (solver_base.hpp): one epoch, every rank relaxes.
+  void rank_send(int e, simmpi::RankContext& ctx, int p) override;
+  void rank_async_send(simmpi::RankContext& ctx, int p) override;
+  void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
+                      std::span<const double> payload) override;
 
  private:
   // Message p -> q: payload = Δx at p's boundary rows w.r.t. q, ordered by
   // the shared channel convention (see layout.hpp).
   void rank_relax(simmpi::RankContext& ctx, int p);
-  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   std::vector<std::vector<value_t>> x_before_;  // per-rank sweep snapshot
 };

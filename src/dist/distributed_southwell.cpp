@@ -214,104 +214,70 @@ void DistributedSouthwell::rank_correct(simmpi::RankContext& ctx, int p,
   ch.flush(ctx);
 }
 
-void DistributedSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
-  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
-  const RankData& rd = layout_->rank(p);
+void DistributedSouthwell::absorb_payload(simmpi::RankContext& ctx, int p,
+                                          std::size_t nbi,
+                                          std::span<const double> payload) {
   const auto up = static_cast<std::size_t>(p);
-  for (const auto& msg : ctx.window()) {
-    const int nbi = rd.neighbor_index(msg.source);
-    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    const auto unbi = static_cast<std::size_t>(nbi);
-    const auto& nb = rd.neighbors[unbi];
-    if (resilient()) {
-      const auto body = resil_accept(ctx, p, unbi, msg.payload);
-      if (body.empty()) continue;
-      const auto rec = wire::decode_record(wire::Family::kEstimate, body,
-                                           nb.ghost_rows.size());
-      if (rec.type == wire::RecordType::kSolveUpdate) {
-        resil_apply_boundary_x(ctx, p, unbi, rec.dx);
-      }
-      std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][unbi].begin());
-      gamma2_[up][unbi] = rec.norm2;
-      gtilde2_[up][unbi] = rec.gamma2;
-      continue;
+  const auto& nb = layout_->rank(p).neighbors[nbi];
+  if (resilient()) {
+    const auto body = resil_accept(ctx, p, nbi, payload);
+    if (body.empty()) return;
+    const auto rec = wire::decode_record(wire::Family::kEstimate, body,
+                                         nb.ghost_rows.size());
+    if (rec.type == wire::RecordType::kSolveUpdate) {
+      resil_apply_boundary_x(ctx, p, nbi, rec.dx);
     }
-    // Decode against the channel's receive width (the codec validates
-    // every length); a frame yields each coalesced record in send order.
-    wire::for_each_record(
-        wire::Family::kEstimate, msg.payload, nb.ghost_rows.size(),
-        [&](const wire::Record& rec) {
-          if (rec.type == wire::RecordType::kSolveUpdate) {
-            // SOLVE: Δx + exact boundary residuals.
-            apply_incoming_delta(ctx, nb, rec.dx);
-          }
-          // Both types carry the sender's exact boundary residuals.
-          std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][unbi].begin());
-          gamma2_[up][unbi] = rec.norm2;
-          gtilde2_[up][unbi] = rec.gamma2;
-        });
+    std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][nbi].begin());
+    gamma2_[up][nbi] = rec.norm2;
+    gtilde2_[up][nbi] = rec.gamma2;
+    return;
   }
-  trace_absorb(ctx);
-  ctx.consume();
+  // Decode against the channel's receive width (the codec validates
+  // every length); a frame yields each coalesced record in send order.
+  wire::for_each_record(
+      wire::Family::kEstimate, payload, nb.ghost_rows.size(),
+      [&](const wire::Record& rec) {
+        if (rec.type == wire::RecordType::kSolveUpdate) {
+          // SOLVE: Δx + exact boundary residuals.
+          apply_incoming_delta(ctx, nb, rec.dx);
+        }
+        // Both types carry the sender's exact boundary residuals.
+        std::copy(rec.rb.begin(), rec.rb.end(), ghost_[up][nbi].begin());
+        gamma2_[up][nbi] = rec.norm2;
+        gtilde2_[up][nbi] = rec.gamma2;
+      });
 }
 
-void DistributedSouthwell::absorb_all() {
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-}
-
-DistStepStats DistributedSouthwell::step() {
-  resil_begin_step();
-  if (async_mode()) {
-    // Relax-on-arrival: absorb what matured, relax where ‖r_p‖² is
-    // maximal among the (staleness-bounded) Γ estimates, and fold the
-    // deadlock-avoidance corrections into the SAME epoch. Ordering keeps
-    // Γ̃ correct: rank_relax sets Γ̃[q] = norm2_new for every neighbor it
-    // messaged, so rank_correct right after only fires for genuinely
-    // uncorrected overestimates. Out-of-order arrival is handled by the
-    // resilient absorb path (sequence gating + absolute-x encoding) the
-    // driver enables for asynchronous runs.
-    ++step_count_;
-    const bool heartbeat = opt_.heartbeat_period > 0 &&
-                           step_count_ % opt_.heartbeat_period == 0;
-    for_each_rank([this, heartbeat](simmpi::RankContext& ctx, int p) {
-      rank_absorb(ctx, p);
-      rank_relax(ctx, p);
-      if (opt_.enable_corrections) rank_correct(ctx, p, heartbeat);
-    });
-    rt_->fence();
-    return merge_rank_stats();
-  }
-
-  // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_relax(ctx, p);
-  });
-  rt_->fence();
-
-  // Absorb solve updates: apply Δx to r_p, overwrite the ghost layer with
-  // the sender's exact boundary residuals, refresh Γ and Γ̃. (Dispatches
-  // on the type tag: with runtime delivery delays, residual messages can
-  // land at this fence too.)
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-
-  // ---- Epoch B: deadlock avoidance — correct only overestimates of us.
+void DistributedSouthwell::begin_step() {
+  DistStationarySolver::begin_step();
+  // Epoch A never reads the step counter, so advancing it here (instead of
+  // between the epochs, as the pre-hook stepping did) changes nothing; the
+  // heartbeat flag epoch B reads is computed from the same value as ever.
   ++step_count_;
-  const bool heartbeat =
+  heartbeat_ =
       opt_.heartbeat_period > 0 && step_count_ % opt_.heartbeat_period == 0;
-  if (opt_.enable_corrections) {
-    for_each_rank([this, heartbeat](simmpi::RankContext& ctx, int p) {
-      rank_correct(ctx, p, heartbeat);
-    });
+}
+
+void DistributedSouthwell::rank_send(int e, simmpi::RankContext& ctx, int p) {
+  if (e == 0) {
+    // ---- Epoch A: relax where ‖r_p‖² is maximal among the Γ *estimates*.
+    rank_relax(ctx, p);
+    return;
   }
-  rt_->fence();
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-  return merge_rank_stats();
+  // ---- Epoch B: deadlock avoidance — correct only overestimates of us.
+  if (opt_.enable_corrections) rank_correct(ctx, p, heartbeat_);
+}
+
+void DistributedSouthwell::rank_async_send(simmpi::RankContext& ctx, int p) {
+  // Relax where ‖r_p‖² is maximal among the (staleness-bounded) Γ
+  // estimates, and fold the deadlock-avoidance corrections into the SAME
+  // epoch. Ordering keeps Γ̃ correct: rank_relax sets Γ̃[q] = norm2_new
+  // for every neighbor it messaged, so rank_correct right after only
+  // fires for genuinely uncorrected overestimates. Out-of-order arrival
+  // is handled by the resilient absorb path (sequence gating +
+  // absolute-x encoding) the driver enables for asynchronous runs.
+  rank_relax(ctx, p);
+  if (opt_.enable_corrections) rank_correct(ctx, p, heartbeat_);
 }
 
 }  // namespace dsouth::dist

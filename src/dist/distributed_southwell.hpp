@@ -62,9 +62,7 @@ class DistributedSouthwell final : public DistStationarySolver {
                        std::span<const value_t> x0,
                        const DistributedSouthwellOptions& opt = {});
 
-  DistStepStats step() override;
   const char* name() const override { return "DistributedSouthwell"; }
-  void absorb_all() override;
 
   /// Rejects the combination with send_threshold: deferral accumulates
   /// unsent Δx, which contradicts the resilient absolute-x encoding
@@ -75,6 +73,16 @@ class DistributedSouthwell final : public DistStationarySolver {
   /// also available from the runtime's per-tag stats).
   std::uint64_t corrections_sent() const;
 
+  // Stepping hooks (solver_base.hpp): begin_step advances the heartbeat
+  // clock (epoch A never reads it, so the pre-epoch advance matches the
+  // old between-epochs one); epoch 0 relaxes, epoch 1 corrects.
+  int step_epochs() const override { return 2; }
+  void begin_step() override;
+  void rank_send(int e, simmpi::RankContext& ctx, int p) override;
+  void rank_async_send(simmpi::RankContext& ctx, int p) override;
+  void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
+                      std::span<const double> payload) override;
+
  private:
   // Wire records (encodings in wire/wire.hpp; nb = directed channel width):
   //   SOLVE p->q: SolveUpdate{norm2 = new ‖r_p‖², gamma2 = Γ_p[q]²,
@@ -83,7 +91,6 @@ class DistributedSouthwell final : public DistStationarySolver {
   //               rb = exact r_p boundary values}.
   void rank_relax(simmpi::RankContext& ctx, int p);
   void rank_correct(simmpi::RankContext& ctx, int p, bool heartbeat);
-  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   DistributedSouthwellOptions opt_;
   std::vector<std::vector<value_t>> gamma2_;   // per rank/neighbor: ‖r_q‖² est
@@ -101,6 +108,7 @@ class DistributedSouthwell final : public DistStationarySolver {
   trace::MetricId m_corrections_sent_ = trace::kInvalidMetric;
   trace::MetricId m_deferred_sends_ = trace::kInvalidMetric;
   index_t step_count_ = 0;
+  bool heartbeat_ = false;  // this step's heartbeat flag (set by begin_step)
 
  public:
   std::uint64_t deferred_sends() const;

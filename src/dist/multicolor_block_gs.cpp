@@ -57,68 +57,49 @@ void MulticolorBlockGs::rank_relax(simmpi::RankContext& ctx, int p) {
   ch.flush(ctx);
 }
 
-void MulticolorBlockGs::rank_absorb(simmpi::RankContext& ctx, int p) {
-  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
-  const RankData& rd = layout_->rank(p);
-  for (const auto& msg : ctx.window()) {
-    const int nbi = rd.neighbor_index(msg.source);
-    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    const auto unbi = static_cast<std::size_t>(nbi);
-    const auto& nb = rd.neighbors[unbi];
-    if (resilient()) {
-      const auto body = resil_accept(ctx, p, unbi, msg.payload);
-      if (body.empty()) continue;
-      const auto rec =
-          wire::decode_record(wire::Family::kDelta, body, nb.ghost_rows.size());
-      resil_apply_boundary_x(ctx, p, unbi, rec.dx);
-      continue;
-    }
-    wire::for_each_record(wire::Family::kDelta, msg.payload,
-                          nb.ghost_rows.size(),
-                          [&](const wire::Record& rec) {
-                            apply_incoming_delta(ctx, nb, rec.dx);
-                          });
+void MulticolorBlockGs::absorb_payload(simmpi::RankContext& ctx, int p,
+                                       std::size_t nbi,
+                                       std::span<const double> payload) {
+  const auto& nb = layout_->rank(p).neighbors[nbi];
+  if (resilient()) {
+    const auto body = resil_accept(ctx, p, nbi, payload);
+    if (body.empty()) return;
+    const auto rec =
+        wire::decode_record(wire::Family::kDelta, body, nb.ghost_rows.size());
+    resil_apply_boundary_x(ctx, p, nbi, rec.dx);
+    return;
   }
-  trace_absorb(ctx);
-  ctx.consume();
+  wire::for_each_record(wire::Family::kDelta, payload, nb.ghost_rows.size(),
+                        [&](const wire::Record& rec) {
+                          apply_incoming_delta(ctx, nb, rec.dx);
+                        });
 }
 
-void MulticolorBlockGs::absorb_all() {
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-}
-
-DistStepStats MulticolorBlockGs::step() {
-  resil_begin_step();
-  const int color = next_color_;
+void MulticolorBlockGs::begin_step() {
+  DistStationarySolver::begin_step();
+  step_color_ = next_color_;
   next_color_ = (next_color_ + 1) % num_colors();
+}
 
-  if (async_mode()) {
-    // Relax-on-arrival: every rank absorbs what matured, the current
-    // color relaxes on that (staleness-bounded) state, one fence. The
-    // color rotation is unchanged — only delivery timing loosens.
-    for_each_rank([this, color](simmpi::RankContext& ctx, int p) {
-      rank_absorb(ctx, p);
-      if (static_cast<int>(coloring_.color[static_cast<std::size_t>(p)]) ==
-          color) {
-        rank_relax(ctx, p);
-      }
-    });
-    rt_->fence();
-    return merge_rank_stats();
+void MulticolorBlockGs::rank_send(int /*e*/, simmpi::RankContext& ctx,
+                                  int p) {
+  // Off-color ranks do nothing — no trace events, no flops, no stats — so
+  // sweeping every rank here matches the old color-restricted dispatch
+  // byte for byte. The color rotation is unchanged — only which hook
+  // advances it moved.
+  if (static_cast<int>(coloring_.color[static_cast<std::size_t>(p)]) !=
+      step_color_) {
+    return;
   }
+  rank_relax(ctx, p);
+}
 
-  const auto& ranks = color_ranks_[static_cast<std::size_t>(color)];
-  for_ranks(ranks, [this](simmpi::RankContext& ctx, int p) {
-    rank_relax(ctx, p);
-  });
-  rt_->fence();
-
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-  return merge_rank_stats();
+void MulticolorBlockGs::rank_async_send(simmpi::RankContext& ctx, int p) {
+  if (static_cast<int>(coloring_.color[static_cast<std::size_t>(p)]) !=
+      step_color_) {
+    return;
+  }
+  rank_relax(ctx, p);
 }
 
 }  // namespace dsouth::dist

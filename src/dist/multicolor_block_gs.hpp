@@ -26,20 +26,27 @@ class MulticolorBlockGs final : public DistStationarySolver {
 
   /// One parallel step = relax the next color. A full sweep over all
   /// subdomains takes num_colors() steps.
-  DistStepStats step() override;
   const char* name() const override { return "MulticolorBlockGs"; }
-  void absorb_all() override;
 
   int num_colors() const { return static_cast<int>(coloring_.num_colors); }
   int current_color() const { return next_color_; }
 
+  // Stepping hooks (solver_base.hpp): begin_step rotates the color; the
+  // send phase is a no-op for off-color ranks, so running it for every
+  // rank is byte-identical to the old restricted-rank dispatch.
+  void begin_step() override;
+  void rank_send(int e, simmpi::RankContext& ctx, int p) override;
+  void rank_async_send(simmpi::RankContext& ctx, int p) override;
+  void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
+                      std::span<const double> payload) override;
+
  private:
   void rank_relax(simmpi::RankContext& ctx, int p);
-  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   graph::Coloring coloring_;                    // colors over ranks
   std::vector<std::vector<int>> color_ranks_;   // color -> rank list
   int next_color_ = 0;
+  int step_color_ = 0;  // the color this step relaxes (set by begin_step)
 };
 
 }  // namespace dsouth::dist

@@ -109,89 +109,53 @@ void ParallelSouthwell::rank_residual_update(simmpi::RankContext& ctx,
   ch.flush(ctx);
 }
 
-void ParallelSouthwell::rank_absorb(simmpi::RankContext& ctx, int p) {
-  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
-  const RankData& rd = layout_->rank(p);
+void ParallelSouthwell::absorb_payload(simmpi::RankContext& ctx, int p,
+                                       std::size_t nbi,
+                                       std::span<const double> payload) {
   const auto up = static_cast<std::size_t>(p);
-  for (const auto& msg : ctx.window()) {
-    const int nbi = rd.neighbor_index(msg.source);
-    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
-    const auto unbi = static_cast<std::size_t>(nbi);
-    const auto& nb = rd.neighbors[unbi];
-    if (resilient()) {
-      const auto body = resil_accept(ctx, p, unbi, msg.payload);
-      if (body.empty()) continue;
-      const auto rec =
-          wire::decode_record(wire::Family::kNorm, body, nb.ghost_rows.size());
-      gamma2_[up][unbi] = rec.norm2;
-      if (rec.type == wire::RecordType::kNormUpdate) {
-        resil_apply_boundary_x(ctx, p, unbi, rec.dx);
-      }
-      continue;
+  const auto& nb = layout_->rank(p).neighbors[nbi];
+  if (resilient()) {
+    const auto body = resil_accept(ctx, p, nbi, payload);
+    if (body.empty()) return;
+    const auto rec =
+        wire::decode_record(wire::Family::kNorm, body, nb.ghost_rows.size());
+    gamma2_[up][nbi] = rec.norm2;
+    if (rec.type == wire::RecordType::kNormUpdate) {
+      resil_apply_boundary_x(ctx, p, nbi, rec.dx);
     }
-    wire::for_each_record(
-        wire::Family::kNorm, msg.payload, nb.ghost_rows.size(),
-        [&](const wire::Record& rec) {
-          // Both types carry the sender's new norm; only NormUpdate
-          // piggy-backs boundary Δx.
-          gamma2_[up][unbi] = rec.norm2;
-          if (rec.type == wire::RecordType::kNormUpdate) {
-            apply_incoming_delta(ctx, nb, rec.dx);
-          }
-        });
+    return;
   }
-  trace_absorb(ctx);
-  ctx.consume();
+  wire::for_each_record(
+      wire::Family::kNorm, payload, nb.ghost_rows.size(),
+      [&](const wire::Record& rec) {
+        // Both types carry the sender's new norm; only NormUpdate
+        // piggy-backs boundary Δx.
+        gamma2_[up][nbi] = rec.norm2;
+        if (rec.type == wire::RecordType::kNormUpdate) {
+          apply_incoming_delta(ctx, nb, rec.dx);
+        }
+      });
 }
 
-void ParallelSouthwell::absorb_all() {
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-}
-
-DistStepStats ParallelSouthwell::step() {
-  resil_begin_step();
-  if (async_mode()) {
-    // Relax-on-arrival: absorb what matured, relax where the criterion
-    // holds on the (staleness-bounded) Γ view, and fold the explicit
-    // residual updates into the SAME epoch — after relaxing, the
-    // advertised norm is already current, so the update only fires when
-    // absorption alone changed the norm (or a resilient refresh is due).
-    for_each_rank([this](simmpi::RankContext& ctx, int p) {
-      rank_absorb(ctx, p);
-      rank_relax(ctx, p);
-      if (explicit_residual_updates_) rank_residual_update(ctx, p);
-    });
-    rt_->fence();
-    return merge_rank_stats();
-  }
-
-  // ---- Epoch A: relax where the Parallel Southwell criterion holds.
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+void ParallelSouthwell::rank_send(int e, simmpi::RankContext& ctx, int p) {
+  if (e == 0) {
+    // ---- Epoch A: relax where the Parallel Southwell criterion holds.
     rank_relax(ctx, p);
-  });
-  rt_->fence();
-
-  // Absorb solve updates; Γ entries refresh from the piggy-backed norms.
-  // (Messages are dispatched on their type tag: with delivery delays
-  // enabled in the runtime, residual-only messages can land here too.)
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-
+    return;
+  }
   // ---- Epoch B: explicit residual updates wherever the norm changed
   // (Alg. 2 lines 19-21). This is the traffic Distributed Southwell cuts.
-  if (explicit_residual_updates_) {
-    for_each_rank([this](simmpi::RankContext& ctx, int p) {
-      rank_residual_update(ctx, p);
-    });
-  }
-  rt_->fence();
-  for_each_rank([this](simmpi::RankContext& ctx, int p) {
-    rank_absorb(ctx, p);
-  });
-  return merge_rank_stats();
+  if (explicit_residual_updates_) rank_residual_update(ctx, p);
+}
+
+void ParallelSouthwell::rank_async_send(simmpi::RankContext& ctx, int p) {
+  // Relax where the criterion holds on the (staleness-bounded) Γ view and
+  // fold the explicit residual updates into the SAME epoch — after
+  // relaxing, the advertised norm is already current, so the update only
+  // fires when absorption alone changed the norm (or a resilient refresh
+  // is due).
+  rank_relax(ctx, p);
+  if (explicit_residual_updates_) rank_residual_update(ctx, p);
 }
 
 }  // namespace dsouth::dist

@@ -31,9 +31,16 @@ class ParallelSouthwell final : public DistStationarySolver {
                     std::span<const value_t> b, std::span<const value_t> x0,
                     bool explicit_residual_updates = true);
 
-  DistStepStats step() override;
   const char* name() const override { return "ParallelSouthwell"; }
-  void absorb_all() override;
+
+  // Stepping hooks (solver_base.hpp): epoch 0 relaxes where the criterion
+  // holds, epoch 1 broadcasts explicit residual updates (the Epoch B
+  // fence/absorb runs even with the ablation switch off, as always).
+  int step_epochs() const override { return 2; }
+  void rank_send(int e, simmpi::RankContext& ctx, int p) override;
+  void rank_async_send(simmpi::RankContext& ctx, int p) override;
+  void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
+                      std::span<const double> payload) override;
 
  private:
   // Wire records (encodings in wire/wire.hpp):
@@ -41,7 +48,6 @@ class ParallelSouthwell final : public DistStationarySolver {
   //   RES   p->q: ResidualNorm{norm2 = current ‖r_p‖²}.
   void rank_relax(simmpi::RankContext& ctx, int p);
   void rank_residual_update(simmpi::RankContext& ctx, int p);
-  void rank_absorb(simmpi::RankContext& ctx, int p);
 
   bool explicit_residual_updates_;
   std::vector<std::vector<value_t>> gamma2_;   // per rank, per neighbor ‖r_q‖²

@@ -93,8 +93,57 @@ std::vector<value_t> DistStationarySolver::gather_x() const {
   return layout_->gather(x_);
 }
 
+DistStepStats DistStationarySolver::step() {
+  begin_step();
+  if (async_mode()) {
+    // Relax-on-arrival: absorb whatever matured at earlier fences, run the
+    // solver's fused send phase on that (staleness-bounded) state, fence
+    // once. Messages sent here land whenever the delivery policy's
+    // virtual clock says they do.
+    for_each_rank([this](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+      rank_async_send(ctx, p);
+    });
+    rt_->fence();
+    return merge_rank_stats();
+  }
+  const int epochs = step_epochs();
+  for (int e = 0; e < epochs; ++e) {
+    for_each_rank([this, e](simmpi::RankContext& ctx, int p) {
+      rank_send(e, ctx, p);
+    });
+    rt_->fence();
+    for_each_rank([this](simmpi::RankContext& ctx, int p) {
+      rank_absorb(ctx, p);
+    });
+  }
+  return merge_rank_stats();
+}
+
+void DistStationarySolver::rank_absorb(simmpi::RankContext& ctx, int p) {
+  const auto prof_absorb = prof_phase(p, prof::PhaseId::kAbsorb);
+  const RankData& rd = layout_->rank(p);
+  for (const auto& msg : ctx.window()) {
+    const int nbi = rd.neighbor_index(msg.source);
+    DSOUTH_CHECK_MSG(nbi >= 0, "message from non-neighbor " << msg.source);
+    absorb_payload(ctx, p, static_cast<std::size_t>(nbi), msg.payload);
+  }
+  trace_absorb(ctx);
+  ctx.consume();
+}
+
+void DistStationarySolver::absorb_all() {
+  for_each_rank([this](simmpi::RankContext& ctx, int p) {
+    rank_absorb(ctx, p);
+  });
+}
+
 void DistStationarySolver::set_message_coalescing(bool on) {
   for (auto& ch : channels_) ch.set_coalescing(on);
+}
+
+void DistStationarySolver::set_batch_staging(bool on) {
+  for (auto& ch : channels_) ch.set_batch_staging(on);
 }
 
 bool DistStationarySolver::message_coalescing() const {

@@ -95,15 +95,83 @@ class DistStationarySolver {
   /// single-epoch relax-on-arrival stepping: absorb whatever matured into
   /// the window, relax on the (possibly stale, staleness-bounded) state,
   /// fold any phase-B traffic into the same epoch, fence once.
-  virtual DistStepStats step() = 0;
+  ///
+  /// Non-virtual: the step schedule is a fixed phase table the base class
+  /// drives through the stepping hooks below, so an external coordinator
+  /// (batch.hpp) can interleave several solvers' phases inside shared
+  /// epochs and a solo step() stays call-for-call what it always was.
+  DistStepStats step();
   virtual const char* name() const = 0;
 
   /// Absorb every message currently sitting in the windows, without
   /// fencing. Asynchronous runs call this after Runtime::drain_delayed()
   /// so the final iterate and residuals reflect all in-flight traffic;
-  /// bulk-synchronous steps never leave messages behind. Default no-op
-  /// for solvers without an absorb phase.
-  virtual void absorb_all() {}
+  /// bulk-synchronous steps never leave messages behind.
+  void absorb_all();
+
+  // --- Stepping hooks -----------------------------------------------------
+  // The phase table step() executes, exposed so the batched multi-tenant
+  // coordinator (batch.hpp) can run B solvers' phases inside SHARED epochs:
+  //
+  //   begin_step()
+  //   bulk-synchronous:  for e in [0, step_epochs()):
+  //                        for_each_rank(rank_send(e)); fence;
+  //                        for_each_rank(rank_absorb)
+  //   event-driven:      for_each_rank(rank_absorb; rank_async_send); fence
+  //
+  // Every hook preserves the SPMD discipline (rank phases touch only
+  // rank-p state). Calling them outside step()/the coordinator's schedule
+  // voids the byte-identity guarantees.
+
+  /// Per-step bookkeeping that runs once, before any epoch (resilience
+  /// step counter; DS advances its heartbeat clock, MCBGS its color).
+  virtual void begin_step() { resil_begin_step(); }
+
+  /// Number of bulk-synchronous epochs per parallel step (1 for Block
+  /// Jacobi / Multicolor Block GS, 2 for the Southwell methods).
+  virtual int step_epochs() const { return 1; }
+
+  /// Rank p's send phase of epoch `e` (relax / residual-update / correct).
+  /// A rank with nothing to do in this epoch (wrong color, criterion not
+  /// met, feature disabled) returns without observable effect.
+  virtual void rank_send(int e, simmpi::RankContext& ctx, int p) = 0;
+
+  /// Rank p's fused send phase of an event-driven step (the absorb half is
+  /// the shared rank_absorb, run first by the schedule).
+  virtual void rank_async_send(simmpi::RankContext& ctx, int p) = 0;
+
+  /// Rank p's absorb phase: dispatch every window message to
+  /// absorb_payload by sender channel, trace, consume. Shared verbatim by
+  /// all four solvers — only the per-record semantics differ.
+  void rank_absorb(simmpi::RankContext& ctx, int p);
+
+  /// Apply one received payload on channel (p, neighbor nbi). The payload
+  /// is whatever the sender's ChannelSet shipped: a bare record, a
+  /// coalesced frame, or a sequenced envelope — the solver's decode path
+  /// handles all three. The batch coordinator calls this directly with
+  /// tenant-frame bodies.
+  virtual void absorb_payload(simmpi::RankContext& ctx, int p,
+                              std::size_t nbi,
+                              std::span<const double> payload) = 0;
+
+  /// Sum the per-rank step-stat slots into one record and reset them
+  /// (step() calls this last; the coordinator calls it per tenant).
+  DistStepStats merge_rank_stats();
+
+  /// Record the rank's absorb phase; call *before* ctx.consume(). Emits a
+  /// kAbsorb event (a0 = messages in the window, a1 = total payload
+  /// doubles) when the window is non-empty and bumps
+  /// "solver.absorbed_msgs". Public for the coordinator's demux absorb.
+  void trace_absorb(simmpi::RankContext& ctx);
+
+  /// Rank p's wire channels (the coordinator toggles batch staging and
+  /// ships the per-tenant buffers from here).
+  wire::ChannelSet& channel(int p) { return channels_[static_cast<std::size_t>(p)]; }
+
+  /// Toggle batch-staging mode (wire::ChannelSet::set_batch_staging) on
+  /// every rank's channel set. Call between steps only.
+  void set_batch_staging(bool on);
+  // ------------------------------------------------------------------------
 
   const DistLayout& layout() const { return *layout_; }
   simmpi::Runtime& runtime() { return *rt_; }
@@ -157,25 +225,15 @@ class DistStationarySolver {
   void for_ranks(std::span<const int> ranks,
                  const std::function<void(simmpi::RankContext&, int)>& fn);
 
-  /// Sum the per-rank step-stat slots into one record and reset them
-  /// (call once at the end of step()).
-  DistStepStats merge_rank_stats();
-
-  /// Observability hooks (docs/observability.md). Both are inlined no-ops
-  /// on untraced runs and never touch the simulation state, so enabling
-  /// tracing cannot change results.
+  /// Observability hook (docs/observability.md; trace_absorb above is its
+  /// public sibling). An inlined no-op on untraced runs and never touches
+  /// the simulation state, so enabling tracing cannot change results.
   ///
   /// Record that rank `ctx.rank()` relaxed `rows` rows this epoch: emits a
   /// kRelax event (a0 = rows, a1 = the rank's new local ‖r‖² — computed
   /// here, observer-side, only when tracing) and bumps the
   /// "solver.relaxed_rows"/"solver.rank_relaxations" counters.
   void trace_relax(simmpi::RankContext& ctx, index_t rows);
-
-  /// Record the rank's absorb phase; call *before* ctx.consume(). Emits a
-  /// kAbsorb event (a0 = messages in the window, a1 = total payload
-  /// doubles) when the window is non-empty and bumps
-  /// "solver.absorbed_msgs".
-  void trace_absorb(simmpi::RankContext& ctx);
 
   /// Host-profiling span for one of rank p's solver phases (prof/prof.hpp;
   /// the trace_relax idiom: an inlined null test with no profiler

@@ -1,14 +1,16 @@
 #pragma once
 
 /// \file subdomain.hpp
-/// Local subdomain kernels shared by the distributed solvers. All paper
-/// experiments relax a subdomain with exactly one Gauss–Seidel sweep
-/// ("when a process updates, a single Gauss-Seidel sweep is carried out on
-/// the subdomain", §4.2); the sweep here works purely on the locally-exact
-/// residual, so no ghost copy of x is ever needed.
+/// Local subdomain kernels shared by the distributed solvers, re-exported
+/// from the batched kernels layer (kernels/kernels.hpp) where they now
+/// live. All paper experiments relax a subdomain with exactly one
+/// Gauss–Seidel sweep ("when a process updates, a single Gauss-Seidel
+/// sweep is carried out on the subdomain", §4.2); the sweep works purely
+/// on the locally-exact residual, so no ghost copy of x is ever needed.
 
 #include <span>
 
+#include "kernels/kernels.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/types.hpp"
 
@@ -18,15 +20,16 @@ using sparse::CsrMatrix;
 using sparse::index_t;
 using sparse::value_t;
 
-/// One Gauss–Seidel sweep over the local block: for each local row i in
-/// ascending order, x_i += r_i / a_ii and r_j -= a_ji δ for local j
-/// (symmetric block ⇒ column i is row i). Returns the flop count charged
-/// to the machine model (≈ 2·nnz + 2·m).
-double local_gauss_seidel_sweep(const CsrMatrix& a_local,
-                                std::span<value_t> x, std::span<value_t> r);
+/// One Gauss–Seidel sweep over the local block (kernels::gs_sweep).
+inline double local_gauss_seidel_sweep(const CsrMatrix& a_local,
+                                       std::span<value_t> x,
+                                       std::span<value_t> r) {
+  return kernels::gs_sweep(a_local, x, r);
+}
 
-/// Squared 2-norm of the local residual (the quantity the Southwell
-/// methods exchange; squared to avoid needless square roots).
-value_t local_norm_sq(std::span<const value_t> r);
+/// Squared 2-norm of the local residual (kernels::norm_sq).
+inline value_t local_norm_sq(std::span<const value_t> r) {
+  return kernels::norm_sq(r);
+}
 
 }  // namespace dsouth::dist

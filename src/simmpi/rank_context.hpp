@@ -52,6 +52,15 @@ class RankContext {
   /// Report local computation performed by this rank in this epoch.
   void add_flops(double flops) { rt_->add_flops(rank_, flops); }
 
+  /// Attribute `records` wire records totalling `doubles` payload doubles,
+  /// staged by this rank, to batch tenant `tenant` (see
+  /// Runtime::add_tenant_records). Only the batched serving path calls
+  /// this; unbatched runs never configure tenants.
+  void add_tenant_records(int tenant, std::uint64_t records,
+                          std::uint64_t doubles) {
+    rt_->add_tenant_records(rank_, tenant, records, doubles);
+  }
+
   /// True when a trace::Tracer is attached to the runtime. Rank phases use
   /// this to skip observer-side work (e.g. computing a norm only needed
   /// for the trace record) on untraced runs.

@@ -437,6 +437,20 @@ void Runtime::fence() {
   const std::uint64_t closed_epoch = epochs_;
   ++epochs_;
 
+  // Fold pending per-tenant attributions (batched serving) into CommStats
+  // in ascending source order — the same deterministic order the delivery
+  // merge below consumes the staging lanes in. No-op unless a batch
+  // configured tenants (set_num_tenants).
+  for (std::size_t i = 0; i < tenant_lane_records_.size(); ++i) {
+    if (tenant_lane_records_[i] == 0 && tenant_lane_doubles_[i] == 0) {
+      continue;
+    }
+    stats_.record_tenant(i % num_tenants_, tenant_lane_records_[i],
+                         tenant_lane_doubles_[i]);
+    tenant_lane_records_[i] = 0;
+    tenant_lane_doubles_[i] = 0;
+  }
+
   // Fault-event hook: kFault events go into the SOURCE rank's trace lane
   // (mid-merge, like the puts they describe) and are folded into the
   // global stream by the end_epoch() below — which therefore runs AFTER
@@ -676,6 +690,35 @@ void Runtime::drain_delayed() {
     if (!any) break;
     fence();
   }
+}
+
+void Runtime::reset_stats() {
+  stats_.reset();
+  // A reset means "nothing has been sent yet" — attributions staged since
+  // the last fence must not leak into the next measurement window.
+  std::fill(tenant_lane_records_.begin(), tenant_lane_records_.end(), 0);
+  std::fill(tenant_lane_doubles_.begin(), tenant_lane_doubles_.end(), 0);
+}
+
+void Runtime::set_num_tenants(std::size_t n) {
+  num_tenants_ = n;
+  const std::size_t slots = static_cast<std::size_t>(num_ranks_) * n;
+  tenant_lane_records_.assign(slots, 0);
+  tenant_lane_doubles_.assign(slots, 0);
+  stats_.configure_tenants(n);
+}
+
+void Runtime::add_tenant_records(int source, int tenant,
+                                 std::uint64_t records,
+                                 std::uint64_t doubles) {
+  DSOUTH_CHECK(source >= 0 && source < num_ranks_);
+  DSOUTH_CHECK(tenant >= 0 &&
+               static_cast<std::size_t>(tenant) < num_tenants_);
+  const std::size_t i =
+      static_cast<std::size_t>(source) * num_tenants_ +
+      static_cast<std::size_t>(tenant);
+  tenant_lane_records_[i] += records;
+  tenant_lane_doubles_[i] += doubles;
 }
 
 }  // namespace dsouth::simmpi

@@ -182,8 +182,26 @@ class Runtime {
 
   /// Zero the communication counters (e.g. to measure a phase in
   /// isolation). The explicit API replaces the old mutable stats()
-  /// accessor — accounting is written only by the runtime itself.
-  void reset_stats() { stats_.reset(); }
+  /// accessor — accounting is written only by the runtime itself. Also
+  /// discards per-tenant tallies still waiting in their staging lanes for
+  /// the next fence — a reset means "nothing has been sent", including
+  /// attributions not yet folded into CommStats.
+  void reset_stats();
+
+  /// Declare `n` co-scheduled batch tenants (dist/batch.hpp). Sizes the
+  /// per-source tenant-attribution lanes and CommStats' tenant slots.
+  /// Call before the first epoch, like set_tracer; n = 0 (the default)
+  /// disables tenant accounting entirely.
+  void set_num_tenants(std::size_t n);
+  std::size_t num_tenants() const { return num_tenants_; }
+
+  /// Attribute `records` wire records totalling `doubles` payload doubles,
+  /// staged by `source`, to batch tenant `tenant`. Same concurrency
+  /// discipline as put(): writes only `source`'s private lane, so distinct
+  /// ranks may call concurrently; the fence folds the lanes into CommStats
+  /// in ascending source order (deterministic, like every other counter).
+  void add_tenant_records(int source, int tenant, std::uint64_t records,
+                          std::uint64_t doubles);
 
   /// Attach a structured-event tracer (docs/observability.md). Not owned;
   /// must outlive the runtime (or be detached with nullptr). Registers the
@@ -459,6 +477,13 @@ class Runtime {
   bool async_ = false;
   std::uint64_t delivery_state_;  // SplitMix64 state for delay draws
   CommStats stats_;
+  // Per-source pending tenant attributions (batched serving): slot
+  // [s * num_tenants_ + t] accumulates what source s staged for tenant t
+  // since the last fence. Touched only by s's thread mid-epoch; the fence
+  // folds and re-zeroes them in ascending source order. Empty unless
+  // set_num_tenants configured a batch.
+  std::size_t num_tenants_ = 0;
+  std::vector<std::uint64_t> tenant_lane_records_, tenant_lane_doubles_;
   std::vector<std::vector<Message>> windows_;   // delivered, per rank
   std::vector<std::vector<Staged>> lanes_;      // pending, per SOURCE rank
   std::vector<std::uint64_t> lane_seq_;         // per-source send counters

@@ -68,6 +68,28 @@ double CommStats::comm_cost(MsgTag tag) const {
          static_cast<double>(num_ranks_);
 }
 
+void CommStats::configure_tenants(std::size_t n) {
+  tenant_records_.assign(n, 0);
+  tenant_doubles_.assign(n, 0);
+}
+
+void CommStats::record_tenant(std::size_t tenant, std::uint64_t records,
+                              std::uint64_t doubles) {
+  DSOUTH_CHECK(tenant < tenant_records_.size());
+  tenant_records_[tenant] += records;
+  tenant_doubles_[tenant] += doubles;
+}
+
+std::uint64_t CommStats::tenant_records(std::size_t tenant) const {
+  DSOUTH_CHECK(tenant < tenant_records_.size());
+  return tenant_records_[tenant];
+}
+
+std::uint64_t CommStats::tenant_doubles(std::size_t tenant) const {
+  DSOUTH_CHECK(tenant < tenant_doubles_.size());
+  return tenant_doubles_[tenant];
+}
+
 void CommStats::reset() {
   msgs_by_tag_.fill(0);
   logical_by_tag_.fill(0);
@@ -85,6 +107,10 @@ void CommStats::reset() {
   forward_frames_ = 0;
   forwarded_records_ = 0;
   for (auto& m : msgs_per_rank_) m = 0;
+  // Tenant slots keep their COUNT (the batch layout) but re-zero their
+  // tallies — see configure_tenants.
+  for (auto& t : tenant_records_) t = 0;
+  for (auto& t : tenant_doubles_) t = 0;
 }
 
 }  // namespace dsouth::simmpi

@@ -119,6 +119,24 @@ class CommStats {
   /// Table 3 breakdown: messages of one category / P.
   double comm_cost(MsgTag tag) const;
 
+  /// Per-tenant accounting (batched multi-tenant serving, DESIGN.md §14).
+  /// configure_tenants(n) sizes the slots; the slot COUNT survives
+  /// reset() — a batched run that resets stats between measurement phases
+  /// keeps its tenant layout, only the tallies re-zero. Written by the
+  /// runtime at the fence (ascending source order) like every other
+  /// counter; all slots stay 0 when no batch is in flight.
+  void configure_tenants(std::size_t n);
+  std::size_t num_tenants() const { return tenant_records_.size(); }
+  void record_tenant(std::size_t tenant, std::uint64_t records,
+                     std::uint64_t doubles);
+  /// Logical wire records shipped on behalf of one tenant. In a batched
+  /// run this matches the logical message count the tenant's solo run
+  /// would have produced (tests/test_batch.cpp pins that invariance).
+  std::uint64_t tenant_records(std::size_t tenant) const;
+  /// Payload doubles shipped on behalf of one tenant (its share of the
+  /// shared physical frames, excluding the frame headers).
+  std::uint64_t tenant_doubles(std::size_t tenant) const;
+
   /// Zero every counter (see Runtime::reset_stats).
   void reset();
 
@@ -143,6 +161,8 @@ class CommStats {
   std::uint64_t forward_frames_ = 0;
   std::uint64_t forwarded_records_ = 0;
   std::vector<std::uint64_t> msgs_per_rank_;
+  // Per-tenant tallies (batched serving only; empty otherwise).
+  std::vector<std::uint64_t> tenant_records_, tenant_doubles_;
 };
 
 }  // namespace dsouth::simmpi

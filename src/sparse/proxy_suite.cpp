@@ -10,6 +10,7 @@
 #include "sparse/scaling.hpp"
 #include "sparse/stencils.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace dsouth::sparse {
 
@@ -143,6 +144,40 @@ ProxyMatrix make_proxy(const std::string& name, double size_factor) {
   out.info.nnz = scaled.a.nnz();
   out.a = std::move(scaled.a);
   return out;
+}
+
+CsrMatrix make_tenant_variant(const CsrMatrix& base, std::uint64_t seed,
+                              double magnitude) {
+  DSOUTH_CHECK_MSG(magnitude > 0.0 && magnitude < 1.0,
+                   "tenant perturbation magnitude must lie in (0, 1)");
+  // Proxy matrices are symmetric up to scaling roundoff (the unit-diagonal
+  // scale multiplies (i,j) and (j,i) in different orders), so the guard
+  // allows last-bit noise; the shared per-pair factor below preserves
+  // whatever symmetry the base has, exactly.
+  DSOUTH_CHECK_MSG(base.is_symmetric(1e-12),
+                   "tenant variants need a symmetric base");
+  std::vector<index_t> row_ptr(base.row_ptr().begin(), base.row_ptr().end());
+  std::vector<index_t> col_idx(base.col_idx().begin(), base.col_idx().end());
+  std::vector<value_t> values(base.values().begin(), base.values().end());
+  const index_t rows = base.rows();
+  for (index_t i = 0; i < rows; ++i) {
+    const auto beg = static_cast<std::size_t>(row_ptr[i]);
+    const auto end = static_cast<std::size_t>(row_ptr[i + 1]);
+    for (std::size_t k = beg; k < end; ++k) {
+      const index_t j = col_idx[k];
+      if (j == i) continue;  // unit diagonal stays exact
+      // Stateless per-pair draw keyed on the UNORDERED pair, so (i, j) and
+      // (j, i) shrink by the same factor and the variant stays symmetric.
+      const auto lo = static_cast<std::uint64_t>(std::min(i, j));
+      const auto hi = static_cast<std::uint64_t>(std::max(i, j));
+      util::SplitMix64 h(seed ^ (lo << 32 | hi));
+      const double u01 =
+          static_cast<double>(h.next() >> 11) * 0x1.0p-53;  // [0, 1)
+      values[k] *= 1.0 - magnitude * u01;
+    }
+  }
+  return CsrMatrix(rows, base.cols(), std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
 }
 
 SmallFemProblem make_small_fem_problem() {

@@ -46,6 +46,18 @@ bool is_proxy_name(const std::string& name);
 /// unknown names or degenerate sizes.
 ProxyMatrix make_proxy(const std::string& name, double size_factor = 1.0);
 
+/// Seeded tenant variant of a proxy matrix, for batched multi-tenant
+/// serving (dist/batch.hpp, bench/throughput): SAME sparsity pattern —
+/// tenant layouts built from one partition share the communication
+/// structure bit-for-bit — with every symmetric off-diagonal pair scaled
+/// by a deterministic per-pair factor in (1 - magnitude, 1], drawn
+/// statelessly from `seed` (different seeds = different tenants). The
+/// unit diagonal is untouched and off-diagonal magnitudes only shrink, so
+/// the variant keeps the base's symmetry, diagonal dominance, and
+/// positive definiteness. `magnitude` must lie in (0, 1).
+CsrMatrix make_tenant_variant(const CsrMatrix& base, std::uint64_t seed,
+                              double magnitude = 0.25);
+
 /// The small irregular-FEM Poisson problem of Figures 2 and 5:
 /// P1 elements on a perturbed 81×41-vertex triangulation of the square,
 /// 79×39 = 3081 interior unknowns (the paper's example has 3081 rows),

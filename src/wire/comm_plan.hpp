@@ -133,6 +133,32 @@ class ChannelSet {
   /// Envelopes sent so far to peer `k` (== the next sequence number).
   std::uint64_t sent_seq(std::size_t k) const;
 
+  /// Toggle batch-sink staging (batched multi-tenant serving,
+  /// dist/batch.hpp). While on, open() buffers every record — including
+  /// sequenced envelopes, whose checksums are sealed at flush() — and
+  /// flush() ships nothing: the buffered records wait for ship_batch(),
+  /// which merges the staging of all co-scheduled tenants into one tenant
+  /// frame per (peer, tag). Must be toggled between epochs (checked: no
+  /// buffered records). Mutually exclusive with coalescing — the tenant
+  /// frame IS the batching layer's coalescing (it subsumes the per-peer
+  /// merge), so the coordinator never enables both.
+  void set_batch_staging(bool on);
+  bool batch_staging() const { return batch_; }
+
+  /// Ship everything the co-scheduled tenants buffered: for each peer and
+  /// each MsgTag (tag-enum order), the buffered records of every set — in
+  /// `sets` order, preserving each tenant's own send order — merge into
+  /// ONE physical tenant frame (wire.hpp) counted as one logical record
+  /// per entry, with each entry's records/doubles attributed to its tenant
+  /// (RankContext::add_tenant_records). A lone entry still ships framed:
+  /// the receiver needs the tenant id to demux (B = 1 byte-identity is the
+  /// coordinator's job — it bypasses batching entirely). All sets must be
+  /// batch-staged views of the same (plan, rank); `tenants[i]` is the
+  /// batch index of `sets[i]`. Buffers are cleared on return.
+  static void ship_batch(simmpi::RankContext& ctx,
+                         std::span<ChannelSet* const> sets,
+                         std::span<const int> tenants);
+
   /// Begin a record of type `t` addressed to peer index `k` (plan order ==
   /// layout neighbor order). Direct mode: the record is staged into the
   /// runtime immediately (one physical put, encoded in place). Coalescing
@@ -168,6 +194,7 @@ class ChannelSet {
   int rank_;
   bool coalesce_ = false;
   bool sequence_ = false;
+  bool batch_ = false;
   std::vector<PeerBuffer> buffers_;  ///< indexed like peers(rank_)
   std::vector<std::uint64_t> send_seq_;    ///< per-peer envelope counters
   std::vector<std::span<double>> pending_;  ///< envelopes awaiting seal

@@ -290,6 +290,63 @@ void check_frame_end(std::span<const double> payload, std::size_t off) {
   }
 }
 
+std::size_t check_tenant_header(std::span<const double> payload) {
+  if (payload.size() < kTenantHeaderDoubles) {
+    throw_decode_error(DecodeErrorKind::kTruncated, 0,
+                       "tenant frame header truncated");
+  }
+  if (std::bit_cast<std::uint64_t>(payload[0]) != kTenantMagicBits) {
+    throw_decode_error(DecodeErrorKind::kBadDiscriminator, 0,
+                       "payload does not lead with the tenant-frame magic");
+  }
+  std::uint64_t version = 0;
+  if (!integral_in_range(payload[1], kWireVersion, version) || version < 1) {
+    std::ostringstream os;
+    os << "tenant frame version " << payload[1] << " not in [1, "
+       << kWireVersion << "]";
+    throw_decode_error(DecodeErrorKind::kBadVersion, 1, os.str());
+  }
+  std::uint64_t count = 0;
+  if (!integral_in_range(payload[2], 0x1.0p53, count)) {
+    std::ostringstream os;
+    os << "tenant frame entry count " << payload[2] << " not integral";
+    throw_decode_error(DecodeErrorKind::kBadCount, 2, os.str());
+  }
+  return static_cast<std::size_t>(count);
+}
+
+TenantEntryHeader check_tenant_entry(std::span<const double> payload,
+                                     std::size_t off) {
+  if (off + kTenantEntryDoubles > payload.size()) {
+    std::ostringstream os;
+    os << "tenant entry header truncated at " << off;
+    throw_decode_error(DecodeErrorKind::kTruncated, off, os.str());
+  }
+  std::uint64_t tenant_val = 0;
+  if (!integral_in_range(payload[off], 2147483647.0, tenant_val)) {
+    std::ostringstream os;
+    os << "tenant entry has invalid tenant id " << payload[off];
+    throw_decode_error(DecodeErrorKind::kBadType, off, os.str());
+  }
+  std::uint64_t length_val = 0;
+  // A zero-length body is malformed too: every physical encoding a tenant
+  // can ship (bare record, frame, envelope) is at least one double.
+  if (!integral_in_range(payload[off + 1], 0x1.0p53, length_val) ||
+      length_val == 0) {
+    std::ostringstream os;
+    os << "tenant entry declares body length " << payload[off + 1];
+    throw_decode_error(DecodeErrorKind::kBadLength, off + 1, os.str());
+  }
+  const auto length = static_cast<std::size_t>(length_val);
+  if (off + kTenantEntryDoubles + length > payload.size()) {
+    std::ostringstream os;
+    os << "tenant entry body truncated";
+    throw_decode_error(DecodeErrorKind::kTruncated,
+                       off + kTenantEntryDoubles, os.str());
+  }
+  return TenantEntryHeader{static_cast<int>(tenant_val), length};
+}
+
 }  // namespace detail
 
 namespace {
@@ -453,6 +510,34 @@ void encode_forward_frame(std::size_t plan_channels,
   }
 }
 
+std::size_t tenant_frame_doubles(std::span<const std::size_t> body_lengths) {
+  std::size_t total = kTenantHeaderDoubles;
+  for (std::size_t len : body_lengths) total += kTenantEntryDoubles + len;
+  return total;
+}
+
+void encode_tenant_frame(std::span<const TenantEntry> entries,
+                         std::span<double> out) {
+  std::size_t total = kTenantHeaderDoubles;
+  for (const TenantEntry& e : entries) {
+    DSOUTH_CHECK_MSG(e.tenant >= 0, "tenant ids are batch indices (>= 0)");
+    DSOUTH_CHECK_MSG(!e.body.empty(), "tenant entry bodies cannot be empty");
+    total += kTenantEntryDoubles + e.body.size();
+  }
+  DSOUTH_CHECK(out.size() == total);
+  out[0] = tenant_magic();
+  out[1] = static_cast<double>(kWireVersion);
+  out[2] = static_cast<double>(entries.size());
+  std::size_t off = kTenantHeaderDoubles;
+  for (const TenantEntry& e : entries) {
+    out[off] = static_cast<double>(e.tenant);
+    out[off + 1] = static_cast<double>(e.body.size());
+    off += kTenantEntryDoubles;
+    for (std::size_t j = 0; j < e.body.size(); ++j) out[off + j] = e.body[j];
+    off += e.body.size();
+  }
+}
+
 std::size_t forwarded_body_doubles(Family family, std::size_t nb,
                                    std::span<const double> rest) {
   if (rest.empty()) {
@@ -476,6 +561,15 @@ std::size_t forwarded_body_doubles(Family family, std::size_t nb,
     for (std::size_t i = 0; i < count; ++i) {
       const auto entry = detail::check_frame_entry(rest, len, nb);
       len += kFrameEntryDoubles + entry.length;
+    }
+  } else if (is_tenant_frame(rest)) {
+    // Tenant frames pin every entry's body length in its header, so they
+    // delimit themselves without decoding any tenant's body.
+    const std::size_t count = detail::check_tenant_header(rest);
+    len = kTenantHeaderDoubles;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto entry = detail::check_tenant_entry(rest, len);
+      len += kTenantEntryDoubles + entry.length;
     }
   } else {
     // Bare v1 records are sized by (family, discriminator, width).

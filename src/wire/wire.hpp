@@ -332,6 +332,72 @@ void for_each_forwarded(std::span<const double> frame,
                         std::size_t plan_channels, LenFn&& body_len, Fn&& fn);
 
 // ---------------------------------------------------------------------------
+// Tenant frames (batched multi-tenant serving — DESIGN.md §14,
+// docs/serving.md).
+//
+// The batch coordinator (dist/batch.hpp) runs B tenant systems — same
+// sparsity, different right-hand sides/coefficients — through one runtime,
+// and co-scheduled tenants that stage to the same neighbor in the same
+// epoch share a single physical put per (peer, tag). Each body keeps its
+// tenant's own physical encoding untouched — a bare v1 record, a coalesced
+// frame, or a sequenced envelope — so per-tenant decoding is exactly the
+// unbatched path; the tenant frame adds only the demux key:
+//
+//   [magic, version=1, count, {tenant, body_len, body...} × count]
+//
+// Unlike coalesced frames (one channel, one decode family), a tenant frame
+// multiplexes *different logical channels* over one physical message, so
+// each entry carries an explicit length: the receiver cannot size body i
+// without decoding it as tenant i's family, and the demux must be able to
+// skip bodies while dispatching. Entries appear in tenant-schedule order,
+// preserving each tenant's own send order — the order the unbatched run
+// would have delivered in. A lone entry still ships framed (unlike
+// coalescing's bare-single rule): dropping the header would drop the
+// tenant id. B = 1 byte-identity is instead achieved one level up — the
+// batch coordinator with a single tenant delegates to the unbatched
+// driver outright (dist/batch.hpp).
+
+/// Tenant-frame magic: a quiet NaN one ULP past the forward magic.
+inline constexpr std::uint64_t kTenantMagicBits = 0x7ff8'd500'57e1'1ed4ULL;
+
+inline double tenant_magic() {
+  return std::bit_cast<double>(kTenantMagicBits);
+}
+
+inline constexpr std::size_t kTenantHeaderDoubles = 3;  ///< magic, ver, count
+inline constexpr std::size_t kTenantEntryDoubles = 2;   ///< tenant, length
+
+/// True when `payload` leads with the tenant-frame magic.
+inline bool is_tenant_frame(std::span<const double> payload) {
+  return payload.size() >= kTenantHeaderDoubles &&
+         std::bit_cast<std::uint64_t>(payload[0]) == kTenantMagicBits;
+}
+
+/// One record in a tenant frame: the owning tenant's index in the batch
+/// and its physical payload (bare record, coalesced frame, or envelope —
+/// the span aliases the frame, valid as long as the message it came from).
+struct TenantEntry {
+  int tenant = 0;
+  std::span<const double> body;
+};
+
+/// Total doubles of a tenant frame holding bodies of the given lengths.
+std::size_t tenant_frame_doubles(std::span<const std::size_t> body_lengths);
+
+/// Serialize `entries` (any tenant order; bodies copied verbatim) into
+/// `out`, which must be exactly tenant_frame_doubles(lengths) long.
+void encode_tenant_frame(std::span<const TenantEntry> entries,
+                         std::span<double> out);
+
+/// Walk a tenant frame, invoking fn(const TenantEntry&) per entry in frame
+/// order. Validates the magic, version, count, tenant ids, entry lengths
+/// against the frame size, and that the entries consume the payload
+/// exactly; throws DecodeError with the rejection reason. Bodies are NOT
+/// decoded — dispatch each to its tenant's ordinary decode path.
+template <typename Fn>
+void for_each_tenant(std::span<const double> frame, Fn&& fn);
+
+// ---------------------------------------------------------------------------
 // Implementation details.
 
 namespace detail {
@@ -350,6 +416,16 @@ FrameEntry check_frame_entry(std::span<const double> payload,
                              std::size_t off, std::size_t nb);
 /// Validate that a fully-walked frame consumed the whole payload.
 void check_frame_end(std::span<const double> payload, std::size_t off);
+/// Validate a tenant-frame header and return the entry count.
+std::size_t check_tenant_header(std::span<const double> payload);
+/// Validate one tenant entry header at `off`; returns (tenant, length)
+/// with the body checked to fit inside the payload.
+struct TenantEntryHeader {
+  int tenant;
+  std::size_t length;
+};
+TenantEntryHeader check_tenant_entry(std::span<const double> payload,
+                                     std::size_t off);
 }  // namespace detail
 
 template <typename Fn>
@@ -369,6 +445,19 @@ void for_each_record(Family family, std::span<const double> payload,
     off += entry.length;
   }
   detail::check_frame_end(payload, off);
+}
+
+template <typename Fn>
+void for_each_tenant(std::span<const double> frame, Fn&& fn) {
+  const std::size_t count = detail::check_tenant_header(frame);
+  std::size_t off = kTenantHeaderDoubles;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto entry = detail::check_tenant_entry(frame, off);
+    off += kTenantEntryDoubles;
+    fn(TenantEntry{entry.tenant, frame.subspan(off, entry.length)});
+    off += entry.length;
+  }
+  detail::check_frame_end(frame, off);
 }
 
 template <typename LenFn, typename Fn>

@@ -64,6 +64,13 @@ CORE_DETERMINISTIC_FIELDS = [
 # only legal but the point.
 CONFIG_FIELDS = ["matrix", "method", "procs", "n"]
 
+# Batched-serving records (bench/throughput) carry one
+# tenant_{records,doubles,steps}_<t> triple per tenant — up to B = 64
+# tenants, so per-field reporting would drown the output. Fields in this
+# family still gate individually, but FAIL/note lines for them collapse
+# into one summary row per run.
+TENANT_FIELD_PREFIX = "tenant_"
+
 
 def load_record(path):
     try:
@@ -155,17 +162,22 @@ def main():
         # Baseline-driven: every deterministic field the baseline gates on
         # must exist in the fresh record and match. Fields only the fresh
         # record carries are new instrumentation; they gate from the next
-        # baseline refresh on.
+        # baseline refresh on. Failures in the tenant_* family are grouped
+        # into one summary line per run (they still count individually).
+        tenant_failures = []  # (key, one-line description)
         for key in sorted(b["deterministic"]):
             if key not in f["deterministic"]:
                 failures += 1
-                print(
-                    f"FAIL [{label}] {key}: baseline lists this "
-                    f"deterministic field but the fresh record lacks it — "
-                    f"stale bench binary or dropped instrumentation; rebuild, "
-                    f"or regenerate the baseline if the field was removed "
-                    f"deliberately"
+                msg = (
+                    f"{key}: baseline lists this deterministic field but the "
+                    f"fresh record lacks it — stale bench binary or dropped "
+                    f"instrumentation; rebuild, or regenerate the baseline if "
+                    f"the field was removed deliberately"
                 )
+                if key.startswith(TENANT_FIELD_PREFIX):
+                    tenant_failures.append((key, f"{key}: missing from fresh record"))
+                else:
+                    print(f"FAIL [{label}] {msg}")
                 continue
             bv, fv = b["deterministic"][key], f["deterministic"][key]
             if bv == fv:
@@ -181,8 +193,33 @@ def main():
                 )
             else:
                 failures += 1
-                print(f"FAIL [{label}] {key}: baseline {bv} != fresh {fv}")
-        for key in sorted(set(f["deterministic"]) - set(b["deterministic"])):
+                if key.startswith(TENANT_FIELD_PREFIX):
+                    tenant_failures.append(
+                        (key, f"{key}: baseline {bv} != fresh {fv}")
+                    )
+                else:
+                    print(f"FAIL [{label}] {key}: baseline {bv} != fresh {fv}")
+        if tenant_failures:
+            shown = "; ".join(desc for _, desc in tenant_failures[:3])
+            more = len(tenant_failures) - min(3, len(tenant_failures))
+            suffix = f" (+{more} more)" if more else ""
+            print(
+                f"FAIL [{label}] tenant_*: {len(tenant_failures)} per-tenant "
+                f"field(s) drifted — {shown}{suffix}"
+            )
+        fresh_only = sorted(set(f["deterministic"]) - set(b["deterministic"]))
+        fresh_only_tenant = [
+            k for k in fresh_only if k.startswith(TENANT_FIELD_PREFIX)
+        ]
+        if fresh_only_tenant:
+            print(
+                f"note: [{label}] {len(fresh_only_tenant)} fresh tenant_* "
+                f"deterministic field(s) have no baseline value (gate after "
+                f"the next baseline refresh)"
+            )
+        for key in fresh_only:
+            if key.startswith(TENANT_FIELD_PREFIX):
+                continue
             print(
                 f"note: [{label}] fresh deterministic field '{key}' has no "
                 f"baseline value (gates after the next baseline refresh)"
