@@ -50,6 +50,23 @@ int run(int argc, char** argv) {
   const auto refresh =
       static_cast<index_t>(args.get_int_or("refresh", 8));
   const bool resilience = !args.has("no-resilience");
+  // Stall × async coupling: `-stall-epochs K` (default 0 = off) freezes
+  // `-stall-rank`'s outgoing traffic for K epochs starting at
+  // `-stall-first`, at EVERY grid point. Under bulk-synchronous delivery
+  // the held messages land together at the window-closing fence; under
+  // `-async` they additionally ride the event-driven latency draws, so the
+  // two delay sources compose — the docs/resilience.md stall-recovery
+  // study (EXPERIMENTS.md records the grid).
+  const int stall_rank = static_cast<int>(args.get_int_or("stall-rank", 1));
+  const auto stall_first =
+      static_cast<std::uint64_t>(args.get_int_or("stall-first", 10));
+  const auto stall_epochs =
+      static_cast<std::uint64_t>(args.get_int_or("stall-epochs", 0));
+  const std::string stall_label =
+      stall_epochs > 0 ? "r" + std::to_string(stall_rank) + "@" +
+                             std::to_string(stall_first) + "+" +
+                             std::to_string(stall_epochs)
+                       : "-";
   std::vector<std::string> matrices;
   if (args.get("matrices")) {
     matrices = select_matrices(args);
@@ -68,11 +85,11 @@ int run(int argc, char** argv) {
           "envelopes + refresh every " + std::to_string(refresh) +
           " steps" + (resilience ? "" : " (recovery DISABLED)"));
 
-  util::Table table({"Matrix", "drop", "r:BJ", "r:MCBGS", "r:PS", "r:DS",
-                     "dropped", "dup", "corrupt", "rej:c", "rej:s",
+  util::Table table({"Matrix", "drop", "stall", "r:BJ", "r:MCBGS", "r:PS",
+                     "r:DS", "dropped", "dup", "corrupt", "rej:c", "rej:s",
                      "refresh", "watchdog"});
   util::CsvWriter csv(csv_path("resilience_sweep.csv"),
-                      {"matrix", "drop_rate", "method", "steps",
+                      {"matrix", "drop_rate", "stall", "method", "steps",
                        "final_residual", "msgs_dropped", "msgs_duplicated",
                        "msgs_corrupted", "rejected_corrupt", "rejected_stale",
                        "refreshes_sent", "watchdog_fired",
@@ -100,15 +117,24 @@ int run(int argc, char** argv) {
         opt.faults.defaults.corrupt_probability = corrupt_prob;
         opt.faults.defaults.truncate_probability = truncate_prob;
       }
+      if (stall_epochs > 0) {
+        faults::Stall st;
+        st.rank = stall_rank;
+        st.first_epoch = stall_first;
+        st.epochs = stall_epochs;
+        opt.faults.stalls.push_back(st);
+      }
       const std::string rate_label = util::format_double(rate, 3);
-      table.row().cell(name).cell(rate_label);
+      table.row().cell(name).cell(rate_label).cell(stall_label);
       dist::FaultSummary grid_totals;  // summed over the four methods
       bool any_watchdog = false;
       std::string watchdog_note;
       for (auto m : methods) {
         auto r = dist::run_distributed(m, layout, problem.b, problem.x0, opt);
         const std::string label =
-            name + " drop=" + rate_label + " " + dist::method_abbrev(m);
+            name + " drop=" + rate_label +
+            (stall_epochs > 0 ? " stall=" + stall_label : "") + " " +
+            dist::method_abbrev(m);
         capture.add_run(label, r);
         record.add_run(label, name, r);
         table.cell(util::format_double(
@@ -128,7 +154,7 @@ int run(int argc, char** argv) {
                            r.watchdog.reason;
         }
         csv.write_row(std::vector<std::string>{
-            name, rate_label, r.method,
+            name, rate_label, stall_label, r.method,
             std::to_string(r.steps_taken()),
             util::format_double(
                 r.residual_norm.empty() ? 0.0 : r.residual_norm.back(), 9),

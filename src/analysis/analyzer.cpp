@@ -687,4 +687,63 @@ NodeReport analyze_node_routing(const RunTrace& run) {
   return rep;
 }
 
+// ---------------------------------------------------------------------------
+// (h) Elastic recovery
+// ---------------------------------------------------------------------------
+
+const char* ElasticReport::action_name(int action) {
+  switch (action) {
+    case kCheckpoint:
+      return "checkpoint";
+    case kKill:
+      return "kill";
+    case kRestore:
+      return "restore";
+    case kRepartition:
+      return "repartition";
+    default:
+      return "?";
+  }
+}
+
+ElasticReport analyze_elastic(const RunTrace& run) {
+  DSOUTH_CHECK(run.num_ranks > 0);
+  ElasticReport rep;
+  for (const trace::Event& e : run.events) {
+    if (e.kind != trace::EventKind::kElastic) continue;
+    DSOUTH_CHECK_MSG(e.tag >= 0 && e.tag < ElasticReport::kNumActions,
+                     "elastic event with unknown action " << e.tag);
+    rep.by_action[static_cast<std::size_t>(e.tag)] += 1;
+    rep.total += 1;
+    switch (e.tag) {
+      case ElasticReport::kCheckpoint: {
+        const auto bytes = static_cast<std::uint64_t>(e.a0);
+        rep.checkpoint_bytes_last = bytes;
+        rep.checkpoint_bytes_max = std::max(rep.checkpoint_bytes_max, bytes);
+        rep.checkpoint_bytes_min =
+            rep.by_action[ElasticReport::kCheckpoint] == 1
+                ? bytes
+                : std::min(rep.checkpoint_bytes_min, bytes);
+        break;
+      }
+      case ElasticReport::kKill:
+        rep.dead_ranks.push_back(static_cast<int>(e.a0));
+        break;
+      case ElasticReport::kRestore:
+        if (rep.by_action[ElasticReport::kCheckpoint] == 0 ||
+            rep.by_action[ElasticReport::kKill] <
+                rep.by_action[ElasticReport::kRestore]) {
+          rep.restores_ordered = false;
+        }
+        break;
+      case ElasticReport::kRepartition:
+        rep.rows_moved += static_cast<std::uint64_t>(e.a1);
+        break;
+      default:
+        break;
+    }
+  }
+  return rep;
+}
+
 }  // namespace dsouth::analysis

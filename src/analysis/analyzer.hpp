@@ -367,4 +367,48 @@ struct NodeReport {
 
 NodeReport analyze_node_routing(const RunTrace& run);
 
+// ---------------------------------------------------------------------------
+// (h) Elastic recovery (src/elastic)
+// ---------------------------------------------------------------------------
+
+/// Tally of the version-6 "elastic" events the elastic driver records when
+/// the fault plan configures permanent kills (trace.hpp: tag = action code,
+/// a0/a1 = per-action detail). Empty/zero for kill-free traces — the
+/// renderers emit an elastic section only when any() is true, so fault-free
+/// elastic output is byte-identical to a plain run's.
+struct ElasticReport {
+  /// Action codes, exactly as elastic::run_elastic emits them.
+  enum Action : int {
+    kCheckpoint = 0,   ///< a0 = buffer bytes, a1 = checkpointed step
+    kKill = 1,         ///< a0 = dead rank, a1 = kill epoch
+    kRestore = 2,      ///< a0 = restored step, a1 = restored epoch
+    kRepartition = 3,  ///< a0 = dead rank, a1 = rows moved off it
+  };
+  static constexpr int kNumActions = 4;
+  static const char* action_name(int action);
+
+  std::array<std::uint64_t, kNumActions> by_action{};
+  std::uint64_t total = 0;
+
+  std::uint64_t checkpoint_bytes_last = 0;
+  std::uint64_t checkpoint_bytes_max = 0;
+  /// Smallest checkpoint seen (0 only when there were none) — `-check`
+  /// asserts every checkpoint event carried a positive byte count.
+  std::uint64_t checkpoint_bytes_min = 0;
+  /// Σ rows moved over repartition events.
+  std::uint64_t rows_moved = 0;
+  /// Dead ranks from kill events, in detection (stream) order.
+  std::vector<int> dead_ranks;
+
+  /// Stream-order sanity, checked while scanning: every restore event was
+  /// preceded by at least one checkpoint and by at least as many kill
+  /// events as restores so far (a restore only happens after a detected
+  /// death rolls back to a stored checkpoint).
+  bool restores_ordered = true;
+
+  bool any() const { return total > 0; }
+};
+
+ElasticReport analyze_elastic(const RunTrace& run);
+
 }  // namespace dsouth::analysis

@@ -29,6 +29,7 @@ RunAnalysis analyze_run(const RunTrace& run, const AnalyzeOptions& opt) {
   a.faults = analyze_faults(run);
   a.async = analyze_async(run);
   a.node = analyze_node_routing(run);
+  a.elastic = analyze_elastic(run);
   return a;
 }
 
@@ -199,6 +200,26 @@ void render_ascii(std::ostream& os, const RunAnalysis& a,
         lp.cell(static_cast<std::size_t>(pr.bytes));
       }
       lp.print(os);
+    }
+  }
+
+  // --- (h) elastic recovery (only for traces with elastic events) ---
+  if (a.elastic.any()) {
+    os << "\n--- Elastic recovery (" << a.elastic.total << " events) ---\n";
+    util::Table et({"action", "count"});
+    for (int t = 0; t < ElasticReport::kNumActions; ++t) {
+      const auto n = a.elastic.by_action[static_cast<std::size_t>(t)];
+      if (n == 0) continue;
+      et.row().cell(ElasticReport::action_name(t));
+      et.cell(static_cast<std::size_t>(n));
+    }
+    et.print(os);
+    os << "Checkpoints: last " << a.elastic.checkpoint_bytes_last
+       << " bytes, max " << a.elastic.checkpoint_bytes_max << " bytes\n";
+    if (!a.elastic.dead_ranks.empty()) {
+      os << "Dead ranks (detection order):";
+      for (int r : a.elastic.dead_ranks) os << " r" << r;
+      os << "  (" << a.elastic.rows_moved << " rows redistributed)\n";
     }
   }
 
@@ -758,6 +779,26 @@ std::string to_json(const RunAnalysis& a, const AnalyzeOptions& opt) {
       kv(out, "metric_forwarded_records", *a.node.metric_forwarded_records);
     }
     out += '}';
+  }
+
+  // (h) elastic recovery — likewise emitted only when the trace carried
+  // elastic events, so kill-free analysis JSON stays byte-identical.
+  if (a.elastic.any()) {
+    out += ",\"elastic\":{";
+    kv_u(out, "total", a.elastic.total, true);
+    for (int t = 0; t < ElasticReport::kNumActions; ++t) {
+      kv_u(out, ElasticReport::action_name(t),
+           a.elastic.by_action[static_cast<std::size_t>(t)]);
+    }
+    kv_u(out, "checkpoint_bytes_last", a.elastic.checkpoint_bytes_last);
+    kv_u(out, "checkpoint_bytes_max", a.elastic.checkpoint_bytes_max);
+    kv_u(out, "rows_moved", a.elastic.rows_moved);
+    out += ",\"dead_ranks\":[";
+    for (std::size_t i = 0; i < a.elastic.dead_ranks.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(a.elastic.dead_ranks[i]);
+    }
+    out += "]}";
   }
   out += '}';
   return out;

@@ -34,6 +34,9 @@ struct RunAnalysis {
   /// Node-aware hop tallies (tier totals, leader pairs); all-zero and
   /// omitted for single-level traces, keeping their output unchanged.
   NodeReport node;
+  /// Elastic checkpoint/recovery tallies; all-zero and omitted for
+  /// kill-free traces, keeping their output unchanged.
+  ElasticReport elastic;
 };
 
 struct AnalyzeOptions {

@@ -46,10 +46,12 @@ namespace {
 /// flops and says so (RunTrace::version lets callers warn). Version 3
 /// adds "fault" events (fault injection, src/faults); version 4 adds
 /// "deliver" events (asynchronous delivery, simmpi/delivery.hpp); version
-/// 5 adds "hop" events (node-aware routing, simmpi/node_topology.hpp) —
-/// all picked up through the shared event-kind table in parse_kind.
+/// 5 adds "hop" events (node-aware routing, simmpi/node_topology.hpp);
+/// version 6 adds "elastic" events (checkpoint/restart + repartitioning,
+/// src/elastic) — all picked up through the shared event-kind table in
+/// parse_kind.
 constexpr int kMinVersion = 1;
-constexpr int kMaxVersion = 5;
+constexpr int kMaxVersion = 6;
 
 trace::EventKind parse_kind(const std::string& name) {
   for (int k = 0; k < trace::kNumEventKinds; ++k) {

@@ -83,6 +83,22 @@ class DistributedSouthwell final : public DistStationarySolver {
   void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
                       std::span<const double> payload) override;
 
+  /// Repartition recovery re-seeds Γ/Γ̃/z exactly (setup exchange) and
+  /// restarts the correction/deferral counters.
+  RecoveryContract recovery_contract() const override {
+    RecoveryContract c;
+    c.reseeds_estimates = true;
+    c.restarts_counters = true;
+    return c;
+  }
+
+ protected:
+  // Checkpoint stream: step_count, heartbeat, then per rank — the two
+  // protocol counters, Γ², Γ̃², the z ghost layers, and (send_threshold
+  // runs only) the pending Δx accumulators.
+  void capture_extra(std::vector<double>& out) const override;
+  void restore_extra(std::span<const double> in) override;
+
  private:
   // Wire records (encodings in wire/wire.hpp; nb = directed channel width):
   //   SOLVE p->q: SolveUpdate{norm2 = new ‖r_p‖², gamma2 = Γ_p[q]²,

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dist/block_jacobi.hpp"
+#include "dist/harness.hpp"
 #include "dist/multicolor_block_gs.hpp"
 #include "dist/parallel_southwell.hpp"
 #include "simmpi/delivery.hpp"
@@ -110,103 +111,15 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
                               std::span<const value_t> b,
                               std::span<const value_t> x0,
                               const DistRunOptions& opt) {
-  simmpi::Runtime rt(layout.num_ranks(), opt.machine, opt.delivery);
-  // The delivery policy must be attached before the tracer (so the async
-  // metrics register) and before the solver (so async_mode() is stable
-  // from construction on).
-  std::unique_ptr<simmpi::EventDrivenPolicy> async_policy;
-  if (opt.async) {
-    simmpi::EventDrivenOptions eo;
-    eo.seed = opt.async_seed;
-    eo.min_latency_epochs = opt.async_min_latency;
-    eo.max_latency_epochs = opt.async_max_latency;
-    eo.max_staleness = opt.max_staleness;
-    async_policy = std::make_unique<simmpi::EventDrivenPolicy>(eo);
-    rt.set_delivery_policy(async_policy.get());
-  }
-  // Node-aware topology. Run options take precedence over a topology
-  // already attached to the layout; a locally-built topology must outlive
-  // the runtime, hence the function-scope optional. Flat topologies
-  // degenerate to "detached" inside the runtime, so attaching one here is
-  // harmless (and byte-identical to not attaching).
-  std::optional<simmpi::NodeTopology> run_topo;
-  const simmpi::NodeTopology* topo = layout.node_topology();
-  if (!opt.node_map.empty()) {
-    run_topo.emplace(simmpi::NodeTopology::explicit_map(opt.node_map));
-    topo = &*run_topo;
-  } else if (opt.ranks_per_node > 0) {
-    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
-        layout.num_ranks(), opt.ranks_per_node));
-    topo = &*run_topo;
-  } else if (opt.num_nodes > 0) {
-    const int p = layout.num_ranks();
-    run_topo.emplace(simmpi::NodeTopology::ranks_per_node(
-        p, (p + opt.num_nodes - 1) / opt.num_nodes));
-    topo = &*run_topo;
-  }
-  if (topo) {
-    simmpi::NodeRoutingOptions nro;
-    nro.route_via_leaders = opt.node_route;
-    if (opt.node_route) {
-      // The runtime only needs the dense channel-count matrix (to size
-      // forward-frame bitmaps); the full NodeCommPlan stays a wire-layer
-      // object.
-      nro.pair_channel_counts =
-          wire::NodeCommPlan(layout.comm_plan(), *topo).pair_channel_counts();
-    }
-    rt.set_node_topology(topo, std::move(nro));
-  }
-  // The tracer must be attached before the solver is constructed so solver
-  // ctors can register their metrics.
-  std::unique_ptr<trace::Tracer> tracer;
-  if (opt.trace.enabled) {
-    tracer = std::make_unique<trace::Tracer>(layout.num_ranks(), opt.trace);
-    rt.set_tracer(tracer.get());
-  }
-  // Host profiling is attach-by-pointer like the tracer, but inverted:
-  // the tracer records what the simulation *modeled*, the profiler records
-  // what the host *spent*, and nothing it measures feeds back in.
-  if (opt.profiler) rt.set_profiler(opt.profiler);
-  // A fault schedule is attached only for a nonzero plan, so the default
-  // path stays byte-identical to a fault-free build (no extra RNG draws,
-  // no extra metrics).
-  std::unique_ptr<faults::FaultSchedule> fault_schedule;
-  if (opt.faults.any()) {
-    fault_schedule =
-        std::make_unique<faults::FaultSchedule>(opt.faults, layout.num_ranks());
-    rt.set_fault_schedule(fault_schedule.get());
-  }
-  auto backend = simmpi::make_backend(opt.backend, opt.num_threads);
-  auto solver = make_dist_solver(method, layout, rt, b, x0, opt);
-  solver->set_backend(*backend);
-  // Async delivery forces the resilient receive path: maturation is
-  // out-of-order by construction, and the seq-gated absolute-x encoding is
-  // what keeps ghost caches and DS's Γ̃ bookkeeping correct under it.
-  ResilienceOptions resilience = opt.resilience;
-  if (opt.async) resilience.enabled = true;
-  DSOUTH_CHECK_MSG(!(resilience.enabled && opt.coalesce_messages),
-                   "resilience and message coalescing are incompatible");
-  if (opt.coalesce_messages) solver->set_message_coalescing(true);
-  if (resilience.enabled) solver->set_resilience(resilience);
+  // All construction and attachment lives in RunHarness (harness.hpp) so
+  // the elastic driver assembles the identical stack; this function keeps
+  // only the stepping loop and its observer-side stop rules.
+  RunHarness h(method, layout, b, x0, opt);
+  DistStationarySolver* solver = &h.solver();
 
   DistRunResult result;
-  result.method = method_name(method);
-  result.num_ranks = layout.num_ranks();
-  result.n = layout.global_rows();
-  result.backend = backend->name();
-  result.num_threads = backend->num_threads();
-
-  auto record_state = [&] {
-    result.residual_norm.push_back(solver->global_residual_norm());
-    result.model_time.push_back(rt.model_time_seconds());
-    result.comm_cost.push_back(rt.stats().comm_cost());
-    result.solve_comm.push_back(rt.stats().comm_cost(simmpi::MsgTag::kSolve));
-    result.res_comm.push_back(rt.stats().comm_cost(simmpi::MsgTag::kResidual));
-    result.relaxations.push_back(result.relaxations.empty()
-                                     ? 0.0
-                                     : result.relaxations.back());
-  };
-  record_state();
+  h.init_result(result);
+  h.record_state(result);
 
   index_t total_relax = 0;
   const double r0 = result.residual_norm.front();
@@ -225,7 +138,7 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
     result.wall_seconds += wall.seconds();
     total_relax += stats.relaxations;
     result.active_ranks.push_back(stats.active_ranks);
-    record_state();
+    h.record_state(result);
     result.relaxations.back() = static_cast<double>(total_relax);
     const double rn = result.residual_norm.back();
     if (opt.stop_at_residual > 0.0 && rn <= opt.stop_at_residual) break;
@@ -252,84 +165,11 @@ DistRunResult run_distributed(DistMethod method, const DistLayout& layout,
       }
     }
   }
-  if (rt.async_delivery()) {
-    // Deliver everything still maturing and fold it into the iterate so
-    // final_x and the totals below describe a fully-drained run. (Gated on
-    // the runtime, not opt.async: a staleness-0 policy degenerates to
-    // bulk-synchronous delivery and must add nothing to the trace.)
-    rt.drain_delayed();
-    solver->absorb_all();
-  }
+  h.drain_if_async();
   if (opt.profiler) opt.profiler->end_alloc_window();
   result.final_x = solver->gather_x();
-  const simmpi::CommStats& cs = rt.stats();
-  result.comm_totals.msgs = cs.total_messages();
-  result.comm_totals.bytes = cs.total_bytes();
-  result.comm_totals.msgs_solve = cs.total_messages(simmpi::MsgTag::kSolve);
-  result.comm_totals.msgs_residual =
-      cs.total_messages(simmpi::MsgTag::kResidual);
-  result.comm_totals.msgs_other = cs.total_messages(simmpi::MsgTag::kOther);
-  result.comm_totals.msgs_logical = cs.logical_messages();
-  result.comm_totals.msgs_logical_solve =
-      cs.logical_messages(simmpi::MsgTag::kSolve);
-  result.comm_totals.msgs_logical_residual =
-      cs.logical_messages(simmpi::MsgTag::kResidual);
-  if (fault_schedule) {
-    FaultSummary fs;
-    fs.msgs_dropped = cs.dropped_messages();
-    fs.msgs_duplicated = cs.duplicated_messages();
-    fs.msgs_corrupted = cs.corrupted_messages();
-    const ResilienceStats rs = solver->resilience_stats();
-    fs.rejected_corrupt = rs.rejected_corrupt;
-    fs.rejected_stale = rs.rejected_stale;
-    fs.refreshes_sent = rs.refreshes_sent;
-    result.fault_summary = fs;
-  }
-  if (rt.async_delivery()) {
-    AsyncTotals at;
-    at.delivered = cs.async_delivered();
-    at.staleness_sum = cs.async_staleness_sum();
-    at.staleness_max = cs.async_staleness_max();
-    at.epochs = rt.epochs_completed();
-    result.async_totals = at;
-  }
-  if (rt.node_topology()) {
-    NodeTotals nt;
-    nt.msgs_intra = cs.intra_messages();
-    nt.bytes_intra = cs.intra_bytes();
-    nt.msgs_inter = cs.inter_messages();
-    nt.bytes_inter = cs.inter_bytes();
-    nt.forward_frames = cs.forward_frames();
-    nt.forwarded_records = cs.forwarded_records();
-    result.node_totals = nt;
-  }
-  if (opt.profiler && tracer) {
-    // Advisory prof.* gauges, rank-0 slot. Registered only when a profiler
-    // rides along, so prof-off traces stay byte-identical to pre-profiling
-    // builds. The values are the profiler's own alloc-window deltas — the
-    // same numbers the prof record exports, which is exactly what
-    // `dsouth-analyze -check -prof-record` cross-checks.
-    auto& m = tracer->metrics();
-    const auto id_track =
-        m.register_metric("prof.alloc_tracking", trace::MetricKind::kGauge);
-    const auto id_allocs =
-        m.register_metric("prof.allocs_total", trace::MetricKind::kGauge);
-    const auto id_bytes =
-        m.register_metric("prof.allocs_bytes", trace::MetricKind::kGauge);
-    const auto id_frees =
-        m.register_metric("prof.frees_total", trace::MetricKind::kGauge);
-    m.set(id_track, 0, opt.profiler->alloc_tracking() ? 1.0 : 0.0);
-    m.set(id_allocs, 0, static_cast<double>(opt.profiler->allocs_total()));
-    m.set(id_bytes, 0, static_cast<double>(opt.profiler->allocs_bytes()));
-    m.set(id_frees, 0, static_cast<double>(opt.profiler->frees_total()));
-  }
-  if (opt.profiler) rt.set_profiler(nullptr);
-  if (tracer) {
-    tracer->flush();
-    result.trace_log =
-        std::make_shared<const trace::TraceLog>(tracer->take_log());
-    rt.set_tracer(nullptr);
-  }
+  h.fill_totals(result);
+  h.finish(result);
   return result;
 }
 

@@ -64,6 +64,9 @@ struct FaultSummary {
   std::uint64_t msgs_dropped = 0;
   std::uint64_t msgs_duplicated = 0;
   std::uint64_t msgs_corrupted = 0;  ///< bit-flipped or truncated
+  /// Messages swallowed because an endpoint was permanently dead
+  /// (faults::RankKill — staged, in-flight, or addressed to a dead rank).
+  std::uint64_t msgs_dead_dropped = 0;
   std::uint64_t rejected_corrupt = 0;
   std::uint64_t rejected_stale = 0;
   std::uint64_t refreshes_sent = 0;

@@ -1,0 +1,199 @@
+#include "dist/harness.hpp"
+
+#include "util/error.hpp"
+#include "wire/comm_plan.hpp"
+
+namespace dsouth::dist {
+
+RunHarness::RunHarness(DistMethod method, const DistLayout& layout,
+                       std::span<const value_t> b,
+                       std::span<const value_t> x0,
+                       const DistRunOptions& opt)
+    : opt_(&opt), rt_(layout.num_ranks(), opt.machine, opt.delivery) {
+  // The delivery policy must be attached before the tracer (so the async
+  // metrics register) and before the solver (so async_mode() is stable
+  // from construction on).
+  if (opt.async) {
+    simmpi::EventDrivenOptions eo;
+    eo.seed = opt.async_seed;
+    eo.min_latency_epochs = opt.async_min_latency;
+    eo.max_latency_epochs = opt.async_max_latency;
+    eo.max_staleness = opt.max_staleness;
+    async_policy_ = std::make_unique<simmpi::EventDrivenPolicy>(eo);
+    rt_.set_delivery_policy(async_policy_.get());
+  }
+  // Node-aware topology. Run options take precedence over a topology
+  // already attached to the layout; a locally-built topology must outlive
+  // the runtime, hence the member optional. Flat topologies degenerate to
+  // "detached" inside the runtime, so attaching one here is harmless (and
+  // byte-identical to not attaching).
+  const simmpi::NodeTopology* topo = layout.node_topology();
+  if (!opt.node_map.empty()) {
+    run_topo_.emplace(simmpi::NodeTopology::explicit_map(opt.node_map));
+    topo = &*run_topo_;
+  } else if (opt.ranks_per_node > 0) {
+    run_topo_.emplace(simmpi::NodeTopology::ranks_per_node(
+        layout.num_ranks(), opt.ranks_per_node));
+    topo = &*run_topo_;
+  } else if (opt.num_nodes > 0) {
+    const int p = layout.num_ranks();
+    run_topo_.emplace(simmpi::NodeTopology::ranks_per_node(
+        p, (p + opt.num_nodes - 1) / opt.num_nodes));
+    topo = &*run_topo_;
+  }
+  if (topo) {
+    simmpi::NodeRoutingOptions nro;
+    nro.route_via_leaders = opt.node_route;
+    if (opt.node_route) {
+      // The runtime only needs the dense channel-count matrix (to size
+      // forward-frame bitmaps); the full NodeCommPlan stays a wire-layer
+      // object.
+      nro.pair_channel_counts =
+          wire::NodeCommPlan(layout.comm_plan(), *topo)
+              .pair_channel_counts();
+    }
+    rt_.set_node_topology(topo, std::move(nro));
+  }
+  // The tracer must be attached before the solver is constructed so solver
+  // ctors can register their metrics.
+  if (opt.trace.enabled) {
+    tracer_ = std::make_unique<trace::Tracer>(layout.num_ranks(), opt.trace);
+    rt_.set_tracer(tracer_.get());
+  }
+  // Host profiling is attach-by-pointer like the tracer, but inverted:
+  // the tracer records what the simulation *modeled*, the profiler records
+  // what the host *spent*, and nothing it measures feeds back in.
+  if (opt.profiler) rt_.set_profiler(opt.profiler);
+  // A fault schedule is attached only for a nonzero plan, so the default
+  // path stays byte-identical to a fault-free build (no extra RNG draws,
+  // no extra metrics).
+  if (opt.faults.any()) {
+    fault_schedule_ = std::make_unique<faults::FaultSchedule>(
+        opt.faults, layout.num_ranks());
+    rt_.set_fault_schedule(fault_schedule_.get());
+  }
+  backend_ = simmpi::make_backend(opt.backend, opt.num_threads);
+  solver_ = make_dist_solver(method, layout, rt_, b, x0, opt);
+  solver_->set_backend(*backend_);
+  // Async delivery forces the resilient receive path: maturation is
+  // out-of-order by construction, and the seq-gated absolute-x encoding is
+  // what keeps ghost caches and DS's Γ̃ bookkeeping correct under it.
+  ResilienceOptions resilience = opt.resilience;
+  if (opt.async) resilience.enabled = true;
+  DSOUTH_CHECK_MSG(!(resilience.enabled && opt.coalesce_messages),
+                   "resilience and message coalescing are incompatible");
+  if (opt.coalesce_messages) solver_->set_message_coalescing(true);
+  if (resilience.enabled) solver_->set_resilience(resilience);
+}
+
+RunHarness::~RunHarness() {
+  // finish() normally detaches; cover early exits so the runtime never
+  // outlives an attachment it doesn't own.
+  if (opt_->profiler) rt_.set_profiler(nullptr);
+  if (tracer_) rt_.set_tracer(nullptr);
+}
+
+void RunHarness::init_result(DistRunResult& result) const {
+  result.method = solver_->name();
+  result.num_ranks = rt_.num_ranks();
+  result.n = solver_->layout().global_rows();
+  result.backend = backend_->name();
+  result.num_threads = backend_->num_threads();
+}
+
+void RunHarness::record_state(DistRunResult& result) const {
+  result.residual_norm.push_back(solver_->global_residual_norm());
+  result.model_time.push_back(rt_.model_time_seconds());
+  result.comm_cost.push_back(rt_.stats().comm_cost());
+  result.solve_comm.push_back(rt_.stats().comm_cost(simmpi::MsgTag::kSolve));
+  result.res_comm.push_back(rt_.stats().comm_cost(simmpi::MsgTag::kResidual));
+  result.relaxations.push_back(
+      result.relaxations.empty() ? 0.0 : result.relaxations.back());
+}
+
+void RunHarness::drain_if_async() {
+  if (!rt_.async_delivery()) return;
+  // Gated on the runtime, not opt.async: a staleness-0 policy degenerates
+  // to bulk-synchronous delivery and must add nothing to the trace.
+  rt_.drain_delayed();
+  solver_->absorb_all();
+}
+
+void RunHarness::fill_totals(DistRunResult& result) const {
+  const simmpi::CommStats& cs = rt_.stats();
+  result.comm_totals.msgs = cs.total_messages();
+  result.comm_totals.bytes = cs.total_bytes();
+  result.comm_totals.msgs_solve = cs.total_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_residual =
+      cs.total_messages(simmpi::MsgTag::kResidual);
+  result.comm_totals.msgs_other = cs.total_messages(simmpi::MsgTag::kOther);
+  result.comm_totals.msgs_logical = cs.logical_messages();
+  result.comm_totals.msgs_logical_solve =
+      cs.logical_messages(simmpi::MsgTag::kSolve);
+  result.comm_totals.msgs_logical_residual =
+      cs.logical_messages(simmpi::MsgTag::kResidual);
+  if (fault_schedule_) {
+    FaultSummary fs;
+    fs.msgs_dropped = cs.dropped_messages();
+    fs.msgs_duplicated = cs.duplicated_messages();
+    fs.msgs_corrupted = cs.corrupted_messages();
+    fs.msgs_dead_dropped = cs.dead_dropped_messages();
+    const ResilienceStats rs = solver_->resilience_stats();
+    fs.rejected_corrupt = rs.rejected_corrupt;
+    fs.rejected_stale = rs.rejected_stale;
+    fs.refreshes_sent = rs.refreshes_sent;
+    result.fault_summary = fs;
+  }
+  if (rt_.async_delivery()) {
+    AsyncTotals at;
+    at.delivered = cs.async_delivered();
+    at.staleness_sum = cs.async_staleness_sum();
+    at.staleness_max = cs.async_staleness_max();
+    at.epochs = rt_.epochs_completed();
+    result.async_totals = at;
+  }
+  if (rt_.node_topology()) {
+    NodeTotals nt;
+    nt.msgs_intra = cs.intra_messages();
+    nt.bytes_intra = cs.intra_bytes();
+    nt.msgs_inter = cs.inter_messages();
+    nt.bytes_inter = cs.inter_bytes();
+    nt.forward_frames = cs.forward_frames();
+    nt.forwarded_records = cs.forwarded_records();
+    result.node_totals = nt;
+  }
+}
+
+void RunHarness::finish(DistRunResult& result) {
+  if (opt_->profiler && tracer_) {
+    // Advisory prof.* gauges, rank-0 slot. Registered only when a profiler
+    // rides along, so prof-off traces stay byte-identical to pre-profiling
+    // builds. The values are the profiler's own alloc-window deltas — the
+    // same numbers the prof record exports, which is exactly what
+    // `dsouth-analyze -check -prof-record` cross-checks.
+    auto& m = tracer_->metrics();
+    const auto id_track =
+        m.register_metric("prof.alloc_tracking", trace::MetricKind::kGauge);
+    const auto id_allocs =
+        m.register_metric("prof.allocs_total", trace::MetricKind::kGauge);
+    const auto id_bytes =
+        m.register_metric("prof.allocs_bytes", trace::MetricKind::kGauge);
+    const auto id_frees =
+        m.register_metric("prof.frees_total", trace::MetricKind::kGauge);
+    m.set(id_track, 0, opt_->profiler->alloc_tracking() ? 1.0 : 0.0);
+    m.set(id_allocs, 0,
+          static_cast<double>(opt_->profiler->allocs_total()));
+    m.set(id_bytes, 0, static_cast<double>(opt_->profiler->allocs_bytes()));
+    m.set(id_frees, 0, static_cast<double>(opt_->profiler->frees_total()));
+  }
+  if (opt_->profiler) rt_.set_profiler(nullptr);
+  if (tracer_) {
+    tracer_->flush();
+    result.trace_log =
+        std::make_shared<const trace::TraceLog>(tracer_->take_log());
+    rt_.set_tracer(nullptr);
+    tracer_.reset();
+  }
+}
+
+}  // namespace dsouth::dist

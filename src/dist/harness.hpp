@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file harness.hpp
+/// RunHarness — the assembly half of the experiment driver, factored out of
+/// run_distributed so every driver that runs a distributed solver (the
+/// classic driver.cpp loop, the elastic checkpoint/restart driver in
+/// src/elastic) constructs and attaches the exact same stack in the exact
+/// same order:
+///
+///   runtime → delivery policy → node topology → tracer → profiler →
+///   fault schedule → backend → solver → coalescing/resilience
+///
+/// The order is load-bearing: the delivery policy must precede the tracer
+/// (async metrics register at attach) and the solver (async_mode() must be
+/// stable from construction); the tracer must precede the solver (ctors
+/// register metrics). Sharing the assembly makes the elastic driver's
+/// fault-free runs byte-identical to run_distributed *by construction*
+/// rather than by parallel maintenance (tests/test_elastic.cpp pins it).
+
+#include <memory>
+#include <optional>
+
+#include "dist/driver.hpp"
+#include "simmpi/delivery.hpp"
+
+namespace dsouth::dist {
+
+class RunHarness {
+ public:
+  /// Build the full stack over `layout` per `opt` (see driver.hpp for the
+  /// knob semantics). The layout must outlive the harness.
+  RunHarness(DistMethod method, const DistLayout& layout,
+             std::span<const value_t> b, std::span<const value_t> x0,
+             const DistRunOptions& opt);
+  ~RunHarness();
+
+  RunHarness(const RunHarness&) = delete;
+  RunHarness& operator=(const RunHarness&) = delete;
+
+  simmpi::Runtime& runtime() { return rt_; }
+  const simmpi::Runtime& runtime() const { return rt_; }
+  DistStationarySolver& solver() { return *solver_; }
+  trace::Tracer* tracer() { return tracer_.get(); }
+  /// Null when the plan was all-zero (the fault-free fast path).
+  const faults::FaultSchedule* fault_schedule() const {
+    return fault_schedule_.get();
+  }
+
+  /// Fill the run-identification fields (method/num_ranks/n/backend).
+  void init_result(DistRunResult& result) const;
+
+  /// Append one series entry (residual, model time, comm costs, carried
+  /// relaxations) — the caller overwrites relaxations.back() after
+  /// accumulating the step's count, exactly as run_distributed always did.
+  void record_state(DistRunResult& result) const;
+
+  /// Asynchronous epilogue: deliver everything still maturing and absorb
+  /// it, so final_x and the totals describe a fully-drained run. No-op
+  /// under bulk-synchronous delivery (including the staleness-0
+  /// degeneracy).
+  void drain_if_async();
+
+  /// Copy the end-of-run CommStats totals and the conditional summaries
+  /// (fault / async / node) into `result`.
+  void fill_totals(DistRunResult& result) const;
+
+  /// End-of-run teardown: register the advisory prof.* gauges (profiler +
+  /// tracer runs only), flush the tracer into result.trace_log, and detach
+  /// profiler/tracer from the runtime. Call once, last.
+  void finish(DistRunResult& result);
+
+ private:
+  const DistRunOptions* opt_;
+  simmpi::Runtime rt_;
+  std::unique_ptr<simmpi::EventDrivenPolicy> async_policy_;
+  std::optional<simmpi::NodeTopology> run_topo_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<faults::FaultSchedule> fault_schedule_;
+  std::unique_ptr<simmpi::ExecutionBackend> backend_;
+  std::unique_ptr<DistStationarySolver> solver_;
+};
+
+}  // namespace dsouth::dist

@@ -40,6 +40,19 @@ class MulticolorBlockGs final : public DistStationarySolver {
   void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
                       std::span<const double> payload) override;
 
+  /// Repartition recovery recolors the new subdomain graph and restarts
+  /// the rotation at color 0.
+  RecoveryContract recovery_contract() const override {
+    RecoveryContract c;
+    c.restarts_schedule = true;
+    return c;
+  }
+
+ protected:
+  // Checkpoint stream: the color-rotation cursors.
+  void capture_extra(std::vector<double>& out) const override;
+  void restore_extra(std::span<const double> in) override;
+
  private:
   void rank_relax(simmpi::RankContext& ctx, int p);
 

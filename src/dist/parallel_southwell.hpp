@@ -42,6 +42,19 @@ class ParallelSouthwell final : public DistStationarySolver {
   void absorb_payload(simmpi::RankContext& ctx, int p, std::size_t nbi,
                       std::span<const double> payload) override;
 
+  /// Repartition recovery re-seeds Γ and the advertised norms exactly
+  /// (setup exchange, Alg. 2 line 5).
+  RecoveryContract recovery_contract() const override {
+    RecoveryContract c;
+    c.reseeds_estimates = true;
+    return c;
+  }
+
+ protected:
+  // Checkpoint stream: per rank — advertised ‖r‖², then Γ².
+  void capture_extra(std::vector<double>& out) const override;
+  void restore_extra(std::span<const double> in) override;
+
  private:
   // Wire records (encodings in wire/wire.hpp):
   //   SOLVE p->q: NormUpdate{norm2 = new ‖r_p‖², dx = boundary Δx}.

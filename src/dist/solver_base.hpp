@@ -68,6 +68,32 @@ struct ResilienceStats {
   std::uint64_t refreshes_sent = 0;    ///< proactive full-state resends
 };
 
+/// What a concrete solver needs from an elastic *repartition* recovery
+/// (src/elastic, docs/resilience.md). Checkpoint/restore on an UNCHANGED
+/// layout needs none of this — capture_state/restore_state round-trip
+/// every field exactly. A repartition changes the layout, so per-neighbor
+/// state cannot be carried over; the recovering driver constructs a fresh
+/// solver from the restored global iterate, and this contract tells it
+/// what that fresh construction re-derives and what is genuinely reset.
+struct RecoveryContract {
+  /// Residuals are rebuilt exactly from A, b and the restored iterate by
+  /// the constructor's setup phase (true for every stationary solver
+  /// here — local residuals are exact by construction).
+  bool rebuilds_residual = true;
+  /// Per-neighbor estimates (Γ, Γ̃, residual ghost layers) are re-seeded
+  /// exactly by the constructor's setup exchange, so no estimate
+  /// staleness survives a recovery (the Southwell methods).
+  bool reseeds_estimates = false;
+  /// The relaxation schedule restarts from its initial phase (MCBGS: the
+  /// color rotation restarts at color 0). Convergence is unaffected; the
+  /// sweep order is perturbed once.
+  bool restarts_schedule = false;
+  /// Monotonic protocol counters (DS corrections_sent / deferred_sends)
+  /// restart at 0 in the fresh solver; the elastic driver accumulates
+  /// them across generations for its report.
+  bool restarts_counters = false;
+};
+
 /// Setup-phase helper shared with greedy_schwarz: r_p -= A_pp x_p +
 /// Σ_q A_pq x_q for rank p. Reads neighbor x directly (the paper's
 /// artifact likewise distributes the assembled system before the solve
@@ -202,6 +228,49 @@ class DistStationarySolver {
   /// resilience is off).
   ResilienceStats resilience_stats() const;
 
+  // --- Checkpoint/restore (src/elastic) -----------------------------------
+
+  /// Deterministic snapshot of every mutable solver field that survives a
+  /// step boundary. Scratch buffers (scratch_, dz, per-sweep snapshots)
+  /// and the per-step rank_stats_ slots are transient between steps and
+  /// deliberately excluded. `extra` is the concrete solver's private
+  /// state, serialized as a flat double stream whose layout only
+  /// capture_extra/restore_extra of the same solver class on the same
+  /// DistLayout understand (integers travel bit-cast, never rounded).
+  struct SolverState {
+    index_t resil_step_count = 0;
+    std::vector<std::vector<value_t>> x;  ///< per-rank iterate
+    std::vector<std::vector<value_t>> r;  ///< per-rank residual
+    /// Per rank, per peer: the channel's next envelope sequence number
+    /// (captured even when sequencing is off — zeros round-trip).
+    std::vector<std::vector<std::uint64_t>> send_seq;
+    // Resilient-mode caches (all empty when resilience is off).
+    std::vector<std::vector<std::vector<value_t>>> ghost_x;
+    std::vector<std::vector<std::uint64_t>> recv_min_seq;
+    std::vector<std::vector<index_t>> last_send_step;
+    std::vector<ResilienceStats> resil_stats;
+    /// Concrete-solver extension (capture_extra/restore_extra).
+    std::vector<double> extra;
+  };
+
+  /// Capture the solver's state between steps (no put phase in flight: the
+  /// channels must hold no buffered records or unsealed envelopes).
+  /// Restoring the result into a solver of the same class on the same
+  /// layout — along with the matching simmpi::RuntimeState — resumes the
+  /// run byte-identically (tests/test_elastic.cpp pins this across
+  /// backends and feature combinations).
+  SolverState capture_state() const;
+
+  /// Inverse of capture_state. The solver must have the same class,
+  /// layout, and feature configuration (resilience/coalescing) as the one
+  /// that captured; mismatches are checked fatal, not recovered.
+  void restore_state(const SolverState& state);
+
+  /// What this solver needs from a repartition recovery (see
+  /// RecoveryContract). The base default describes Block Jacobi.
+  virtual RecoveryContract recovery_contract() const { return {}; }
+  // ------------------------------------------------------------------------
+
   /// Observer-side exact global residual norm (gathers local residuals;
   /// local residuals are exact by construction in all three methods).
   double global_residual_norm() const;
@@ -243,6 +312,17 @@ class DistStationarySolver {
   prof::ScopedPhase prof_phase(int p, prof::PhaseId phase) const {
     return prof::ScopedPhase(rt_->profiler(), p, phase);
   }
+
+  /// Append the concrete solver's private mutable state to the checkpoint
+  /// stream (capture_state). Default: stateless beyond the base fields
+  /// (Block Jacobi). Implementations must write a layout-determined,
+  /// fixed-order stream and bit-cast any integer fields.
+  virtual void capture_extra(std::vector<double>& out) const {
+    (void)out;
+  }
+
+  /// Inverse of capture_extra; `in` is exactly what capture_extra wrote.
+  virtual void restore_extra(std::span<const double> in);
 
   /// r_p -= a_pq · Δx_q and charge the flops; dx is ordered by the
   /// neighbor's ghost_rows channel convention.

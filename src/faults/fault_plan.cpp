@@ -45,6 +45,7 @@ constexpr std::uint64_t kSaltDuplicate = 0xD0B1ULL;
 constexpr std::uint64_t kSaltReorder = 0x4E04ULL;
 constexpr std::uint64_t kSaltCorrupt = 0xC042ULL;
 constexpr std::uint64_t kSaltTruncate = 0x7420ULL;
+constexpr std::uint64_t kSaltKill = 0xDEADULL;
 
 inline void check_probability(double p) { DSOUTH_CHECK(p >= 0.0 && p <= 1.0); }
 
@@ -69,6 +70,10 @@ bool FaultPlan::any() const {
   for (const auto& s : stalls) {
     if (s.epochs > 0) return true;
   }
+  if (!kills.empty()) return true;
+  if (random_kills.probability > 0.0 && random_kills.max_kill_epoch > 0) {
+    return true;
+  }
   return false;
 }
 
@@ -79,7 +84,8 @@ FaultSchedule::FaultSchedule(const FaultPlan& plan, int num_ranks)
                  static_cast<std::size_t>(num_ranks),
              plan.defaults),
       slowdowns_(static_cast<std::size_t>(num_ranks), 1.0),
-      stalls_(static_cast<std::size_t>(num_ranks)) {
+      stalls_(static_cast<std::size_t>(num_ranks)),
+      kill_epochs_(static_cast<std::size_t>(num_ranks), kNeverKilled) {
   DSOUTH_CHECK(num_ranks > 0);
   DSOUTH_CHECK(plan.max_reorder_epochs >= 1);
   check_edge(plan.defaults);
@@ -107,6 +113,38 @@ FaultSchedule::FaultSchedule(const FaultPlan& plan, int num_ranks)
                 return a.first_epoch < b.first_epoch;
               });
   }
+  // Permanent failures: explicit overrides first (earliest epoch wins) ...
+  for (const auto& k : plan.kills) {
+    DSOUTH_CHECK(k.rank >= 0 && k.rank < num_ranks);
+    auto& e = kill_epochs_[static_cast<std::size_t>(k.rank)];
+    e = std::min(e, k.epoch);
+  }
+  // ... then the seeded per-(rank, epoch) draws, precomputed so fence-time
+  // queries are lookups. The draw key deliberately matches the documented
+  // (seed, salt, epoch, rank) shape: src == dst == rank, seq == 0.
+  const RandomKills& rk = plan.random_kills;
+  check_probability(rk.probability);
+  if (rk.probability > 0.0) {
+    for (int r = 0; r < num_ranks; ++r) {
+      auto& e = kill_epochs_[static_cast<std::size_t>(r)];
+      for (std::uint64_t epoch = 0;
+           epoch < rk.max_kill_epoch && epoch < e; ++epoch) {
+        if (unit(draw(plan.seed, kSaltKill, epoch, r, r, /*seq=*/0)) <
+            rk.probability) {
+          e = epoch;
+          break;
+        }
+      }
+    }
+  }
+  for (auto e : kill_epochs_) {
+    if (e != kNeverKilled) any_kills_ = true;
+  }
+}
+
+std::uint64_t FaultSchedule::kill_epoch(int rank) const {
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  return kill_epochs_[static_cast<std::size_t>(rank)];
 }
 
 FaultDecision FaultSchedule::decide(std::uint64_t epoch, int src, int dst,

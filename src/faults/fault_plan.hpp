@@ -68,6 +68,28 @@ struct Stall {
   std::uint64_t epochs = 0;
 };
 
+/// A *permanent* rank failure: `rank` is dead from `epoch` on — it stops
+/// relaxing, everything it has in flight is dropped, and peers observe
+/// silence forever after (src/elastic recovers from this;
+/// docs/resilience.md "Permanent failure and recovery"). Unlike a Stall
+/// there is no recovery window: death is monotone in the epoch counter.
+struct RankKill {
+  int rank = -1;
+  std::uint64_t epoch = 0;  ///< first epoch the rank is dead in
+};
+
+/// Seeded random permanent failures: each (rank, epoch) pair with
+/// epoch < max_kill_epoch draws dead with probability `probability` from
+/// the stateless (seed, salt, epoch, rank) hash — the same SplitMix64
+/// scheme every other fault type uses, so kill draws perturb no other
+/// stream. A rank's kill epoch is the *first* epoch whose draw fires;
+/// FaultSchedule precomputes the draws at compile time, so runtime
+/// queries are array lookups.
+struct RandomKills {
+  double probability = 0.0;        ///< per-(rank,epoch) death probability
+  std::uint64_t max_kill_epoch = 0;  ///< draws cover epochs [0, max)
+};
+
 /// Declarative fault-injection plan. Default-constructed == no faults;
 /// Runtime behaviour with `any() == false` is byte-identical to a run
 /// with no plan at all (the driver never attaches an empty plan).
@@ -79,6 +101,11 @@ struct FaultPlan {
   int max_reorder_epochs = 2;       ///< bound on reordering delay (>= 1)
   std::vector<Straggler> stragglers;
   std::vector<Stall> stalls;
+  /// Explicit kill-at-epoch overrides (the earliest epoch wins when a rank
+  /// appears more than once, or also draws a random kill).
+  std::vector<RankKill> kills;
+  /// Seeded random permanent failures (composes with explicit kills).
+  RandomKills random_kills;
 
   /// True when the plan can perturb anything at all.
   bool any() const;
@@ -128,6 +155,23 @@ class FaultSchedule {
     return hold_until(rank, epoch) != epoch;
   }
 
+  /// Sentinel kill epoch for a rank that never dies.
+  static constexpr std::uint64_t kNeverKilled = ~0ULL;
+
+  /// The epoch at which `rank` dies — the minimum over its explicit
+  /// RankKill entries and its first firing random-kill draw — or
+  /// kNeverKilled. Precomputed at construction, so this is a lookup.
+  std::uint64_t kill_epoch(int rank) const;
+
+  /// True when `rank` is permanently dead at `epoch`.
+  bool dead(int rank, std::uint64_t epoch) const {
+    return epoch >= kill_epoch(rank);
+  }
+
+  /// True when the plan configures any permanent failure at all (the
+  /// runtime's cue to run the dead-traffic sweep at each fence).
+  bool any_kills() const { return any_kills_; }
+
  private:
   const EdgeFaults& edge(int src, int dst) const {
     return edges_[static_cast<std::size_t>(src) *
@@ -140,6 +184,8 @@ class FaultSchedule {
   std::vector<EdgeFaults> edges_;   // dense num_ranks x num_ranks
   std::vector<double> slowdowns_;   // per rank, default 1.0
   std::vector<std::vector<Stall>> stalls_;  // per rank, sorted by start
+  std::vector<std::uint64_t> kill_epochs_;  // per rank, kNeverKilled default
+  bool any_kills_ = false;
 };
 
 }  // namespace dsouth::faults

@@ -311,6 +311,153 @@ Partition partition_recursive_bisection(const Graph& g, index_t k,
   return p;
 }
 
+Partition repartition_after_failure(const Graph& g, const Partition& p,
+                                    std::span<const index_t> dead_parts,
+                                    const PartitionOptions& opt) {
+  DSOUTH_CHECK(p.is_valid(g.num_vertices()));
+  const index_t k = p.num_parts;
+  std::vector<char> dead(static_cast<std::size_t>(k), 0);
+  for (index_t d : dead_parts) {
+    DSOUTH_CHECK(d >= 0 && d < k);
+    dead[static_cast<std::size_t>(d)] = 1;
+  }
+  index_t num_survivors = 0;
+  for (index_t q = 0; q < k; ++q) {
+    if (!dead[static_cast<std::size_t>(q)]) ++num_survivors;
+  }
+  DSOUTH_CHECK_MSG(num_survivors >= 1, "no surviving parts");
+
+  Partition out = p;
+  auto sizes = out.part_sizes();
+  const auto smallest_survivor = [&]() {
+    index_t best = -1;
+    for (index_t q = 0; q < k; ++q) {
+      if (dead[static_cast<std::size_t>(q)]) continue;
+      if (best < 0 || sizes[static_cast<std::size_t>(q)] <
+                          sizes[static_cast<std::size_t>(best)]) {
+        best = q;
+      }
+    }
+    return best;
+  };
+
+  // --- Adoption: hand each dead part's vertex to a surviving neighbor
+  // part, in waves so enclaves deep inside a dead region reach a survivor
+  // through already-adopted vertices. Ascending vertex order per wave and
+  // deterministic tie-breaks (most adjacent edges, then smaller current
+  // size, then smaller part id) keep the result reproducible.
+  std::vector<index_t> orphans;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (dead[static_cast<std::size_t>(out.part[static_cast<std::size_t>(v)])]) {
+      orphans.push_back(v);
+      out.part[static_cast<std::size_t>(v)] = -1;  // unassigned marker
+      --sizes[static_cast<std::size_t>(p.part[static_cast<std::size_t>(v)])];
+    }
+  }
+  std::vector<index_t> edge_count(static_cast<std::size_t>(k), 0);
+  std::vector<index_t> next_wave;
+  while (!orphans.empty()) {
+    next_wave.clear();
+    bool progressed = false;
+    for (index_t v : orphans) {
+      std::fill(edge_count.begin(), edge_count.end(), 0);
+      index_t best = -1;
+      for (index_t w : g.neighbors(v)) {
+        const index_t q = out.part[static_cast<std::size_t>(w)];
+        if (q < 0 || dead[static_cast<std::size_t>(q)]) continue;
+        const auto uq = static_cast<std::size_t>(q);
+        ++edge_count[uq];
+        if (best < 0 || edge_count[uq] > edge_count[static_cast<std::size_t>(best)] ||
+            (edge_count[uq] == edge_count[static_cast<std::size_t>(best)] &&
+             (sizes[uq] < sizes[static_cast<std::size_t>(best)] ||
+              (sizes[uq] == sizes[static_cast<std::size_t>(best)] &&
+               q < best)))) {
+          best = q;
+        }
+      }
+      if (best >= 0) {
+        out.part[static_cast<std::size_t>(v)] = best;
+        ++sizes[static_cast<std::size_t>(best)];
+        progressed = true;
+      } else {
+        next_wave.push_back(v);
+      }
+    }
+    if (!progressed && !next_wave.empty()) {
+      // Fully disconnected orphan: the smallest survivor takes it.
+      const index_t v = next_wave.front();
+      const index_t q = smallest_survivor();
+      out.part[static_cast<std::size_t>(v)] = q;
+      ++sizes[static_cast<std::size_t>(q)];
+      next_wave.erase(next_wave.begin());
+    }
+    orphans.swap(next_wave);
+  }
+
+  // --- Incremental FM polish: around every recipient part, refine each
+  // (recipient, touching-survivor) pair with the bisection partitioner's
+  // bounded FM pass. The pair subset is the two parts' vertices; the pass
+  // equalizes the pair (target = half) within the usual slack, locking and
+  // best-prefix rollback bounding the work to the boundary region.
+  std::vector<char> recipient(static_cast<std::size_t>(k), 0);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    if (dead[static_cast<std::size_t>(p.part[static_cast<std::size_t>(v)])]) {
+      recipient[static_cast<std::size_t>(
+          out.part[static_cast<std::size_t>(v)])] = 1;
+    }
+  }
+  // Touching survivor pairs (a < b) with at least one recipient end, in
+  // ascending order.
+  std::vector<std::pair<index_t, index_t>> pairs;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    const index_t a = out.part[static_cast<std::size_t>(v)];
+    for (index_t w : g.neighbors(v)) {
+      if (w <= v) continue;
+      const index_t b = out.part[static_cast<std::size_t>(w)];
+      if (a == b) continue;
+      if (!recipient[static_cast<std::size_t>(a)] &&
+          !recipient[static_cast<std::size_t>(b)]) {
+        continue;
+      }
+      pairs.emplace_back(std::min(a, b), std::max(a, b));
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  std::vector<index_t> scratch(static_cast<std::size_t>(g.num_vertices()),
+                               -1);
+  std::vector<index_t> subset;
+  for (const auto& [a, b] : pairs) {
+    subset.clear();
+    for (index_t v = 0; v < g.num_vertices(); ++v) {
+      const index_t q = out.part[static_cast<std::size_t>(v)];
+      if (q == a || q == b) subset.push_back(v);
+    }
+    const auto n_local = static_cast<index_t>(subset.size());
+    if (n_local < 2) continue;
+    Bisection bis(g, subset, scratch);
+    index_t size0 = 0;
+    for (std::size_t l = 0; l < subset.size(); ++l) {
+      if (out.part[static_cast<std::size_t>(subset[l])] == a) {
+        bis.side[l] = 0;
+        ++size0;
+      }
+    }
+    bis.size0 = size0;
+    const index_t target0 = (n_local + 1) / 2;
+    for (int pass = 0; pass < opt.fm_passes; ++pass) {
+      if (!bis.fm_pass(target0, 1, n_local - 1, opt)) break;
+    }
+    for (std::size_t l = 0; l < subset.size(); ++l) {
+      out.part[static_cast<std::size_t>(subset[l])] =
+          bis.side[l] == 0 ? a : b;
+    }
+    bis.release(scratch);
+  }
+  return out;
+}
+
 Partition partition_greedy_growing(const Graph& g, index_t k,
                                    std::uint64_t seed) {
   DSOUTH_CHECK(k >= 1 && k <= std::max<index_t>(1, g.num_vertices()));

@@ -13,6 +13,7 @@
 /// best-prefix rollback) to reduce the cut while keeping balance.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -57,6 +58,24 @@ struct PartitionOptions {
 /// Deterministic for fixed options.
 Partition partition_recursive_bisection(const Graph& g, index_t k,
                                         const PartitionOptions& opt = {});
+
+/// Incremental repartition after permanent part failure (src/elastic,
+/// docs/resilience.md). Every vertex of a part in `dead_parts` is adopted
+/// by a surviving part — preferring the survivor owning the most adjacent
+/// edges, waves of adoption handling enclaves, smallest-survivor fallback
+/// for disconnected orphans — then a bounded pairwise FM refinement (the
+/// same gain-heap/locking/best-prefix machinery the bisection partitioner
+/// uses) polishes the cut around every recipient part. The result keeps
+/// `num_parts` unchanged: dead parts simply end up EMPTY (DistLayout
+/// permits empty parts), so rank numbering survives the failure.
+///
+/// Deterministic for fixed inputs, and *incremental*: surviving parts keep
+/// their vertices except where FM trades boundary vertices, so the
+/// rebuild cost after a failure is proportional to the failed region, not
+/// the graph. Requires at least one surviving part.
+Partition repartition_after_failure(const Graph& g, const Partition& p,
+                                    std::span<const index_t> dead_parts,
+                                    const PartitionOptions& opt = {});
 
 /// Simple baseline: k seeds grown breadth-first in round-robin (no
 /// refinement). Used in tests as a sanity comparator and in the

@@ -81,7 +81,70 @@ void Runtime::set_fault_schedule(const faults::FaultSchedule* schedule) {
     DSOUTH_CHECK(schedule->num_ranks() == num_ranks_);
   }
   faults_ = schedule;
+  kills_ = faults_ && faults_->any_kills();
   refresh_fault_metrics();
+}
+
+bool Runtime::rank_dead(int rank) const {
+  DSOUTH_ASSERT(rank >= 0 && rank < num_ranks_);
+  return kills_ && faults_->dead(rank, epochs_);
+}
+
+RuntimeState Runtime::capture_state() const {
+  for (const auto& lane : lanes_) {
+    DSOUTH_CHECK_MSG(lane.empty(),
+                     "capture_state requires empty staging lanes — "
+                     "checkpoint between epochs, after the fence");
+  }
+  RuntimeState st(num_ranks_);
+  st.epochs = epochs_;
+  st.model_time = model_time_;
+  st.last_epoch_seconds = last_epoch_seconds_;
+  st.delivery_state = delivery_state_;
+  st.arrival_counter = arrival_counter_;
+  st.lane_seq = lane_seq_;
+  st.stats = stats_;
+  for (int d = 0; d < num_ranks_; ++d) {
+    for (const Message& msg : windows_[static_cast<std::size_t>(d)]) {
+      st.window_msgs.push_back(
+          RuntimeState::WindowMsg{d, msg.source, msg.tag, msg.payload});
+    }
+    for (const Deferred& held : deferred_[static_cast<std::size_t>(d)]) {
+      st.deferred.push_back(RuntimeState::InFlight{
+          d, held.source, held.tag, held.seq, held.staged_epoch,
+          held.deliver_epoch, held.arrival, held.payload});
+    }
+  }
+  return st;
+}
+
+void Runtime::restore_state(const RuntimeState& st) {
+  DSOUTH_CHECK(st.stats.num_ranks() == num_ranks_);
+  DSOUTH_CHECK(st.lane_seq.size() == static_cast<std::size_t>(num_ranks_));
+  for (const auto& lane : lanes_) {
+    DSOUTH_CHECK_MSG(lane.empty(),
+                     "restore_state requires empty staging lanes");
+  }
+  epochs_ = st.epochs;
+  model_time_ = st.model_time;
+  last_epoch_seconds_ = st.last_epoch_seconds;
+  delivery_state_ = st.delivery_state;
+  arrival_counter_ = st.arrival_counter;
+  lane_seq_ = st.lane_seq;
+  stats_ = st.stats;
+  for (auto& win : windows_) win.clear();
+  for (auto& held : deferred_) held.clear();
+  for (const auto& wm : st.window_msgs) {
+    DSOUTH_CHECK(wm.dest >= 0 && wm.dest < num_ranks_);
+    windows_[static_cast<std::size_t>(wm.dest)].push_back(
+        Message{wm.source, wm.tag, wm.payload});
+  }
+  for (const auto& inf : st.deferred) {
+    DSOUTH_CHECK(inf.dest >= 0 && inf.dest < num_ranks_);
+    deferred_[static_cast<std::size_t>(inf.dest)].push_back(
+        Deferred{inf.source, inf.tag, inf.seq, inf.staged_epoch,
+                 inf.deliver_epoch, inf.arrival, inf.payload});
+  }
 }
 
 void Runtime::set_delivery_policy(const DeliveryPolicy* policy) {
@@ -180,6 +243,7 @@ void Runtime::refresh_fault_metrics() {
     m_faults_duplicated_ = trace::kInvalidMetric;
     m_faults_corrupted_ = trace::kInvalidMetric;
     m_faults_reordered_ = trace::kInvalidMetric;
+    m_faults_killed_ = trace::kInvalidMetric;
     return;
   }
   auto& m = tracer_->metrics();
@@ -191,6 +255,12 @@ void Runtime::refresh_fault_metrics() {
                                           trace::MetricKind::kCounter);
   m_faults_reordered_ = m.register_metric("simmpi.faults_reordered",
                                           trace::MetricKind::kCounter);
+  // Registered only for plans that configure permanent failure, so
+  // message-fault-only traces keep their pre-elastic metric set.
+  m_faults_killed_ = faults_->any_kills()
+                         ? m.register_metric("simmpi.faults_killed",
+                                             trace::MetricKind::kCounter)
+                         : trace::kInvalidMetric;
 }
 
 std::span<const Message> Runtime::window(int rank) const {
@@ -297,7 +367,12 @@ void Runtime::node_prepass() {
       const std::uint64_t bytes = message_bytes(m.payload.size());
       const bool same = topo.same_node(s, m.dest);
       bool dropped = false;
-      if (faults_) {
+      if (kills_ && (faults_->dead(s, closed_epoch) ||
+                     faults_->dead(m.dest, closed_epoch))) {
+        // Dead-endpoint traffic dies at its source exactly like a dropped
+        // message: the sender paid one direct hop, no relay ever saw it.
+        dropped = true;
+      } else if (faults_) {
         // decide() is a stateless hash of (epoch, src, dst, seq), so this
         // pre-pass draw is identical to the one the delivery merge makes
         // later and consumes no RNG stream.
@@ -486,6 +561,19 @@ void Runtime::fence() {
     for (auto& m : lane) {
       stats_.record_send(s, m.tag, message_bytes(m.payload.size()),
                          m.records);
+      if (kills_ && (faults_->dead(s, closed_epoch) ||
+                     faults_->dead(m.dest, closed_epoch))) {
+        // Permanent rank failure: traffic from or to a dead rank is
+        // swallowed at the fence — the sender paid for the put
+        // (record_send above), no other fault draw applies, and the
+        // delivery RNG is not consumed, exactly like a fault drop.
+        stats_.record_dead_drop(s);
+        record_fault(s, m.dest, /*action=*/6, m.seq, 0.0);
+        if (tracer_) tracer_->metrics().add(m_faults_killed_, s, 1.0);
+        stage_pools_[static_cast<std::size_t>(s)].release(
+            std::move(m.payload));
+        continue;
+      }
       faults::FaultDecision fd;
       if (faults_) {
         fd = faults_->decide(closed_epoch, s, m.dest, m.seq,
@@ -585,6 +673,33 @@ void Runtime::fence() {
                               arrival_counter_++, std::move(delivered)});
     }
     lane.clear();
+  }
+
+  // Permanent-failure sweep (kill plans only): purge in-flight deferred
+  // messages whose source died after staging them — "its in-flight
+  // traffic is dropped" — or whose destination is dead. Deterministic:
+  // destination-ascending walk in held order, gated on the same monotone
+  // dead() predicate every backend evaluates identically.
+  if (kills_) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      auto& held = deferred_[i];
+      const bool dest_dead = faults_->dead(r, closed_epoch);
+      fence_keep_.clear();
+      for (auto& d : held) {
+        if (dest_dead || faults_->dead(d.source, closed_epoch)) {
+          stats_.record_dead_drop(d.source);
+          record_fault(d.source, r, /*action=*/6, d.seq, 1.0);
+          if (tracer_) {
+            tracer_->metrics().add(m_faults_killed_, d.source, 1.0);
+          }
+          window_pools_[i].release(std::move(d.payload));
+        } else {
+          fence_keep_.push_back(std::move(d));
+        }
+      }
+      held.swap(fence_keep_);
+    }
   }
 
   // Deliver matured messages (fresh plus previously-deferred ones whose

@@ -96,6 +96,45 @@ struct NodeRoutingOptions {
   std::vector<std::uint32_t> pair_channel_counts;
 };
 
+/// Complete deterministic mid-run runtime state, captured between epochs
+/// (elastic checkpoint/restart — src/elastic, DESIGN.md §15). Everything
+/// here is bit-identical across execution backends, so a serialized
+/// snapshot is too. Staging lanes must be empty at capture (checked): a
+/// checkpoint is taken at a step boundary, after the fence.
+struct RuntimeState {
+  explicit RuntimeState(int num_ranks) : stats(num_ranks) {}
+
+  std::uint64_t epochs = 0;
+  double model_time = 0.0;
+  double last_epoch_seconds = 0.0;
+  std::uint64_t delivery_state = 0;   ///< delay-draw SplitMix64 cursor
+  std::uint64_t arrival_counter = 0;  ///< Deferred::arrival source
+  std::vector<std::uint64_t> lane_seq;  ///< per-source send counters
+  CommStats stats;                      ///< full counter snapshot
+
+  /// A message sitting delivered-but-unconsumed in a window.
+  struct WindowMsg {
+    int dest = -1;
+    int source = -1;
+    MsgTag tag = MsgTag::kOther;
+    std::vector<double> payload;
+  };
+  std::vector<WindowMsg> window_msgs;  ///< in (dest, window order)
+
+  /// A message still in flight (delayed delivery / reorder / stall).
+  struct InFlight {
+    int dest = -1;
+    int source = -1;
+    MsgTag tag = MsgTag::kOther;
+    std::uint64_t seq = 0;
+    std::uint64_t staged_epoch = 0;
+    std::uint64_t deliver_epoch = 0;
+    std::uint64_t arrival = 0;
+    std::vector<double> payload;
+  };
+  std::vector<InFlight> deferred;  ///< in (dest, held order)
+};
+
 class Runtime {
  public:
   explicit Runtime(int num_ranks, MachineModel model = {},
@@ -239,6 +278,28 @@ class Runtime {
 
   /// The attached fault schedule, or nullptr.
   const faults::FaultSchedule* fault_schedule() const { return faults_; }
+
+  /// True when `rank` is permanently dead at the current epoch (a fault
+  /// schedule with kills is attached and its kill epoch has passed —
+  /// faults::FaultSchedule::dead). Stable mid-epoch: the epoch counter
+  /// only advances at the fence, so rank programs may consult this. Dead
+  /// ranks stop relaxing (the solver base skips their phases), their
+  /// staged and in-flight traffic is swallowed at the fence, and traffic
+  /// addressed to them is swallowed too — peers observe silence. The
+  /// elastic subsystem (src/elastic) rebuilds the layout around them.
+  bool rank_dead(int rank) const;
+
+  /// Capture the complete deterministic runtime state (epoch/model-time
+  /// cursors, RNG state, send counters, CommStats, unconsumed windows,
+  /// in-flight deferred messages) for an elastic checkpoint. Must be
+  /// called between epochs (checked: staging lanes empty).
+  RuntimeState capture_state() const;
+
+  /// Restore a previously captured state. The runtime must have the same
+  /// rank count and empty staging lanes; windows and deferred queues are
+  /// replaced wholesale. Continuing after a same-layout restore is
+  /// byte-identical to never having snapshotted (tests/test_elastic.cpp).
+  void restore_state(const RuntimeState& state);
 
   /// Attach a delivery policy (simmpi/delivery.hpp). Not owned; must
   /// outlive the runtime. Defaults to the shared BulkSynchronousPolicy,
@@ -456,6 +517,9 @@ class Runtime {
   trace::MetricId m_faults_duplicated_ = trace::kInvalidMetric;
   trace::MetricId m_faults_corrupted_ = trace::kInvalidMetric;
   trace::MetricId m_faults_reordered_ = trace::kInvalidMetric;
+  // Registered only when the schedule also configures permanent kills, so
+  // message-fault-only traces stay byte-identical to pre-elastic builds.
+  trace::MetricId m_faults_killed_ = trace::kInvalidMetric;
   // Asynchronous-delivery counters, registered only when BOTH a tracer
   // and an EventDriven policy are attached (see refresh_async_metrics).
   trace::MetricId m_async_delivered_ = trace::kInvalidMetric;
@@ -470,6 +534,9 @@ class Runtime {
   trace::MetricId m_node_forward_frames_ = trace::kInvalidMetric;
   trace::MetricId m_node_forwarded_records_ = trace::kInvalidMetric;
   const faults::FaultSchedule* faults_ = nullptr;
+  // Cached faults_->any_kills() so kill-free fences never touch the
+  // schedule's kill table (set_fault_schedule refreshes it).
+  bool kills_ = false;
   // Delivery policy (never null; BulkSynchronous by default). `async_`
   // caches kind() == kEventDriven so the fence's hot loop branches on a
   // bool, not a virtual call.

@@ -90,6 +90,65 @@ std::uint64_t CommStats::tenant_doubles(std::size_t tenant) const {
   return tenant_doubles_[tenant];
 }
 
+void CommStats::save(std::vector<std::uint64_t>& out) const {
+  out.push_back(static_cast<std::uint64_t>(num_ranks_));
+  out.push_back(static_cast<std::uint64_t>(tenant_records_.size()));
+  for (auto v : msgs_by_tag_) out.push_back(v);
+  for (auto v : logical_by_tag_) out.push_back(v);
+  for (auto v : bytes_by_tag_) out.push_back(v);
+  out.push_back(msgs_dropped_);
+  out.push_back(msgs_duplicated_);
+  out.push_back(msgs_corrupted_);
+  out.push_back(msgs_dead_dropped_);
+  out.push_back(msgs_async_delivered_);
+  out.push_back(async_staleness_sum_);
+  out.push_back(async_staleness_max_);
+  out.push_back(msgs_intra_);
+  out.push_back(bytes_intra_);
+  out.push_back(msgs_inter_);
+  out.push_back(bytes_inter_);
+  out.push_back(forward_frames_);
+  out.push_back(forwarded_records_);
+  for (auto v : msgs_per_rank_) out.push_back(v);
+  for (auto v : tenant_records_) out.push_back(v);
+  for (auto v : tenant_doubles_) out.push_back(v);
+}
+
+void CommStats::load(std::span<const std::uint64_t> in) {
+  DSOUTH_CHECK_MSG(in.size() >= 2, "CommStats stream: truncated header");
+  DSOUTH_CHECK_MSG(
+      in[0] == static_cast<std::uint64_t>(num_ranks_),
+      "CommStats stream: rank count mismatch (stream " << in[0] << ", this "
+                                                       << num_ranks_ << ")");
+  const auto tenants = static_cast<std::size_t>(in[1]);
+  DSOUTH_CHECK_MSG(
+      in.size() == saved_words(num_ranks_, tenants),
+      "CommStats stream: bad length " << in.size() << " for " << num_ranks_
+                                      << " ranks, " << tenants << " tenants");
+  std::size_t k = 2;
+  for (auto& v : msgs_by_tag_) v = in[k++];
+  for (auto& v : logical_by_tag_) v = in[k++];
+  for (auto& v : bytes_by_tag_) v = in[k++];
+  msgs_dropped_ = in[k++];
+  msgs_duplicated_ = in[k++];
+  msgs_corrupted_ = in[k++];
+  msgs_dead_dropped_ = in[k++];
+  msgs_async_delivered_ = in[k++];
+  async_staleness_sum_ = in[k++];
+  async_staleness_max_ = in[k++];
+  msgs_intra_ = in[k++];
+  bytes_intra_ = in[k++];
+  msgs_inter_ = in[k++];
+  bytes_inter_ = in[k++];
+  forward_frames_ = in[k++];
+  forwarded_records_ = in[k++];
+  for (auto& v : msgs_per_rank_) v = in[k++];
+  tenant_records_.assign(tenants, 0);
+  tenant_doubles_.assign(tenants, 0);
+  for (auto& v : tenant_records_) v = in[k++];
+  for (auto& v : tenant_doubles_) v = in[k++];
+}
+
 void CommStats::reset() {
   msgs_by_tag_.fill(0);
   logical_by_tag_.fill(0);
@@ -97,6 +156,7 @@ void CommStats::reset() {
   msgs_dropped_ = 0;
   msgs_duplicated_ = 0;
   msgs_corrupted_ = 0;
+  msgs_dead_dropped_ = 0;
   msgs_async_delivered_ = 0;
   async_staleness_sum_ = 0;
   async_staleness_max_ = 0;

@@ -8,7 +8,9 @@
 /// are computed here from exact per-put counts (not modeled).
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace dsouth::simmpi {
@@ -50,10 +52,17 @@ class CommStats {
   void record_duplicate(int source) { bump_fault(source, msgs_duplicated_); }
   /// Counts bit-flip corruption and truncation alike.
   void record_corrupt(int source) { bump_fault(source, msgs_corrupted_); }
+  /// A message swallowed because its source or destination rank is
+  /// permanently dead (faults::RankKill, src/elastic): staged traffic from
+  /// a dead rank, in-flight traffic it had outstanding, and traffic
+  /// addressed to it. Like the other fault counters it is a breakdown of
+  /// delivery outcomes — the message is also counted as sent.
+  void record_dead_drop(int source) { bump_fault(source, msgs_dead_dropped_); }
 
   std::uint64_t dropped_messages() const { return msgs_dropped_; }
   std::uint64_t duplicated_messages() const { return msgs_duplicated_; }
   std::uint64_t corrupted_messages() const { return msgs_corrupted_; }
+  std::uint64_t dead_dropped_messages() const { return msgs_dead_dropped_; }
 
   /// Asynchronous-delivery accounting (simmpi/delivery.hpp), written by
   /// the runtime at the delivering fence when an EventDriven policy is
@@ -140,6 +149,23 @@ class CommStats {
   /// Zero every counter (see Runtime::reset_stats).
   void reset();
 
+  /// Append every counter to `out` as a fixed-order u64 stream (the
+  /// elastic checkpoint codec, src/elastic/checkpoint.cpp). Structure
+  /// (rank count, tenant slot count) travels too, so load() can verify it
+  /// decodes into a same-shape instance. A save/load round-trip is exact.
+  void save(std::vector<std::uint64_t>& out) const;
+
+  /// Inverse of save(). `in` must be exactly one save() stream written by
+  /// a CommStats with the same rank count; the tenant slot count is
+  /// adopted from the stream (like configure_tenants). Checked fatal on
+  /// shape mismatch.
+  void load(std::span<const std::uint64_t> in);
+
+  /// Doubles save() appends for a given shape (codec sizing).
+  static std::size_t saved_words(int num_ranks, std::size_t num_tenants) {
+    return 24 + static_cast<std::size_t>(num_ranks) + 2 * num_tenants;
+  }
+
  private:
   void bump_fault(int source, std::uint64_t& counter);
 
@@ -150,6 +176,7 @@ class CommStats {
   std::uint64_t msgs_dropped_ = 0;
   std::uint64_t msgs_duplicated_ = 0;
   std::uint64_t msgs_corrupted_ = 0;
+  std::uint64_t msgs_dead_dropped_ = 0;
   std::uint64_t msgs_async_delivered_ = 0;
   std::uint64_t async_staleness_sum_ = 0;
   std::uint64_t async_staleness_max_ = 0;

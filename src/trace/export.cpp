@@ -60,12 +60,15 @@ void write_jsonl(std::ostream& out, const TraceLog& log,
   bool has_fault_events = false;
   bool has_deliver_events = false;
   bool has_hop_events = false;
+  bool has_elastic_events = false;
   for (const Event& e : log.events) {
     if (e.kind == EventKind::kFault) has_fault_events = true;
     if (e.kind == EventKind::kDeliver) has_deliver_events = true;
     if (e.kind == EventKind::kHop) has_hop_events = true;
+    if (e.kind == EventKind::kElastic) has_elastic_events = true;
   }
-  line = has_hop_events       ? "{\"type\":\"header\",\"version\":5,"
+  line = has_elastic_events   ? "{\"type\":\"header\",\"version\":6,"
+         : has_hop_events     ? "{\"type\":\"header\",\"version\":5,"
          : has_deliver_events ? "{\"type\":\"header\",\"version\":4,"
          : has_fault_events   ? "{\"type\":\"header\",\"version\":3,"
                               : "{\"type\":\"header\",\"version\":2,";
@@ -256,6 +259,14 @@ void ChromeTraceWriter::add_run(const TraceLog& log,
         append_kv(line, "bytes", e.a0);
         line += ",";
         append_kv(line, "records", e.a1);
+        break;
+      case EventKind::kElastic:
+        line += ",";
+        append_kv(line, "action", static_cast<int>(e.tag));
+        line += ",";
+        append_kv(line, "detail0", e.a0);
+        line += ",";
+        append_kv(line, "detail1", e.a1);
         break;
     }
     if (opt.include_wall_clock) {

@@ -24,6 +24,8 @@ const char* event_kind_name(EventKind kind) {
       return "deliver";
     case EventKind::kHop:
       return "hop";
+    case EventKind::kElastic:
+      return "elastic";
   }
   return "?";
 }

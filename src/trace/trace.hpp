@@ -66,8 +66,18 @@ enum class EventKind : std::uint8_t {
   /// runs record none of these, keeping their traces byte-identical to
   /// pre-node-aware builds.
   kHop = 7,
+  /// An elastic checkpoint/recovery action (src/elastic, docs/resilience.md
+  /// "Permanent failure and recovery"), recorded by the elastic driver into
+  /// rank 0's lane at the step boundary where it acted. `tag` = action code
+  /// (0 checkpoint taken, 1 permanent rank death detected, 2 state restored
+  /// from checkpoint, 3 repartition applied), a0/a1 = action detail:
+  /// checkpoint → bytes encoded / step, kill → dead rank / kill epoch,
+  /// restore → restored step / restored epoch, repartition → dead rank /
+  /// rows redistributed. Fault-free runs record none of these, keeping
+  /// their traces byte-identical to pre-elastic builds.
+  kElastic = 8,
 };
-inline constexpr int kNumEventKinds = 8;
+inline constexpr int kNumEventKinds = 9;
 
 /// Hop kinds carried in a kHop event's tag field.
 inline constexpr int kHopIntraDirect = 0;  ///< same-node message

@@ -133,6 +133,12 @@ class ChannelSet {
   /// Envelopes sent so far to peer `k` (== the next sequence number).
   std::uint64_t sent_seq(std::size_t k) const;
 
+  /// Restore peer `k`'s envelope counter from a checkpoint
+  /// (DistStationarySolver::restore_state). Call only between put phases —
+  /// an unsealed envelope (pending flush) would already have consumed the
+  /// old counter.
+  void set_sent_seq(std::size_t k, std::uint64_t seq);
+
   /// Toggle batch-sink staging (batched multi-tenant serving,
   /// dist/batch.hpp). While on, open() buffers every record — including
   /// sequenced envelopes, whose checksums are sealed at flush() — and
@@ -182,6 +188,11 @@ class ChannelSet {
 
   /// Records currently buffered for peer `k` (coalescing mode only).
   std::size_t buffered(std::size_t k) const;
+
+  /// True when no put phase is in flight: nothing buffered for any peer
+  /// and no envelope awaiting its flush() seal. Checkpointing requires an
+  /// idle channel set (solver_base.hpp capture_state).
+  bool idle() const;
 
  private:
   struct PeerBuffer {

@@ -71,6 +71,23 @@ CONFIG_FIELDS = ["matrix", "method", "procs", "n"]
 # into one summary row per run.
 TENANT_FIELD_PREFIX = "tenant_"
 
+# Elastic-recovery records (bench/elastic_recovery) carry the analogous
+# recovery_* family: run-level recovery totals plus one
+# recovery_{dead_rank,resumed_step}_<i> pair per detected kill. Same
+# grouped reporting.
+RECOVERY_FIELD_PREFIX = "recovery_"
+
+# Field families whose FAIL/note lines collapse into one row per run.
+GROUPED_FIELD_PREFIXES = (TENANT_FIELD_PREFIX, RECOVERY_FIELD_PREFIX)
+
+
+def field_family(key):
+    """The grouped-family prefix `key` belongs to, or None."""
+    for prefix in GROUPED_FIELD_PREFIXES:
+        if key.startswith(prefix):
+            return prefix
+    return None
+
 
 def load_record(path):
     try:
@@ -162,10 +179,12 @@ def main():
         # Baseline-driven: every deterministic field the baseline gates on
         # must exist in the fresh record and match. Fields only the fresh
         # record carries are new instrumentation; they gate from the next
-        # baseline refresh on. Failures in the tenant_* family are grouped
-        # into one summary line per run (they still count individually).
-        tenant_failures = []  # (key, one-line description)
+        # baseline refresh on. Failures in grouped families (tenant_*,
+        # recovery_*) collapse into one summary line per run (they still
+        # count individually).
+        family_failures = {p: [] for p in GROUPED_FIELD_PREFIXES}
         for key in sorted(b["deterministic"]):
+            family = field_family(key)
             if key not in f["deterministic"]:
                 failures += 1
                 msg = (
@@ -174,8 +193,10 @@ def main():
                     f"instrumentation; rebuild, or regenerate the baseline if "
                     f"the field was removed deliberately"
                 )
-                if key.startswith(TENANT_FIELD_PREFIX):
-                    tenant_failures.append((key, f"{key}: missing from fresh record"))
+                if family:
+                    family_failures[family].append(
+                        (key, f"{key}: missing from fresh record")
+                    )
                 else:
                     print(f"FAIL [{label}] {msg}")
                 continue
@@ -193,32 +214,33 @@ def main():
                 )
             else:
                 failures += 1
-                if key.startswith(TENANT_FIELD_PREFIX):
-                    tenant_failures.append(
+                if family:
+                    family_failures[family].append(
                         (key, f"{key}: baseline {bv} != fresh {fv}")
                     )
                 else:
                     print(f"FAIL [{label}] {key}: baseline {bv} != fresh {fv}")
-        if tenant_failures:
-            shown = "; ".join(desc for _, desc in tenant_failures[:3])
-            more = len(tenant_failures) - min(3, len(tenant_failures))
+        for prefix, failed in family_failures.items():
+            if not failed:
+                continue
+            shown = "; ".join(desc for _, desc in failed[:3])
+            more = len(failed) - min(3, len(failed))
             suffix = f" (+{more} more)" if more else ""
             print(
-                f"FAIL [{label}] tenant_*: {len(tenant_failures)} per-tenant "
-                f"field(s) drifted — {shown}{suffix}"
+                f"FAIL [{label}] {prefix}*: {len(failed)} field(s) in the "
+                f"family drifted — {shown}{suffix}"
             )
         fresh_only = sorted(set(f["deterministic"]) - set(b["deterministic"]))
-        fresh_only_tenant = [
-            k for k in fresh_only if k.startswith(TENANT_FIELD_PREFIX)
-        ]
-        if fresh_only_tenant:
-            print(
-                f"note: [{label}] {len(fresh_only_tenant)} fresh tenant_* "
-                f"deterministic field(s) have no baseline value (gate after "
-                f"the next baseline refresh)"
-            )
+        for prefix in GROUPED_FIELD_PREFIXES:
+            fresh_only_family = [k for k in fresh_only if k.startswith(prefix)]
+            if fresh_only_family:
+                print(
+                    f"note: [{label}] {len(fresh_only_family)} fresh "
+                    f"{prefix}* deterministic field(s) have no baseline "
+                    f"value (gate after the next baseline refresh)"
+                )
         for key in fresh_only:
-            if key.startswith(TENANT_FIELD_PREFIX):
+            if field_family(key):
                 continue
             print(
                 f"note: [{label}] fresh deterministic field '{key}' has no "

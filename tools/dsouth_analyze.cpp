@@ -389,6 +389,49 @@ bool run_checks(const RunTrace& run, const RunAnalysis& a) {
               counter_total("simmpi.node_forwarded_records"),
           "forwarded-record tally == simmpi.node_forwarded_records");
   }
+
+  // Elastic recovery cross-checks: the elastic driver records version-6
+  // events but no metrics (the final generation's CommStats were restored
+  // from a checkpoint, so counters cannot corroborate events), so these
+  // rules are internal to the event stream. Every recovery emits exactly
+  // one restore, one repartition per dead rank, and one fresh checkpoint,
+  // after the mandatory step-0 checkpoint — the stream must show that
+  // shape. Kill-free traces carry no elastic events and skip the block.
+  if (a.elastic.any()) {
+    using dsouth::analysis::ElasticReport;
+    const auto& el = a.elastic;
+    check(el.by_action[ElasticReport::kCheckpoint] +
+                  el.by_action[ElasticReport::kKill] +
+                  el.by_action[ElasticReport::kRestore] +
+                  el.by_action[ElasticReport::kRepartition] ==
+              el.total,
+          "every elastic event carries a known action code");
+    check(el.by_action[ElasticReport::kCheckpoint] > 0,
+          "elastic trace has at least one checkpoint event");
+    check(el.checkpoint_bytes_min > 0,
+          "every checkpoint event carries a positive byte count");
+    check(el.by_action[ElasticReport::kRestore] <=
+              el.by_action[ElasticReport::kKill],
+          "restore events <= kill events (a restore needs a death)");
+    check(el.by_action[ElasticReport::kRepartition] ==
+              el.by_action[ElasticReport::kKill],
+          "one repartition event per detected kill");
+    check(el.restores_ordered,
+          "every restore follows a checkpoint and a kill in stream order");
+    check(el.by_action[ElasticReport::kKill] <
+              static_cast<std::uint64_t>(run.num_ranks),
+          "fewer kills than ranks (someone survived to recover)");
+    bool ranks_ok = true;
+    std::vector<char> seen(static_cast<std::size_t>(run.num_ranks), 0);
+    for (int r : el.dead_ranks) {
+      if (r < 0 || r >= run.num_ranks || seen[static_cast<std::size_t>(r)]) {
+        ranks_ok = false;
+        break;
+      }
+      seen[static_cast<std::size_t>(r)] = 1;
+    }
+    check(ranks_ok, "kill events name distinct in-range ranks");
+  }
   return ok;
 }
 
